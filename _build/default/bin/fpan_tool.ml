@@ -1,0 +1,132 @@
+(* Command-line tool for inspecting, checking, and searching FPANs. *)
+
+open Cmdliner
+
+let find_network name =
+  match List.assoc_opt name Fpan.Networks.all with
+  | Some net -> net
+  | None ->
+      Printf.eprintf "unknown network %s; available: %s\n" name
+        (String.concat ", " (List.map fst Fpan.Networks.all));
+      exit 2
+
+let terms_of name = int_of_string (String.sub name (String.length name - 1) 1)
+
+let check_network name cases seed =
+  let net = find_network name in
+  let n = terms_of name in
+  let report =
+    if String.length name >= 3 && String.sub name 0 3 = "mul" then
+      Fpan.Checker.check_mul net ~terms:n ~expand:(Fpan.Networks.mul_expand n) ~cases ~seed
+    else Fpan.Checker.check_add net ~terms:n ~cases ~seed
+  in
+  Format.printf "%s: %a@." name Fpan.Checker.pp_report report;
+  Fpan.Checker.passed report
+
+let list_cmd =
+  let doc = "List all networks with size, depth, and flop counts." in
+  let run () =
+    Format.printf "%-6s %6s %6s %6s %10s@." "name" "size" "depth" "flops" "error";
+    List.iter
+      (fun (name, net) ->
+        Format.printf "%-6s %6d %6d %6d %10s@." name (Fpan.Network.size net)
+          (Fpan.Network.depth net) (Fpan.Network.flops net)
+          (Printf.sprintf "2^-%d" net.Fpan.Network.error_exp))
+      Fpan.Networks.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let name_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"NETWORK")
+
+let cases_arg =
+  Arg.(value & opt int 100_000 & info [ "cases"; "n" ] ~docv:"N" ~doc:"Number of random cases.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let show_cmd =
+  let doc = "Print the gate listing of a network." in
+  let run name = Format.printf "%a@." Fpan.Network.pp (find_network name) in
+  Cmd.v (Cmd.info "show" ~doc) Term.(const run $ name_arg)
+
+let check_cmd =
+  let doc = "Check a network's correctness conditions on random adversarial inputs." in
+  let run name cases seed = if not (check_network name cases seed) then exit 1 in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ name_arg $ cases_arg $ seed_arg)
+
+let check_all_cmd =
+  let doc = "Check every network." in
+  let run cases seed =
+    let ok = List.for_all (fun (name, _) -> check_network name cases seed) Fpan.Networks.all in
+    if not ok then exit 1
+  in
+  Cmd.v (Cmd.info "check-all" ~doc) Term.(const run $ cases_arg $ seed_arg)
+
+let dot_cmd =
+  let doc = "Emit a Graphviz rendering of a network." in
+  let run name = print_string (Fpan.Dot.render (find_network name)) in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ name_arg)
+
+let search_cmd =
+  let doc = "Run the simulated-annealing search to shrink a network." in
+  let steps_arg =
+    Arg.(value & opt int 20_000 & info [ "steps" ] ~docv:"N" ~doc:"Annealing steps.")
+  in
+  let run name steps seed =
+    let net = find_network name in
+    let n = terms_of name in
+    let is_mul = String.length name >= 3 && String.sub name 0 3 = "mul" in
+    let best = Fpan.Search.anneal ~seed ~steps ~terms:n ~is_mul net in
+    Format.printf "%a@." Fpan.Network.pp best
+  in
+  Cmd.v (Cmd.info "search" ~doc) Term.(const run $ name_arg $ steps_arg $ seed_arg)
+
+let analyze_cmd =
+  let doc = "Print the static exponent-domain certificate for a network." in
+  let run name =
+    let net = find_network name in
+    let n = terms_of name in
+    let kind =
+      if String.length name >= 3 && String.sub name 0 3 = "mul" then Fpan.Analyze.Mul_inputs n
+      else Fpan.Analyze.Add_inputs n
+    in
+    let r = Fpan.Analyze.analyze net kind in
+    Format.printf "%s: %a@." name Fpan.Analyze.pp r;
+    Format.printf "claimed bound 2^-%d; static certificate proves 2^%d in the no-cancellation regime@."
+      net.Fpan.Network.error_exp r.Fpan.Analyze.discarded_total_exponent
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ name_arg)
+
+let enumerate_cmd =
+  let doc =
+    "Exhaustively enumerate all 2-term-addition FPANs of a given size against the Figure 2 \
+     specification (the lower-bound half of the paper's optimality proof)."
+  in
+  let size_arg = Arg.(value & opt int 4 & info [ "size" ] ~docv:"N" ~doc:"Gate count to enumerate.") in
+  let run size cases =
+    let r = Fpan.Enumerate.search_size ~size ~checker_cases:cases () in
+    Format.printf "size %d: %a@." size Fpan.Enumerate.pp_result r;
+    List.iter (fun net -> Format.printf "%a@." Fpan.Network.pp net) r.Fpan.Enumerate.verified_correct;
+    if r.Fpan.Enumerate.verified_correct = [] then
+      Format.printf "no %d-gate FPAN meets the Figure 2 specification@." size
+  in
+  Cmd.v (Cmd.info "enumerate" ~doc) Term.(const run $ size_arg $ cases_arg)
+
+let check_n_cmd =
+  let doc = "Check the programmatic n-term addition network (any n >= 2)." in
+  let n_arg = Arg.(required & pos 0 (some int) None & info [] ~docv:"N") in
+  let run n cases seed =
+    let net = Fpan.Networks.add_n n in
+    Format.printf "%a@." Fpan.Network.pp net;
+    let report = Fpan.Checker.check_add net ~terms:n ~cases ~seed in
+    Format.printf "%a@." Fpan.Checker.pp_report report;
+    if not (Fpan.Checker.passed report) then exit 1
+  in
+  Cmd.v (Cmd.info "check-n" ~doc) Term.(const run $ n_arg $ cases_arg $ seed_arg)
+
+let () =
+  let doc = "Inspect and verify floating-point accumulation networks." in
+  let info = Cmd.info "fpan_tool" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; show_cmd; check_cmd; check_all_cmd; check_n_cmd; dot_cmd; search_cmd; analyze_cmd; enumerate_cmd ]))

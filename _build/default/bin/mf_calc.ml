@@ -1,0 +1,52 @@
+(* mf_calc: an extended-precision command-line calculator.
+
+   Evaluates +, -, *, /, ^ (integer powers), sqrt(), abs(), parentheses
+   and decimal literals at 2-, 3-, or 4-term MultiFloat precision.
+
+     dune exec bin/mf_calc.exe -- "sqrt(2) * sqrt(2) - 2"
+     dune exec bin/mf_calc.exe -- -n 4 "(1/3 + 1/5) * 15"
+     echo "1e30 + 1 - 1e30" | dune exec bin/mf_calc.exe -- -n 3 -
+*)
+
+open Cmdliner
+
+let run terms digits exprs =
+  let eval =
+    match terms with
+    | 2 ->
+        let module E = Multifloat.Eval.Make (Multifloat.Mf2) (Multifloat.Elementary.F2) in
+        E.run digits
+    | 3 ->
+        let module E = Multifloat.Eval.Make (Multifloat.Mf3) (Multifloat.Elementary.F3) in
+        E.run digits
+    | 4 ->
+        let module E = Multifloat.Eval.Make (Multifloat.Mf4) (Multifloat.Elementary.F4) in
+        E.run digits
+    | _ ->
+        Printf.eprintf "terms must be 2, 3, or 4\n";
+        exit 2
+  in
+  let inputs =
+    match exprs with
+    | [ "-" ] | [] ->
+        let rec read acc = match input_line stdin with
+          | line -> read (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        read []
+    | es -> es
+  in
+  exit (List.fold_left (fun acc e -> max acc (eval e)) 0 inputs)
+
+let terms_arg =
+  Arg.(value & opt int 2 & info [ "n"; "terms" ] ~docv:"N" ~doc:"Expansion length (2, 3, or 4).")
+
+let digits_arg =
+  Arg.(value & opt (some int) None & info [ "d"; "digits" ] ~docv:"D" ~doc:"Significant digits to print.")
+
+let exprs_arg = Arg.(value & pos_all string [] & info [] ~docv:"EXPR")
+
+let () =
+  let doc = "Evaluate arithmetic expressions in extended-precision MultiFloat arithmetic." in
+  let info = Cmd.info "mf_calc" ~doc in
+  exit (Cmd.eval (Cmd.v info Term.(const run $ terms_arg $ digits_arg $ exprs_arg)))

@@ -1,0 +1,1 @@
+examples/complex_conjugate.ml: Eft Float Fpan Multifloat Printf Random

@@ -1,0 +1,1 @@
+examples/hilbert_solve.ml: Array Blas Exact Float List Multifloat Printf

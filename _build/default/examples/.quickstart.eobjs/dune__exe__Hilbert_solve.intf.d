@@ -1,0 +1,1 @@
+examples/hilbert_solve.mli:

@@ -1,0 +1,1 @@
+examples/ill_conditioned_dot.mli:

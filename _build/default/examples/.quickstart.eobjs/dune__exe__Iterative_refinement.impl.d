@@ -1,0 +1,1 @@
+examples/iterative_refinement.ml: Array Float Linalg List Multifloat Printf Random

@@ -1,0 +1,1 @@
+examples/kepler.ml: Array Float Multifloat Ode Printf

@@ -1,0 +1,1 @@
+examples/kepler.mli:

@@ -1,0 +1,1 @@
+examples/lorenz.ml: Array Float Multifloat Printf

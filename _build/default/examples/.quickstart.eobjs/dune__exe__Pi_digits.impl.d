@@ -1,0 +1,1 @@
+examples/pi_digits.ml: Float Multifloat Printf

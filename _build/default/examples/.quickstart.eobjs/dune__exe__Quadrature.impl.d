@@ -1,0 +1,1 @@
+examples/quadrature.ml: Array Float Multifloat Printf

@@ -1,0 +1,1 @@
+examples/quadrature.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Eft Float Multifloat Printf

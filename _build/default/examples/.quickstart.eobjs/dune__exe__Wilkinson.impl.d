@@ -1,0 +1,1 @@
+examples/wilkinson.ml: Array Float List Multifloat Printf

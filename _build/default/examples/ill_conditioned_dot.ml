@@ -1,0 +1,71 @@
+(* Ill-conditioned dot products: the paper's motivating regime.
+
+   Modern HPC workloads exhibit condition numbers of 1e10..1e20; at
+   kappa * eps_double ~ 1 a double-precision result has no correct
+   digits.  We generate dot products with a prescribed condition number
+   (Ogita-Rump-Oishi style), evaluate them with native doubles and with
+   2/3/4-term MultiFloats through the same generic BLAS kernel, and
+   compare against the exact value.
+
+   Run with: dune exec examples/ill_conditioned_dot.exe *)
+
+let rng = Random.State.make [| 2024; 7 |]
+
+(* Generate x, y of length n with condition number ~ 2^c_bits for the
+   dot product: half the entries build up magnitude ~2^(c_bits/2), the
+   rest are chosen so massive cancellation brings the result near 1. *)
+let ill_conditioned_dot n c_bits =
+  let x = Array.make n 0.0 and y = Array.make n 0.0 in
+  let half = n / 2 in
+  for i = 0 to half - 1 do
+    let e = Random.State.int rng (max 1 (c_bits / 2)) in
+    x.(i) <- Float.ldexp (Random.State.float rng 2.0 -. 1.0) e;
+    y.(i) <- Float.ldexp (Random.State.float rng 2.0 -. 1.0) e
+  done;
+  (* Cancel the partial sum progressively. *)
+  for i = half to n - 1 do
+    let acc = ref Exact.zero in
+    for j = 0 to i - 1 do
+      acc := Exact.sum !acc (Exact.mul (Exact.of_float x.(j)) (Exact.of_float y.(j)))
+    done;
+    x.(i) <- Float.ldexp (Random.State.float rng 2.0 -. 1.0) 0;
+    (* y_i ~ -(partial)/x_i, rounded to double: leaves a small residue. *)
+    y.(i) <- -.Exact.approx !acc /. x.(i)
+  done;
+  (x, y)
+
+let exact_dot x y =
+  let acc = ref Exact.zero in
+  Array.iteri (fun i xi -> acc := Exact.sum !acc (Exact.mul (Exact.of_float xi) (Exact.of_float y.(i)))) x;
+  !acc
+
+let rel_err approx exact =
+  let diff = Exact.grow exact (-.approx) in
+  let d = Float.abs (Exact.approx (Exact.compress diff)) in
+  let r = Float.abs (Exact.approx (Exact.compress exact)) in
+  if r = 0.0 then Float.abs d else d /. r
+
+let dot_with (type a) (module N : Blas.Numeric.S with type t = a) x y =
+  let module K = Blas.Kernels.Make (N) in
+  N.to_float (K.dot ~x:(K.vec_of_floats x) ~y:(K.vec_of_floats y))
+
+let () =
+  print_endline "=== Ill-conditioned dot products ===";
+  print_endline "(relative error of the leading double of each result)\n";
+  Printf.printf "%10s  %12s  %12s  %12s  %12s\n" "condition" "double" "MultiFloat2" "MultiFloat3"
+    "MultiFloat4";
+  List.iter
+    (fun c_bits ->
+      let x, y = ill_conditioned_dot 200 c_bits in
+      let exact = exact_dot x y in
+      let err_d = rel_err (dot_with (module Blas.Instances.Double) x y) exact in
+      let err_2 = rel_err (dot_with (module Blas.Instances.Mf2) x y) exact in
+      let err_3 = rel_err (dot_with (module Blas.Instances.Mf3) x y) exact in
+      let err_4 = rel_err (dot_with (module Blas.Instances.Mf4) x y) exact in
+      Printf.printf "%10s  %12.2e  %12.2e  %12.2e  %12.2e\n"
+        (Printf.sprintf "~1e%d" (int_of_float (Float.of_int c_bits *. 0.30103)))
+        err_d err_2 err_3 err_4)
+    [ 33; 66; 100; 133; 166 ];
+  print_endline "\nDouble precision loses all digits beyond condition ~1e16, while the";
+  print_endline "branch-free expansions keep full accuracy until their own precision";
+  print_endline "(107/161/215 bits) is exhausted."

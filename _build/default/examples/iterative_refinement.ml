@@ -1,0 +1,58 @@
+(* Mixed-precision iterative refinement: the workflow the paper's
+   introduction motivates.  Factor once in fast double precision,
+   evaluate residuals in extended precision, and recover a solution
+   accurate to the extended precision at nearly double-precision speed
+   (one O(n^3) factorization; each refinement step is O(n^2)).
+
+   Run with: dune exec examples/iterative_refinement.exe *)
+
+module M = Multifloat.Mf4
+module L = Linalg.Make (Multifloat.Mf4)
+module R = Linalg.Refine (Multifloat.Mf4)
+
+let rng = Random.State.make [| 99; 1 |]
+
+(* A test matrix with tunable condition number ~10^c: diagonal of
+   decaying singular-value-like magnitudes, mixed by random row ops. *)
+let conditioned n c =
+  let a = Array.make (n * n) 0.0 in
+  for i = 0 to n - 1 do
+    a.((i * n) + i) <- 10.0 ** (-.Float.of_int (c * i) /. Float.of_int (n - 1))
+  done;
+  (* random unit row operations keep the condition roughly c decades *)
+  for _ = 1 to 3 * n do
+    let i = Random.State.int rng n and j = Random.State.int rng n in
+    if i <> j then begin
+      let f = Random.State.float rng 2.0 -. 1.0 in
+      for k = 0 to n - 1 do
+        a.((i * n) + k) <- a.((i * n) + k) +. (f *. a.((j * n) + k))
+      done
+    end
+  done;
+  a
+
+let () =
+  print_endline "=== Mixed-precision iterative refinement (double LU + 215-bit residuals) ===\n";
+  Printf.printf "%6s  %16s  %16s  %6s\n" "cond" "double-only err" "refined err" "iters";
+  let n = 24 in
+  List.iter
+    (fun c ->
+      let a = conditioned n c in
+      let am = L.mat_of_floats a in
+      let x_true = Array.init n (fun i -> M.div (M.of_int (1 + i)) (M.of_int 7)) in
+      let b = L.mat_vec ~n am x_true in
+      (* double-precision-only solve for comparison *)
+      let xd, _ = R.solve ~n ~a ~b ~max_iter:0 () in
+      let xr, stats = R.solve ~n ~a ~b () in
+      let err x =
+        let worst = ref 0.0 in
+        Array.iteri
+          (fun i xi -> worst := Float.max !worst (Float.abs (M.to_float (M.sub xi x_true.(i)))))
+          x;
+        !worst
+      in
+      Printf.printf "%6s  %16.2e  %16.2e  %6d\n"
+        (Printf.sprintf "1e%d" c) (err xd) (err xr) stats.R.iterations)
+    [ 2; 6; 10; 13 ];
+  print_endline "\nRefinement recovers ~64-digit solutions from a 16-digit factorization";
+  print_endline "whenever double LU is stable enough to contract (condition below ~1e15)."

@@ -1,0 +1,77 @@
+(* Long-term orbital integration: symplectic leapfrog at extended
+   precision.
+
+   A Kepler two-body orbit integrated for many periods is the standard
+   stress test for energy and phase drift.  The leapfrog integrator is
+   symplectic (energy error bounded), but at double precision the
+   ROUNDING errors still accumulate as a random walk and eventually
+   dominate; extended precision pushes that floor down by ~16 digits
+   per extra term.
+
+   Run with: dune exec examples/kepler.exe *)
+
+module M = Multifloat.Mf2
+module O = Ode.Make (Multifloat.Mf2)
+
+let () =
+  print_endline "=== Kepler orbit: 1000 periods of e=0.3 ellipse, leapfrog h=2pi/400 ===\n";
+  (* State: q = (x, y), p = (vx, vy); mu = 1. *)
+  let accel ~(q : M.t array) ~(a : M.t array) =
+    let r2 = M.add (M.mul q.(0) q.(0)) (M.mul q.(1) q.(1)) in
+    let r3 = M.mul r2 (M.sqrt r2) in
+    a.(0) <- M.neg (M.div q.(0) r3);
+    a.(1) <- M.neg (M.div q.(1) r3)
+  in
+  (* eccentricity 0.3 starting at perihelion *)
+  let ecc = 0.3 in
+  let q = [| M.of_float (1.0 -. ecc); M.zero |] in
+  let p = [| M.zero; M.of_float (Float.sqrt ((1.0 +. ecc) /. (1.0 -. ecc))) |] in
+  let energy () =
+    let ke = M.scale_pow2 (M.add (M.mul p.(0) p.(0)) (M.mul p.(1) p.(1))) (-1) in
+    let r = M.sqrt (M.add (M.mul q.(0) q.(0)) (M.mul q.(1) q.(1))) in
+    M.to_float (M.sub ke (M.inv r))
+  in
+  let ang_mom () = M.to_float (M.sub (M.mul q.(0) p.(1)) (M.mul q.(1) p.(0))) in
+  let e0 = energy () and l0 = ang_mom () in
+  let steps_per_period = 400 in
+  let h = M.div_float Multifloat.Elementary.F2.two_pi (Float.of_int steps_per_period) in
+  let periods = 1000 in
+  Printf.printf "%8s %16s %16s\n" "period" "energy drift" "ang.mom. drift";
+  for pd = 1 to periods do
+    for _ = 1 to steps_per_period do
+      O.leapfrog_step ~accel ~h ~q ~p
+    done;
+    if pd = 1 || pd = 10 || pd = 100 || pd = 1000 then
+      Printf.printf "%8d %16.3e %16.3e\n" pd (Float.abs (energy () -. e0))
+        (Float.abs (ang_mom () -. l0))
+  done;
+  (* Same integration in plain double, for the rounding-floor
+     comparison. *)
+  let qd = [| 1.0 -. ecc; 0.0 |] and pd = [| 0.0; Float.sqrt ((1.0 +. ecc) /. (1.0 -. ecc)) |] in
+  let hd = 2.0 *. Float.pi /. Float.of_int steps_per_period in
+  let accel_d qx qy =
+    let r2 = (qx *. qx) +. (qy *. qy) in
+    let r3 = r2 *. Float.sqrt r2 in
+    (-.qx /. r3, -.qy /. r3)
+  in
+  for _ = 1 to periods * steps_per_period do
+    let ax, ay = accel_d qd.(0) qd.(1) in
+    pd.(0) <- pd.(0) +. (hd /. 2.0 *. ax);
+    pd.(1) <- pd.(1) +. (hd /. 2.0 *. ay);
+    qd.(0) <- qd.(0) +. (hd *. pd.(0));
+    qd.(1) <- qd.(1) +. (hd *. pd.(1));
+    let ax, ay = accel_d qd.(0) qd.(1) in
+    pd.(0) <- pd.(0) +. (hd /. 2.0 *. ax);
+    pd.(1) <- pd.(1) +. (hd /. 2.0 *. ay)
+  done;
+  let l_double = Float.abs ((qd.(0) *. pd.(1)) -. (qd.(1) *. pd.(0)) -. l0) in
+  Printf.printf "\nangular momentum drift after %d periods:\n" periods;
+  Printf.printf "  double      : %.3e   (rounding random-walk)\n" l_double;
+  Printf.printf "  MultiFloat2 : %.3e   (below the double display grid)\n"
+    (Float.abs (ang_mom () -. l0));
+  Printf.printf "\nfinal position: (%.12f, %.12f)\n" (M.to_float q.(0)) (M.to_float q.(1));
+  print_endline "The leapfrog method conserves angular momentum exactly in exact";
+  print_endline "arithmetic; what is left is the arithmetic itself.  At 107 bits the";
+  print_endline "drift vanishes at double's resolution, while the energy drift (same";
+  print_endline "in both runs) is the h^2 method error - cleanly separating the two";
+  print_endline "error sources is precisely what extended precision buys."

@@ -1,0 +1,86 @@
+(* Reproducibility of chaotic dynamics: integrating the Lorenz system.
+
+   Chaotic systems amplify rounding differences exponentially (one of
+   the paper's motivating applications: nonlinear dynamical systems).
+   We integrate the Lorenz attractor with RK4 in double and in 2-/4-term
+   MultiFloat arithmetic and report when each precision's trajectory
+   diverges from a 215-bit reference.
+
+   Run with: dune exec examples/lorenz.exe *)
+
+module Integrator (M : Multifloat.Ops.S) = struct
+  type state = { x : M.t; y : M.t; z : M.t }
+
+  let sigma = M.of_int 10
+  let rho = M.of_int 28
+  let beta = M.div (M.of_int 8) (M.of_int 3)
+
+  let deriv s =
+    {
+      x = M.mul sigma (M.sub s.y s.x);
+      y = M.sub (M.mul s.x (M.sub rho s.z)) s.y;
+      z = M.sub (M.mul s.x s.y) (M.mul beta s.z);
+    }
+
+  let axpy a v w = { x = M.add (M.mul a v.x) w.x; y = M.add (M.mul a v.y) w.y; z = M.add (M.mul a v.z) w.z }
+
+  let rk4_step h s =
+    let half = M.scale_pow2 h (-1) in
+    let k1 = deriv s in
+    let k2 = deriv (axpy half k1 s) in
+    let k3 = deriv (axpy half k2 s) in
+    let k4 = deriv (axpy h k3 s) in
+    let sixth = M.div h (M.of_int 6) in
+    let third = M.div h (M.of_int 3) in
+    axpy sixth k1 (axpy third k2 (axpy third k3 (axpy sixth k4 s)))
+
+  let run steps h0 =
+    let h = M.of_string h0 in
+    let s = ref { x = M.one; y = M.one; z = M.of_float 20.0 } in
+    let states = Array.make (steps + 1) !s in
+    for i = 1 to steps do
+      s := rk4_step h !s;
+      states.(i) <- !s
+    done;
+    Array.map (fun s -> (M.to_float s.x, M.to_float s.y, M.to_float s.z)) states
+end
+
+let () =
+  print_endline "=== Lorenz attractor: divergence from the 215-bit reference ===\n";
+  let steps = 12000 and h = "0.005" in
+  let module I2 = Integrator (Multifloat.Mf2) in
+  let module I3 = Integrator (Multifloat.Mf3) in
+  let module I4 = Integrator (Multifloat.Mf4) in
+  (* Double run via the same integrator over a 1-term-like wrapper is
+     unnecessary: use plain floats directly. *)
+  let deriv (x, y, z) = (10.0 *. (y -. x), (x *. (28.0 -. z)) -. y, (x *. y) -. (8.0 /. 3.0 *. z)) in
+  let axpy a (vx, vy, vz) (wx, wy, wz) = ((a *. vx) +. wx, (a *. vy) +. wy, (a *. vz) +. wz) in
+  let rk4 h s =
+    let k1 = deriv s in
+    let k2 = deriv (axpy (h /. 2.0) k1 s) in
+    let k3 = deriv (axpy (h /. 2.0) k2 s) in
+    let k4 = deriv (axpy h k3 s) in
+    axpy (h /. 6.0) k1 (axpy (h /. 3.0) k2 (axpy (h /. 3.0) k3 (axpy (h /. 6.0) k4 s)))
+  in
+  let dbl = Array.make (steps + 1) (1.0, 1.0, 20.0) in
+  for i = 1 to steps do
+    dbl.(i) <- rk4 0.005 dbl.(i - 1)
+  done;
+  let t2 = I2.run steps h in
+  let t3 = I3.run steps h in
+  let t4 = I4.run steps h in
+  let dist (x1, y1, z1) (x2, y2, z2) =
+    Float.sqrt (((x1 -. x2) ** 2.0) +. ((y1 -. y2) ** 2.0) +. ((z1 -. z2) ** 2.0))
+  in
+  let diverged traj =
+    let rec go i = if i > steps then steps else if dist traj.(i) t4.(i) > 1e-3 then i else go (i + 1) in
+    go 0
+  in
+  Printf.printf "steps until >1e-3 from reference (of %d):\n" steps;
+  Printf.printf "  double      : %d\n" (diverged dbl);
+  Printf.printf "  MultiFloat2 : %d\n" (diverged t2);
+  Printf.printf "  MultiFloat3 : %d\n" (diverged t3);
+  let tx, ty, tz = t4.(steps) in
+  Printf.printf "\nreference state after %d steps: (%.6f, %.6f, %.6f)\n" steps tx ty tz;
+  print_endline "Higher precision pushes the reproducibility horizon out linearly";
+  print_endline "in the number of carried bits (Lyapunov growth is exponential)."

@@ -1,0 +1,79 @@
+(* Generating Gauss-Legendre quadrature rules in extended precision.
+
+   Quadrature nodes and weights are a textbook case for extended
+   precision: tables are computed once at high accuracy (historically
+   with MPFR or quad-double) and then baked into double-precision
+   libraries.  Nodes are roots of the Legendre polynomial P_n, found by
+   Newton iteration at 215 bits via the three-term recurrence; weights
+   are w_i = 2 / ((1 - x_i^2) P_n'(x_i)^2).
+
+   Run with: dune exec examples/quadrature.exe *)
+
+module M = Multifloat.Mf4
+module F = Multifloat.Elementary.F4
+
+(* P_n(x) and P_n'(x) by the recurrence
+   (k+1) P_{k+1} = (2k+1) x P_k - k P_{k-1}. *)
+let legendre n x =
+  let p0 = ref M.one and p1 = ref x in
+  if n = 0 then (M.one, M.zero)
+  else begin
+    for k = 1 to n - 1 do
+      let a = M.div (M.of_int ((2 * k) + 1)) (M.of_int (k + 1)) in
+      let b = M.div (M.of_int k) (M.of_int (k + 1)) in
+      let p2 = M.sub (M.mul a (M.mul x !p1)) (M.mul b !p0) in
+      p0 := !p1;
+      p1 := p2
+    done;
+    (* P_n' (x) = n (x P_n - P_{n-1}) / (x^2 - 1) *)
+    let num = M.mul (M.of_int n) (M.sub (M.mul x !p1) !p0) in
+    let den = M.sub (M.mul x x) M.one in
+    (!p1, M.div num den)
+  end
+
+let gauss_legendre n =
+  let nodes = Array.make n M.zero in
+  let weights = Array.make n M.zero in
+  for i = 0 to n - 1 do
+    (* Chebyshev initial guess, then Newton at full precision. *)
+    let guess =
+      Float.cos (Float.pi *. (Float.of_int i +. 0.75) /. (Float.of_int n +. 0.5))
+    in
+    let x = ref (M.of_float guess) in
+    for _ = 1 to 6 do
+      let p, d = legendre n !x in
+      x := M.sub !x (M.div p d)
+    done;
+    let _, d = legendre n !x in
+    nodes.(i) <- !x;
+    weights.(i) <- M.div (M.of_int 2) (M.mul (M.sub M.one (M.mul !x !x)) (M.mul d d))
+  done;
+  (nodes, weights)
+
+let () =
+  print_endline "=== Gauss-Legendre rules at 215 bits ===\n";
+  let n = 12 in
+  let nodes, weights = gauss_legendre n in
+  Printf.printf "%d-point rule (positive nodes):\n" n;
+  for i = 0 to n - 1 do
+    if M.to_float nodes.(i) >= 0.0 then
+      Printf.printf "  x = %s\n  w = %s\n" (M.to_string ~digits:40 nodes.(i))
+        (M.to_string ~digits:40 weights.(i))
+  done;
+  (* Sanity: weights sum to 2 (integral of 1 over [-1, 1]). *)
+  let wsum = Array.fold_left M.add M.zero weights in
+  Printf.printf "\nsum of weights - 2 = %s\n" (M.to_string ~digits:3 (M.sub wsum (M.of_int 2)));
+  (* Integrate exp over [-1, 1]: exact value e - 1/e. *)
+  let integral =
+    Array.fold_left
+      (fun acc i -> M.add acc (M.mul weights.(i) (F.exp nodes.(i))))
+      M.zero
+      (Array.init n (fun i -> i))
+  in
+  let exact = M.sub F.e (M.inv F.e) in
+  Printf.printf "\nintegral of exp on [-1,1]:\n  quadrature: %s\n  exact     : %s\n"
+    (M.to_string ~digits:45 integral) (M.to_string ~digits:45 exact);
+  Printf.printf "  error     : %.3e\n" (Float.abs (M.to_float (M.sub integral exact)));
+  print_endline "\nThe 12-point rule integrates exp to ~1e-31: the rule itself is the";
+  print_endline "accuracy limit, not the arithmetic - which is the point of generating";
+  print_endline "quadrature tables in extended precision."

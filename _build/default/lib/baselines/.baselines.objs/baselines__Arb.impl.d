@@ -1,0 +1,1 @@
+lib/baselines/arb.ml: Bigfloat Float Printf

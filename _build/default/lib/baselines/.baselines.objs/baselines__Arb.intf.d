@@ -1,0 +1,1 @@
+lib/baselines/arb.mli: Bigfloat

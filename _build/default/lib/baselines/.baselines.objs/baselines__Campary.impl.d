@@ -1,0 +1,1 @@
+lib/baselines/campary.ml: Array Eft Float

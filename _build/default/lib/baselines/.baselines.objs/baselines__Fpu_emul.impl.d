@@ -1,0 +1,1 @@
+lib/baselines/fpu_emul.ml: Bigfloat

@@ -1,0 +1,1 @@
+lib/baselines/qd_dd.ml: Eft Float

@@ -1,0 +1,1 @@
+lib/baselines/qd_qd.ml: Array Eft Float List

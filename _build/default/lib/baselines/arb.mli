@@ -1,0 +1,41 @@
+(** Ball (midpoint-radius interval) arithmetic over {!Bigfloat} — the
+    architectural stand-in for FLINT/Arb, one of the libraries the
+    paper benchmarks (its reference [27] is Arb's midpoint-radius
+    interval arithmetic).
+
+    A ball [m ± r] encloses every real it claims to represent: each
+    operation computes the midpoint with round-to-nearest and pushes
+    all rounding and propagation error into the radius using the
+    directed-rounding modes, so enclosure is an invariant, not a
+    heuristic.  The radius is tracked at low precision (30 bits),
+    rounded upward. *)
+
+type t = {
+  mid : Bigfloat.t;
+  rad : Bigfloat.t;  (** nonnegative; 30-bit, rounded upward *)
+}
+
+val of_float : prec:int -> float -> t
+(** Exact ball (radius 0). *)
+
+val of_string : prec:int -> string -> t
+(** Ball enclosing the decimal (radius one ulp of the parse). *)
+
+val make : mid:Bigfloat.t -> rad:Bigfloat.t -> t
+val mid : t -> Bigfloat.t
+val rad : t -> Bigfloat.t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** Diverges to an infinite radius if the divisor ball contains 0. *)
+
+val sqrt : t -> t
+val neg : t -> t
+
+val contains_float : t -> float -> bool
+val contains : t -> Bigfloat.t -> bool
+val radius_le : t -> float -> bool
+
+val to_string : ?digits:int -> t -> string
+(** Rendered as [mid +/- rad]. *)

@@ -1,0 +1,100 @@
+(* Certified expansion arithmetic after CAMPARY. *)
+
+type t = float array
+
+let of_float ~n x =
+  let v = Array.make n 0.0 in
+  v.(0) <- x;
+  v
+
+let zero ~n = Array.make n 0.0
+let to_float (a : t) = a.(0)
+let terms (a : t) = Array.length a
+let neg a = Array.map Float.neg a
+
+(* VecSum: one bottom-up TwoSum chain; index 0 ends up holding the
+   rounded total, later slots hold errors by decreasing position. *)
+let vec_sum v =
+  for i = Array.length v - 2 downto 0 do
+    let s, e = Eft.two_sum v.(i) v.(i + 1) in
+    v.(i) <- s;
+    v.(i + 1) <- e
+  done
+
+(* VecSumErrBranch: compact the error chain into at most [n]
+   components, skipping zeros — the certified renormalization's
+   characteristic data-dependent loop. *)
+let vec_sum_err_branch v n =
+  let m = Array.length v in
+  let out = Array.make n 0.0 in
+  let j = ref 0 in
+  let eps = ref v.(0) in
+  let i = ref 1 in
+  while !i < m && !j < n do
+    let r, e = Eft.fast_two_sum !eps v.(!i) in
+    if e <> 0.0 then begin
+      out.(!j) <- r;
+      incr j;
+      eps := e
+    end
+    else eps := r;
+    incr i
+  done;
+  if !j < n && !eps <> 0.0 then out.(!j) <- !eps;
+  out
+
+let renormalize xs n =
+  let v = Array.copy xs in
+  vec_sum v;
+  vec_sum_err_branch v n
+
+(* Merge two expansions by decreasing magnitude (branchy). *)
+let merge (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (la + lb) 0.0 in
+  let i = ref 0 and j = ref 0 in
+  for k = 0 to la + lb - 1 do
+    if !i < la && (!j >= lb || Float.abs a.(!i) >= Float.abs b.(!j)) then begin
+      out.(k) <- a.(!i);
+      incr i
+    end
+    else begin
+      out.(k) <- b.(!j);
+      incr j
+    end
+  done;
+  out
+
+let add a b =
+  let n = Array.length a in
+  assert (Array.length b = n);
+  renormalize (merge a b) n
+
+let sub a b = add a (neg b)
+
+(* Certified multiplication: truncated error-free products (the same
+   cutoff as the paper's Section 4.2), sorted by magnitude, then
+   renormalized. *)
+let mul a b =
+  let n = Array.length a in
+  assert (Array.length b = n);
+  let parts = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i + j < n then begin
+        if i + j <= n - 2 then begin
+          let p, e = Eft.two_prod a.(i) b.(j) in
+          parts := p :: e :: !parts
+        end
+        else parts := (a.(i) *. b.(j)) :: !parts
+      end
+    done
+  done;
+  let arr = Array.of_list !parts in
+  (* Sort by decreasing magnitude: O(m log m) compares and branches. *)
+  Array.sort (fun x y -> Float.compare (Float.abs y) (Float.abs x)) arr;
+  renormalize arr n
+
+let compare a b =
+  let d = add a (neg b) in
+  Float.compare d.(0) 0.0

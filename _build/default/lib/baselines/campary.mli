@@ -1,0 +1,27 @@
+(** Certified floating-point expansion arithmetic in the style of
+    CAMPARY (Joldes, Muller, Popescu & Tucker, ICMS 2016).
+
+    CAMPARY ships two algorithm sets; the paper benchmarks the
+    "certified" one (provably correct but branching), and so does this
+    reimplementation: addition merges the operands by decreasing
+    magnitude (data-dependent compares), runs a VecSum pass, and
+    renormalizes with VecSumErrBranch — a loop whose trip pattern
+    depends on where zeros appear.  Values are expansions of any fixed
+    length [n >= 1], leading term first. *)
+
+type t = float array
+
+val of_float : n:int -> float -> t
+val zero : n:int -> t
+val to_float : t -> float
+val terms : t -> int
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val neg : t -> t
+val compare : t -> t -> int
+
+val renormalize : float array -> int -> float array
+(** [renormalize xs n]: VecSum followed by VecSumErrBranch, producing
+    an [n]-term nonoverlapping expansion from arbitrary (magnitude-
+    ordered-ish) input. *)

@@ -1,0 +1,51 @@
+module type S = sig
+  type t
+
+  val prec : int
+  val zero : t
+  val one : t
+  val of_float : float -> t
+  val to_float : t -> float
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val sqrt : t -> t
+  val neg : t -> t
+  val compare : t -> t -> int
+end
+
+module Make (P : sig
+  val prec : int
+end) : S = struct
+  type t = Bigfloat.t
+
+  let prec = P.prec
+  let zero = Bigfloat.make_zero ~prec
+  let one = Bigfloat.of_int ~prec 1
+  let of_float = Bigfloat.of_float ~prec
+  let to_float = Bigfloat.to_float
+  let add = Bigfloat.add
+  let sub = Bigfloat.sub
+  let mul = Bigfloat.mul
+  let div = Bigfloat.div
+  let sqrt = Bigfloat.sqrt
+  let neg = Bigfloat.neg
+  let compare = Bigfloat.compare
+end
+
+module P53 = Make (struct
+  let prec = 53
+end)
+
+module P103 = Make (struct
+  let prec = 103
+end)
+
+module P156 = Make (struct
+  let prec = 156
+end)
+
+module P208 = Make (struct
+  let prec = 208
+end)

@@ -1,0 +1,31 @@
+(** Fixed-precision wrappers over {!Bigfloat}, standing in for the
+    MPFR / GMP / FLINT / Boost.Multiprecision usage in the paper's
+    benchmarks: each of those libraries is driven at a statically
+    chosen precision (53, 103, 156, or 208 bits) matching the FPAN
+    error bounds, exactly as Section 5 describes. *)
+
+module type S = sig
+  type t
+
+  val prec : int
+  val zero : t
+  val one : t
+  val of_float : float -> t
+  val to_float : t -> float
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val sqrt : t -> t
+  val neg : t -> t
+  val compare : t -> t -> int
+end
+
+module Make (_ : sig
+  val prec : int
+end) : S
+
+module P53 : S
+module P103 : S
+module P156 : S
+module P208 : S

@@ -1,0 +1,72 @@
+(* Double-double after the QD library's dd_real. *)
+
+type t = { hi : float; lo : float }
+
+let zero = { hi = 0.0; lo = 0.0 }
+let one = { hi = 1.0; lo = 0.0 }
+let of_float x = { hi = x; lo = 0.0 }
+let to_float a = a.hi
+let components a = [| a.hi; a.lo |]
+
+(* QD ieee_add: accurate on all inputs. *)
+let add a b =
+  let s1, s2 = Eft.two_sum a.hi b.hi in
+  let t1, t2 = Eft.two_sum a.lo b.lo in
+  let s2 = s2 +. t1 in
+  let s1, s2 = Eft.fast_two_sum s1 s2 in
+  let s2 = s2 +. t2 in
+  let hi, lo = Eft.fast_two_sum s1 s2 in
+  { hi; lo }
+
+(* QD sloppy_add: only valid when no catastrophic cancellation occurs. *)
+let sloppy_add a b =
+  let s, e = Eft.two_sum a.hi b.hi in
+  let e = e +. (a.lo +. b.lo) in
+  let hi, lo = Eft.fast_two_sum s e in
+  { hi; lo }
+
+let neg a = { hi = -.a.hi; lo = -.a.lo }
+let sub a b = add a (neg b)
+
+let mul a b =
+  let p, e = Eft.two_prod a.hi b.hi in
+  let e = e +. ((a.hi *. b.lo) +. (a.lo *. b.hi)) in
+  let hi, lo = Eft.fast_two_sum p e in
+  { hi; lo }
+
+let mul_float a f =
+  let p, e = Eft.two_prod a.hi f in
+  let e = e +. (a.lo *. f) in
+  let hi, lo = Eft.fast_two_sum p e in
+  { hi; lo }
+
+(* QD's accurate division: three quotient corrections. *)
+let div a b =
+  if b.hi = 0.0 then of_float (a.hi /. b.hi)
+  else begin
+    let q1 = a.hi /. b.hi in
+    let r = sub a (mul_float b q1) in
+    let q2 = r.hi /. b.hi in
+    let r = sub r (mul_float b q2) in
+    let q3 = r.hi /. b.hi in
+    let q1, q2 = Eft.fast_two_sum q1 q2 in
+    add { hi = q1; lo = q2 } (of_float q3)
+  end
+
+let sqrt a =
+  if a.hi = 0.0 then zero
+  else if a.hi < 0.0 then of_float Float.nan
+  else begin
+    (* One Newton correction on the double-precision square root
+       (Karp & Markstein). *)
+    let x = 1.0 /. Float.sqrt a.hi in
+    let ax = a.hi *. x in
+    let err = sub a (mul (of_float ax) (of_float ax)) in
+    let correction = err.hi *. (x *. 0.5) in
+    let hi, lo = Eft.fast_two_sum ax correction in
+    { hi; lo }
+  end
+
+let compare a b =
+  let c = Float.compare a.hi b.hi in
+  if c <> 0 then c else Float.compare a.lo b.lo

@@ -1,0 +1,34 @@
+(** Double-double arithmetic in the style of the QD library
+    (Hida, Li & Bailey, "Algorithms for quad-double precision floating
+    point arithmetic", ARITH-15, 2001).
+
+    This is the repository's reimplementation of the 103-bit baseline
+    the paper benchmarks as "QD": the classic [dd_real] algorithms,
+    including both the cheap [sloppy_add] (incorrect on cancellation)
+    and the accurate [ieee_add].  The default {!add} is the accurate
+    variant, mirroring how QD is benchmarked in the paper. *)
+
+type t = {
+  hi : float;
+  lo : float;
+}
+
+val zero : t
+val one : t
+val of_float : float -> t
+val to_float : t -> float
+val components : t -> float array
+val add : t -> t -> t
+(** QD's accurate [ieee_add]. *)
+
+val sloppy_add : t -> t -> t
+(** QD's [sloppy_add]: faster, but loses precision when the leading
+    terms cancel — the class of bug the paper's verified FPANs rule
+    out.  Exposed for the accuracy-comparison experiment. *)
+
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val sqrt : t -> t
+val neg : t -> t
+val compare : t -> t -> int

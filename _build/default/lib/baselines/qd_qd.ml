@@ -1,0 +1,185 @@
+(* Quad-double after the QD library's qd_real: fixed accumulation
+   chains plus a branching renormalization. *)
+
+type t = { a0 : float; a1 : float; a2 : float; a3 : float }
+
+let zero = { a0 = 0.0; a1 = 0.0; a2 = 0.0; a3 = 0.0 }
+let one = { a0 = 1.0; a1 = 0.0; a2 = 0.0; a3 = 0.0 }
+let of_float x = { a0 = x; a1 = 0.0; a2 = 0.0; a3 = 0.0 }
+let to_float a = a.a0
+let components a = [| a.a0; a.a1; a.a2; a.a3 |]
+
+let of_components c =
+  assert (Array.length c = 4);
+  { a0 = c.(0); a1 = c.(1); a2 = c.(2); a3 = c.(3) }
+
+(* Branching renormalization (QD's renorm): a FastTwoSum sweep down,
+   then a compaction sweep that skips zero error terms — the
+   data-dependent branches characteristic of this baseline. *)
+let renorm c0 c1 c2 c3 c4 =
+  let s, e4 = Eft.fast_two_sum c3 c4 in
+  let s, e3 = Eft.fast_two_sum c2 s in
+  let s, e2 = Eft.fast_two_sum c1 s in
+  let s, e1 = Eft.fast_two_sum c0 s in
+  let out = [| 0.0; 0.0; 0.0; 0.0 |] in
+  let k = ref 0 in
+  let acc = ref s in
+  List.iter
+    (fun t ->
+      if !k < 4 then begin
+        let s', e = Eft.fast_two_sum !acc t in
+        if e <> 0.0 then begin
+          out.(!k) <- s';
+          incr k;
+          acc := e
+        end
+        else acc := s'
+      end)
+    [ e1; e2; e3; e4 ];
+  if !k < 4 then out.(!k) <- !acc;
+  { a0 = out.(0); a1 = out.(1); a2 = out.(2); a3 = out.(3) }
+
+(* Merge the eight components of two quad-doubles by decreasing
+   magnitude (the branchy part of QD's accurate addition). *)
+let merge8 a b =
+  let out = Array.make 8 0.0 in
+  let xa = components a and xb = components b in
+  let i = ref 0 and j = ref 0 in
+  for k = 0 to 7 do
+    if !i < 4 && (!j >= 4 || Float.abs xa.(!i) >= Float.abs xb.(!j)) then begin
+      out.(k) <- xa.(!i);
+      incr i
+    end
+    else begin
+      out.(k) <- xb.(!j);
+      incr j
+    end
+  done;
+  out
+
+(* quick_three_accum: absorb the next (smaller) merged value [t] into
+   the two-register accumulator (u, v).  When both error registers stay
+   nonzero the top term is finished and is emitted. *)
+let quick_three_accum u v t =
+  let s1, t' = Eft.two_sum v t in
+  let s2, v' = Eft.two_sum u s1 in
+  if v' <> 0.0 && t' <> 0.0 then (Some s2, v', t')
+  else if t' = 0.0 then (None, s2, v')
+  else (None, s2, t')
+
+(* QD's accurate (ieee) addition: merge by magnitude, then accumulate
+   through the carry chain with zero-skipping branches. *)
+let add a b =
+  let m = merge8 a b in
+  let out = Array.make 4 0.0 in
+  let k = ref 0 in
+  let u = ref m.(0) and v = ref m.(1) in
+  let u', v' = Eft.fast_two_sum !u !v in
+  u := u';
+  v := v';
+  let idx = ref 2 in
+  while !k < 4 && !idx < 8 do
+    let emitted, nu, nv = quick_three_accum !u !v m.(!idx) in
+    incr idx;
+    u := nu;
+    v := nv;
+    match emitted with
+    | Some x ->
+        out.(!k) <- x;
+        incr k
+    | None -> ()
+  done;
+  (* Flush the carry registers and anything left in the merge. *)
+  let rest = ref 0.0 in
+  for i = !idx to 7 do
+    rest := !rest +. m.(i)
+  done;
+  if !k < 4 then begin
+    out.(!k) <- !u;
+    incr k;
+    if !k < 4 then begin
+      out.(!k) <- !v;
+      incr k
+    end
+    else out.(3) <- out.(3) +. !v
+  end
+  else rest := !rest +. !u +. !v;
+  renorm out.(0) out.(1) out.(2) out.(3) !rest
+
+let neg a = { a0 = -.a.a0; a1 = -.a.a1; a2 = -.a.a2; a3 = -.a.a3 }
+let sub a b = add a (neg b)
+
+(* QD's accurate multiplication: the same truncated product expansion
+   as Section 4.2 (6 TwoProds + 4 products), accumulated order by
+   order, then branch-renormalized. *)
+let mul a b =
+  let p00, q00 = Eft.two_prod a.a0 b.a0 in
+  let p01, q01 = Eft.two_prod a.a0 b.a1 in
+  let p10, q10 = Eft.two_prod a.a1 b.a0 in
+  let p02, q02 = Eft.two_prod a.a0 b.a2 in
+  let p11, q11 = Eft.two_prod a.a1 b.a1 in
+  let p20, q20 = Eft.two_prod a.a2 b.a0 in
+  let p03 = a.a0 *. b.a3 and p12 = a.a1 *. b.a2 in
+  let p21 = a.a2 *. b.a1 and p30 = a.a3 *. b.a0 in
+  (* order 1: p01 + p10 + q00 via a three-sum *)
+  let s1, t1 = Eft.two_sum p01 p10 in
+  let s1, t1' = Eft.two_sum s1 q00 in
+  let o1_err = t1 +. t1' in
+  (* order 2: p02 + p11 + p20 + q01 + q10 + o1_err *)
+  let s2, u1 = Eft.two_sum p02 p20 in
+  let s2, u2 = Eft.two_sum s2 p11 in
+  let s2, u3 = Eft.two_sum s2 q01 in
+  let s2, u4 = Eft.two_sum s2 q10 in
+  let s2, u5 = Eft.two_sum s2 o1_err in
+  (* order 3: everything else, plain sums *)
+  let o3 =
+    p03 +. p12 +. p21 +. p30 +. q02 +. q11 +. q20 +. u1 +. u2 +. u3 +. u4 +. u5
+  in
+  renorm p00 s1 s2 o3 0.0
+
+let mul_float a f =
+  let p0, q0 = Eft.two_prod a.a0 f in
+  let p1, q1 = Eft.two_prod a.a1 f in
+  let p2, q2 = Eft.two_prod a.a2 f in
+  let p3 = a.a3 *. f in
+  let s1, t1 = Eft.two_sum p1 q0 in
+  let s2, t2 = Eft.two_sum p2 q1 in
+  let s2, t3 = Eft.two_sum s2 t1 in
+  let o3 = p3 +. q2 +. t2 +. t3 in
+  renorm p0 s1 s2 o3 0.0
+
+let div a b =
+  if b.a0 = 0.0 then of_float (a.a0 /. b.a0)
+  else begin
+    (* Four quotient corrections, as in QD. *)
+    let q0 = a.a0 /. b.a0 in
+    let r = sub a (mul_float b q0) in
+    let q1 = r.a0 /. b.a0 in
+    let r = sub r (mul_float b q1) in
+    let q2 = r.a0 /. b.a0 in
+    let r = sub r (mul_float b q2) in
+    let q3 = r.a0 /. b.a0 in
+    let r = sub r (mul_float b q3) in
+    let q4 = r.a0 /. b.a0 in
+    renorm q0 q1 q2 (q3 +. q4) 0.0
+  end
+
+let sqrt a =
+  if a.a0 = 0.0 then zero
+  else if a.a0 < 0.0 then of_float Float.nan
+  else begin
+    (* Newton iteration on 1/sqrt in increasing precision. *)
+    let x = of_float (1.0 /. Float.sqrt a.a0) in
+    let half = of_float 0.5 in
+    let step x =
+      let ax2 = mul a (mul x x) in
+      add x (mul (mul x half) (sub one ax2))
+    in
+    let x = step (step (step x)) in
+    let s = mul a x in
+    add s (mul (mul x half) (sub a (mul s s)))
+  end
+
+let compare a b =
+  let d = sub a b in
+  Float.compare d.a0 0.0

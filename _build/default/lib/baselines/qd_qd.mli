@@ -1,0 +1,34 @@
+(** Quad-double arithmetic in the style of the QD library's [qd_real]:
+    ~212-bit precision from four doubles, using the {e branching}
+    renormalization of Hida, Li & Bailey.
+
+    This is the 208-bit "QD" baseline of the paper's benchmarks.  The
+    data-dependent branches in {!renorm} (zero tests after every
+    FastTwoSum) and the magnitude-sorting merge inside {!add} are
+    exactly the control flow that defeats vectorization and makes this
+    class of algorithm slow on data-parallel hardware — the performance
+    thesis the benchmarks test. *)
+
+type t = {
+  a0 : float;
+  a1 : float;
+  a2 : float;
+  a3 : float;
+}
+
+val zero : t
+val one : t
+val of_float : float -> t
+val to_float : t -> float
+val components : t -> float array
+val of_components : float array -> t
+val renorm : float -> float -> float -> float -> float -> t
+(** Branching five-to-four renormalization. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val sqrt : t -> t
+val neg : t -> t
+val compare : t -> t -> int

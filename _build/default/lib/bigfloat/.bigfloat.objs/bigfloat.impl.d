@@ -1,0 +1,1 @@
+lib/bigfloat/bigfloat.ml: Array Bignat Buffer Float Format Hashtbl Int64 Printf Stdlib String

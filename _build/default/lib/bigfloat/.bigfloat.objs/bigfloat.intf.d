@@ -1,0 +1,1 @@
+lib/bigfloat/bigfloat.mli: Bignat Format

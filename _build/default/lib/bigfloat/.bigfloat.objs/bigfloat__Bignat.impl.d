@@ -1,0 +1,1 @@
+lib/bigfloat/bignat.ml: Array Buffer Char Printf Stdlib String

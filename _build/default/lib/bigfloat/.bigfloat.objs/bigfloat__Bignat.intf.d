@@ -1,0 +1,1 @@
+lib/bigfloat/bignat.mli:

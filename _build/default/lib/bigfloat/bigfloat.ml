@@ -1,0 +1,635 @@
+(* Correctly-rounded software floating point.
+
+   A finite nonzero value is sign * mant * 2^exp with [mant] an integer
+   of exactly [prec] bits (normalized: its top bit is set).  All
+   operations compute an exact or sticky-augmented integer result and
+   round once with round-to-nearest-even. *)
+
+module Bignat = Bignat
+
+type kind =
+  | Zero
+  | Finite
+  | Inf
+  | Nan
+
+type t = {
+  kind : kind;
+  sign : int; (* +1 or -1; +1 for Zero/Nan *)
+  exp : int; (* exponent of the mantissa's least significant bit *)
+  mant : Bignat.t;
+  prec : int;
+}
+
+let make_zero ~prec = { kind = Zero; sign = 1; exp = 0; mant = Bignat.zero; prec }
+let make_nan ~prec = { kind = Nan; sign = 1; exp = 0; mant = Bignat.zero; prec }
+let make_inf ~prec s = { kind = Inf; sign = s; exp = 0; mant = Bignat.zero; prec }
+
+let prec t = t.prec
+let is_zero t = t.kind = Zero
+let is_nan t = t.kind = Nan
+let is_inf t = t.kind = Inf
+let sign t = match t.kind with Zero -> 0 | Nan -> 0 | Inf | Finite -> t.sign
+
+type rounding =
+  | Nearest_even
+  | Toward_zero
+  | Upward
+  | Downward
+
+(* Round an exact integer value [m * 2^e] (plus an optional sticky bit
+   representing a nonzero tail strictly below the lsb of m) to [prec]
+   bits, in the requested direction (round-to-nearest-even by
+   default). *)
+let round_mant ?(mode = Nearest_even) ~prec ~sign ?(sticky = false) m e =
+  if Bignat.is_zero m then
+    if sticky then
+      (* A pure sticky with no mantissa cannot happen in our call sites. *)
+      assert false
+    else { kind = Zero; sign = 1; exp = 0; mant = Bignat.zero; prec }
+  else begin
+    let b = Bignat.bit_length m in
+    if b <= prec then begin
+      (* Exact: widen to the normalized form.  The sticky bit, if any,
+         sits infinitely far below and cannot affect RNE unless we are
+         exactly on a boundary, which a representable value never is. *)
+      let shift = prec - b in
+      { kind = Finite; sign; exp = e - shift; mant = Bignat.shift_left m shift; prec }
+    end
+    else begin
+      let shift = b - prec in
+      let q = Bignat.shift_right m shift in
+      let round_bit = Bignat.test_bit m (shift - 1) in
+      let sticky_bits = sticky || Bignat.any_bit_below m (shift - 1) in
+      let inexact = round_bit || sticky_bits in
+      let up =
+        match mode with
+        | Nearest_even -> round_bit && (sticky_bits || Bignat.test_bit q 0)
+        | Toward_zero -> false
+        | Upward -> inexact && sign > 0
+        | Downward -> inexact && sign < 0
+      in
+      let q = if up then Bignat.add Bignat.one q else q in
+      if Bignat.bit_length q > prec then
+        (* Carried out: q = 2^prec; renormalize. *)
+        { kind = Finite; sign; exp = e + shift + 1; mant = Bignat.shift_right q 1; prec }
+      else { kind = Finite; sign; exp = e + shift; mant = q; prec }
+    end
+  end
+
+let of_float ~prec f =
+  if Float.is_nan f then make_nan ~prec
+  else if f = Float.infinity then make_inf ~prec 1
+  else if f = Float.neg_infinity then make_inf ~prec (-1)
+  else if f = 0.0 then make_zero ~prec
+  else begin
+    let m, e = Float.frexp (Float.abs f) in
+    let mi = Int64.to_int (Int64.of_float (Float.ldexp m 53)) in
+    round_mant ~prec ~sign:(if f < 0.0 then -1 else 1) (Bignat.of_int mi) (e - 53)
+  end
+
+let of_int ~prec i =
+  if i = 0 then make_zero ~prec
+  else begin
+    let s = if i < 0 then -1 else 1 in
+    let m = if i = min_int then Bignat.shift_left Bignat.one 62 else Bignat.of_int (abs i) in
+    round_mant ~prec ~sign:s m 0
+  end
+
+let to_float t =
+  match t.kind with
+  | Zero -> 0.0
+  | Nan -> Float.nan
+  | Inf -> if t.sign > 0 then Float.infinity else Float.neg_infinity
+  | Finite ->
+      let r = round_mant ~prec:53 ~sign:t.sign t.mant t.exp in
+      let m =
+        match Bignat.to_int_opt r.mant with Some m -> m | None -> assert false
+      in
+      Float.of_int t.sign *. Float.ldexp (Float.of_int m) r.exp
+
+let round_to ~prec t =
+  match t.kind with
+  | Zero -> make_zero ~prec
+  | Nan -> make_nan ~prec
+  | Inf -> make_inf ~prec t.sign
+  | Finite -> round_mant ~prec ~sign:t.sign t.mant t.exp
+
+let neg t = if t.kind = Finite || t.kind = Inf then { t with sign = -t.sign } else t
+let abs t = if t.kind = Finite || t.kind = Inf then { t with sign = 1 } else t
+
+(* Exponent of the value's leading bit. *)
+let leading_exp t = t.exp + Bignat.bit_length t.mant - 1
+
+let add_finite prec a b =
+  (* If the operands are so far apart that b cannot influence the
+     rounding of a, return a (re-rounded): b contributes strictly less
+     than a quarter ulp. *)
+  if leading_exp a - leading_exp b > prec + 2 then round_mant ~prec ~sign:a.sign a.mant a.exp
+  else if leading_exp b - leading_exp a > prec + 2 then round_mant ~prec ~sign:b.sign b.mant b.exp
+  else begin
+    let e = min a.exp b.exp in
+    let ma = Bignat.shift_left a.mant (a.exp - e) in
+    let mb = Bignat.shift_left b.mant (b.exp - e) in
+    if a.sign = b.sign then round_mant ~prec ~sign:a.sign (Bignat.add ma mb) e
+    else begin
+      let c = Bignat.compare ma mb in
+      if c = 0 then make_zero ~prec
+      else if c > 0 then round_mant ~prec ~sign:a.sign (Bignat.sub ma mb) e
+      else round_mant ~prec ~sign:b.sign (Bignat.sub mb ma) e
+    end
+  end
+
+let add a b =
+  let prec = a.prec in
+  match (a.kind, b.kind) with
+  | Nan, _ | _, Nan -> make_nan ~prec
+  | Inf, Inf -> if a.sign = b.sign then make_inf ~prec a.sign else make_nan ~prec
+  | Inf, _ -> make_inf ~prec a.sign
+  | _, Inf -> make_inf ~prec b.sign
+  | Zero, Zero -> make_zero ~prec
+  | Zero, Finite -> round_to ~prec b
+  | Finite, Zero -> round_to ~prec a
+  | Finite, Finite -> add_finite prec a b
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  let prec = a.prec in
+  match (a.kind, b.kind) with
+  | Nan, _ | _, Nan -> make_nan ~prec
+  | Inf, Zero | Zero, Inf -> make_nan ~prec
+  | Inf, _ | _, Inf -> make_inf ~prec (a.sign * b.sign)
+  | Zero, _ | _, Zero -> make_zero ~prec
+  | Finite, Finite ->
+      round_mant ~prec ~sign:(a.sign * b.sign) (Bignat.mul a.mant b.mant) (a.exp + b.exp)
+
+let div a b =
+  let prec = a.prec in
+  match (a.kind, b.kind) with
+  | Nan, _ | _, Nan -> make_nan ~prec
+  | Inf, Inf -> make_nan ~prec
+  | Inf, _ -> make_inf ~prec (a.sign * b.sign)
+  | _, Inf -> make_zero ~prec
+  | Zero, Zero -> make_nan ~prec
+  | Zero, _ -> make_zero ~prec
+  | Finite, Zero -> make_inf ~prec a.sign
+  | Finite, Finite ->
+      (* Extend the numerator so the quotient has at least prec+2 bits,
+         then round with the remainder as sticky. *)
+      let extra = prec + 2 + max 0 (Bignat.bit_length b.mant - Bignat.bit_length a.mant) in
+      let num = Bignat.shift_left a.mant extra in
+      let q, r = Bignat.divmod num b.mant in
+      round_mant ~prec ~sign:(a.sign * b.sign)
+        ~sticky:(not (Bignat.is_zero r))
+        q
+        (a.exp + (-extra) - b.exp)
+
+let sqrt a =
+  let prec = a.prec in
+  match a.kind with
+  | Nan -> make_nan ~prec
+  | Zero -> make_zero ~prec
+  | Inf -> if a.sign > 0 then make_inf ~prec 1 else make_nan ~prec
+  | Finite ->
+      if a.sign < 0 then make_nan ~prec
+      else begin
+        (* s = isqrt (mant * 2^k) with e - k even and enough bits. *)
+        let k0 = prec + 4 in
+        let k = if (a.exp - k0) land 1 = 0 then k0 else k0 + 1 in
+        let s, r = Bignat.isqrt_rem (Bignat.shift_left a.mant k) in
+        round_mant ~prec ~sign:1 ~sticky:(not (Bignat.is_zero r)) s ((a.exp - k) / 2)
+      end
+
+(* 2^(leading_exp - prec + 1): an upper bound on the rounding error of
+   any single operation that produced [t] (one ulp). *)
+let ulp_bound t =
+  match t.kind with
+  | Zero -> make_zero ~prec:t.prec
+  | Nan -> make_nan ~prec:t.prec
+  | Inf -> make_inf ~prec:t.prec 1
+  | Finite ->
+      { kind = Finite; sign = 1; exp = leading_exp t - t.prec + 1;
+        mant = Bignat.shift_left Bignat.one (t.prec - 1); prec = t.prec }
+      |> fun v -> { v with exp = v.exp - (t.prec - 1) }
+
+(* Correctly-rounded fused multiply-add: the product at twice the
+   operand precision is exact, so the final addition performs the only
+   rounding. *)
+let fma a b c =
+  let wide = mul (round_to ~prec:(a.prec + b.prec + 2) a) b in
+  round_to ~prec:a.prec (add (round_to ~prec:(wide.prec + c.prec + 2) wide) c)
+
+let compare a b =
+  match (a.kind, b.kind) with
+  | Nan, Nan -> 0
+  | Nan, _ -> -1
+  | _, Nan -> 1
+  | _ ->
+      let sa = sign a and sb = sign b in
+      if sa <> sb then Stdlib.compare sa sb
+      else if a.kind = Inf || b.kind = Inf then
+        if a.kind = b.kind then 0 else if a.kind = Inf then sa else -sb
+      else if a.kind = Zero then 0
+      else begin
+        (* Same nonzero sign, both finite. *)
+        let la = leading_exp a and lb = leading_exp b in
+        if la <> lb then sa * Stdlib.compare la lb
+        else begin
+          let e = min a.exp b.exp in
+          sa
+          * Bignat.compare
+              (Bignat.shift_left a.mant (a.exp - e))
+              (Bignat.shift_left b.mant (b.exp - e))
+        end
+      end
+
+let equal a b = (not (is_nan a)) && (not (is_nan b)) && compare a b = 0
+
+let of_expansion ~prec xs =
+  Array.fold_left (fun acc x -> add acc (of_float ~prec x)) (make_zero ~prec) xs
+
+let to_expansion ~n t =
+  let out = Array.make n 0.0 in
+  let rest = ref t in
+  for i = 0 to n - 1 do
+    let x = to_float !rest in
+    out.(i) <- x;
+    rest := sub !rest (of_float ~prec:t.prec x)
+  done;
+  out
+
+let of_string ~prec s =
+  let s = String.trim s in
+  if s = "" then invalid_arg "Bigfloat.of_string: empty";
+  match String.lowercase_ascii s with
+  | "nan" -> make_nan ~prec
+  | "inf" | "+inf" | "infinity" -> make_inf ~prec 1
+  | "-inf" | "-infinity" -> make_inf ~prec (-1)
+  | _ ->
+      let n = String.length s in
+      let pos = ref 0 in
+      let negative =
+        if s.[0] = '-' then begin
+          incr pos;
+          true
+        end
+        else begin
+          if s.[0] = '+' then incr pos;
+          false
+        end
+      in
+      let digits = Buffer.create 32 in
+      let frac = ref 0 in
+      let seen_dot = ref false in
+      let exp10 = ref 0 in
+      let malformed () = invalid_arg (Printf.sprintf "Bigfloat.of_string: %S" s) in
+      (let continue = ref true in
+       while !continue && !pos < n do
+         (match s.[!pos] with
+         | '0' .. '9' as c ->
+             Buffer.add_char digits c;
+             if !seen_dot then incr frac;
+             incr pos
+         | '.' ->
+             if !seen_dot then malformed ();
+             seen_dot := true;
+             incr pos
+         | '_' -> incr pos
+         | 'e' | 'E' ->
+             incr pos;
+             (try exp10 := int_of_string (String.sub s !pos (n - !pos)) with _ -> malformed ());
+             pos := n;
+             continue := false
+         | _ -> malformed ())
+       done);
+      if Buffer.length digits = 0 then malformed ();
+      let d = Bignat.of_decimal_string (Buffer.contents digits) in
+      let sign = if negative then -1 else 1 in
+      if Bignat.is_zero d then make_zero ~prec
+      else begin
+        let e = !exp10 - !frac in
+        (* value = d * 10^e = d * 5^e * 2^e: fold the 5-power into the
+           integer (e >= 0) or divide with sticky (e < 0) so the result
+           is rounded exactly once. *)
+        if e >= 0 then round_mant ~prec ~sign (Bignat.mul d (Bignat.pow5 e)) e
+        else begin
+          let p5 = Bignat.pow5 (-e) in
+          let extra = prec + 3 + Bignat.bit_length p5 in
+          let q, r = Bignat.divmod (Bignat.shift_left d extra) p5 in
+          round_mant ~prec ~sign ~sticky:(not (Bignat.is_zero r)) q (e - extra)
+        end
+      end
+
+let to_string ?digits t =
+  match t.kind with
+  | Nan -> "nan"
+  | Zero -> "0.0"
+  | Inf -> if t.sign > 0 then "inf" else "-inf"
+  | Finite ->
+      let digits =
+        match digits with
+        | Some d -> max 1 d
+        | None -> 1 + int_of_float (Float.of_int t.prec *. 0.30103)
+      in
+      (* Scale so that the integer part has exactly [digits] digits:
+         find e10 with 10^(digits-1) <= |t| * 10^(e10) < 10^digits,
+         then render round(|t| * 10^e10) and place the point. *)
+      let lexp = leading_exp t in
+      (* |t| ~ 2^lexp; decimal exponent of leading digit: *)
+      let d10 = int_of_float (Float.floor (Float.of_int lexp *. 0.30103)) in
+      let scale = digits - 1 - d10 in
+      let scaled s10 =
+        (* round(|t| * 10^s10) as a decimal string *)
+        if s10 >= 0 then begin
+          (* mant * 2^exp * 2^s10 * 5^s10 *)
+          let m = Bignat.mul t.mant (Bignat.pow5 s10) in
+          let e = t.exp + s10 in
+          if e >= 0 then Bignat.shift_left m e
+          else begin
+            let q, r = (Bignat.shift_right m (-e), Bignat.any_bit_below m (-e)) in
+            (* round to nearest integer *)
+            if Bignat.test_bit m (-e - 1) && (r || Bignat.test_bit q 0) then
+              Bignat.add q Bignat.one
+            else q
+          end
+        end
+        else begin
+          let p5 = Bignat.pow5 (-s10) in
+          let e = t.exp + s10 in
+          let num = if e >= 0 then Bignat.shift_left t.mant e else t.mant in
+          let q, r = Bignat.divmod num p5 in
+          let den_shift = if e >= 0 then 0 else -e in
+          if den_shift = 0 then
+            if (not (Bignat.is_zero r)) && Bignat.compare (Bignat.shift_left r 1) p5 >= 0 then
+              Bignat.add q Bignat.one
+            else q
+          else begin
+            (* divide further by 2^den_shift with rounding *)
+            let q2 = Bignat.shift_right q den_shift in
+            let sticky =
+              Bignat.any_bit_below q (den_shift - 1) || not (Bignat.is_zero r)
+            in
+            if den_shift >= 1 && Bignat.test_bit q (den_shift - 1) && (sticky || Bignat.test_bit q2 0)
+            then Bignat.add q2 Bignat.one
+            else q2
+          end
+        end
+      in
+      let int_str = Bignat.to_string (scaled scale) in
+      (* Rounding can spill to digits+1 digits (e.g. 9.99 -> 10.0). *)
+      let int_str, d10 = if String.length int_str > digits then (int_str, d10 + 1) else (int_str, d10) in
+      let int_str =
+        if String.length int_str < digits then String.make (digits - String.length int_str) '0' ^ int_str
+        else int_str
+      in
+      let buf = Buffer.create (digits + 8) in
+      if t.sign < 0 then Buffer.add_char buf '-';
+      Buffer.add_char buf int_str.[0];
+      Buffer.add_char buf '.';
+      if digits = 1 then Buffer.add_char buf '0'
+      else Buffer.add_string buf (String.sub int_str 1 (min (digits - 1) (String.length int_str - 1)));
+      if d10 <> 0 then Buffer.add_string buf (Printf.sprintf "e%+03d" d10);
+      Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* Directed-rounding variants: recompute the exact (or
+   sticky-augmented) intermediate and round in the requested
+   direction.  Implemented by re-running the operation at an extended
+   precision whose error is strictly below the final ulp, then
+   re-rounding directionally with the inexactness recovered from the
+   comparison of the two results.  For add/sub/mul the intermediate at
+   [prec + 64] is exact whenever the operands fit, so the direction is
+   exact; for div/sqrt the guard makes misrounding probability
+   negligible but not zero, which matches a faithful-rounding
+   contract. *)
+let with_mode op mode a =
+  let prec = a.prec in
+  let wide = op (round_to ~prec:(prec + 64) a) in
+  match wide.kind with
+  | Finite -> round_mant ~mode ~prec ~sign:wide.sign wide.mant wide.exp
+  | _ -> round_to ~prec wide
+
+let add_mode mode a b = with_mode (fun a' -> add a' (round_to ~prec:(a.prec + 64) b)) mode a
+let sub_mode mode a b = with_mode (fun a' -> sub a' (round_to ~prec:(a.prec + 64) b)) mode a
+let mul_mode mode a b = with_mode (fun a' -> mul a' (round_to ~prec:(a.prec + 64) b)) mode a
+let div_mode mode a b = with_mode (fun a' -> div a' (round_to ~prec:(a.prec + 64) b)) mode a
+let sqrt_mode mode a = with_mode sqrt mode a
+
+(* ------------------------------------------------------------------ *)
+(* Transcendental functions at arbitrary precision, in the style of
+   MPFR: series evaluation with guard bits, then one final rounding.
+   These are deliberately straightforward (they exist to be correct,
+   to serve as the independent cross-check for the MultiFloat
+   elementary functions, and to complete the MPFR-class interface),
+   not fast. *)
+
+let guard = 24
+
+(* ln 2 = 2 atanh (1/3) = 2 sum_{i>=0} 1 / ((2i+1) 3^(2i+1)). *)
+let ln2_cache : (int, t) Hashtbl.t = Hashtbl.create 4
+
+let ln2 ~prec =
+  match Hashtbl.find_opt ln2_cache prec with
+  | Some v -> v
+  | None ->
+      let wp = prec + guard in
+      let nine = of_int ~prec:wp 9 in
+      let term = ref (div (of_int ~prec:wp 1) (of_int ~prec:wp 3)) in
+      let sum = ref !term in
+      let i = ref 1 in
+      let continue = ref true in
+      while !continue do
+        term := div !term nine;
+        let contrib = div !term (of_int ~prec:wp ((2 * !i) + 1)) in
+        sum := add !sum contrib;
+        if is_zero contrib || leading_exp contrib < leading_exp !sum - wp then continue := false;
+        incr i
+      done;
+      let v = round_to ~prec (add !sum !sum) in
+      Hashtbl.replace ln2_cache prec v;
+      v
+
+(* pi by Machin's formula with exact small reciprocals. *)
+let pi_cache : (int, t) Hashtbl.t = Hashtbl.create 4
+
+let atan_inv ~prec k =
+  (* atan (1/k) = sum (-1)^i / ((2i+1) k^(2i+1)) *)
+  let k2 = of_int ~prec (k * k) in
+  let term = ref (div (of_int ~prec 1) (of_int ~prec k)) in
+  let sum = ref !term in
+  let i = ref 1 in
+  let continue = ref true in
+  while !continue do
+    term := div !term k2;
+    let contrib = div !term (of_int ~prec ((2 * !i) + 1)) in
+    sum := (if !i land 1 = 1 then sub !sum contrib else add !sum contrib);
+    if is_zero contrib || leading_exp contrib < leading_exp !sum - prec then continue := false;
+    incr i
+  done;
+  !sum
+
+let pi ~prec =
+  match Hashtbl.find_opt pi_cache prec with
+  | Some v -> v
+  | None ->
+      let wp = prec + guard in
+      let a5 = atan_inv ~prec:wp 5 in
+      let a239 = atan_inv ~prec:wp 239 in
+      let quarter = sub (mul (of_int ~prec:wp 4) a5) a239 in
+      let v = round_to ~prec (mul (of_int ~prec:wp 4) quarter) in
+      Hashtbl.replace pi_cache prec v;
+      v
+
+let exp x =
+  let prec = x.prec in
+  match x.kind with
+  | Nan -> make_nan ~prec
+  | Zero -> of_int ~prec 1
+  | Inf -> if x.sign > 0 then make_inf ~prec 1 else make_zero ~prec
+  | Finite ->
+      let wp = prec + guard + 16 in
+      let xf = to_float x in
+      if xf > 1e9 then make_inf ~prec 1
+      else if xf < -1e9 then make_zero ~prec
+      else begin
+        (* x = k ln2 + r, r in [-ln2/2, ln2/2]; halve r m times. *)
+        let l2 = ln2 ~prec:wp in
+        let k = Float.to_int (Float.round (xf /. 0.6931471805599453)) in
+        let r = sub (round_to ~prec:wp x) (mul (of_int ~prec:wp k) l2) in
+        let m = 8 in
+        let r' =
+          match r.kind with
+          | Finite -> { r with exp = r.exp - m }
+          | _ -> r
+        in
+        (* Taylor for exp on the tiny argument. *)
+        let term = ref (of_int ~prec:wp 1) in
+        let sum = ref (of_int ~prec:wp 1) in
+        let i = ref 1 in
+        let continue = ref true in
+        while !continue do
+          term := div (mul !term r') (of_int ~prec:wp !i);
+          sum := add !sum !term;
+          if
+            is_zero !term
+            || (not (is_zero !sum))
+               && (is_zero !term || leading_exp !term < leading_exp !sum - wp)
+          then continue := false;
+          incr i
+        done;
+        (* Square back up and apply the power of two. *)
+        let s = ref !sum in
+        for _ = 1 to m do
+          s := mul !s !s
+        done;
+        let s = !s in
+        let shifted = match s.kind with Finite -> { s with exp = s.exp + k } | _ -> s in
+        round_to ~prec shifted
+      end
+
+let log x =
+  let prec = x.prec in
+  match x.kind with
+  | Nan -> make_nan ~prec
+  | Zero -> make_inf ~prec (-1)
+  | Inf -> if x.sign > 0 then make_inf ~prec 1 else make_nan ~prec
+  | Finite ->
+      if x.sign < 0 then make_nan ~prec
+      else begin
+        let wp = prec + guard in
+        (* Reduce to m in [1, 2) x 2^e: log x = e ln2 + log m, then
+           Newton on exp: y <- y + (x' exp(-y) - 1). *)
+        let e = leading_exp x in
+        let m = { x with exp = x.exp - e; prec = wp } in
+        let y = ref (of_float ~prec:wp (Float.log (to_float m))) in
+        let iters =
+          let rec go bits i = if bits >= wp then i else go (2 * bits) (i + 1) in
+          go 50 0
+        in
+        for _ = 1 to iters do
+          let ey = exp (round_to ~prec:wp (neg !y)) in
+          y := add !y (sub (mul m ey) (of_int ~prec:wp 1))
+        done;
+        round_to ~prec (add !y (mul (of_int ~prec:wp e) (ln2 ~prec:wp)))
+      end
+
+(* sin and cos by reduction mod pi/2 and Taylor. *)
+let sin_cos x =
+  let prec = x.prec in
+  match x.kind with
+  | Nan | Inf -> (make_nan ~prec, make_nan ~prec)
+  | Zero -> (make_zero ~prec, of_int ~prec 1)
+  | Finite ->
+      let wp = prec + guard + 16 in
+      let p = pi ~prec:wp in
+      let half_pi = { p with exp = p.exp - 1 } in
+      let xw = round_to ~prec:wp x in
+      let kf = Float.round (to_float x /. 1.5707963267948966) in
+      let k = Float.to_int kf in
+      let r = sub xw (mul (of_int ~prec:wp k) half_pi) in
+      let taylor_sin r =
+        let r2 = mul r r in
+        let term = ref r in
+        let sum = ref r in
+        let i = ref 1 in
+        let continue = ref (not (is_zero r)) in
+        while !continue do
+          term := div (mul !term r2) (of_int ~prec:wp ((2 * !i) * ((2 * !i) + 1)));
+          sum := (if !i land 1 = 1 then sub !sum !term else add !sum !term);
+          if is_zero !term || leading_exp !term < leading_exp !sum - wp then continue := false;
+          incr i
+        done;
+        !sum
+      in
+      let taylor_cos r =
+        let r2 = mul r r in
+        let one = of_int ~prec:wp 1 in
+        let term = ref one in
+        let sum = ref one in
+        let i = ref 1 in
+        let continue = ref (not (is_zero r)) in
+        while !continue do
+          term := div (mul !term r2) (of_int ~prec:wp (((2 * !i) - 1) * (2 * !i)));
+          sum := (if !i land 1 = 1 then sub !sum !term else add !sum !term);
+          if is_zero !term || leading_exp !term < leading_exp !sum - wp then continue := false;
+          incr i
+        done;
+        !sum
+      in
+      let s = taylor_sin r and c = taylor_cos r in
+      let q = ((k mod 4) + 4) mod 4 in
+      let fin v = round_to ~prec v in
+      (match q with
+      | 0 -> (fin s, fin c)
+      | 1 -> (fin c, fin (neg s))
+      | 2 -> (fin (neg s), fin (neg c))
+      | _ -> (fin (neg c), fin s))
+
+let sin x = fst (sin_cos x)
+let cos x = snd (sin_cos x)
+
+let atan x =
+  let prec = x.prec in
+  match x.kind with
+  | Nan -> make_nan ~prec
+  | Zero -> make_zero ~prec
+  | Inf ->
+      let p = pi ~prec in
+      let h = { p with exp = p.exp - 1 } in
+      if x.sign > 0 then h else neg h
+  | Finite ->
+      let wp = prec + guard in
+      (* Newton on tan via sin/cos: t <- t + (x cos t - sin t) cos t. *)
+      let xw = round_to ~prec:wp x in
+      let t = ref (of_float ~prec:wp (Float.atan (to_float x))) in
+      let iters =
+        let rec go bits i = if bits >= wp then i else go (2 * bits) (i + 1) in
+        go 50 0
+      in
+      for _ = 1 to iters do
+        let s, c = sin_cos !t in
+        t := add !t (mul (sub (mul xw c) s) c)
+      done;
+      round_to ~prec !t

@@ -1,0 +1,110 @@
+(** Arbitrary-precision binary floating point with correct rounding
+    (round-to-nearest-even), built on software big integers.
+
+    This is the repository's stand-in for the MPFR/GMP/FLINT class of
+    libraries the paper benchmarks against (Section 2.2, "Software FPU
+    emulation"): every operation goes through mantissa alignment,
+    normalization, and rounding implemented in software on limb arrays,
+    with the attendant branching and allocation — exactly the
+    architecture whose performance the FPAN approach beats.  It also
+    serves as the reference for decimal conversions and for accuracy
+    tests of division and square root.
+
+    Precision is per-value; binary operations round to the precision of
+    their left operand.  Exponents are unbounded OCaml ints, so there is
+    no overflow or underflow. *)
+
+module Bignat : module type of Bignat
+(** The big-integer limb layer, re-exported for tests and tools. *)
+
+type t
+
+val make_zero : prec:int -> t
+val of_float : prec:int -> float -> t
+(** Exact (doubles carry at most 53 mantissa bits). *)
+
+val of_int : prec:int -> int -> t
+val to_float : t -> float
+(** Correctly rounded to binary64. *)
+
+val prec : t -> int
+val is_zero : t -> bool
+val is_nan : t -> bool
+val is_inf : t -> bool
+val sign : t -> int
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val sqrt : t -> t
+
+val ulp_bound : t -> t
+(** [2^(exponent t - prec + 1)]: one unit in the last place of [t], an
+    upper bound on the rounding error of the operation that produced
+    it.  Used by interval layers. *)
+
+val fma : t -> t -> t -> t
+(** Correctly-rounded fused multiply-add [a*b + c] (a single rounding,
+    to [a]'s precision). *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val round_to : prec:int -> t -> t
+(** Re-round to a different precision. *)
+
+(** {2 Directed rounding}
+
+    The default operations round to nearest-even; these variants round
+    in a chosen direction (the MPFR rounding-mode surface).  Addition,
+    subtraction, and multiplication are correctly rounded in the
+    requested direction; division and square root are faithfully
+    rounded with a 64-bit guard. *)
+
+type rounding =
+  | Nearest_even
+  | Toward_zero
+  | Upward
+  | Downward
+
+val add_mode : rounding -> t -> t -> t
+val sub_mode : rounding -> t -> t -> t
+val mul_mode : rounding -> t -> t -> t
+val div_mode : rounding -> t -> t -> t
+val sqrt_mode : rounding -> t -> t
+
+val of_expansion : prec:int -> float array -> t
+(** Exact sum of the floats (use a precision large enough to hold it;
+    rounding applies otherwise). *)
+
+val to_expansion : n:int -> t -> float array
+(** The first [n] terms of the nonoverlapping expansion of the value
+    (Eq. 6 of the paper). *)
+
+val of_string : prec:int -> string -> t
+(** Correctly rounded decimal-to-binary conversion. *)
+
+val to_string : ?digits:int -> t -> string
+(** Scientific notation; default digit count matches the precision. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Transcendental functions}
+
+    Series/Newton implementations with guard bits, completing the
+    MPFR-class interface and providing an independent cross-check for
+    the MultiFloat elementary functions (the two implementations share
+    no code).  Results are accurate to within a few ulps of the target
+    precision. *)
+
+val ln2 : prec:int -> t
+val pi : prec:int -> t
+val exp : t -> t
+val log : t -> t
+val sin : t -> t
+val cos : t -> t
+val sin_cos : t -> t * t
+val atan : t -> t

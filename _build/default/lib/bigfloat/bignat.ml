@@ -1,0 +1,291 @@
+(* Little-endian 24-bit-limb naturals.  All functions allocate fresh
+   arrays; normalization strips trailing zero limbs so that structural
+   equality coincides with numeric equality. *)
+
+let limb_bits = 24
+let limb_mask = (1 lsl limb_bits) - 1
+
+type t = int array
+
+let normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let zero = [||]
+let is_zero a = Array.length a = 0
+
+let of_int n =
+  assert (n >= 0);
+  let rec limbs n = if n = 0 then [] else (n land limb_mask) :: limbs (n lsr limb_bits) in
+  Array.of_list (limbs n)
+
+let one = of_int 1
+
+let to_int_opt a =
+  let bits = Array.length a * limb_bits in
+  if bits <= 62 then begin
+    let v = ref 0 in
+    for i = Array.length a - 1 downto 0 do
+      v := (!v lsl limb_bits) lor a.(i)
+    done;
+    Some !v
+  end
+  else begin
+    (* May still fit if the high limbs are small. *)
+    let v = ref 0 in
+    let ok = ref true in
+    for i = Array.length a - 1 downto 0 do
+      if !v > (max_int - a.(i)) lsr limb_bits then ok := false
+      else v := (!v lsl limb_bits) lor a.(i)
+    done;
+    if !ok then Some !v else None
+  end
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb + 1 in
+  let r = Array.make n 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  normalize r
+
+let sub a b =
+  let la = Array.length a and lb = Array.length b in
+  assert (compare a b >= 0);
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + limb_mask + 1;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  normalize r
+
+let mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        (* r.(i+j) < 2^24, a.(i)*b.(j) < 2^48, carry < 2^39: fits. *)
+        let s = r.(i + j) + (a.(i) * b.(j)) + !carry in
+        r.(i + j) <- s land limb_mask;
+        carry := s lsr limb_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let s = r.(!k) + !carry in
+        r.(!k) <- s land limb_mask;
+        carry := s lsr limb_bits;
+        incr k
+      done
+    done;
+    normalize r
+  end
+
+let mul_small a m =
+  assert (m >= 0 && m < 1 lsl 38);
+  if m = 0 || is_zero a then zero
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 3) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let s = (a.(i) * m) + !carry in
+      r.(i) <- s land limb_mask;
+      carry := s lsr limb_bits
+    done;
+    let k = ref la in
+    while !carry <> 0 do
+      r.(!k) <- !carry land limb_mask;
+      carry := !carry lsr limb_bits;
+      incr k
+    done;
+    normalize r
+  end
+
+let add_small a m = add a (of_int m)
+
+let divmod_small a d =
+  assert (d > 0 && d <= limb_mask);
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem lsl limb_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (normalize q, !rem)
+
+let bit_length a =
+  let la = Array.length a in
+  if la = 0 then 0
+  else begin
+    let top = a.(la - 1) in
+    let rec width n = if n = 0 then 0 else 1 + width (n lsr 1) in
+    ((la - 1) * limb_bits) + width top
+  end
+
+let test_bit a k =
+  let limb = k / limb_bits and off = k mod limb_bits in
+  limb < Array.length a && (a.(limb) lsr off) land 1 = 1
+
+let any_bit_below a k =
+  let full = k / limb_bits and off = k mod limb_bits in
+  let la = Array.length a in
+  let rec check i = i < min full la && (a.(i) <> 0 || check (i + 1)) in
+  check 0 || (full < la && off > 0 && a.(full) land ((1 lsl off) - 1) <> 0)
+
+let shift_left a k =
+  if is_zero a || k = 0 then if k = 0 then a else a
+  else begin
+    let limbs = k / limb_bits and off = k mod limb_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limbs + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl off in
+      r.(i + limbs) <- r.(i + limbs) lor (v land limb_mask);
+      if off > 0 then r.(i + limbs + 1) <- v lsr limb_bits
+    done;
+    normalize r
+  end
+
+let shift_right a k =
+  if k = 0 then a
+  else begin
+    let limbs = k / limb_bits and off = k mod limb_bits in
+    let la = Array.length a in
+    if limbs >= la then zero
+    else begin
+      let n = la - limbs in
+      let r = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let lo = a.(i + limbs) lsr off in
+        let hi = if off > 0 && i + limbs + 1 < la then a.(i + limbs + 1) lsl (limb_bits - off) else 0 in
+        r.(i) <- (lo lor hi) land limb_mask
+      done;
+      normalize r
+    end
+  end
+
+let extract_bits x lo width =
+  let shifted = shift_right x lo in
+  let keep_limbs = ((width + limb_bits - 1) / limb_bits) + 1 in
+  let la = Array.length shifted in
+  let r = Array.make (min la keep_limbs) 0 in
+  Array.blit shifted 0 r 0 (Array.length r);
+  let drop = (Array.length r * limb_bits) - width in
+  let r =
+    if drop <= 0 then r
+    else begin
+      (* Mask off the bits above [width]. *)
+      let full = width / limb_bits and off = width mod limb_bits in
+      Array.mapi
+        (fun i v -> if i < full then v else if i = full then v land ((1 lsl off) - 1) else 0)
+        r
+    end
+  in
+  normalize r
+
+(* Schoolbook binary long division: O(bits) shift-compare-subtract
+   steps.  Asymptotically naive but entirely adequate for the few
+   hundred bits this library runs at; speed here is also beside the
+   point, since Bigfloat is the deliberately slow software-FPU
+   baseline. *)
+let divmod a b =
+  assert (not (is_zero b));
+  let c = compare a b in
+  if c < 0 then (zero, a)
+  else begin
+    let shift = bit_length a - bit_length b in
+    let q = Array.make ((shift / limb_bits) + 1) 0 in
+    let rem = ref a in
+    for k = shift downto 0 do
+      let d = shift_left b k in
+      if compare !rem d >= 0 then begin
+        rem := sub !rem d;
+        q.(k / limb_bits) <- q.(k / limb_bits) lor (1 lsl (k mod limb_bits))
+      end
+    done;
+    (normalize q, !rem)
+  end
+
+(* Digit-by-digit (binary) integer square root. *)
+let isqrt_rem x =
+  if is_zero x then (zero, zero)
+  else begin
+    let bits = bit_length x in
+    let s = ref zero in
+    let r = ref x in
+    let k0 = (bits - 1) / 2 in
+    for k = k0 downto 0 do
+      (* Try setting bit k of s: need r >= (2s + 2^k) * 2^k. *)
+      let cand = add (shift_left !s (k + 1)) (shift_left one (2 * k)) in
+      if compare !r cand >= 0 then begin
+        r := sub !r cand;
+        s := add !s (shift_left one k)
+      end
+    done;
+    (!s, !r)
+  end
+
+let pow5 k =
+  assert (k >= 0);
+  let rec go acc k = if k = 0 then acc else go (mul_small acc 5) (k - 1) in
+  go one k
+
+let to_string a =
+  if is_zero a then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go a =
+      if not (is_zero a) then begin
+        let q, r = divmod_small a 10 in
+        go q;
+        Buffer.add_char buf (Char.chr (r + Char.code '0'))
+      end
+    in
+    go a;
+    Buffer.contents buf
+  end
+
+let of_decimal_string s =
+  let acc = ref zero in
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' -> acc := add_small (mul_small !acc 10) (Char.code c - Char.code '0')
+      | _ -> invalid_arg (Printf.sprintf "Bignat.of_decimal_string: %S" s))
+    s;
+  !acc

@@ -1,0 +1,67 @@
+(** Arbitrary-precision natural numbers on 24-bit limbs.
+
+    This is the big-integer layer of the software-FPU substrate
+    ({!Bigfloat}), standing in for GMP's mpn layer.  24-bit limbs keep
+    every intermediate product and carry comfortably inside OCaml's
+    63-bit native integers (a limb product is 48 bits, so thousands of
+    partial products can accumulate before overflow).
+
+    Values are immutable little-endian limb arrays with no trailing zero
+    limbs; the empty array is zero. *)
+
+type t
+
+val zero : t
+val one : t
+val of_int : int -> t
+(** [of_int n] for [n >= 0]. *)
+
+val to_int_opt : t -> int option
+(** [None] if the value exceeds [max_int]. *)
+
+val is_zero : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** [sub a b] requires [a >= b]. *)
+
+val mul : t -> t -> t
+val mul_small : t -> int -> t
+(** Multiply by a small nonnegative integer (< 2^38). *)
+
+val add_small : t -> int -> t
+val divmod_small : t -> int -> t * int
+(** Divide by a small positive integer (< 2^24); returns quotient and
+    remainder. *)
+
+val divmod : t -> t -> t * t
+(** Schoolbook binary long division; the divisor must be nonzero. *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val bit_length : t -> int
+(** Position of the highest set bit plus one; 0 for zero. *)
+
+val test_bit : t -> int -> bool
+val any_bit_below : t -> int -> bool
+(** True if any bit strictly below position [k] is set (the "sticky"
+    test used in rounding). *)
+
+val extract_bits : t -> int -> int -> t
+(** [extract_bits x lo width] is [(x lsr lo) mod 2^width]. *)
+
+val isqrt_rem : t -> t * t
+(** Integer square root with remainder: [(s, r)] with [s*s + r = x] and
+    [r <= 2s]. *)
+
+val pow5 : int -> t
+(** [5^k], exactly. *)
+
+val to_string : t -> string
+(** Decimal rendering. *)
+
+val of_decimal_string : string -> t
+(** Parse a string of decimal digits. *)

@@ -1,0 +1,1 @@
+lib/blas/compensated.ml: Array Eft Float

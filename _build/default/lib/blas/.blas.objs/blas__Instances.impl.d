@@ -1,0 +1,1 @@
+lib/blas/instances.ml: Baselines Bigfloat Gpu32 Multifloat Numeric Printf

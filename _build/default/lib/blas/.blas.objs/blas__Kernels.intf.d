@@ -1,0 +1,1 @@
+lib/blas/kernels.mli: Numeric Parallel

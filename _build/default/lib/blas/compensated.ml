@@ -1,0 +1,42 @@
+let kahan_sum xs =
+  let s = ref 0.0 and c = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let y = x -. !c in
+      let t = !s +. y in
+      c := t -. !s -. y;
+      s := t)
+    xs;
+  !s
+
+let neumaier_sum xs =
+  let s = ref 0.0 and c = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let t = !s +. x in
+      if Float.abs !s >= Float.abs x then c := !c +. (!s -. t +. x) else c := !c +. (x -. t +. !s);
+      s := t)
+    xs;
+  !s +. !c
+
+let sum2 xs =
+  let s = ref 0.0 and e = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let t, err = Eft.two_sum !s x in
+      s := t;
+      e := !e +. err)
+    xs;
+  !s +. !e
+
+let dot2 xs ys =
+  let n = Array.length xs in
+  assert (Array.length ys = n);
+  let s = ref 0.0 and e = ref 0.0 in
+  for i = 0 to n - 1 do
+    let p, ep = Eft.two_prod xs.(i) ys.(i) in
+    let t, es = Eft.two_sum !s p in
+    s := t;
+    e := !e +. ep +. es
+  done;
+  !s +. !e

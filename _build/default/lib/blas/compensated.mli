@@ -1,0 +1,29 @@
+(** Compensated summation and dot products.
+
+    Section 6 of the paper contrasts FPANs with {e compensated
+    algorithms} (Kahan-Babuska-Neumaier summation and the Ogita-Rump-
+    Oishi Sum2/Dot2 family): these also build on error-free
+    transformations but operate on a variable number of inputs and only
+    partially track rounding errors, giving weaker worst-case
+    guarantees than a fixed-precision expansion type.  They are
+    implemented here both as useful library functions and as the
+    comparison point for the accuracy experiments: Dot2 behaves like a
+    double-double accumulator (as-if-computed-in-2-fold precision),
+    which our Mf2 dot matches with a composable type instead of a
+    special-cased loop. *)
+
+val kahan_sum : float array -> float
+(** Kahan's compensated summation (one error term, can lose the
+    compensation when the running sum shrinks). *)
+
+val neumaier_sum : float array -> float
+(** Kahan-Babuska-Neumaier summation: branch on magnitudes, error
+    accumulated separately; error bound independent of condition. *)
+
+val sum2 : float array -> float
+(** Ogita-Rump-Oishi Sum2: as if computed in twice the working
+    precision, then rounded. *)
+
+val dot2 : float array -> float array -> float
+(** Ogita-Rump-Oishi Dot2: dot product as if computed in twice the
+    working precision (TwoProd + cascaded TwoSum). *)

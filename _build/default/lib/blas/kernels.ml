@@ -1,0 +1,78 @@
+module Make (N : Numeric.S) = struct
+  let axpy ~alpha ~x ~y =
+    let n = Array.length x in
+    assert (Array.length y = n);
+    for i = 0 to n - 1 do
+      y.(i) <- N.add (N.mul alpha x.(i)) y.(i)
+    done
+
+  let dot ~x ~y =
+    let n = Array.length x in
+    assert (Array.length y = n);
+    let acc = ref N.zero in
+    for i = 0 to n - 1 do
+      acc := N.add !acc (N.mul x.(i) y.(i))
+    done;
+    !acc
+
+  let gemv ~m ~n ~a ~x ~y =
+    assert (Array.length a = m * n && Array.length x = n && Array.length y = m);
+    for i = 0 to m - 1 do
+      let acc = ref N.zero in
+      let row = i * n in
+      for j = 0 to n - 1 do
+        acc := N.add !acc (N.mul a.(row + j) x.(j))
+      done;
+      y.(i) <- !acc
+    done
+
+  let gemm ~m ~n ~k ~a ~b ~c =
+    assert (Array.length a = m * k && Array.length b = k * n && Array.length c = m * n);
+    for i = 0 to m - 1 do
+      let crow = i * n in
+      for p = 0 to k - 1 do
+        let aip = a.((i * k) + p) in
+        let brow = p * n in
+        for j = 0 to n - 1 do
+          c.(crow + j) <- N.add c.(crow + j) (N.mul aip b.(brow + j))
+        done
+      done
+    done
+
+  let axpy_pool pool ~alpha ~x ~y =
+    let n = Array.length x in
+    assert (Array.length y = n);
+    Parallel.Pool.parallel_for pool ~lo:0 ~hi:n (fun i -> y.(i) <- N.add (N.mul alpha x.(i)) y.(i))
+
+  let dot_pool pool ~x ~y =
+    let n = Array.length x in
+    assert (Array.length y = n);
+    Parallel.Pool.parallel_reduce pool ~lo:0 ~hi:n ~init:N.zero
+      ~map:(fun i -> N.mul x.(i) y.(i))
+      ~combine:N.add
+
+  let gemv_pool pool ~m ~n ~a ~x ~y =
+    assert (Array.length a = m * n && Array.length x = n && Array.length y = m);
+    Parallel.Pool.parallel_for pool ~lo:0 ~hi:m (fun i ->
+        let acc = ref N.zero in
+        let row = i * n in
+        for j = 0 to n - 1 do
+          acc := N.add !acc (N.mul a.(row + j) x.(j))
+        done;
+        y.(i) <- !acc)
+
+  let gemm_pool pool ~m ~n ~k ~a ~b ~c =
+    assert (Array.length a = m * k && Array.length b = k * n && Array.length c = m * n);
+    Parallel.Pool.parallel_for pool ~lo:0 ~hi:m (fun i ->
+        let crow = i * n in
+        for p = 0 to k - 1 do
+          let aip = a.((i * k) + p) in
+          let brow = p * n in
+          for j = 0 to n - 1 do
+            c.(crow + j) <- N.add c.(crow + j) (N.mul aip b.(brow + j))
+          done
+        done)
+
+  let vec_of_floats fs = Array.map N.of_float fs
+  let vec_to_floats vs = Array.map N.to_float vs
+end

@@ -1,0 +1,41 @@
+(** Extended-precision BLAS kernels, generic over the arithmetic.
+
+    The four kernels of the paper's evaluation (Section 5):
+
+    - AXPY: [y <- alpha x + y]  (vector-vector)
+    - DOT:  [x . y]             (vector-vector reduction)
+    - GEMV: [y <- A x]          (matrix-vector, ij loop order)
+    - GEMM: [C <- A B]          (matrix-matrix, ikj loop order)
+
+    Matrices are dense row-major flat arrays.  One "operation" is one
+    multiply plus one add (the numerical-linear-algebra convention the
+    paper uses): AXPY and DOT over vectors of size [n] perform [n]
+    operations, GEMV [n^2], GEMM [n^3].
+
+    Each kernel has a sequential form and a [~pool] form partitioned
+    over rows (thread-per-core, mirroring the paper's OpenMP setup).
+    Reductions combine chunk partials in index order, so results do not
+    depend on the number of domains. *)
+
+module Make (N : Numeric.S) : sig
+  val axpy : alpha:N.t -> x:N.t array -> y:N.t array -> unit
+  (** In-place [y.(i) <- alpha * x.(i) + y.(i)]. *)
+
+  val dot : x:N.t array -> y:N.t array -> N.t
+
+  val gemv : m:int -> n:int -> a:N.t array -> x:N.t array -> y:N.t array -> unit
+  (** [y <- A x] with [A] an [m*n] row-major matrix. *)
+
+  val gemm : m:int -> n:int -> k:int -> a:N.t array -> b:N.t array -> c:N.t array -> unit
+  (** [C <- C + A B] with [A : m*k], [B : k*n], [C : m*n], ikj order. *)
+
+  val axpy_pool : Parallel.Pool.t -> alpha:N.t -> x:N.t array -> y:N.t array -> unit
+  val dot_pool : Parallel.Pool.t -> x:N.t array -> y:N.t array -> N.t
+  val gemv_pool : Parallel.Pool.t -> m:int -> n:int -> a:N.t array -> x:N.t array -> y:N.t array -> unit
+
+  val gemm_pool :
+    Parallel.Pool.t -> m:int -> n:int -> k:int -> a:N.t array -> b:N.t array -> c:N.t array -> unit
+
+  val vec_of_floats : float array -> N.t array
+  val vec_to_floats : N.t array -> float array
+end

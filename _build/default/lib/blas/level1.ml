@@ -1,0 +1,73 @@
+module Make (M : Multifloat.Ops.S) = struct
+  let scal ~alpha x =
+    for i = 0 to Array.length x - 1 do
+      x.(i) <- M.mul alpha x.(i)
+    done
+
+  let copy ~src ~dst =
+    assert (Array.length src = Array.length dst);
+    Array.blit src 0 dst 0 (Array.length src)
+
+  let swap x y =
+    assert (Array.length x = Array.length y);
+    for i = 0 to Array.length x - 1 do
+      let t = x.(i) in
+      x.(i) <- y.(i);
+      y.(i) <- t
+    done
+
+  let asum x = Array.fold_left (fun acc v -> M.add acc (M.abs v)) M.zero x
+
+  let nrm2 x =
+    (* Scale by the largest exponent so squares cannot overflow. *)
+    let mx = Array.fold_left (fun acc v -> Float.max acc (Float.abs (M.to_float v))) 0.0 x in
+    if mx = 0.0 then M.zero
+    else begin
+      let e = Eft.exponent mx in
+      let acc = ref M.zero in
+      Array.iter
+        (fun v ->
+          let s = M.scale_pow2 v (-e) in
+          acc := M.add !acc (M.mul s s))
+        x;
+      M.scale_pow2 (M.sqrt !acc) e
+    end
+
+  let iamax x =
+    let best = ref 0 in
+    for i = 1 to Array.length x - 1 do
+      if M.compare (M.abs x.(i)) (M.abs x.(!best)) > 0 then best := i
+    done;
+    !best
+
+  let rot ~c ~s x y =
+    assert (Array.length x = Array.length y);
+    for i = 0 to Array.length x - 1 do
+      let xi = x.(i) and yi = y.(i) in
+      x.(i) <- M.add (M.mul c xi) (M.mul s yi);
+      y.(i) <- M.sub (M.mul c yi) (M.mul s xi)
+    done
+
+  let givens ~a ~b =
+    if M.is_zero b then (M.one, M.zero, a)
+    else begin
+      let r = M.sqrt (M.add (M.mul a a) (M.mul b b)) in
+      let r = if M.sign a < 0 then M.neg r else r in
+      (M.div a r, M.div b r, r)
+    end
+
+  let axpby ~alpha ~x ~beta ~y =
+    assert (Array.length x = Array.length y);
+    for i = 0 to Array.length x - 1 do
+      y.(i) <- M.add (M.mul alpha x.(i)) (M.mul beta y.(i))
+    done
+
+  let ger ~m ~n ~alpha ~x ~y ~a =
+    assert (Array.length x = m && Array.length y = n && Array.length a = m * n);
+    for i = 0 to m - 1 do
+      let ax = M.mul alpha x.(i) in
+      for j = 0 to n - 1 do
+        a.((i * n) + j) <- M.add a.((i * n) + j) (M.mul ax y.(j))
+      done
+    done
+end

@@ -1,0 +1,35 @@
+(** The remaining BLAS level-1/level-2 routines over MultiFloat
+    arithmetic.
+
+    {!Kernels} keeps to the four kernels the paper benchmarks (over the
+    minimal {!Numeric.S} so every baseline library can run them); this
+    module completes the level-1 surface a user of an extended-precision
+    BLAS expects — scal/copy/swap/asum/nrm2/iamax/rot/axpby and the
+    rank-1 update — over the full MultiFloat interface. *)
+
+module Make (M : Multifloat.Ops.S) : sig
+  val scal : alpha:M.t -> M.t array -> unit
+  val copy : src:M.t array -> dst:M.t array -> unit
+  val swap : M.t array -> M.t array -> unit
+
+  val asum : M.t array -> M.t
+  (** Sum of absolute values. *)
+
+  val nrm2 : M.t array -> M.t
+  (** Euclidean norm, with scaling against intermediate overflow. *)
+
+  val iamax : M.t array -> int
+  (** Index of the first element of maximal absolute value. *)
+
+  val rot : c:M.t -> s:M.t -> M.t array -> M.t array -> unit
+  (** Apply a Givens rotation to the vector pair. *)
+
+  val givens : a:M.t -> b:M.t -> M.t * M.t * M.t
+  (** [(c, s, r)] with [c a + s b = r] and [-s a + c b = 0]. *)
+
+  val axpby : alpha:M.t -> x:M.t array -> beta:M.t -> y:M.t array -> unit
+  (** [y <- alpha x + beta y]. *)
+
+  val ger : m:int -> n:int -> alpha:M.t -> x:M.t array -> y:M.t array -> a:M.t array -> unit
+  (** Rank-1 update [A <- A + alpha x y^T], row-major [m*n]. *)
+end

@@ -1,0 +1,24 @@
+(** The number interface the extended-precision BLAS kernels need.
+
+    Every arithmetic under benchmark — native doubles, the MultiFloat
+    FPAN kernels, QD, CAMPARY, the software FPU ({!Bigfloat}) at a
+    fixed precision, and the emulated-binary32 GPU types — implements
+    this signature, so all of them run the {e same} kernel code and the
+    comparison isolates the cost of the arithmetic itself, as in the
+    paper's benchmark methodology (Section 5). *)
+
+module type S = sig
+  type t
+
+  val name : string
+  (** Display name for benchmark tables. *)
+
+  val bits : int
+  (** Nominal precision in bits (53, 103, 156, or 208). *)
+
+  val zero : t
+  val of_float : float -> t
+  val to_float : t -> float
+  val add : t -> t -> t
+  val mul : t -> t -> t
+end

@@ -1,0 +1,61 @@
+(* Error-free transformations.  See eft.mli for the interface story.
+
+   The [Sys.opaque_identity] barriers are not needed for correctness on
+   x86-64/ARM64 (OCaml performs no unsafe floating-point reassociation),
+   so the implementations below are straight transliterations of
+   Algorithms 1-3 of the paper. *)
+
+let two_sum x y =
+  let s = x +. y in
+  let x_eff = s -. y in
+  let y_eff = s -. x_eff in
+  let dx = x -. x_eff in
+  let dy = y -. y_eff in
+  (s, dx +. dy)
+
+let fast_two_sum x y =
+  let s = x +. y in
+  let y_eff = s -. x in
+  (s, y -. y_eff)
+
+let two_prod x y =
+  let p = x *. y in
+  (p, Float.fma x y (-.p))
+
+(* 2^27 + 1: Veltkamp's splitting constant for p = 53. *)
+let splitter = 134217729.0
+
+let split x =
+  let t = splitter *. x in
+  let hi = t -. (t -. x) in
+  (hi, x -. hi)
+
+let two_prod_dekker x y =
+  let p = x *. y in
+  let xhi, xlo = split x in
+  let yhi, ylo = split y in
+  let e1 = (xhi *. yhi) -. p in
+  let e2 = e1 +. (xhi *. ylo) in
+  let e3 = e2 +. (xlo *. yhi) in
+  (p, e3 +. (xlo *. ylo))
+
+let exponent x = if x = 0.0 then min_int else snd (Float.frexp x) - 1
+
+let ulp x =
+  if x = 0.0 then 0.0
+  else if Float.is_nan x then Float.nan
+  else
+    (* For normal x, ulp x = 2^(exponent x - 52); ldexp handles the
+       subnormal range by flushing gracefully to the smallest step. *)
+    let e = exponent x in
+    if e - 52 < -1074 then Float.ldexp 1.0 (-1074) else Float.ldexp 1.0 (e - 52)
+
+let is_nonoverlapping a b =
+  if b = 0.0 then true
+  else if a = 0.0 then false
+  else Float.abs b <= 0.5 *. ulp a
+
+let is_nonoverlapping_seq xs =
+  let n = Array.length xs in
+  let rec check i = i >= n - 1 || (is_nonoverlapping xs.(i) xs.(i + 1) && check (i + 1)) in
+  check 0

@@ -1,0 +1,55 @@
+(** Error-free transformations (EFTs).
+
+    These are the floating-point building blocks of the paper
+    "High-Performance Branch-Free Algorithms for Extended-Precision
+    Floating-Point Arithmetic" (Zhang & Aiken, SC '25): Algorithm 1
+    (TwoSum), Algorithm 2 (TwoProd), and Algorithm 3 (FastTwoSum).
+
+    An EFT simultaneously computes a correctly-rounded floating-point
+    operation and the exact rounding error incurred by that operation,
+    using only rounded machine-precision operations.  All functions assume
+    round-to-nearest-even (the IEEE 754 default, which OCaml inherits) and
+    are exact for all finite inputs within the overflow and underflow
+    thresholds. *)
+
+val two_sum : float -> float -> float * float
+(** [two_sum x y] is [(s, e)] with [s = fl (x + y)] and
+    [e = (x + y) - s] exactly (Møller–Knuth, Algorithm 1; 6 flops).
+    Valid for all finite [x], [y] with no precondition. *)
+
+val fast_two_sum : float -> float -> float * float
+(** [fast_two_sum x y] is [(s, e)] like {!two_sum} (Dekker, Algorithm 3;
+    3 flops) but requires [x = 0.], [y = 0.], or
+    [exponent x >= exponent y].  Undefined (inexact) otherwise. *)
+
+val two_prod : float -> float -> float * float
+(** [two_prod x y] is [(p, e)] with [p = fl (x * y)] and [e = x*y - p]
+    exactly (Algorithm 2; 2 flops using a fused multiply-add). *)
+
+val two_prod_dekker : float -> float -> float * float
+(** FMA-free variant of {!two_prod} using Dekker/Veltkamp splitting
+    (17 flops).  Exact under the same conditions provided [x*y] neither
+    overflows nor loses bits to underflow; used to cross-check
+    {!two_prod} on hardware without FMA. *)
+
+val split : float -> float * float
+(** [split x] is [(hi, lo)] with [x = hi + lo] exactly, where [hi] holds
+    the upper 26 bits of the mantissa and [lo] the lower 26 bits
+    (Veltkamp splitting; 4 flops). *)
+
+val ulp : float -> float
+(** [ulp x] is the unit in the last place of [x]: the gap between [x] and
+    the next representable float of larger magnitude, computed from the
+    exponent of [x].  [ulp 0. = 0.]. *)
+
+val exponent : float -> int
+(** [exponent x] is the IEEE exponent of [x]: the unique [e] such that
+    [2^e <= |x| < 2^(e+1)] for normal [x].  [exponent 0.] is [min_int]. *)
+
+val is_nonoverlapping : float -> float -> bool
+(** [is_nonoverlapping a b] checks the paper's Eq. 8 invariant between two
+    adjacent expansion terms: [|b| <= ulp a /. 2.], treating [b = 0.] as
+    always nonoverlapping.  When [a = 0.], requires [b = 0.]. *)
+
+val is_nonoverlapping_seq : float array -> bool
+(** Eq. 8 for every adjacent pair of an expansion. *)

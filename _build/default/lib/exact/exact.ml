@@ -1,0 +1,147 @@
+(* Exact expansion arithmetic, after Shewchuk, "Adaptive Precision
+   Floating-Point Arithmetic and Fast Robust Geometric Predicates",
+   Discrete & Computational Geometry 18 (1997).
+
+   Components are stored in increasing order of magnitude and are
+   nonoverlapping in Shewchuk's sense (disjoint bit ranges), which is
+   weaker than the paper's Eq. 8 but sufficient for exactness and for
+   sign determination: the largest nonzero component alone determines
+   the sign of the whole expansion. *)
+
+type t = float array
+
+let zero = [||]
+
+let of_float x =
+  assert (Float.is_finite x);
+  if x = 0.0 then [||] else [| x |]
+
+let of_array_unchecked xs =
+  assert (Array.for_all Float.is_finite xs);
+  Array.copy xs
+
+let components e = Array.copy e
+
+(* GROW-EXPANSION: exact sum of an expansion and one float.  The chain of
+   TwoSums preserves the total exactly; Shewchuk's Theorem 10 shows the
+   output is nonoverlapping and increasing when the input is. *)
+let grow e b =
+  assert (Float.is_finite b);
+  let m = Array.length e in
+  let h = Array.make (m + 1) 0.0 in
+  let q = ref b in
+  for i = 0 to m - 1 do
+    let s, err = Eft.two_sum !q e.(i) in
+    q := s;
+    h.(i) <- err
+  done;
+  h.(m) <- !q;
+  h
+
+let sum e f = Array.fold_left grow e f
+
+let sum_floats xs = Array.fold_left grow zero xs
+
+let neg e = Array.map (fun x -> -.x) e
+
+(* SCALE-EXPANSION: exact product of an expansion by one float. *)
+let scale e b =
+  assert (Float.is_finite b);
+  let m = Array.length e in
+  if m = 0 || b = 0.0 then [||]
+  else begin
+    let h = Array.make (2 * m) 0.0 in
+    let q, h0 = Eft.two_prod e.(0) b in
+    h.(0) <- h0;
+    let q = ref q in
+    for i = 1 to m - 1 do
+      let ti, tlo = Eft.two_prod e.(i) b in
+      let q', h_even = Eft.two_sum !q tlo in
+      h.((2 * i) - 1) <- h_even;
+      let q'', h_odd = Eft.fast_two_sum ti q' in
+      h.(2 * i) <- h_odd;
+      q := q''
+    done;
+    h.((2 * m) - 1) <- !q;
+    h
+  end
+
+let mul e f =
+  let parts = ref [] in
+  Array.iter
+    (fun x ->
+      Array.iter
+        (fun y ->
+          let p, err = Eft.two_prod x y in
+          parts := p :: err :: !parts)
+        f)
+    e;
+  sum_floats (Array.of_list !parts)
+
+(* COMPRESS (Shewchuk Fig. 15): squeeze out zeros and concentrate the
+   value in the top components.  Traverse downward absorbing with
+   FastTwoSum, then upward re-emitting. *)
+let compress e =
+  let m = Array.length e in
+  if m = 0 then [||]
+  else begin
+    let g = Array.make m 0.0 in
+    let q = ref e.(m - 1) in
+    let bottom = ref (m - 1) in
+    for i = m - 2 downto 0 do
+      let s, err = Eft.fast_two_sum !q e.(i) in
+      if err <> 0.0 then begin
+        g.(!bottom) <- s;
+        decr bottom;
+        q := err
+      end
+      else q := s
+    done;
+    g.(!bottom) <- !q;
+    let h = Array.make m 0.0 in
+    let top = ref 0 in
+    let q = ref g.(!bottom) in
+    for i = !bottom + 1 to m - 1 do
+      let s, err = Eft.fast_two_sum g.(i) !q in
+      if err <> 0.0 then begin
+        h.(!top) <- err;
+        incr top
+      end;
+      q := s
+    done;
+    if !q <> 0.0 || !top = 0 then begin
+      h.(!top) <- !q;
+      incr top
+    end;
+    Array.sub h 0 !top
+  end
+
+let approx e = Array.fold_left ( +. ) 0.0 e
+
+let sign e =
+  (* Largest-magnitude nonzero component decides; components are stored
+     in increasing order, so scan from the top. *)
+  let rec scan i = if i < 0 then 0 else if e.(i) <> 0.0 then compare e.(i) 0.0 else scan (i - 1) in
+  scan (Array.length e - 1)
+
+let abs e = if sign e < 0 then neg e else e
+
+let compare_abs_scaled e ~scale:s ~bound =
+  assert (bound >= 0.0);
+  assert (Float.is_finite s && Float.is_finite bound);
+  let p, perr = Eft.two_prod (Float.abs s) bound in
+  let diff = grow (grow (abs e) (-.p)) (-.perr) in
+  sign diff
+
+let is_exactly e x = sign (grow e (-.x)) = 0
+
+let to_string e =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf '[';
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_string buf "; ";
+      Buffer.add_string buf (Printf.sprintf "%h" x))
+    e;
+  Buffer.add_char buf ']';
+  Buffer.contents buf

@@ -1,0 +1,72 @@
+(** Exact floating-point expansion arithmetic (Shewchuk, 1997).
+
+    An {e expansion} here is a [float array] whose components are
+    nonoverlapping and stored in order of {b increasing} magnitude
+    (Shewchuk's convention, the opposite of the paper's MultiFloat order).
+    The value of the expansion is the exact real sum of its components.
+
+    Sums and products of machine floats are computed {b exactly} — no
+    information is ever discarded — which makes this module the reference
+    oracle against which the branch-free FPAN algorithms are verified.
+    These algorithms branch and allocate freely; they are the "adaptive
+    arbitrary-precision" baseline class the paper contrasts with FPANs,
+    and they are deliberately unoptimized. *)
+
+type t = private float array
+(** A nonoverlapping expansion, smallest-magnitude component first.
+    Zero components may be present; the empty array represents 0. *)
+
+val zero : t
+val of_float : float -> t
+
+val of_array_unchecked : float array -> t
+(** Wrap an array the caller promises is a nonoverlapping
+    increasing-magnitude expansion.  Checked with an assertion. *)
+
+val components : t -> float array
+(** Copy of the underlying components. *)
+
+val grow : t -> float -> t
+(** [grow e b] is the exact sum [e + b] as an expansion
+    (Shewchuk's GROW-EXPANSION; O(|e|) TwoSums). *)
+
+val sum : t -> t -> t
+(** Exact sum of two expansions. *)
+
+val sum_floats : float array -> t
+(** Exact sum of arbitrary machine floats (any order, any signs). *)
+
+val scale : t -> float -> t
+(** [scale e b] is the exact product [e * b] (SCALE-EXPANSION). *)
+
+val mul : t -> t -> t
+(** Exact product of two expansions (pairwise {!Eft.two_prod} then
+    exact summation). *)
+
+val neg : t -> t
+
+val compress : t -> t
+(** Shewchuk's COMPRESS: eliminates zero components and concentrates the
+    value in the largest components; the result is nonoverlapping with no
+    interleaved zeros, and its largest component approximates the total
+    to within an ulp. *)
+
+val approx : t -> float
+(** Sum of components, smallest first — a good (not always correctly
+    rounded) float approximation of the exact value. *)
+
+val sign : t -> int
+(** Exact sign of the value: -1, 0, or +1. *)
+
+val compare_abs_scaled : t -> scale:float -> bound:float -> int
+(** [compare_abs_scaled e ~scale ~bound] compares [|value e|] with
+    [|scale| * bound] exactly, returning the usual -1/0/+1.  [bound] must
+    be a nonnegative power of two (so the product is exact); this is the
+    primitive used to check the paper's error bounds
+    [|discarded| <= 2^-q * |z0|]. *)
+
+val is_exactly : t -> float -> bool
+(** [is_exactly e x] tests whether the exact value equals the float [x]. *)
+
+val to_string : t -> string
+(** Debug rendering of the component list. *)

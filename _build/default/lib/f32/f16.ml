@@ -1,0 +1,50 @@
+type t = float
+
+let name = "binary16 (emulated)"
+let precision = 11
+let max_value = 65504.0
+let min_subnormal = Float.ldexp 1.0 (-24)
+
+(* Round a double to binary16: round the mantissa to 11 bits at the
+   normal grid, or to the fixed 2^-24 grid in the subnormal range, then
+   clamp the exponent. *)
+let round x =
+  if Float.is_nan x then Float.nan
+  else if x = 0.0 then 0.0
+  else begin
+    let mag = Float.abs x in
+    let s = if x < 0.0 then -1.0 else 1.0 in
+    if mag >= 65520.0 (* halfway to the first non-representable step *) then s *. Float.infinity
+    else begin
+      let e = Eft.exponent mag in
+      let grid_exp = if e < -14 then -24 (* subnormal grid *) else e - 10 in
+      let grid = Float.ldexp 1.0 grid_exp in
+      (* mag / grid is small (<= 2^11 normal, < 2^10 subnormal) and the
+         division by a power of two is exact, so one round-to-nearest-
+         even to an integer implements the binary16 rounding.  The
+         2^52 trick performs RNE under the default rounding mode. *)
+      let q = mag /. grid in
+      let r = q +. 0x1p52 -. 0x1p52 in
+      let v = s *. (r *. grid) in
+      if Float.abs v > max_value then s *. Float.infinity else v
+    end
+  end
+
+let zero = 0.0
+let one = 1.0
+let of_float = round
+let to_float x = x
+let add x y = round (x +. y)
+let sub x y = round (x -. y)
+let mul x y = round (x *. y)
+let div x y = round (x /. y)
+let sqrt x = round (Float.sqrt x)
+let neg x = -.x
+
+let fma x y z =
+  let p = x *. y in
+  let s, e = Eft.two_sum p z in
+  let s = if e > 0.0 then Float.succ s else if e < 0.0 then Float.pred s else s in
+  round s
+
+let ldexp x k = round (Float.ldexp x k)

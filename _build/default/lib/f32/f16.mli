@@ -1,0 +1,24 @@
+(** Emulated IEEE binary16 (half precision), exponent range included.
+
+    Section 4.4 of the paper: "Their narrow exponent range causes
+    floating-point expansions to lose precision past the machine
+    underflow threshold, which typically occurs at roughly 4 terms in
+    single precision and just 2 terms in half precision."  {!F32}
+    emulates only the binary32 {e precision} (its exponent range is
+    never exercised); this module emulates binary16 in full — 11
+    mantissa bits, exponents clamped to [-14, 15], gradual underflow to
+    2^-24, overflow to infinity — precisely so that the quoted claim
+    can be demonstrated: see the [exponent-range] experiment and the
+    test suite. *)
+
+include Multifloat.Base.BASE
+
+val round : float -> t
+(** Round a double to the binary16 grid, including exponent clamping,
+    gradual underflow, and overflow to infinity. *)
+
+val max_value : float
+(** 65504, the largest finite binary16 value. *)
+
+val min_subnormal : float
+(** 2^-24, the smallest positive binary16 value. *)

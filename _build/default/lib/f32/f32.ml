@@ -1,0 +1,34 @@
+type t = float
+
+let name = "binary32 (emulated)"
+let precision = 24
+
+(* Round a double to binary32 via the 32-bit encoding: OCaml's
+   Int32.bits_of_float performs the C (float) conversion, which rounds
+   to nearest even. *)
+let round x = Int32.float_of_bits (Int32.bits_of_float x)
+
+let zero = 0.0
+let one = 1.0
+let of_float = round
+let to_float x = x
+let add x y = round (x +. y)
+let sub x y = round (x -. y)
+let mul x y = round (x *. y)
+let div x y = round (x /. y)
+let sqrt x = round (Float.sqrt x)
+let neg x = -.x
+
+(* Correctly-rounded binary32 fma: the product x*y is exact in double;
+   adding z rounds once to binary64.  If that sum was inexact, nudge it
+   one binary64 ulp toward the lost error (round-to-odd), which cannot
+   cross a binary32 boundary but breaks exact ties correctly; then
+   round to binary32. *)
+let fma x y z =
+  let p = x *. y in
+  let s, e = Eft.two_sum p z in
+  let s = if e > 0.0 then Float.succ s else if e < 0.0 then Float.pred s else s in
+  round s
+
+let ldexp x k = round (Float.ldexp x k)
+let ulp32 x = if x = 0.0 then 0.0 else Float.ldexp 1.0 (Eft.exponent x - 23)

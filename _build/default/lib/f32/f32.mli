@@ -1,0 +1,30 @@
+(** Emulated IEEE binary32 arithmetic — the base type for the GPU
+    substitution experiment (Figure 11 of the paper).
+
+    The paper's GPU benchmarks use [T = float] because RDNA3 lacks
+    double-precision units; this container has no GPU, so we reproduce
+    the same code path — FPAN arithmetic over a single-precision base —
+    by emulating binary32 on doubles.  A value of type {!t} is an OCaml
+    float whose value is always exactly representable in binary32; each
+    operation computes in double and rounds through the 32-bit
+    encoding, which is correctly rounded because binary32 inputs are
+    exact in binary64 and the final conversion rounds to nearest even.
+
+    The fused multiply-add needs care: the double product is exact (24
+    + 24 < 53 mantissa bits), but adding the addend in double and then
+    rounding to binary32 would round twice.  {!fma} avoids this with a
+    round-to-odd step (Boldo-Melquiond), nudging the double sum off any
+    binary32 tie by one binary64 ulp in the direction of the discarded
+    error.
+
+    [Gpu] (a sibling module in this library) instantiates the generic
+    MultiFloat functor over this base, giving the [MultiFloat<float, N>]
+    datatypes of the paper's GPU experiment. *)
+
+include Multifloat.Base.BASE
+
+val round : float -> t
+(** Round an arbitrary double to the binary32 grid. *)
+
+val ulp32 : t -> float
+(** Unit in the last place at binary32 precision. *)

@@ -1,0 +1,27 @@
+(** [MultiFloat<float, N>] over the emulated binary32 base — the
+    datatypes of the paper's GPU experiment (Figure 11): extended
+    precision built on single-precision hardware. *)
+
+module Mf1 = Multifloat.Generic.Make
+    (F32)
+    (struct
+      let terms = 1
+    end)
+
+module Mf2 = Multifloat.Generic.Make
+    (F32)
+    (struct
+      let terms = 2
+    end)
+
+module Mf3 = Multifloat.Generic.Make
+    (F32)
+    (struct
+      let terms = 3
+    end)
+
+module Mf4 = Multifloat.Generic.Make
+    (F32)
+    (struct
+      let terms = 4
+    end)

@@ -1,0 +1,1 @@
+lib/fpan/analyze.ml: Array Format List Network

@@ -1,0 +1,1 @@
+lib/fpan/analyze.mli: Format Network

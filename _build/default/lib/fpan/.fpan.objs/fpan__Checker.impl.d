@@ -1,0 +1,1 @@
+lib/fpan/checker.ml: Array Eft Exact Float Format Gen Interp List Network Random

@@ -1,0 +1,1 @@
+lib/fpan/checker.mli: Exact Format Network

@@ -1,0 +1,1 @@
+lib/fpan/dot.ml: Array Buffer Network Printf

@@ -1,0 +1,1 @@
+lib/fpan/enumerate.ml: Array Checker Eft Exact Float Format Gen List Network Networks Printf Random

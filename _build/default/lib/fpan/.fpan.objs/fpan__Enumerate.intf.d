@@ -1,0 +1,1 @@
+lib/fpan/enumerate.mli: Format Network

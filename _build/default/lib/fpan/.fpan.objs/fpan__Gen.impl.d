@@ -1,0 +1,1 @@
+lib/fpan/gen.ml: Array Eft Float Random

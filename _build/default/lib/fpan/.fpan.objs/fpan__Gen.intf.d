@@ -1,0 +1,1 @@
+lib/fpan/gen.mli: Random

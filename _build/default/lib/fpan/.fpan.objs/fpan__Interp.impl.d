@@ -1,0 +1,1 @@
+lib/fpan/interp.ml: Array Eft List Network

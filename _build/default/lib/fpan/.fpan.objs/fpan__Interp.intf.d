@@ -1,0 +1,1 @@
+lib/fpan/interp.mli: Network

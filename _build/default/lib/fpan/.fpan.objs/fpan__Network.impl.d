@@ -1,0 +1,1 @@
+lib/fpan/network.ml: Array Format List

@@ -1,0 +1,1 @@
+lib/fpan/networks.ml: Array Eft Hashtbl List Network Printf

@@ -1,0 +1,1 @@
+lib/fpan/search.ml: Array Checker Float List Network Networks Printf Random

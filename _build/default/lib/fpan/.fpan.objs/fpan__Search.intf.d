@@ -1,0 +1,1 @@
+lib/fpan/search.mli: Network Random

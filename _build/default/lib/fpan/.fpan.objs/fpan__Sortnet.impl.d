@@ -1,0 +1,1 @@
+lib/fpan/sortnet.ml: Array Float List Stdlib

@@ -1,0 +1,1 @@
+lib/fpan/sortnet.mli:

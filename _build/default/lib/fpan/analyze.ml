@@ -1,0 +1,89 @@
+type input_kind =
+  | Add_inputs of int
+  | Mul_inputs of int
+
+type report = {
+  wire_exponents : int array;
+  discarded_exponents : int list;
+  discarded_total_exponent : int;
+  fast_two_sum_gates : int;
+}
+
+(* Exponent bound of "certainly zero". *)
+let bottom = min_int / 2
+
+(* Exponent upper bounds of the network inputs, relative to the leading
+   input's exponent, from the nonoverlapping invariant. *)
+let input_bounds kind =
+  match kind with
+  | Add_inputs n ->
+      (* x0,y0,x1,y1,...: |x_i| <= ulp(x_{i-1})/2 gives e_i <= e0 - 53 i. *)
+      Array.init (2 * n) (fun k -> -53 * (k / 2))
+  | Mul_inputs n ->
+      (* mul_expand layout: p00, then per ascending order o the products
+         of order o followed by the error terms of the TwoProds of
+         order o-1.  exponent(p, order o) <= 1 - 54 o;
+         exponent(err of order o-1 TwoProd) <= 1 - 54 (o-1) - 53. *)
+      let bounds = ref [ 0 ] in
+      for o = 1 to n - 1 do
+        let products = if o <= n - 1 then o + 1 else 0 in
+        for _ = 1 to products do
+          bounds := (1 - (54 * o)) :: !bounds
+        done;
+        let errors = if o - 1 <= n - 2 then o else 0 in
+        for _ = 1 to errors do
+          bounds := (1 - (54 * (o - 1)) - 53) :: !bounds
+        done
+      done;
+      Array.of_list (List.rev !bounds)
+
+let ceil_log2 k =
+  let rec go acc v = if v >= k then acc else go (acc + 1) (2 * v) in
+  if k <= 1 then 0 else go 0 1
+
+let analyze (net : Network.t) kind =
+  let bounds = input_bounds kind in
+  assert (Array.length bounds = Array.length net.inputs);
+  let e = Array.make net.num_wires bottom in
+  Array.iteri (fun i w -> e.(w) <- bounds.(i)) net.inputs;
+  let discarded = ref [] in
+  let fts = ref 0 in
+  Array.iter
+    (fun (g : Network.gate) ->
+      let m = max e.(g.top) e.(g.bot) in
+      let sum_bound = if m = bottom then bottom else m + 1 in
+      let err_bound = if m = bottom then bottom else m + 1 - 53 in
+      match g.kind with
+      | Network.Add ->
+          if err_bound > bottom then discarded := err_bound :: !discarded;
+          e.(g.top) <- sum_bound;
+          e.(g.bot) <- bottom
+      | Network.Two_sum ->
+          e.(g.top) <- sum_bound;
+          e.(g.bot) <- err_bound
+      | Network.Fast_two_sum ->
+          incr fts;
+          e.(g.top) <- sum_bound;
+          e.(g.bot) <- err_bound)
+    net.gates;
+  let total =
+    match !discarded with
+    | [] -> bottom
+    | ds -> List.fold_left max bottom ds + ceil_log2 (List.length ds)
+  in
+  {
+    wire_exponents = e;
+    discarded_exponents = List.rev !discarded;
+    discarded_total_exponent = total;
+    fast_two_sum_gates = !fts;
+  }
+
+let certifies net kind ~slack =
+  let r = analyze net kind in
+  r.discarded_total_exponent <= -net.Network.error_exp - slack
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>discarded bounds (rel. to e0):";
+  List.iter (fun d -> Format.fprintf ppf " 2^%d" d) r.discarded_exponents;
+  Format.fprintf ppf "@,total discarded <= 2^%d; %d FastTwoSum gates checked dynamically@]"
+    r.discarded_total_exponent r.fast_two_sum_gates

@@ -1,0 +1,43 @@
+(** Static exponent-domain analysis of FPANs — the lightweight stand-in
+    for the paper's SMT-based verifier [53] (see DESIGN.md).
+
+    The SMT procedure tracks sign, exponent, and partial mantissa
+    information per wire and proves the correctness conditions for all
+    inputs.  Without a solver, this module propagates {e exponent upper
+    bounds} through the network: every wire gets a sound bound on its
+    exponent relative to the leading input exponent [e0], derived from
+    the nonoverlapping input invariant (Eq. 8) and the TwoSum error
+    bound (error <= ulp(sum)/2).
+
+    This yields a machine-checked {e no-cancellation certificate}: a
+    sound upper bound on the exponent of every individually discarded
+    error term relative to [e0].  When the exact result satisfies
+    [|sum| >= 2^(e0 - slack)], the certificate implies the paper's
+    error bound.  The cancellation cases that the certificate cannot
+    reach are exactly what the randomized {!Checker} hammers on. *)
+
+type input_kind =
+  | Add_inputs of int  (** interleaved x/y terms of two n-term expansions *)
+  | Mul_inputs of int  (** the [mul_expand n] product/error layout *)
+
+type report = {
+  wire_exponents : int array;
+      (** final upper bound of each wire's exponent, relative to e0 *)
+  discarded_exponents : int list;
+      (** upper bound of each Add gate's discarded error, relative to e0 *)
+  discarded_total_exponent : int;
+      (** sound bound on the exponent of the SUM of discarded errors,
+          relative to e0 *)
+  fast_two_sum_gates : int;
+      (** FastTwoSum gates, whose ordering precondition this analysis
+          does not discharge (the checker tests it dynamically) *)
+}
+
+val analyze : Network.t -> input_kind -> report
+
+val certifies : Network.t -> input_kind -> slack:int -> bool
+(** [certifies net kind ~slack] holds when the analysis proves
+    [|sum of discarded| <= 2^-q |S|] for every input whose exact result
+    satisfies [|S| >= 2^(e0 - slack)], where [q = net.error_exp]. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,110 @@
+type failure =
+  | Overlapping_output
+  | Error_bound_exceeded
+  | Inexact_fast_two_sum
+
+type counterexample = {
+  inputs : float array;
+  outputs : float array;
+  failure : failure;
+}
+
+type report = {
+  cases_run : int;
+  failure_count : int;
+  failures : counterexample list;
+  worst_error_log2 : float;
+}
+
+let passed r = r.failure_count = 0
+
+(* |value| as a float, good to a relative 2^-53 — fine for reporting the
+   worst observed error exponent. *)
+let approx_abs e = Float.abs (Exact.approx (Exact.compress e))
+
+let check_one net ~reference ~inputs ~audit =
+  let outputs = audit.Interp.outputs in
+  if audit.Interp.precondition_violations > 0 then Some { inputs; outputs; failure = Inexact_fast_two_sum }
+  else if not (Eft.is_nonoverlapping_seq outputs) then Some { inputs; outputs; failure = Overlapping_output }
+  else begin
+    (* discarded = reference - sum(outputs), computed exactly *)
+    let discarded = Array.fold_left Exact.grow reference (Array.map Float.neg outputs) in
+    (* bound = 2^-q * |reference|, also exact: scaling by a power of two *)
+    let q = net.Network.error_exp in
+    let scaled =
+      let abs_ref = if Exact.sign reference < 0 then Exact.neg reference else reference in
+      Exact.scale abs_ref (Float.ldexp 1.0 (-q))
+    in
+    let abs_disc = if Exact.sign discarded < 0 then Exact.neg discarded else discarded in
+    let slack = Exact.sum scaled (Exact.neg abs_disc) in
+    if Exact.sign slack < 0 then Some { inputs; outputs; failure = Error_bound_exceeded } else None
+  end
+
+let error_log2 ~reference ~outputs =
+  let discarded = Array.fold_left Exact.grow reference (Array.map Float.neg outputs) in
+  let d = approx_abs discarded and r = approx_abs reference in
+  if d = 0.0 then Float.neg_infinity
+  else if r = 0.0 then Float.infinity
+  else Float.log2 d -. Float.log2 r
+
+let check_sum_against net ~reference ~inputs ~outputs =
+  ignore outputs;
+  let audit = Interp.run_audited net inputs in
+  check_one net ~reference ~inputs ~audit
+
+let check_outputs net ~inputs =
+  let reference = Exact.sum_floats inputs in
+  let audit = Interp.run_audited net inputs in
+  check_one net ~reference ~inputs ~audit
+
+let drive net ~cases ~seed ~make_case =
+  let rng = Random.State.make [| seed |] in
+  let failures = ref [] in
+  let nfail = ref 0 in
+  let worst = ref Float.neg_infinity in
+  for _ = 1 to cases do
+    let inputs, reference = make_case rng in
+    let audit = Interp.run_audited net inputs in
+    (match check_one net ~reference ~inputs ~audit with
+    | Some cex ->
+        incr nfail;
+        if !nfail <= 10 then failures := cex :: !failures
+    | None -> ());
+    let e = error_log2 ~reference ~outputs:audit.Interp.outputs in
+    if e > !worst then worst := e
+  done;
+  { cases_run = cases; failure_count = !nfail; failures = List.rev !failures; worst_error_log2 = !worst }
+
+let check_add net ~terms ~cases ~seed =
+  drive net ~cases ~seed ~make_case:(fun rng ->
+      let x, y = Gen.pair rng ~n:terms () in
+      let inputs = Gen.interleave x y in
+      (inputs, Exact.sum_floats inputs))
+
+let check_mul net ~terms ~expand ~cases ~seed =
+  drive net ~cases ~seed ~make_case:(fun rng ->
+      (* Keep exponents well inside the range where the discarded product
+         terms stay normal: |e0| <= 120 keeps all n^2 partial products far
+         from both thresholds. *)
+      let x, y = Gen.pair rng ~n:terms ~e0_min:(-120) ~e0_max:120 () in
+      let inputs = expand x y in
+      let reference = Exact.mul (Exact.sum_floats x) (Exact.sum_floats y) in
+      (inputs, reference))
+
+let failure_name = function
+  | Overlapping_output -> "overlapping output"
+  | Error_bound_exceeded -> "error bound exceeded"
+  | Inexact_fast_two_sum -> "inexact FastTwoSum"
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>%d cases, %d failures, worst error 2^%.2f@," r.cases_run
+    r.failure_count r.worst_error_log2;
+  List.iteri
+    (fun i cex ->
+      Format.fprintf ppf "  #%d %s@,    in : " i (failure_name cex.failure);
+      Array.iter (fun v -> Format.fprintf ppf "%h " v) cex.inputs;
+      Format.fprintf ppf "@,    out: ";
+      Array.iter (fun v -> Format.fprintf ppf "%h " v) cex.outputs;
+      Format.fprintf ppf "@,")
+    r.failures;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,66 @@
+(** Randomized verification of FPAN correctness properties.
+
+    The paper verifies its networks with an SMT-based procedure [53];
+    no SMT solver is available in this environment, so this module
+    provides the substituted verifier described in DESIGN.md: it checks
+    the same two correctness conditions of Section 3 —
+
+    + the output expansion is nonoverlapping (Eq. 8), and
+    + the exact sum of all discarded error terms is bounded by
+      [2^-q * |exact input sum|] —
+
+    on large batches of random and adversarial inputs, using the
+    {!Exact} oracle so that both conditions are evaluated without any
+    rounding.  It additionally checks that every FastTwoSum gate was
+    exact (its ordering precondition is a proof obligation the SMT
+    verifier would discharge statically). *)
+
+type failure =
+  | Overlapping_output
+  | Error_bound_exceeded
+  | Inexact_fast_two_sum
+
+type counterexample = {
+  inputs : float array;
+  outputs : float array;
+  failure : failure;
+}
+
+type report = {
+  cases_run : int;
+  failure_count : int;
+  failures : counterexample list;  (** at most 10 retained *)
+  worst_error_log2 : float;
+      (** max over all cases of [log2 (|discarded sum| / |input sum|)];
+          [neg_infinity] when every case was exact *)
+}
+
+val passed : report -> bool
+
+val check_outputs : Network.t -> inputs:float array -> counterexample option
+(** Check one concrete input vector against both correctness
+    conditions. *)
+
+val check_add : Network.t -> terms:int -> cases:int -> seed:int -> report
+(** Drive an addition network with random adversarial pairs of
+    nonoverlapping [terms]-term expansions (inputs interleaved
+    x0,y0,x1,y1,...). *)
+
+val check_mul :
+  Network.t ->
+  terms:int ->
+  expand:(float array -> float array -> float array) ->
+  cases:int ->
+  seed:int ->
+  report
+(** Drive a multiplication network: [expand x y] performs the TwoProd
+    expansion step and returns the network inputs; the error bound is
+    checked against the exact product [x * y] (so it accounts for the
+    product terms the expansion step itself discards). *)
+
+val check_sum_against :
+  Network.t -> reference:Exact.t -> inputs:float array -> outputs:float array -> counterexample option
+(** Lower-level entry: check [outputs] of a run on [inputs] against an
+    arbitrary exact [reference] value (used by [check_mul]). *)
+
+val pp_report : Format.formatter -> report -> unit

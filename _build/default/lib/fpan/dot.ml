@@ -1,0 +1,35 @@
+let render (net : Network.t) =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph %s {\n  rankdir=LR;\n  node [fontname=monospace];\n" net.name;
+  (* last producer of each wire: Input i or Gate g *)
+  let producer = Array.make net.num_wires "" in
+  Array.iteri
+    (fun i w ->
+      let id = Printf.sprintf "in%d" i in
+      pr "  %s [label=\"in%d\" shape=plaintext];\n" id i;
+      producer.(w) <- id)
+    net.inputs;
+  Array.iteri
+    (fun gi (g : Network.gate) ->
+      let id = Printf.sprintf "g%d" gi in
+      let label, shape =
+        match g.kind with
+        | Network.Add -> ("+", "circle")
+        | Network.Two_sum -> "TwoSum", "box"
+        | Network.Fast_two_sum -> "Fast\\nTwoSum", "box"
+      in
+      pr "  %s [label=\"%s\" shape=%s];\n" id label shape;
+      if producer.(g.top) <> "" then pr "  %s -> %s [label=\"w%d\"];\n" producer.(g.top) id g.top;
+      if producer.(g.bot) <> "" then pr "  %s -> %s [label=\"w%d\"];\n" producer.(g.bot) id g.bot;
+      producer.(g.top) <- id;
+      producer.(g.bot) <- (match g.kind with Network.Add -> "" | _ -> id))
+    net.gates;
+  Array.iteri
+    (fun i w ->
+      let id = Printf.sprintf "out%d" i in
+      pr "  %s [label=\"z%d\" shape=plaintext];\n" id i;
+      if producer.(w) <> "" then pr "  %s -> %s [label=\"w%d\"];\n" producer.(w) id w)
+    net.outputs;
+  pr "}\n";
+  Buffer.contents buf

@@ -1,0 +1,7 @@
+(** Graphviz rendering of FPANs, mirroring the paper's wire/gate
+    diagrams (inputs on the left, gates in sequence, outputs on the
+    right). *)
+
+val render : Network.t -> string
+(** A [dot] digraph: one node per gate, edges follow data flow along
+    wires. *)

@@ -1,0 +1,304 @@
+type result = {
+  candidates : int;
+  battery_survivors : int;
+  verified_correct : Network.t list;
+}
+
+(* The 36 possible gates on 4 wires: kind x ordered (top, bot) pair. *)
+let all_gates =
+  let kinds = [ Network.Add; Network.Two_sum; Network.Fast_two_sum ] in
+  let gates = ref [] in
+  List.iter
+    (fun kind ->
+      for top = 0 to 3 do
+        for bot = 0 to 3 do
+          if top <> bot then gates := { Network.kind; top; bot } :: !gates
+        done
+      done)
+    kinds;
+  Array.of_list (List.rev !gates)
+
+(* Battery of adversarial inputs (x0, y0, x1, y1): cancellation at both
+   levels, half-ulp ties, zeros, sign mixes.  Expected outputs are the
+   correctly rounded 2-term expansions computed with the exact oracle. *)
+let battery =
+  let u = Float.ldexp 1.0 (-53) in
+  [| [| 1.0; 0.5; u *. 0.5; u *. 0.25 |];
+     [| 1.0; -1.0 +. (u *. 2.0); u *. 0.5; -.u *. 0.25 |];
+     [| 1.0; 1.0; u; u |];
+     [| 1.5; -0.75; -.u; u *. 0.75 |];
+     [| 1.0; -2.0; u *. 0.5; u |];
+     [| Float.pi; Float.exp 1.0; u *. 0.3; -.u *. 0.6 |];
+     [| 1.0; 0.0; u *. 0.5; 0.0 |];
+     [| -1.0; 1.0 -. u; -.u *. 0.5; u *. 0.25 |];
+     [| 3.0; 5.0; u *. 2.0; -.u *. 3.0 |];
+     [| 1.0 +. (2.0 *. u); -1.0; u; -.u *. 0.5 |] |]
+
+let n_battery = Array.length battery
+
+(* Expected nonoverlapping 2-term results, via the exact oracle:
+   z0 = RNE(S), z1 = RNE(S - z0). *)
+let expected =
+  Array.map
+    (fun inp ->
+      let s = Exact.sum_floats inp in
+      let z0 = Exact.approx (Exact.compress s) in
+      let rest = Exact.grow s (-.z0) in
+      let z1 = Exact.approx (Exact.compress rest) in
+      (z0, z1))
+    battery
+
+(* Precise double-double closeness, used only after the quick filters. *)
+let close_dd z0 z1 (e0, e1) =
+  let s, r = Eft.two_sum z0 z1 in
+  let es, er = Eft.two_sum e0 e1 in
+  let d = Float.abs (s -. es +. (r -. er)) in
+  d <= Float.abs es *. Float.ldexp 1.0 (-100) || (es = 0.0 && d = 0.0)
+
+(* All ordered output pairs. *)
+let out_pairs =
+  let ps = ref [] in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      if i <> j then ps := (i, j) :: !ps
+    done
+  done;
+  Array.of_list (List.rev !ps)
+
+let search_size ~size ?(checker_cases = 200_000) ?(seed = 424242) () =
+  let n36 = Array.length all_gates in
+  (* Depth-first enumeration with the wire states of the current gate
+     PREFIX cached per depth (the dominant cost would otherwise be
+     re-simulating the whole candidate for every odometer tick). *)
+  let states = Array.init (size + 1) (fun _ -> Array.make_matrix n_battery 4 0.0) in
+  for b = 0 to n_battery - 1 do
+    Array.blit battery.(b) 0 states.(0).(b) 0 4
+  done;
+  let chosen = Array.make size 0 in
+  let candidates = ref 0 in
+  let survivors = ref 0 in
+  let verified = ref [] in
+  (* Quick per-input scale for the coarse closeness filter. *)
+  let esum = Array.map (fun (e0, e1) -> e0 +. e1) expected in
+  let coarse = Array.map (fun s -> Float.abs s *. Float.ldexp 1.0 (-40)) esum in
+  let check_candidate depth_state =
+    incr candidates;
+    (* A surviving output pair must pass nonoverlap + closeness on
+       every battery input; check input-major with live-pair pruning,
+       everything in plain float compares. *)
+    let alive = Array.make 12 true in
+    let n_alive = ref 12 in
+    let b = ref 0 in
+    while !n_alive > 0 && !b < n_battery do
+      let w = depth_state.(!b) in
+      let es = esum.(!b) and tol = coarse.(!b) in
+      for p = 0 to 11 do
+        if alive.(p) then begin
+          let i, j = out_pairs.(p) in
+          let z0 = w.(i) and z1 = w.(j) in
+          (* coarse: sum matches to ~40 bits and magnitudes ordered *)
+          if
+            Float.abs (z0 +. z1 -. es) > tol
+            || (z1 <> 0.0 && Float.abs z1 > Float.abs z0 *. Float.ldexp 1.0 (-52))
+            || not (Eft.is_nonoverlapping z0 z1 && close_dd z0 z1 expected.(!b))
+          then begin
+            alive.(p) <- false;
+            decr n_alive
+          end
+        end
+      done;
+      incr b
+    done;
+    if !n_alive > 0 then begin
+      incr survivors;
+      Array.iteri
+        (fun p ok ->
+          if ok then begin
+            let i, j = out_pairs.(p) in
+            let gates = List.init size (fun g -> all_gates.(chosen.(g))) in
+            let net =
+              Network.make
+                ~name:(Printf.sprintf "enum%d-%d" size p)
+                ~num_wires:4 ~inputs:[| 0; 1; 2; 3 |] ~gates ~outputs:[| i; j |] ~error_exp:105
+            in
+            (* staged: a cheap screen kills almost every battery
+               survivor before the expensive full run *)
+            let screen = Checker.check_add net ~terms:2 ~cases:1500 ~seed in
+            if Checker.passed screen then begin
+              let report = Checker.check_add net ~terms:2 ~cases:checker_cases ~seed:(seed + 1) in
+              if Checker.passed report then verified := net :: !verified
+            end
+          end)
+        alive
+    end
+  in
+  let rec go depth =
+    if depth = size then check_candidate states.(depth)
+    else begin
+      let src = states.(depth) and dst = states.(depth + 1) in
+      for gi = 0 to n36 - 1 do
+        chosen.(depth) <- gi;
+        let gate = all_gates.(gi) in
+        let top = gate.Network.top and bot = gate.Network.bot in
+        (match gate.Network.kind with
+        | Network.Add ->
+            for b = 0 to n_battery - 1 do
+              let w = src.(b) and o = dst.(b) in
+              o.(0) <- w.(0);
+              o.(1) <- w.(1);
+              o.(2) <- w.(2);
+              o.(3) <- w.(3);
+              o.(top) <- w.(top) +. w.(bot);
+              o.(bot) <- 0.0
+            done
+        | Network.Two_sum ->
+            for b = 0 to n_battery - 1 do
+              let w = src.(b) and o = dst.(b) in
+              o.(0) <- w.(0);
+              o.(1) <- w.(1);
+              o.(2) <- w.(2);
+              o.(3) <- w.(3);
+              let x = w.(top) and y = w.(bot) in
+              let s = x +. y in
+              let x' = s -. y in
+              let y' = s -. x' in
+              o.(top) <- s;
+              o.(bot) <- x -. x' +. (y -. y')
+            done
+        | Network.Fast_two_sum ->
+            for b = 0 to n_battery - 1 do
+              let w = src.(b) and o = dst.(b) in
+              o.(0) <- w.(0);
+              o.(1) <- w.(1);
+              o.(2) <- w.(2);
+              o.(3) <- w.(3);
+              let x = w.(top) and y = w.(bot) in
+              let s = x +. y in
+              o.(top) <- s;
+              o.(bot) <- y -. (s -. x)
+            done);
+        go (depth + 1)
+      done
+    end
+  in
+  go 0;
+  { candidates = !candidates; battery_survivors = !survivors; verified_correct = List.rev !verified }
+
+(* Straight-line evaluation of a small gate sequence on 4 wires. *)
+let run_candidate gates n_gates wires inp =
+  Array.blit inp 0 wires 0 4;
+  for g = 0 to n_gates - 1 do
+    let gate : Network.gate = gates.(g) in
+    let x = wires.(gate.top) and y = wires.(gate.bot) in
+    match gate.kind with
+    | Network.Add ->
+        wires.(gate.top) <- x +. y;
+        wires.(gate.bot) <- 0.0
+    | Network.Two_sum ->
+        let s, e = Eft.two_sum x y in
+        wires.(gate.top) <- s;
+        wires.(gate.bot) <- e
+    | Network.Fast_two_sum ->
+        let s, e = Eft.fast_two_sum x y in
+        wires.(gate.top) <- s;
+        wires.(gate.bot) <- e
+  done
+
+(* The same lower-bound enumeration for 2-term MULTIPLICATION
+   (Figure 5, size 3): candidates consume the mul_expand 2 layout
+   [p00; p01; p10; e00] and must meet nonoverlap + 2^-103 |xy| on a
+   battery of expansion products, then the full checker. *)
+let mul_battery =
+  let rng = Random.State.make [| 0xabcdE; 7 |] in
+  Array.init 14 (fun i ->
+      let x, y =
+        if i = 0 then ([| 1.0; Float.ldexp 1.0 (-53) |], [| 1.0; -.Float.ldexp 1.0 (-53) |])
+        else if i = 1 then ([| 1.0; Float.ldexp 1.0 (-53) |], [| -1.0; Float.ldexp 1.0 (-53) |])
+        else Gen.pair rng ~n:2 ~e0_min:(-30) ~e0_max:30 ()
+      in
+      (x, y))
+
+let search_mul2_size ~size ?(checker_cases = 400_000) ?(seed = 513) () =
+  let n36 = Array.length all_gates in
+  let inputs = Array.map (fun (x, y) -> Networks.mul_expand 2 x y) mul_battery in
+  let refs =
+    Array.map (fun (x, y) -> Exact.mul (Exact.sum_floats x) (Exact.sum_floats y)) mul_battery
+  in
+  let expected =
+    Array.map
+      (fun r ->
+        let z0 = Exact.approx (Exact.compress r) in
+        let z1 = Exact.approx (Exact.compress (Exact.grow r (-.z0))) in
+        (z0, z1))
+      refs
+  in
+  let gates = Array.make (max size 1) all_gates.(0) in
+  let idx = Array.make (max size 1) 0 in
+  let wires = Array.make 4 0.0 in
+  let candidates = ref 0 in
+  let survivors = ref 0 in
+  let verified = ref [] in
+  let continue = ref true in
+  while !continue do
+    incr candidates;
+    for g = 0 to size - 1 do
+      gates.(g) <- all_gates.(idx.(g))
+    done;
+    let alive = Array.make 12 true in
+    let n_alive = ref 12 in
+    let b = ref 0 in
+    while !n_alive > 0 && !b < Array.length mul_battery do
+      run_candidate gates size wires inputs.(!b);
+      for p = 0 to 11 do
+        if alive.(p) then begin
+          let i, j = out_pairs.(p) in
+          let z0 = wires.(i) and z1 = wires.(j) in
+          if not (Eft.is_nonoverlapping z0 z1 && close_dd z0 z1 expected.(!b)) then begin
+            alive.(p) <- false;
+            decr n_alive
+          end
+        end
+      done;
+      incr b
+    done;
+    if !n_alive > 0 then begin
+      incr survivors;
+      Array.iteri
+        (fun p ok ->
+          if ok then begin
+            let i, j = out_pairs.(p) in
+            let net =
+              Network.make
+                ~name:(Printf.sprintf "mulenum%d-%d" size p)
+                ~num_wires:4 ~inputs:[| 0; 1; 2; 3 |] ~gates:(Array.to_list (Array.sub gates 0 size))
+                ~outputs:[| i; j |] ~error_exp:103
+            in
+            let screen =
+              Checker.check_mul net ~terms:2 ~expand:(Networks.mul_expand 2) ~cases:1500 ~seed
+            in
+            if Checker.passed screen then begin
+              let report =
+                Checker.check_mul net ~terms:2 ~expand:(Networks.mul_expand 2) ~cases:checker_cases
+                  ~seed:(seed + 1)
+              in
+              if Checker.passed report then verified := net :: !verified
+            end
+          end)
+        alive
+    end;
+    let rec bump g =
+      if g < 0 then continue := false
+      else if idx.(g) = n36 - 1 then begin
+        idx.(g) <- 0;
+        bump (g - 1)
+      end
+      else idx.(g) <- idx.(g) + 1
+    in
+    if size = 0 then continue := false else bump (size - 1)
+  done;
+  { candidates = !candidates; battery_survivors = !survivors; verified_correct = List.rev !verified }
+
+let pp_result ppf r =
+  Format.fprintf ppf "%d candidates, %d battery survivors, %d fully verified" r.candidates
+    r.battery_survivors
+    (List.length r.verified_correct)

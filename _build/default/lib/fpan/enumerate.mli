@@ -1,0 +1,41 @@
+(** Exhaustive enumeration of small FPANs — the other half of the
+    paper's Figure 2 optimality proof.
+
+    The paper proves the 2-term addition network optimal "by exhaustive
+    enumeration of every FPAN with size <= 6 and depth <= 4: every such
+    FPAN, besides the one shown, either fails to produce a
+    nonoverlapping result or computes a sum with error strictly
+    exceeding 2^-(2p-1)".  This module reproduces the lower-bound half
+    at laptop scale: enumerate {e all} gate sequences of a given size
+    over four wires (3 gate kinds x 12 ordered wire pairs per slot) and
+    all 12 output-pair choices, and show that none meets the Figure 2
+    specification.
+
+    A two-stage filter keeps this tractable: a fixed battery of
+    adversarial inputs with precomputed correctly-rounded expected
+    outputs rejects almost every candidate with a handful of float
+    operations (a necessary condition: some output pair must be
+    nonoverlapping with the expected value on every battery input);
+    the rare survivors go to the full randomized {!Checker}. *)
+
+type result = {
+  candidates : int;  (** gate sequences enumerated *)
+  battery_survivors : int;  (** passed the quick battery *)
+  verified_correct : Network.t list;
+      (** survivors that also pass the full checker (empty = lower
+          bound holds at this size) *)
+}
+
+val search_size : size:int -> ?checker_cases:int -> ?seed:int -> unit -> result
+(** Enumerate every [size]-gate FPAN for 2-term addition against the
+    Figure 2 specification (nonoverlapping output, discarded error
+    <= 2^-105 |x+y|). *)
+
+val search_mul2_size : size:int -> ?checker_cases:int -> ?seed:int -> unit -> result
+(** The same enumeration against the Figure 5 specification (2-term
+    multiplication accumulation over the [mul_expand 2] inputs,
+    nonoverlap + [2^-103 |xy|]).  The paper proves size 3 optimal; the
+    spaces below it (36^2 + 36 + 1 candidates) are checked exhaustively
+    in the test suite. *)
+
+val pp_result : Format.formatter -> result -> unit

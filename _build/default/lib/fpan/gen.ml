@@ -1,0 +1,92 @@
+type rng = Random.State.t
+
+(* A full-width random mantissa in [2^52, 2^53), as a float. *)
+let rand_mantissa rng = Float.of_int ((1 lsl 52) + Random.State.full_int rng (1 lsl 52))
+
+let rand_sign rng = if Random.State.bool rng then 1.0 else -1.0
+
+(* A random leading term with exponent near [e0]. *)
+let leading rng e0 =
+  match Random.State.int rng 8 with
+  | 0 -> rand_sign rng *. Float.ldexp 1.0 e0 (* power of two *)
+  | 1 -> rand_sign rng *. Float.ldexp (Float.of_int (1 + Random.State.int rng 4095)) (e0 - 11)
+  | _ -> rand_sign rng *. Float.ldexp (rand_mantissa rng) (e0 - 52)
+
+(* A random term bounded by half an ulp of [prev] (Eq. 8), biased toward
+   the adversarial extremes. *)
+let next_term rng prev =
+  let bound_exp = Eft.exponent prev - 53 in
+  if bound_exp - 53 < -1000 then 0.0
+  else
+    match Random.State.int rng 8 with
+    | 0 -> 0.0
+    | 1 -> rand_sign rng *. Float.ldexp 1.0 bound_exp (* exactly the tie boundary *)
+    | 2 -> rand_sign rng *. Float.ldexp 1.0 (bound_exp - Random.State.int rng 20)
+    | 3 ->
+        (* the largest representable value strictly below the boundary *)
+        rand_sign rng *. Float.pred (Float.ldexp 1.0 bound_exp)
+    | _ ->
+        let gap = if Random.State.bool rng then 0 else -Random.State.int rng 12 in
+        rand_sign rng *. Float.ldexp (rand_mantissa rng) (bound_exp - 53 + gap)
+
+let expansion rng ~n ?(e0_min = -80) ?(e0_max = 80) () =
+  let e0 = e0_min + Random.State.int rng (e0_max - e0_min + 1) in
+  let xs = Array.make n 0.0 in
+  xs.(0) <- leading rng e0;
+  for i = 1 to n - 1 do
+    xs.(i) <- (if xs.(i - 1) = 0.0 then 0.0 else next_term rng xs.(i - 1))
+  done;
+  assert (Eft.is_nonoverlapping_seq xs);
+  xs
+
+(* Extend a partially-filled expansion whose last nonzero term is
+   [xs.(i-1)]. *)
+let fill_tail rng xs i =
+  let n = Array.length xs in
+  for j = i to n - 1 do
+    xs.(j) <- (if xs.(j - 1) = 0.0 then 0.0 else next_term rng xs.(j - 1))
+  done
+
+let pair rng ~n ?(e0_min = -80) ?(e0_max = 80) () =
+  let x = expansion rng ~n ~e0_min ~e0_max () in
+  let y =
+    match Random.State.int rng 6 with
+    | 0 | 1 ->
+        (* independent operand *)
+        expansion rng ~n ~e0_min ~e0_max ()
+    | 2 ->
+        (* cancel the first k terms exactly, then diverge *)
+        let k = 1 + Random.State.int rng n in
+        let y = Array.make n 0.0 in
+        for i = 0 to k - 1 do
+          y.(i) <- -.x.(i)
+        done;
+        if k < n then fill_tail rng y k;
+        y
+    | 3 ->
+        (* exact scaled copy (stays nonoverlapping), random sign *)
+        let shift = Random.State.int rng 5 - 2 in
+        let s = rand_sign rng in
+        Array.map (fun v -> s *. Float.ldexp v shift) x
+    | 4 ->
+        (* same leading exponent, fresh mantissas: near-cancellation *)
+        let y = Array.make n 0.0 in
+        y.(0) <- -.Float.copy_sign (Float.ldexp (rand_mantissa rng) (Eft.exponent x.(0) - 52)) x.(0);
+        fill_tail rng y 1;
+        y
+    | _ ->
+        (* y0 within a few ulps of -x0: deep partial cancellation *)
+        let k = Float.of_int (Random.State.int rng 9 - 4) in
+        let y0 = -.x.(0) +. (k *. Eft.ulp x.(0)) in
+        let y = Array.make n 0.0 in
+        y.(0) <- (if y0 = 0.0 then leading rng (Eft.exponent x.(0)) else y0);
+        fill_tail rng y 1;
+        y
+  in
+  assert (Eft.is_nonoverlapping_seq y);
+  (x, y)
+
+let interleave x y =
+  let n = Array.length x in
+  assert (Array.length y = n);
+  Array.init (2 * n) (fun i -> if i land 1 = 0 then x.(i / 2) else y.(i / 2))

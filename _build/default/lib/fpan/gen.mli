@@ -1,0 +1,25 @@
+(** Random and adversarial generators of nonoverlapping floating-point
+    expansions, used by the checker and the test suites.
+
+    FPANs exhibit a different rounding-error pattern for every
+    permutation of the signs and magnitudes of their inputs (Section 1
+    of the paper), so the generators emphasize exactly the structures
+    that break naive networks: massive cancellation between the two
+    operands, ties at the half-ulp boundary, interleaved zeros, powers
+    of two, and maximal/minimal gaps between adjacent terms. *)
+
+type rng = Random.State.t
+
+val expansion : rng -> n:int -> ?e0_min:int -> ?e0_max:int -> unit -> float array
+(** A random nonoverlapping [n]-term expansion whose leading exponent is
+    drawn from [e0_min, e0_max] (defaults -80..80).  Adjacent gaps,
+    signs, tie boundaries, and zero tails are all exercised. *)
+
+val pair : rng -> n:int -> ?e0_min:int -> ?e0_max:int -> unit -> float array * float array
+(** An adversarial pair [(x, y)] of [n]-term expansions: independently
+    random, or built to cancel against each other to a random depth, or
+    sharing exponents term by term. *)
+
+val interleave : float array -> float array -> float array
+(** [interleave x y] is [[|x0; y0; x1; y1; ...|]] — the input order of
+    the addition networks (Eq. 10 of the paper). *)

@@ -1,0 +1,75 @@
+type audit = {
+  outputs : float array;
+  discarded : float list;
+  precondition_violations : int;
+}
+
+let bind net inputs =
+  let open Network in
+  assert (Array.length inputs = Array.length net.inputs);
+  let v = Array.make net.num_wires 0.0 in
+  Array.iteri (fun i w -> v.(w) <- inputs.(i)) net.inputs;
+  v
+
+let run net inputs =
+  let open Network in
+  let v = bind net inputs in
+  Array.iter
+    (fun g ->
+      let x = v.(g.top) and y = v.(g.bot) in
+      match g.kind with
+      | Add ->
+          v.(g.top) <- x +. y;
+          v.(g.bot) <- 0.0
+      | Two_sum ->
+          let s, e = Eft.two_sum x y in
+          v.(g.top) <- s;
+          v.(g.bot) <- e
+      | Fast_two_sum ->
+          let s, e = Eft.fast_two_sum x y in
+          v.(g.top) <- s;
+          v.(g.bot) <- e)
+    net.gates;
+  Array.map (fun w -> v.(w)) net.outputs
+
+let fast_precondition_holds x y = x = 0.0 || y = 0.0 || Eft.exponent x >= Eft.exponent y
+
+let run_audited net inputs =
+  let open Network in
+  let v = bind net inputs in
+  let discarded = ref [] in
+  let violations = ref 0 in
+  Array.iter
+    (fun g ->
+      let x = v.(g.top) and y = v.(g.bot) in
+      match g.kind with
+      | Add ->
+          let s, e = Eft.two_sum x y in
+          if e <> 0.0 then discarded := e :: !discarded;
+          v.(g.top) <- s;
+          v.(g.bot) <- 0.0
+      | Two_sum ->
+          let s, e = Eft.two_sum x y in
+          v.(g.top) <- s;
+          v.(g.bot) <- e
+      | Fast_two_sum ->
+          let s, e = Eft.fast_two_sum x y in
+          (* A FastTwoSum whose precondition fails is only a bug when it
+             actually loses information: flag it when the computed error
+             term differs from the true rounding error. *)
+          if not (fast_precondition_holds x y) then begin
+            let s', e' = Eft.two_sum x y in
+            if s <> s' || e <> e' then incr violations
+          end;
+          v.(g.top) <- s;
+          v.(g.bot) <- e)
+    net.gates;
+  {
+    outputs = Array.map (fun w -> v.(w)) net.outputs;
+    discarded = List.rev !discarded;
+    precondition_violations = !violations;
+  }
+
+let machine_flops net ~inputs =
+  ignore inputs;
+  Network.flops net

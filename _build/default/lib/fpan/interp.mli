@@ -1,0 +1,25 @@
+(** Executing FPANs on concrete floating-point inputs. *)
+
+type audit = {
+  outputs : float array;  (** values on the output wires, z0 first *)
+  discarded : float list;
+      (** exact rounding errors thrown away by [Add] gates *)
+  precondition_violations : int;
+      (** number of [Fast_two_sum] gates that were actually inexact on
+          this input, i.e. whose exponent precondition failed {e and}
+          whose result differs from {!Eft.two_sum} *)
+}
+
+val run : Network.t -> float array -> float array
+(** [run net inputs] evaluates the network exactly as hardware would:
+    no bookkeeping, straight-line floating-point code.  [inputs] are
+    bound to [net.inputs] in order; the result reads [net.outputs]. *)
+
+val run_audited : Network.t -> float array -> audit
+(** Like {!run} but also records every discarded error term exactly and
+    checks each FastTwoSum precondition.  Used by the checker; the
+    outputs are bit-identical to {!run}. *)
+
+val machine_flops : Network.t -> inputs:float array -> int
+(** Flops actually executed (same as [Network.flops]; provided for
+    instrumentation symmetry). *)

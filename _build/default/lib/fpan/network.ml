@@ -1,0 +1,69 @@
+type kind =
+  | Add
+  | Two_sum
+  | Fast_two_sum
+
+type gate = { kind : kind; top : int; bot : int }
+
+type t = {
+  name : string;
+  num_wires : int;
+  inputs : int array;
+  gates : gate array;
+  outputs : int array;
+  error_exp : int;
+}
+
+let make ~name ~num_wires ~inputs ~gates ~outputs ~error_exp =
+  let check_wire w = assert (w >= 0 && w < num_wires) in
+  Array.iter check_wire inputs;
+  Array.iter check_wire outputs;
+  List.iter
+    (fun g ->
+      check_wire g.top;
+      check_wire g.bot;
+      assert (g.top <> g.bot))
+    gates;
+  { name; num_wires; inputs; gates = Array.of_list gates; outputs; error_exp }
+
+let size t = Array.length t.gates
+
+let depth t =
+  (* Per-wire running depth; a gate's depth is one past the deeper of its
+     two operand wires.  An Add gate kills the bottom wire. *)
+  let d = Array.make t.num_wires 0 in
+  Array.iter
+    (fun g ->
+      let here = 1 + max d.(g.top) d.(g.bot) in
+      d.(g.top) <- here;
+      d.(g.bot) <- (match g.kind with Add -> 0 | Two_sum | Fast_two_sum -> here))
+    t.gates;
+  Array.fold_left (fun acc w -> max acc d.(w)) 0 t.outputs
+
+let flops t =
+  Array.fold_left
+    (fun acc g -> acc + match g.kind with Add -> 1 | Two_sum -> 6 | Fast_two_sum -> 3)
+    0 t.gates
+
+let gate_counts t =
+  Array.fold_left
+    (fun (a, s, f) g ->
+      match g.kind with
+      | Add -> (a + 1, s, f)
+      | Two_sum -> (a, s + 1, f)
+      | Fast_two_sum -> (a, s, f + 1))
+    (0, 0, 0) t.gates
+
+let pp ppf t =
+  let kind_name = function Add -> "add" | Two_sum -> "two_sum" | Fast_two_sum -> "fast_two_sum" in
+  Format.fprintf ppf "@[<v>network %s: %d wires, %d gates, depth %d, %d flops, 2^-%d@," t.name
+    t.num_wires (size t) (depth t) (flops t) t.error_exp;
+  Format.fprintf ppf "inputs:";
+  Array.iter (fun w -> Format.fprintf ppf " w%d" w) t.inputs;
+  Format.fprintf ppf "@,";
+  Array.iteri
+    (fun i g -> Format.fprintf ppf "  g%-3d %-13s w%d w%d@," i (kind_name g.kind) g.top g.bot)
+    t.gates;
+  Format.fprintf ppf "outputs:";
+  Array.iter (fun w -> Format.fprintf ppf " w%d" w) t.outputs;
+  Format.fprintf ppf "@]"

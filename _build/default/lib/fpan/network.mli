@@ -1,0 +1,62 @@
+(** Floating-point accumulation networks (FPANs) as data.
+
+    An FPAN is a branch-free algorithm given by a fixed sequence of
+    gates applied to a fixed set of wires (Section 3 of the paper).
+    Values flow left to right; a gate reads two wires and writes one or
+    two of them:
+
+    - an {b addition} gate replaces the top wire with the rounded sum
+      and zeroes the bottom wire, {e discarding} the rounding error;
+    - a {b TwoSum} gate puts the rounded sum on the top wire and the
+      exact rounding error on the bottom wire;
+    - a {b FastTwoSum} gate does the same in fewer operations but
+      requires the top value to have the larger exponent (or either
+      value to be zero). *)
+
+type kind =
+  | Add
+  | Two_sum
+  | Fast_two_sum
+
+type gate = {
+  kind : kind;
+  top : int;  (** wire receiving the sum *)
+  bot : int;  (** wire receiving the error (zeroed for [Add]) *)
+}
+
+type t = {
+  name : string;
+  num_wires : int;
+  inputs : int array;  (** wire carrying each input, in input order *)
+  gates : gate array;
+  outputs : int array;  (** wires read as [z_0 .. z_{n-1}], leading term first *)
+  error_exp : int;
+      (** claimed accuracy [q]: the sum of all discarded terms is bounded
+          by [2^-q * |exact sum of the inputs|] *)
+}
+
+val make :
+  name:string ->
+  num_wires:int ->
+  inputs:int array ->
+  gates:gate list ->
+  outputs:int array ->
+  error_exp:int ->
+  t
+(** Builds a network after validating wire indices. *)
+
+val size : t -> int
+(** Number of gates. *)
+
+val depth : t -> int
+(** Number of gates on the longest input-to-output directed path. *)
+
+val flops : t -> int
+(** Machine flops per evaluation: 1 per Add, 6 per TwoSum, 3 per
+    FastTwoSum. *)
+
+val gate_counts : t -> int * int * int
+(** [(adds, two_sums, fast_two_sums)]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable gate listing. *)

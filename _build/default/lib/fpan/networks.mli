@@ -1,0 +1,76 @@
+(** The concrete FPANs of the paper (Figures 2-7).
+
+    Figures 3, 4, 6 and 7 are images whose exact wiring is not
+    recoverable from the paper text, so the 3- and 4-term networks here
+    are reconstructions that follow the structure the paper describes —
+    an initial commutativity layer of TwoSum gates pairing corresponding
+    terms, followed by error absorption and renormalization — and are
+    validated by {!Checker} to the paper's stated error bounds.  The
+    2-term networks (Figures 2 and 5) are fully determined by published
+    algorithms with matching size and depth.
+
+    Addition networks take [2n] interleaved inputs
+    [x0, y0, x1, y1, ..., x_{n-1}, y_{n-1}] (Eq. 10) and produce [n]
+    nonoverlapping outputs.
+
+    Multiplication networks take the [n^2] inputs produced by
+    {!mul_expand}: the error-free partial products that survive the
+    magnitude cutoff of Section 4.2. *)
+
+val add2 : Network.t
+(** Figure 2: provably optimal 2-term addition; size 6, depth 4,
+    discarded error at most [2^-(2p-1) |x+y|]. *)
+
+val add3 : Network.t
+(** Figure 3 reconstruction: 3-term addition; bound [2^-(3p-3) |x+y|]. *)
+
+val add4 : Network.t
+(** Figure 4 reconstruction: 4-term addition; bound [2^-(4p-4) |x+y|]. *)
+
+val mul2 : Network.t
+(** Figure 5: provably optimal 2-term multiplication accumulation; size
+    3, depth 3, bound [2^-(2p-3) |xy|]. *)
+
+val mul3 : Network.t
+(** Figure 6 reconstruction: 3-term multiplication; bound
+    [2^-(3p-3) |xy|]. *)
+
+val mul4 : Network.t
+(** Figure 7 reconstruction: 4-term multiplication; bound
+    [2^-(4p-4) |xy|]. *)
+
+val add : int -> Network.t
+(** [add n] for n = 2, 3, 4. *)
+
+val mul : int -> Network.t
+(** [mul n] for n = 2, 3, 4. *)
+
+val mul_expand : int -> float array -> float array -> float array
+(** [mul_expand n x y] performs the expansion step of Section 4.2 on two
+    [n]-term expansions: [n(n-1)/2] TwoProd operations for the partial
+    products whose error term survives, plus [n] plain products for the
+    terms of total order [n-1].  The result is laid out in the input
+    order expected by [mul n]: partial products grouped by ascending
+    total order [i+j] (with the TwoProd error terms of order [o-1]
+    following the products of order [o]). *)
+
+val mul_flops : int -> int
+(** Total machine flops of an n-term multiplication: expansion step plus
+    accumulation network. *)
+
+val add_n : int -> Network.t
+(** Programmatic generalization of the addition-network structure to
+    any [n >= 2] (pairing layer, absorption sweeps, residue heap, three
+    consolidation passes).  For [n <= 4] prefer the tuned {!add}
+    networks; beyond that this extends the family past the paper's
+    sizes, with the claimed bound [2^-(53 n - n)] validated by the
+    checker in the test suite. *)
+
+val mul_n : int -> Network.t
+(** Programmatic generalization of the multiplication accumulation
+    network to any [n >= 2], consuming the {!mul_expand} layout, with
+    the commutativity layer preserved.  Validated by the checker in the
+    test suite at the claimed bound [2^-(53 n - n - 2)]. *)
+
+val all : (string * Network.t) list
+(** Every named network, for tooling. *)

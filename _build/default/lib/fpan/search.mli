@@ -1,0 +1,28 @@
+(** Heuristic search over the space of FPANs.
+
+    Reproduces the discovery methodology of Section 4.1: starting from a
+    network that passes verification, gates are randomly inserted,
+    removed, retyped, and reordered, with the probability of removal
+    rising over time, subject to the constraint that the mutated network
+    still passes the (randomized) checker.  The objective minimizes size
+    first and depth second. *)
+
+val anneal :
+  seed:int -> steps:int -> terms:int -> is_mul:bool -> ?quick_cases:int -> Network.t -> Network.t
+(** [anneal ~seed ~steps ~terms ~is_mul net] returns the smallest network
+    found that still passes [quick_cases] (default 2000) adversarial
+    checker cases at every step, revalidated with 500x the cases at the
+    end; if the final revalidation fails the original network is
+    returned.  Even the strengthened revalidation is testing, not
+    proof: treat accepted candidates as conjectures (EXPERIMENTS.md
+    records one that survived 24k cases and failed at 3M). *)
+
+val grow_from_empty :
+  seed:int -> terms:int -> attempts:int -> ?quick_cases:int -> unit -> Network.t option
+(** The discovery phase of Section 4.1: grow random (mostly TwoSum)
+    gates from an empty network until one passes the checker; the
+    result can then be fed to {!anneal} for minimization.  [None] if no
+    passing network appears within [attempts] random growths. *)
+
+val mutate : Random.State.t -> Network.t -> Network.t
+(** One random structural mutation (exposed for testing). *)

@@ -1,0 +1,107 @@
+type t = {
+  wires : int;
+  comparators : (int * int) array;
+}
+
+let size t = Array.length t.comparators
+
+let depth t =
+  let d = Array.make t.wires 0 in
+  Array.fold_left
+    (fun acc (i, j) ->
+      let here = 1 + max d.(i) d.(j) in
+      d.(i) <- here;
+      d.(j) <- here;
+      max acc here)
+    0 t.comparators
+
+(* Batcher's odd-even mergesort, defined for powers of two; comparators
+   touching padding wires (>= n) are dropped, which preserves
+   correctness because padding can be taken as +infinity. *)
+let batcher n =
+  assert (n >= 1);
+  let pow2 = ref 1 in
+  while !pow2 < n do
+    pow2 := !pow2 * 2
+  done;
+  let acc = ref [] in
+  let add i j = if i < n && j < n then acc := (i, j) :: !acc in
+  let rec merge lo cnt r =
+    let step = r * 2 in
+    if step < cnt then begin
+      merge lo cnt step;
+      merge (lo + r) cnt step;
+      let i = ref (lo + r) in
+      while !i + r < lo + cnt do
+        add !i (!i + r);
+        i := !i + step
+      done
+    end
+    else add lo (lo + r)
+  in
+  let rec sort lo cnt =
+    if cnt > 1 then begin
+      let m = cnt / 2 in
+      sort lo m;
+      sort (lo + m) m;
+      merge lo cnt 1
+    end
+  in
+  sort 0 !pow2;
+  { wires = n; comparators = Array.of_list (List.rev !acc) }
+
+let transposition n =
+  assert (n >= 1);
+  let acc = ref [] in
+  for round = 0 to n - 1 do
+    let start = round land 1 in
+    let i = ref start in
+    while !i + 1 < n do
+      acc := (!i, !i + 1) :: !acc;
+      i := !i + 2
+    done
+  done;
+  { wires = n; comparators = Array.of_list (List.rev !acc) }
+
+let sort t ~cmp v =
+  assert (Array.length v = t.wires);
+  Array.iter
+    (fun (i, j) ->
+      if cmp v.(i) v.(j) > 0 then begin
+        let tmp = v.(i) in
+        v.(i) <- v.(j);
+        v.(j) <- tmp
+      end)
+    t.comparators
+
+let sort_floats_by_magnitude t v =
+  (* Decreasing magnitude: wire [lo] keeps the LARGER |.|, matching the
+     merge order expansion addition needs. *)
+  assert (Array.length v = t.wires);
+  Array.iter
+    (fun (i, j) ->
+      let a = v.(i) and b = v.(j) in
+      if Float.abs a < Float.abs b then begin
+        v.(i) <- b;
+        v.(j) <- a
+      end)
+    t.comparators
+
+let verify_01 t =
+  assert (t.wires <= 24);
+  let n = t.wires in
+  let ok = ref true in
+  let v = Array.make n 0 in
+  let total = 1 lsl n in
+  let mask = ref 0 in
+  while !ok && !mask < total do
+    for i = 0 to n - 1 do
+      v.(i) <- (!mask lsr i) land 1
+    done;
+    sort t ~cmp:Stdlib.compare v;
+    for i = 0 to n - 2 do
+      if v.(i) > v.(i + 1) then ok := false
+    done;
+    incr mask
+  done;
+  !ok

@@ -1,0 +1,46 @@
+(** Sorting networks — the structural cousins of FPANs (Section 6).
+
+    "FPANs are closely related to sorting networks ... both are
+    branch-free algorithms that sort or accumulate a fixed number of
+    inputs by performing pairwise operations in a data-parallel
+    fashion.  ... there may exist an analogue of the 0-1 principle."
+
+    This module makes the analogy concrete: comparator networks with
+    the same size/depth notions as {!Network}, Batcher's odd-even
+    mergesort and the odd-even transposition sort as constructions,
+    verification by the 0-1 principle (exhaustive boolean inputs), and
+    a magnitude-sorting application that turns CAMPARY's branchy merge
+    step into a fixed comparator schedule. *)
+
+type t = {
+  wires : int;
+  comparators : (int * int) array;
+      (** [(lo, hi)]: after the comparator, the smaller value sits on
+          [lo] and the larger on [hi] *)
+}
+
+val size : t -> int
+val depth : t -> int
+(** Comparators on the longest wire-path, as for FPANs. *)
+
+val batcher : int -> t
+(** Batcher's odd-even mergesort network for [n] inputs ([n] rounded up
+    to a power of two internally; out-of-range comparators dropped).
+    Size O(n log^2 n). *)
+
+val transposition : int -> t
+(** Odd-even transposition sort: [n] rounds of adjacent comparators,
+    size O(n^2), depth [n].  The simple reference construction. *)
+
+val sort : t -> cmp:('a -> 'a -> int) -> 'a array -> unit
+(** Apply the network in place. *)
+
+val sort_floats_by_magnitude : t -> float array -> unit
+(** Apply the network with decreasing-|.| comparators — the fixed
+    schedule replacing the data-dependent merge in certified expansion
+    addition. *)
+
+val verify_01 : t -> bool
+(** The 0-1 principle: a comparator network sorts all inputs iff it
+    sorts every boolean input.  Exhaustive over [2^wires] cases
+    ([wires <= 24] enforced). *)

@@ -1,0 +1,1 @@
+lib/multifloat/base.ml: Float

@@ -1,0 +1,1 @@
+lib/multifloat/elementary.mli: Mf2 Mf3 Mf4 Ops

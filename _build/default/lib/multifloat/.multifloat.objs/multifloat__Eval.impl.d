@@ -1,0 +1,1 @@
+lib/multifloat/eval.ml: Elementary Hashtbl List Ops Printf String

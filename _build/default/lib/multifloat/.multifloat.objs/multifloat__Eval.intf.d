@@ -1,0 +1,1 @@
+lib/multifloat/eval.mli: Elementary Ops

@@ -1,0 +1,1 @@
+lib/multifloat/fft.ml: Array Elementary Float Mf_complex Ops

@@ -1,0 +1,1 @@
+lib/multifloat/fft.mli: Mf_complex Ops

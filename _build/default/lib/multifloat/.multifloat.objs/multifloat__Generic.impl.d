@@ -1,0 +1,1 @@
+lib/multifloat/generic.ml: Array Base Float

@@ -1,0 +1,1 @@
+lib/multifloat/generic.mli: Base

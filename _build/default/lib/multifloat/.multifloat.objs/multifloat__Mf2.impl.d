@@ -1,0 +1,1 @@
+lib/multifloat/mf2.ml: Array Eft Float Ops

@@ -1,0 +1,1 @@
+lib/multifloat/mf3.ml: Array Eft Float Ops

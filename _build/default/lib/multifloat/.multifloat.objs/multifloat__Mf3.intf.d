@@ -1,0 +1,1 @@
+lib/multifloat/mf3.mli: Ops

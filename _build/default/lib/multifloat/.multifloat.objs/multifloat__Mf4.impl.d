@@ -1,0 +1,1 @@
+lib/multifloat/mf4.ml: Array Eft Float Ops

@@ -1,0 +1,1 @@
+lib/multifloat/mf_complex.ml: Mf2 Mf3 Mf4 Ops Printf

@@ -1,0 +1,1 @@
+lib/multifloat/mf_complex.mli: Mf2 Mf3 Mf4 Ops

@@ -1,0 +1,1 @@
+lib/multifloat/ops.ml: Array Buffer Bytes Char Float Format Kernel List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/multifloat/poly.ml: Array Float Ops

@@ -1,0 +1,1 @@
+lib/multifloat/poly.mli: Ops

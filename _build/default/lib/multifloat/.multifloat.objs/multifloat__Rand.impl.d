@@ -1,0 +1,1 @@
+lib/multifloat/rand.ml: Elementary Float Ops Random

@@ -1,0 +1,1 @@
+lib/multifloat/rand.mli: Ops Random

@@ -1,0 +1,56 @@
+(** Base floating-point types for the generic MultiFloat functor.
+
+    The paper's C++ library is a template [MultiFloat<T, N>] over an
+    underlying type [T]; this is the OCaml rendering of that design.  A
+    [BASE] supplies correctly-rounded scalar arithmetic (including a
+    fused multiply-add, from which TwoProd is built) at some precision
+    [p]; {!Generic.Make} lifts it to [N]-term expansions.
+
+    [Double] is native IEEE binary64; an emulated binary32 lives in the
+    [f32] library (kept separate so this library has no dependency on
+    it). *)
+
+module type BASE = sig
+  type t = float
+  (** Values are stored in OCaml floats; an implementation guarantees
+      every value it produces is representable in its own precision
+      (e.g. the binary32 base keeps every value on the binary32 grid). *)
+
+  val name : string
+
+  val precision : int
+  (** Mantissa bits, including the implicit leading bit (53 for binary64,
+      24 for binary32). *)
+
+  val zero : t
+  val one : t
+  val of_float : float -> t
+  val to_float : t -> float
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val sqrt : t -> t
+  val neg : t -> t
+  val fma : t -> t -> t -> t
+  val ldexp : t -> int -> t
+end
+
+module Double : BASE = struct
+  type t = float
+
+  let name = "binary64"
+  let precision = 53
+  let zero = 0.0
+  let one = 1.0
+  let of_float x = x
+  let to_float x = x
+  let add = ( +. )
+  let sub = ( -. )
+  let mul = ( *. )
+  let div = ( /. )
+  let sqrt = Float.sqrt
+  let neg x = -.x
+  let fma = Float.fma
+  let ldexp = Float.ldexp
+end

@@ -1,0 +1,242 @@
+(* Elementary functions by argument reduction + Taylor kernels +
+   Newton inversion.  Constants are 4-term expansions (good to ~2^-215)
+   generated offline with the Bigfloat substrate; each instantiation
+   truncates them to its own expansion length (truncation preserves the
+   nonoverlapping invariant). *)
+
+let pi_c = [| 0x1.921fb54442d18p+1; 0x1.1a62633145c07p-53; -0x1.f1976b7ed8fbcp-109; 0x1.4cf98e804177dp-163 |]
+let half_pi_c = [| 0x1.921fb54442d18p+0; 0x1.1a62633145c07p-54; -0x1.f1976b7ed8fbcp-110; 0x1.4cf98e804177dp-164 |]
+let quarter_pi_c = [| 0x1.921fb54442d18p-1; 0x1.1a62633145c07p-55; -0x1.f1976b7ed8fbcp-111; 0x1.4cf98e804177dp-165 |]
+let two_pi_c = [| 0x1.921fb54442d18p+2; 0x1.1a62633145c07p-52; -0x1.f1976b7ed8fbcp-108; 0x1.4cf98e804177dp-162 |]
+let ln2_c = [| 0x1.62e42fefa39efp-1; 0x1.abc9e3b39803fp-56; 0x1.7b57a079a1934p-111; -0x1.ace93a4ebe5d1p-165 |]
+let ln10_c = [| 0x1.26bb1bbb55516p+1; -0x1.f48ad494ea3e9p-53; -0x1.9ebae3ae0260cp-107; -0x1.2d10378be1cf1p-161 |]
+let e_c = [| 0x1.5bf0a8b145769p+1; 0x1.4d57ee2b1013ap-53; -0x1.618713a31d3e2p-109; 0x1.c5a6d2b53c26dp-163 |]
+let sqrt2_c = [| 0x1.6a09e667f3bcdp+0; -0x1.bdd3413b26456p-54; 0x1.57d3e3adec175p-108; 0x1.2775099da2f59p-164 |]
+
+module Make (M : Ops.S) = struct
+  let const c = M.of_components (Array.sub c 0 M.terms)
+  let pi = const pi_c
+  let two_pi = const two_pi_c
+  let half_pi = const half_pi_c
+  let quarter_pi = const quarter_pi_c
+  let e = const e_c
+  let ln2 = const ln2_c
+  let ln10 = const ln10_c
+  let sqrt2 = const sqrt2_c
+
+  (* 1/k! for k = 0 .. 63, computed once at the working precision. *)
+  let inv_fact =
+    let t = Array.make 64 M.one in
+    for k = 2 to 63 do
+      t.(k) <- M.div t.(k - 1) (M.of_int k)
+    done;
+    t
+
+  (* Series cutoff: one extra term beyond the working precision. *)
+  let eps_exp = -(M.precision_bits + 8)
+
+  let negligible term scale =
+    let t = M.to_float term and s = M.to_float scale in
+    t = 0.0 || Float.abs t <= Float.abs s *. Float.ldexp 1.0 eps_exp
+
+  (* exp on a reduced argument |r| <= ln2 / 2^(m+1), m halvings applied
+     by the caller via repeated squaring. *)
+  let exp_taylor r =
+    let sum = ref (M.add M.one r) in
+    let p = ref r in
+    let k = ref 2 in
+    let continue = ref true in
+    while !continue && !k < 64 do
+      p := M.mul !p r;
+      let term = M.mul !p inv_fact.(!k) in
+      sum := M.add !sum term;
+      if negligible term !sum then continue := false;
+      incr k
+    done;
+    !sum
+
+  let exp x =
+    let xf = M.to_float x in
+    if Float.is_nan xf then M.of_float Float.nan
+    else if xf > 709.0 then M.of_float Float.infinity
+    else if xf < -745.0 then M.zero
+    else begin
+      (* x = k ln2 + r, then r halved m times: exp x = (exp r')^(2^m) 2^k *)
+      let k = Float.to_int (Float.round (xf /. 0.6931471805599453)) in
+      let r = M.sub x (M.mul_float ln2 (Float.of_int k)) in
+      let m = 6 in
+      let r' = M.scale_pow2 r (-m) in
+      let s = ref (exp_taylor r') in
+      for _ = 1 to m do
+        s := M.mul !s !s
+      done;
+      M.scale_pow2 !s k
+    end
+
+  let newton_iters =
+    let rec go bits iters = if bits >= M.precision_bits then iters else go (2 * bits) (iters + 1) in
+    go 50 0
+
+  let log x =
+    let xf = M.to_float x in
+    if Float.is_nan xf || xf < 0.0 then M.of_float Float.nan
+    else if xf = 0.0 then M.of_float Float.neg_infinity
+    else begin
+      (* Newton on exp: y <- y + x exp(-y) - 1. *)
+      let y = ref (M.of_float (Float.log xf)) in
+      for _ = 1 to newton_iters do
+        y := M.add !y (M.sub (M.mul x (exp (M.neg !y))) M.one)
+      done;
+      !y
+    end
+
+  let log2 x = M.div (log x) ln2
+  let log10 x = M.div (log x) ln10
+
+  let pow x y =
+    let yf = M.to_float y in
+    let yi = Float.to_int yf in
+    if Float.is_integer yf && Float.abs yf < 1e9 && M.equal y (M.of_int yi) then M.pow_int x yi
+    else exp (M.mul y (log x))
+
+  (* sin/cos Taylor kernels on |r| <= pi/4. *)
+  let sin_taylor r =
+    let r2 = M.mul r r in
+    let sum = ref r in
+    let p = ref r in
+    let k = ref 3 in
+    let continue = ref true in
+    while !continue && !k < 64 do
+      p := M.mul !p r2;
+      let term = M.mul !p inv_fact.(!k) in
+      sum := (if !k land 2 = 2 then M.sub !sum term else M.add !sum term);
+      if negligible term (if M.is_zero !sum then M.one else !sum) then continue := false;
+      k := !k + 2
+    done;
+    !sum
+
+  let cos_taylor r =
+    let r2 = M.mul r r in
+    let sum = ref M.one in
+    let p = ref M.one in
+    let k = ref 2 in
+    let continue = ref true in
+    while !continue && !k < 64 do
+      p := M.mul !p r2;
+      let term = M.mul !p inv_fact.(!k) in
+      sum := (if !k land 2 = 2 then M.sub !sum term else M.add !sum term);
+      if negligible term !sum then continue := false;
+      k := !k + 2
+    done;
+    !sum
+
+  (* Reduce x = k * (pi/2) + r with |r| <= pi/4; returns (k mod 4, r). *)
+  let reduce_half_pi x =
+    let xf = M.to_float x in
+    let k = Float.round (xf /. 1.5707963267948966) in
+    let r = M.sub x (M.mul_float half_pi k) in
+    (* One correction step in case the float estimate was off by one. *)
+    let k, r =
+      if M.compare r quarter_pi > 0 then (k +. 1.0, M.sub r half_pi)
+      else if M.compare r (M.neg quarter_pi) < 0 then (k -. 1.0, M.add r half_pi)
+      else (k, r)
+    in
+    let q = Float.to_int (k -. (Float.round (k /. 4.0) *. 4.0)) in
+    ((q + 4) mod 4, r)
+
+  let sin_cos x =
+    let xf = M.to_float x in
+    if Float.is_nan xf || Float.abs xf = Float.infinity then
+      (M.of_float Float.nan, M.of_float Float.nan)
+    else begin
+      let q, r = reduce_half_pi x in
+      let s = sin_taylor r and c = cos_taylor r in
+      match q with
+      | 0 -> (s, c)
+      | 1 -> (c, M.neg s)
+      | 2 -> (M.neg s, M.neg c)
+      | _ -> (M.neg c, s)
+    end
+
+  let sin x = fst (sin_cos x)
+  let cos x = snd (sin_cos x)
+
+  let tan x =
+    let s, c = sin_cos x in
+    M.div s c
+
+  let atan x =
+    let xf = M.to_float x in
+    if Float.is_nan xf then x
+    else if xf = Float.infinity then half_pi
+    else if xf = Float.neg_infinity then M.neg half_pi
+    else begin
+      (* Newton on tan: t <- t + (x cos t - sin t) cos t. *)
+      let t = ref (M.of_float (Float.atan xf)) in
+      for _ = 1 to newton_iters do
+        let s, c = sin_cos !t in
+        t := M.add !t (M.mul (M.sub (M.mul x c) s) c)
+      done;
+      !t
+    end
+
+  let atan2 y x =
+    let yf = M.to_float y and xf = M.to_float x in
+    if Float.is_nan yf || Float.is_nan xf then M.of_float Float.nan
+    else if xf = 0.0 && yf = 0.0 then M.zero
+    else if xf = 0.0 then if yf > 0.0 then half_pi else M.neg half_pi
+    else begin
+      let base = atan (M.div y x) in
+      if xf > 0.0 then base
+      else if yf >= 0.0 then M.add base pi
+      else M.sub base pi
+    end
+
+  let asin x =
+    let xf = M.to_float x in
+    if Float.abs xf > 1.0 then M.of_float Float.nan
+    else if M.equal x M.one then half_pi
+    else if M.equal x (M.neg M.one) then M.neg half_pi
+    else atan (M.div x (M.sqrt (M.sub M.one (M.mul x x))))
+
+  let acos x = M.sub half_pi (asin x)
+
+  let sinh x =
+    let xf = M.to_float x in
+    if Float.abs xf < 0.5 then begin
+      (* Taylor: avoids the cancellation in (exp x - exp -x)/2. *)
+      let x2 = M.mul x x in
+      let sum = ref x in
+      let p = ref x in
+      let k = ref 3 in
+      let continue = ref true in
+      while !continue && !k < 64 do
+        p := M.mul !p x2;
+        let term = M.mul !p inv_fact.(!k) in
+        sum := M.add !sum term;
+        if negligible term !sum then continue := false;
+        k := !k + 2
+      done;
+      !sum
+    end
+    else begin
+      let ex = exp x in
+      M.scale_pow2 (M.sub ex (M.inv ex)) (-1)
+    end
+
+  let cosh x =
+    let ex = exp x in
+    M.scale_pow2 (M.add ex (M.inv ex)) (-1)
+
+  let tanh x =
+    let xf = M.to_float x in
+    if Float.abs xf > 300.0 then M.of_float (if xf > 0.0 then 1.0 else -1.0)
+    else begin
+      let s = sinh x in
+      M.div s (M.sqrt (M.add M.one (M.mul s s)))
+    end
+end
+
+module F2 = Make (Mf2)
+module F3 = Make (Mf3)
+module F4 = Make (Mf4)

@@ -1,0 +1,52 @@
+(** Elementary transcendental functions over MultiFloat expansions.
+
+    The QD library (the paper's closest baseline) ships exp/log/trig
+    alongside its arithmetic, and downstream scientific code expects
+    them, so this module completes the MultiFloat API in the same way:
+    argument reduction against 215-bit constants, Taylor kernels with
+    precomputed inverse-factorial tables, and Newton inversion for the
+    inverse functions (each iteration doubling accuracy on top of the
+    53-bit libm seed).
+
+    Accuracy: results are within a few units of the last expansion term
+    (the test suite pins ~[precision_bits - 10] relative bits against
+    identity-based checks and the software FPU).  Trigonometric argument
+    reduction is accurate for |x| up to ~2^40; beyond that the reduced
+    argument loses the difference in bits, as in QD. *)
+
+module Make (M : Ops.S) : sig
+  val pi : M.t
+  val two_pi : M.t
+  val half_pi : M.t
+  val quarter_pi : M.t
+  val e : M.t
+  val ln2 : M.t
+  val ln10 : M.t
+  val sqrt2 : M.t
+
+  val exp : M.t -> M.t
+  val log : M.t -> M.t
+  (** Natural logarithm; NaN for negative input, -inf at 0. *)
+
+  val log2 : M.t -> M.t
+  val log10 : M.t -> M.t
+  val pow : M.t -> M.t -> M.t
+  (** [pow x y = exp (y log x)] for positive [x]; integer exponents are
+      handled exactly via {!Ops.S.pow_int} when [y] is a small integer. *)
+
+  val sin : M.t -> M.t
+  val cos : M.t -> M.t
+  val sin_cos : M.t -> M.t * M.t
+  val tan : M.t -> M.t
+  val atan : M.t -> M.t
+  val atan2 : M.t -> M.t -> M.t
+  val asin : M.t -> M.t
+  val acos : M.t -> M.t
+  val sinh : M.t -> M.t
+  val cosh : M.t -> M.t
+  val tanh : M.t -> M.t
+end
+
+module F2 : module type of Make (Mf2)
+module F3 : module type of Make (Mf3)
+module F4 : module type of Make (Mf4)

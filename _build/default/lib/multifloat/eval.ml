@@ -1,0 +1,180 @@
+(* Expression evaluation over MultiFloat arithmetic: the engine behind
+   bin/mf_calc, exposed as a library so applications can accept
+   user-supplied formulas at extended precision. *)
+
+module Make (M : Ops.S) (F : module type of Elementary.Make (M)) = struct
+  (* Recursive-descent parser over a token list. *)
+  type token =
+    | Num of string
+    | Op of char
+    | Lparen
+    | Rparen
+    | Ident of string
+
+  exception Parse_error of string
+
+  let tokenize s =
+    let n = String.length s in
+    let out = ref [] in
+    let i = ref 0 in
+    while !i < n do
+      let c = s.[!i] in
+      if c = ' ' || c = '\t' || c = '\n' then incr i
+      else if (c >= '0' && c <= '9') || c = '.' then begin
+        let j = ref !i in
+        let accept_sign = ref false in
+        while
+          !j < n
+          &&
+          match s.[!j] with
+          | '0' .. '9' | '.' | '_' -> true
+          | 'e' | 'E' ->
+              accept_sign := true;
+              true
+          | '+' | '-' when !accept_sign && (s.[!j - 1] = 'e' || s.[!j - 1] = 'E') -> true
+          | _ -> false
+        do
+          incr j
+        done;
+        out := Num (String.sub s !i (!j - !i)) :: !out;
+        i := !j
+      end
+      else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') then begin
+        let j = ref !i in
+        while !j < n && ((s.[!j] >= 'a' && s.[!j] <= 'z') || (s.[!j] >= 'A' && s.[!j] <= 'Z')) do
+          incr j
+        done;
+        out := Ident (String.lowercase_ascii (String.sub s !i (!j - !i))) :: !out;
+        i := !j
+      end
+      else
+        match c with
+        | '+' | '-' | '*' | '/' | '^' ->
+            out := Op c :: !out;
+            incr i
+        | '(' ->
+            out := Lparen :: !out;
+            incr i
+        | ')' ->
+            out := Rparen :: !out;
+            incr i
+        | _ -> raise (Parse_error (Printf.sprintf "unexpected character %C" c))
+    done;
+    List.rev !out
+
+  (* Variable environment used by eval_with. *)
+  let env : (string, M.t) Hashtbl.t = Hashtbl.create 8
+
+  (* expr := term (('+'|'-') term)*
+     term := factor (('*'|'/') factor)*
+     factor := atom ('^' int)?
+     atom := number | ident '(' expr ')' | '(' expr ')' | '-' atom *)
+  let rec parse_expr toks =
+    let lhs, toks = parse_term toks in
+    let rec loop acc toks =
+      match toks with
+      | Op '+' :: rest ->
+          let rhs, rest = parse_term rest in
+          loop (M.add acc rhs) rest
+      | Op '-' :: rest ->
+          let rhs, rest = parse_term rest in
+          loop (M.sub acc rhs) rest
+      | _ -> (acc, toks)
+    in
+    loop lhs toks
+
+  and parse_term toks =
+    let lhs, toks = parse_factor toks in
+    let rec loop acc toks =
+      match toks with
+      | Op '*' :: rest ->
+          let rhs, rest = parse_factor rest in
+          loop (M.mul acc rhs) rest
+      | Op '/' :: rest ->
+          let rhs, rest = parse_factor rest in
+          loop (M.div acc rhs) rest
+      | _ -> (acc, toks)
+    in
+    loop lhs toks
+
+  and parse_factor toks =
+    let base, toks = parse_atom toks in
+    match toks with
+    | Op '^' :: Num k :: rest ->
+        let k = try int_of_string k with _ -> raise (Parse_error "exponent must be an integer") in
+        (M.pow_int base k, rest)
+    | Op '^' :: Op '-' :: Num k :: rest ->
+        let k = try int_of_string k with _ -> raise (Parse_error "exponent must be an integer") in
+        (M.pow_int base (-k), rest)
+    | Op '^' :: _ -> raise (Parse_error "exponent must be an integer literal")
+    | _ -> (base, toks)
+
+  and parse_atom toks =
+    match toks with
+    | Num s :: rest -> (M.of_string s, rest)
+    | Op '-' :: rest ->
+        let v, rest = parse_atom rest in
+        (M.neg v, rest)
+    | Ident "pi" :: rest -> (F.pi, rest)
+    | Ident "e" :: rest -> (F.e, rest)
+    | Ident v :: rest when Hashtbl.mem env v -> (Hashtbl.find env v, rest)
+    | Ident f :: Lparen :: rest ->
+        let v, rest = parse_expr rest in
+        let rest = match rest with Rparen :: r -> r | _ -> raise (Parse_error "expected )") in
+        let fv =
+          match f with
+          | "sqrt" -> M.sqrt v
+          | "abs" -> M.abs v
+          | "inv" -> M.inv v
+          | "exp" -> F.exp v
+          | "log" | "ln" -> F.log v
+          | "log2" -> F.log2 v
+          | "log10" -> F.log10 v
+          | "sin" -> F.sin v
+          | "cos" -> F.cos v
+          | "tan" -> F.tan v
+          | "atan" -> F.atan v
+          | "asin" -> F.asin v
+          | "acos" -> F.acos v
+          | "sinh" -> F.sinh v
+          | "cosh" -> F.cosh v
+          | "tanh" -> F.tanh v
+          | "floor" -> M.floor v
+          | "ceil" -> M.ceil v
+          | "round" -> M.round v
+          | _ -> raise (Parse_error (Printf.sprintf "unknown function %s" f))
+        in
+        (fv, rest)
+    | Lparen :: rest ->
+        let v, rest = parse_expr rest in
+        let rest = match rest with Rparen :: r -> r | _ -> raise (Parse_error "expected )") in
+        (v, rest)
+    | _ -> raise (Parse_error "expected a value")
+
+  let eval s =
+    Hashtbl.reset env;
+    let v, rest = parse_expr (tokenize s) in
+    if rest <> [] then raise (Parse_error "trailing input");
+    v
+
+  let eval_with ~vars s =
+    Hashtbl.reset env;
+    List.iter (fun (name, value) -> Hashtbl.replace env (String.lowercase_ascii name) value) vars;
+    let v, rest = parse_expr (tokenize s) in
+    Hashtbl.reset env;
+    if rest <> [] then raise (Parse_error "trailing input");
+    v
+
+  let run digits s =
+    match eval s with
+    | v ->
+        print_endline (M.to_string ?digits v);
+        0
+    | exception Parse_error msg ->
+        Printf.eprintf "parse error: %s\n" msg;
+        1
+    | exception Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+end
+

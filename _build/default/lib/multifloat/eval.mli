@@ -1,0 +1,24 @@
+(** Arithmetic-expression evaluation at extended precision.
+
+    A small recursive-descent evaluator for formulas over +, -, *, /,
+    [^] (integer powers), parentheses, decimal literals, the constants
+    [pi] and [e], and the elementary functions (sqrt, abs, inv, exp,
+    log/ln, log2, log10, sin, cos, tan, asin, acos, atan, sinh, cosh,
+    tanh, floor, ceil, round).  This is the engine behind the
+    [mf_calc] command-line tool. *)
+
+module Make (M : Ops.S) (_ : module type of Elementary.Make (M)) : sig
+  exception Parse_error of string
+
+  val eval : string -> M.t
+  (** Evaluate a formula; raises {!Parse_error} on malformed input and
+      [Invalid_argument] on malformed numeric literals. *)
+
+  val eval_with : vars:(string * M.t) list -> string -> M.t
+  (** Like {!eval} with named variable bindings (case-insensitive;
+      [pi], [e] and function names take precedence). *)
+
+  val run : int option -> string -> int
+  (** Evaluate and print with an optional digit count; returns a
+      process exit code (0 ok, 1 error), printing errors to stderr. *)
+end

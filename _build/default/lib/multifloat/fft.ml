@@ -1,0 +1,88 @@
+module Make (M : Ops.S) = struct
+  module C = Mf_complex.Make (M)
+  module F = Elementary.Make (M)
+
+  let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+  (* Twiddle table: w_j = e^(-2 pi i j / n) for j < n/2. *)
+  let twiddles n sign =
+    let half = n / 2 in
+    Array.init half (fun j ->
+        let angle =
+          M.mul_float (M.div (F.two_pi) (M.of_int n)) (Float.of_int j *. sign)
+        in
+        let s, c = F.sin_cos angle in
+        { C.re = c; C.im = s })
+
+  let bit_reverse_permute (a : C.t array) =
+    let n = Array.length a in
+    let j = ref 0 in
+    for i = 0 to n - 2 do
+      if i < !j then begin
+        let t = a.(i) in
+        a.(i) <- a.(!j);
+        a.(!j) <- t
+      end;
+      let m = ref (n lsr 1) in
+      while !m >= 1 && !j land !m <> 0 do
+        j := !j lxor !m;
+        m := !m lsr 1
+      done;
+      j := !j lor !m
+    done
+
+  let transform sign x =
+    let n = Array.length x in
+    if not (is_pow2 n) then invalid_arg "Fft: length must be a power of two";
+    let a = Array.copy x in
+    if n > 1 then begin
+      bit_reverse_permute a;
+      let w = twiddles n sign in
+      let len = ref 2 in
+      while !len <= n do
+        let half = !len / 2 in
+        let stride = n / !len in
+        let i = ref 0 in
+        while !i < n do
+          for j = 0 to half - 1 do
+            let u = a.(!i + j) in
+            let t = C.mul w.(j * stride) a.(!i + j + half) in
+            a.(!i + j) <- C.add u t;
+            a.(!i + j + half) <- C.sub u t
+          done;
+          i := !i + !len
+        done;
+        len := !len * 2
+      done
+    end;
+    a
+
+  let fft x = transform (-1.0) x
+
+  let ifft x =
+    let n = Array.length x in
+    let a = transform 1.0 x in
+    let inv_n = M.inv (M.of_int n) in
+    Array.map (fun z -> { C.re = M.mul z.C.re inv_n; C.im = M.mul z.C.im inv_n }) a
+
+  let dft_naive x =
+    let n = Array.length x in
+    Array.init n (fun k ->
+        let acc = ref C.zero in
+        for j = 0 to n - 1 do
+          let angle =
+            M.mul_float (M.div F.two_pi (M.of_int n)) (-.Float.of_int (j * k mod n))
+          in
+          let s, c = F.sin_cos angle in
+          acc := C.add !acc (C.mul x.(j) { C.re = c; C.im = s })
+        done;
+        !acc)
+
+  let convolve x y =
+    let n = Array.length x in
+    assert (Array.length y = n);
+    let lift v = Array.map (fun r -> { C.re = r; C.im = M.zero }) v in
+    let fx = fft (lift x) and fy = fft (lift y) in
+    let prod = Array.init n (fun i -> C.mul fx.(i) fy.(i)) in
+    Array.map (fun z -> z.C.re) (ifft prod)
+end

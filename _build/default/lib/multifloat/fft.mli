@@ -1,0 +1,28 @@
+(** Fast Fourier transforms over complex MultiFloat expansions.
+
+    Spectral methods are among the workloads the paper's introduction
+    targets (climate modeling, lattice QCD): FFT butterflies compound
+    rounding error over log n stages and destroy reproducibility at
+    scale.  This module provides an iterative radix-2 Cooley-Tukey
+    transform at any MultiFloat precision, with twiddle factors from
+    the {!Elementary} trigonometry, plus the exact-convolution helper
+    built on it. *)
+
+module Make (M : Ops.S) : sig
+  module C : module type of Mf_complex.Make (M)
+
+  val fft : C.t array -> C.t array
+  (** Forward DFT, [X_k = sum_j x_j e^(-2 pi i jk / n)]; the length
+      must be a power of two. *)
+
+  val ifft : C.t array -> C.t array
+  (** Inverse transform (normalized by [1/n]); [ifft (fft x) = x] to
+      working precision. *)
+
+  val dft_naive : C.t array -> C.t array
+  (** O(n^2) reference implementation, any length. *)
+
+  val convolve : M.t array -> M.t array -> M.t array
+  (** Cyclic convolution of two real sequences of equal power-of-two
+      length via the transform. *)
+end

@@ -1,0 +1,162 @@
+module Make
+    (B : Base.BASE)
+    (N : sig
+      val terms : int
+    end) =
+struct
+  type t = B.t array
+
+  let terms =
+    assert (N.terms >= 1);
+    N.terms
+
+  let precision_bits = (terms * B.precision) + terms - 1
+  let zero = Array.make terms B.zero
+
+  let of_float x =
+    let v = Array.make terms B.zero in
+    v.(0) <- B.of_float x;
+    v
+
+  let one = of_float 1.0
+  let to_float a = B.to_float a.(0)
+  let components a = Array.map B.to_float a
+
+  let of_components c =
+    assert (Array.length c = terms);
+    Array.map B.of_float c
+
+  (* Error-free transformations in the base arithmetic. *)
+  let two_sum x y =
+    let s = B.add x y in
+    let x_eff = B.sub s y in
+    let y_eff = B.sub s x_eff in
+    let dx = B.sub x x_eff in
+    let dy = B.sub y y_eff in
+    (s, B.add dx dy)
+
+  let two_prod x y =
+    let p = B.mul x y in
+    (p, B.fma x y (B.neg p))
+
+  (* One bottom-up VecSum pass: after it, v.(0) holds an approximation
+     of the total and each v.(i+1) is the local rounding error. *)
+  let vec_sum_pass v =
+    for i = Array.length v - 2 downto 0 do
+      let s, e = two_sum v.(i) v.(i + 1) in
+      v.(i) <- s;
+      v.(i + 1) <- e
+    done
+
+  (* Consolidate an arbitrary value list into a [terms]-expansion: three
+     VecSum passes (the third repairs multi-level cancellation, as in
+     the validated add3/add4 networks), then fold the tail into the last
+     component. *)
+  let consolidate v =
+    vec_sum_pass v;
+    vec_sum_pass v;
+    vec_sum_pass v;
+    let z = Array.sub v 0 terms in
+    for i = terms to Array.length v - 1 do
+      z.(terms - 1) <- B.add z.(terms - 1) v.(i)
+    done;
+    (* The tail additions can leave the last two components slightly
+       overlapping; one more local fix-up keeps the invariant. *)
+    if terms >= 2 then begin
+      let s, e = two_sum z.(terms - 2) z.(terms - 1) in
+      z.(terms - 2) <- s;
+      z.(terms - 1) <- e
+    end;
+    z
+
+  let add a b =
+    (* Pair corresponding terms (the commutativity layer), then lay out
+       sums and errors by roughly decreasing magnitude:
+       [s0; s1; e0; s2; e1; ...; s_{n-1}; e_{n-2}; e_{n-1}]. *)
+    let sums = Array.make terms B.zero in
+    let errs = Array.make terms B.zero in
+    for i = 0 to terms - 1 do
+      let s, e = two_sum a.(i) b.(i) in
+      sums.(i) <- s;
+      errs.(i) <- e
+    done;
+    let v = Array.make (2 * terms) B.zero in
+    let pos = ref 0 in
+    let put x =
+      v.(!pos) <- x;
+      incr pos
+    in
+    put sums.(0);
+    for i = 1 to terms - 1 do
+      put sums.(i);
+      put errs.(i - 1)
+    done;
+    put errs.(terms - 1);
+    consolidate v
+
+  let neg a = Array.map B.neg a
+  let sub a b = add a (neg b)
+
+  let mul a b =
+    (* Full n^2 pairwise products (no magnitude cutoff), grouped by
+       ascending total order i+j, products before error terms. *)
+    let prods = Array.make (terms * terms) B.zero in
+    let errs = Array.make (terms * terms) B.zero in
+    let k = ref 0 in
+    for o = 0 to (2 * terms) - 2 do
+      for i = 0 to o do
+        let j = o - i in
+        if i < terms && j < terms then begin
+          let p, e = two_prod a.(i) b.(j) in
+          prods.(!k) <- p;
+          errs.(!k) <- e;
+          incr k
+        end
+      done
+    done;
+    consolidate (Array.append prods errs)
+
+  let abs a = if B.to_float a.(0) < 0.0 then neg a else a
+  let compare a b = Float.compare (to_float (sub a b)) 0.0
+  let equal a b = compare a b = 0
+
+  let scale_pow2 a k = Array.map (fun x -> B.ldexp x k) a
+
+  let newton_iters =
+    let rec go bits iters = if bits >= precision_bits then iters else go (2 * bits) (iters + 1) in
+    go (B.precision - 1) 0
+
+  let inv a =
+    let a0 = to_float a in
+    if a0 = 0.0 || Float.is_nan a0 then of_float (1.0 /. a0)
+    else begin
+      let x = ref [| B.div B.one a.(0) |] in
+      let x = ref (Array.append !x (Array.make (terms - 1) B.zero)) in
+      for _ = 1 to newton_iters do
+        x := add !x (mul !x (sub one (mul a !x)))
+      done;
+      !x
+    end
+
+  let div b a =
+    let a0 = to_float a in
+    if a0 = 0.0 || Float.is_nan a0 then of_float (to_float b /. a0)
+    else begin
+      let t = inv a in
+      let q = mul b t in
+      add q (mul t (sub b (mul a q)))
+    end
+
+  let sqrt a =
+    let a0 = to_float a in
+    if a0 = 0.0 then zero
+    else if a0 < 0.0 || Float.is_nan a0 then of_float Float.nan
+    else begin
+      let x = ref (Array.append [| B.div B.one (B.sqrt a.(0)) |] (Array.make (terms - 1) B.zero)) in
+      for _ = 1 to newton_iters do
+        x := add !x (scale_pow2 (mul !x (sub one (mul a (mul !x !x)))) (-1))
+      done;
+      let s = mul a !x in
+      add s (scale_pow2 (mul !x (sub a (mul s s))) (-1))
+    end
+end

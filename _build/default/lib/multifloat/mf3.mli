@@ -1,0 +1,13 @@
+(** Three-term floating-point expansions: ~161-bit (sextuple) precision.
+
+    Branch-free arithmetic from the reconstructed 3-term FPANs (Figures
+    3 and 6 of the paper), checked against the [Fpan] interpreter and
+    verified to the paper's error bounds (2^-156 relative). *)
+
+include Ops.S
+
+val mul_no_fma : t -> t -> t
+(** The same multiplication FPAN with TwoProd realized by
+    Veltkamp-Dekker splitting (17 flops instead of 2): the kernel for
+    hardware without a fused multiply-add, and the subject of the
+    no-FMA benchmark ablation. *)

@@ -1,0 +1,36 @@
+module Make (M : Ops.S) = struct
+  type t = { re : M.t; im : M.t }
+
+  let zero = { re = M.zero; im = M.zero }
+  let one = { re = M.one; im = M.zero }
+  let i = { re = M.zero; im = M.one }
+  let make re im = { re; im }
+  let of_float x = { re = M.of_float x; im = M.zero }
+  let conj z = { z with im = M.neg z.im }
+  let add a b = { re = M.add a.re b.re; im = M.add a.im b.im }
+  let sub a b = { re = M.sub a.re b.re; im = M.sub a.im b.im }
+  let neg a = { re = M.neg a.re; im = M.neg a.im }
+
+  let mul a b =
+    {
+      re = M.sub (M.mul a.re b.re) (M.mul a.im b.im);
+      im = M.add (M.mul a.re b.im) (M.mul a.im b.re);
+    }
+
+  let norm2 z = M.add (M.mul z.re z.re) (M.mul z.im z.im)
+  let abs z = M.sqrt (norm2 z)
+
+  let div a b =
+    let d = norm2 b in
+    let n = mul a (conj b) in
+    { re = M.div n.re d; im = M.div n.im d }
+
+  let equal a b = M.equal a.re b.re && M.equal a.im b.im
+
+  let to_string ?digits z =
+    Printf.sprintf "%s + %si" (M.to_string ?digits z.re) (M.to_string ?digits z.im)
+end
+
+module C2 = Make (Mf2)
+module C3 = Make (Mf3)
+module C4 = Make (Mf4)

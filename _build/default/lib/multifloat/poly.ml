@@ -1,0 +1,78 @@
+module Make (M : Ops.S) = struct
+  type t = M.t array
+
+  let of_float_coeffs = Array.map M.of_float
+  let degree c = Array.length c - 1
+
+  let eval c x =
+    let n = Array.length c in
+    if n = 0 then M.zero
+    else begin
+      let acc = ref c.(n - 1) in
+      for i = n - 2 downto 0 do
+        acc := M.add (M.mul !acc x) c.(i)
+      done;
+      !acc
+    end
+
+  let derivative c =
+    let n = Array.length c in
+    if n <= 1 then [| M.zero |]
+    else Array.init (n - 1) (fun i -> M.mul (M.of_int (i + 1)) c.(i + 1))
+
+  let eval_with_derivative c x =
+    (* Horner for the value and the derivative simultaneously. *)
+    let n = Array.length c in
+    if n = 0 then (M.zero, M.zero)
+    else begin
+      let p = ref c.(n - 1) in
+      let d = ref M.zero in
+      for i = n - 2 downto 0 do
+        d := M.add (M.mul !d x) !p;
+        p := M.add (M.mul !p x) c.(i)
+      done;
+      (!p, !d)
+    end
+
+  let add a b =
+    let n = max (Array.length a) (Array.length b) in
+    Array.init n (fun i ->
+        let va = if i < Array.length a then a.(i) else M.zero in
+        let vb = if i < Array.length b then b.(i) else M.zero in
+        M.add va vb)
+
+  let mul a b =
+    let la = Array.length a and lb = Array.length b in
+    if la = 0 || lb = 0 then [||]
+    else begin
+      let out = Array.make (la + lb - 1) M.zero in
+      for i = 0 to la - 1 do
+        for j = 0 to lb - 1 do
+          out.(i + j) <- M.add out.(i + j) (M.mul a.(i) b.(j))
+        done
+      done;
+      out
+    end
+
+  let from_roots roots =
+    Array.fold_left (fun acc r -> mul acc [| M.neg r; M.one |]) [| M.one |] roots
+
+  let newton_root c ~x0 ?(max_iter = 60) () =
+    let x = ref x0 in
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue && !i < max_iter do
+      let p, d = eval_with_derivative c !x in
+      if M.is_zero p || M.is_zero d then continue := false
+      else begin
+        let step = M.div p d in
+        x := M.sub !x step;
+        if
+          Float.abs (M.to_float step)
+          <= Float.abs (M.to_float !x) *. Float.ldexp 1.0 (-(M.precision_bits + 2))
+        then continue := false
+      end;
+      incr i
+    done;
+    !x
+end

@@ -1,0 +1,29 @@
+(** Polynomials over MultiFloat expansions.
+
+    Polynomial evaluation is the classic consumer of extended
+    precision: Horner's rule loses one condition-number's worth of
+    digits near clustered roots, which is what drives adaptive-precision
+    systems (Shewchuk's predicates, the paper's §6).  Coefficients are
+    stored low degree first: [c.(i)] multiplies [x^i]. *)
+
+module Make (M : Ops.S) : sig
+  type t = M.t array
+
+  val of_float_coeffs : float array -> t
+  val degree : t -> int
+
+  val eval : t -> M.t -> M.t
+  (** Horner's rule in the working precision. *)
+
+  val eval_with_derivative : t -> M.t -> M.t * M.t
+  val derivative : t -> t
+  val add : t -> t -> t
+  val mul : t -> t -> t
+
+  val from_roots : M.t array -> t
+  (** Monic polynomial with the given roots. *)
+
+  val newton_root : t -> x0:M.t -> ?max_iter:int -> unit -> M.t
+  (** Refine a simple root by Newton iteration from [x0] (seeded e.g.
+      by a double-precision estimate). *)
+end

@@ -1,0 +1,25 @@
+module Make (M : Ops.S) = struct
+  module F = Elementary.Make (M)
+
+  (* Uniform in [0,1): accumulate 52-bit random blocks at descending
+     scales; each block is exact as a double, the running sum is a
+     valid expansion by construction. *)
+  let uniform st =
+    let acc = ref M.zero in
+    let shift = ref 0 in
+    while !shift < M.precision_bits + 8 do
+      let block = Float.of_int (Random.State.full_int st (1 lsl 52)) in
+      acc := M.add_float !acc (Float.ldexp block (-(!shift + 52)));
+      shift := !shift + 52
+    done;
+    !acc
+
+  let uniform_range st ~lo ~hi = M.add lo (M.mul (uniform st) (M.sub hi lo))
+
+  (* Box-Muller; u1 is kept away from 0 so log stays finite. *)
+  let gaussian st =
+    let u1 = M.add (uniform st) (M.scale_pow2 M.one (-(M.precision_bits + 4))) in
+    let u2 = uniform st in
+    let r = M.sqrt (M.mul_float (F.log u1) (-2.0)) in
+    M.mul r (F.cos (M.mul F.two_pi u2))
+end

@@ -1,0 +1,16 @@
+(** Random extended-precision values.
+
+    Monte-Carlo and stochastic-rounding studies at extended precision
+    need uniform variates whose {e entire} mantissa is random — drawing
+    a double and widening leaves the low 54/108/162 bits zero.  This
+    module fills every expansion term; the Gaussian sampler is the
+    Box-Muller transform evaluated in the working precision. *)
+
+module Make (M : Ops.S) : sig
+  val uniform : Random.State.t -> M.t
+  (** Uniform on [0, 1) with all [precision_bits] random. *)
+
+  val uniform_range : Random.State.t -> lo:M.t -> hi:M.t -> M.t
+  val gaussian : Random.State.t -> M.t
+  (** Standard normal (Box-Muller). *)
+end

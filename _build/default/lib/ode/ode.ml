@@ -1,0 +1,143 @@
+module Make (M : Multifloat.Ops.S) = struct
+  type system = t:M.t -> y:M.t array -> dy:M.t array -> unit
+
+  let axpy alpha x y = Array.mapi (fun i yi -> M.add (M.mul alpha x.(i)) yi) y
+
+  let rk4_step ~f ~t ~h ~y =
+    let n = Array.length y in
+    let k1 = Array.make n M.zero in
+    let k2 = Array.make n M.zero in
+    let k3 = Array.make n M.zero in
+    let k4 = Array.make n M.zero in
+    let half = M.scale_pow2 h (-1) in
+    f ~t ~y ~dy:k1;
+    f ~t:(M.add t half) ~y:(axpy half k1 y) ~dy:k2;
+    f ~t:(M.add t half) ~y:(axpy half k2 y) ~dy:k3;
+    f ~t:(M.add t h) ~y:(axpy h k3 y) ~dy:k4;
+    let sixth = M.div h (M.of_int 6) in
+    let third = M.div h (M.of_int 3) in
+    axpy sixth k1 (axpy third k2 (axpy third k3 (axpy sixth k4 y)))
+
+  let rk4 ~f ~t0 ~h ~steps ~y0 =
+    let y = ref y0 in
+    let t = ref t0 in
+    for _ = 1 to steps do
+      y := rk4_step ~f ~t:!t ~h ~y:!y;
+      t := M.add !t h
+    done;
+    !y
+
+  let leapfrog_step ~accel ~h ~q ~p =
+    let n = Array.length q in
+    let a = Array.make n M.zero in
+    let half = M.scale_pow2 h (-1) in
+    accel ~q ~a;
+    for i = 0 to n - 1 do
+      p.(i) <- M.add p.(i) (M.mul half a.(i))
+    done;
+    for i = 0 to n - 1 do
+      q.(i) <- M.add q.(i) (M.mul h p.(i))
+    done;
+    accel ~q ~a;
+    for i = 0 to n - 1 do
+      p.(i) <- M.add p.(i) (M.mul half a.(i))
+    done
+
+  type stats = {
+    steps_accepted : int;
+    steps_rejected : int;
+    final_h : float;
+  }
+
+  (* Fehlberg 4(5) coefficients, exact rationals evaluated at working
+     precision once per functor instantiation. *)
+  let r_ num den = M.div (M.of_int num) (M.of_int den)
+  let c21 = r_ 1 4
+  let c31 = r_ 3 32
+  let c32 = r_ 9 32
+  let c41 = r_ 1932 2197
+  let c42 = r_ (-7200) 2197
+  let c43 = r_ 7296 2197
+  let c51 = r_ 439 216
+  let c52 = M.of_int (-8)
+  let c53 = r_ 3680 513
+  let c54 = r_ (-845) 4104
+  let c61 = r_ (-8) 27
+  let c62 = M.of_int 2
+  let c63 = r_ (-3544) 2565
+  let c64 = r_ 1859 4104
+  let c65 = r_ (-11) 40
+  (* 4th-order solution weights *)
+  let b1 = r_ 25 216
+  let b3 = r_ 1408 2565
+  let b4 = r_ 2197 4104
+  let b5 = r_ (-1) 5
+  (* 5th-order weights *)
+  let d1 = r_ 16 135
+  let d3 = r_ 6656 12825
+  let d4 = r_ 28561 56430
+  let d5 = r_ (-9) 50
+  let d6 = r_ 2 55
+
+  let rkf45 ~f ~t0 ~t1 ~h0 ~tol ~y0 =
+    let n = Array.length y0 in
+    let eval t y =
+      let dy = Array.make n M.zero in
+      f ~t ~y ~dy;
+      dy
+    in
+    let y = ref (Array.copy y0) in
+    let t = ref t0 in
+    let h = ref h0 in
+    let accepted = ref 0 in
+    let rejected = ref 0 in
+    let lincomb base terms =
+      Array.mapi
+        (fun i yi ->
+          List.fold_left (fun acc (c, (k : M.t array)) -> M.add acc (M.mul (M.mul !h c) k.(i))) yi terms)
+        base
+    in
+    let continue = ref true in
+    while !continue && M.compare !t t1 < 0 do
+      (* Clamp the step to land exactly on t1. *)
+      let remaining = M.sub t1 !t in
+      if M.compare !h remaining > 0 then h := remaining;
+      let k1 = eval !t !y in
+      let k2 = eval (M.add !t (M.mul (r_ 1 4) !h)) (lincomb !y [ (c21, k1) ]) in
+      let k3 = eval (M.add !t (M.mul (r_ 3 8) !h)) (lincomb !y [ (c31, k1); (c32, k2) ]) in
+      let k4 =
+        eval (M.add !t (M.mul (r_ 12 13) !h)) (lincomb !y [ (c41, k1); (c42, k2); (c43, k3) ])
+      in
+      let k5 =
+        eval (M.add !t !h) (lincomb !y [ (c51, k1); (c52, k2); (c53, k3); (c54, k4) ])
+      in
+      let k6 =
+        eval
+          (M.add !t (M.mul (r_ 1 2) !h))
+          (lincomb !y [ (c61, k1); (c62, k2); (c63, k3); (c64, k4); (c65, k5) ])
+      in
+      let y4 = lincomb !y [ (b1, k1); (b3, k3); (b4, k4); (b5, k5) ] in
+      let y5 = lincomb !y [ (d1, k1); (d3, k3); (d4, k4); (d5, k5); (d6, k6) ] in
+      (* Local error estimate and step control. *)
+      let err = ref 0.0 in
+      for i = 0 to n - 1 do
+        err := Float.max !err (Float.abs (M.to_float (M.sub y5.(i) y4.(i))))
+      done;
+      let hf = Float.abs (M.to_float !h) in
+      let target = tol *. hf in
+      if !err <= target || hf < 1e-300 then begin
+        incr accepted;
+        t := M.add !t !h;
+        y := y5
+      end
+      else incr rejected;
+      (* Standard step-size update with safety factor. *)
+      let factor =
+        if !err = 0.0 then 4.0
+        else Float.min 4.0 (Float.max 0.1 (0.9 *. ((target /. !err) ** 0.2)))
+      in
+      h := M.mul_float !h factor;
+      if M.compare !t t1 >= 0 then continue := false
+    done;
+    (!y, { steps_accepted = !accepted; steps_rejected = !rejected; final_h = M.to_float !h })
+end

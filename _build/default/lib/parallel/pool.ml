@@ -1,0 +1,130 @@
+(* A small work-queue domain pool.  Workers block on a condition
+   variable; jobs are thunks.  Completion is tracked per-batch by a
+   counter under the same mutex. *)
+
+type t = {
+  mutex : Mutex.t;
+  have_work : Condition.t;
+  batch_done : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable outstanding : int;
+  mutable closed : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let worker_loop pool =
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.queue && not pool.closed do
+      Condition.wait pool.have_work pool.mutex
+    done;
+    if pool.closed && Queue.is_empty pool.queue then Mutex.unlock pool.mutex
+    else begin
+      let job = Queue.pop pool.queue in
+      Mutex.unlock pool.mutex;
+      (try job () with _ -> ());
+      Mutex.lock pool.mutex;
+      pool.outstanding <- pool.outstanding - 1;
+      if pool.outstanding = 0 then Condition.broadcast pool.batch_done;
+      Mutex.unlock pool.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?domains () =
+  let n =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Domain.recommended_domain_count ()
+  in
+  let pool =
+    {
+      mutex = Mutex.create ();
+      have_work = Condition.create ();
+      batch_done = Condition.create ();
+      queue = Queue.create ();
+      outstanding = 0;
+      closed = false;
+      workers = [||];
+    }
+  in
+  pool.workers <- Array.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size pool = Array.length pool.workers + 1
+
+let run_batch pool jobs =
+  match jobs with
+  | [] -> ()
+  | [ only ] -> only ()
+  | first :: rest ->
+      Mutex.lock pool.mutex;
+      List.iter
+        (fun job ->
+          Queue.push job pool.queue;
+          pool.outstanding <- pool.outstanding + 1)
+        rest;
+      Condition.broadcast pool.have_work;
+      Mutex.unlock pool.mutex;
+      (* The calling domain takes the first chunk itself. *)
+      first ();
+      Mutex.lock pool.mutex;
+      while pool.outstanding > 0 do
+        Condition.wait pool.batch_done pool.mutex
+      done;
+      Mutex.unlock pool.mutex
+
+let chunks ~lo ~hi ~parts =
+  let n = hi - lo in
+  if n <= 0 then []
+  else begin
+    let parts = max 1 (min parts n) in
+    let base = n / parts and extra = n mod parts in
+    let rec go i start acc =
+      if i = parts then List.rev acc
+      else begin
+        let len = base + if i < extra then 1 else 0 in
+        go (i + 1) (start + len) ((start, start + len) :: acc)
+      end
+    in
+    go 0 lo []
+  end
+
+let parallel_for pool ~lo ~hi f =
+  let jobs =
+    List.map
+      (fun (a, b) () ->
+        for i = a to b - 1 do
+          f i
+        done)
+      (chunks ~lo ~hi ~parts:(size pool))
+  in
+  run_batch pool jobs
+
+let parallel_reduce pool ~lo ~hi ~init ~map ~combine =
+  let cs = chunks ~lo ~hi ~parts:(size pool) in
+  let partials = Array.make (List.length cs) init in
+  let jobs =
+    List.mapi
+      (fun idx (a, b) () ->
+        let acc = ref init in
+        for i = a to b - 1 do
+          acc := combine !acc (map i)
+        done;
+        partials.(idx) <- !acc)
+      cs
+  in
+  run_batch pool jobs;
+  Array.fold_left combine init partials
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.closed <- true;
+  Condition.broadcast pool.have_work;
+  Mutex.unlock pool.mutex;
+  Array.iter Domain.join pool.workers
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

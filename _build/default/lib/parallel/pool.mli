@@ -1,0 +1,34 @@
+(** A minimal OCaml 5 domain pool: the thread-per-core parallelization
+    substrate for the BLAS benchmarks (the paper's kernels run under
+    OpenMP with thread-per-core affinity; this is the OCaml analogue).
+
+    Reductions are deterministic: chunk partials are combined in index
+    order, so parallel results are bitwise independent of scheduling —
+    a requirement for reproducibility experiments. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** Start a pool with [domains] workers (default: the machine's
+    recommended domain count).  A pool with one domain runs everything
+    inline. *)
+
+val size : t -> int
+(** Number of workers, including the calling domain. *)
+
+val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for pool ~lo ~hi f] runs [f i] for [lo <= i < hi],
+    partitioned into contiguous chunks across workers.  [f] must be
+    safe to run concurrently on distinct indices and should not raise:
+    an exception aborts the remainder of its chunk (silently on worker
+    chunks, propagating on the calling domain's own chunk). *)
+
+val parallel_reduce : t -> lo:int -> hi:int -> init:'a -> map:(int -> 'a) -> combine:('a -> 'a -> 'a) -> 'a
+(** Chunked map-reduce; partials are combined left-to-right in chunk
+    order (deterministic). *)
+
+val shutdown : t -> unit
+(** Stop the workers.  The pool must not be used afterwards. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] creates a pool, runs [f], and always shuts down. *)

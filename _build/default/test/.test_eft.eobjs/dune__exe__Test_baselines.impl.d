@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Bigfloat Eft Exact Float Fpan Multifloat Printf Random

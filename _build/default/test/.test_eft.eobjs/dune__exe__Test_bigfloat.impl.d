@@ -1,0 +1,1 @@
+test/test_bigfloat.ml: Alcotest Bigfloat Eft Float Fpan Int64 List Random

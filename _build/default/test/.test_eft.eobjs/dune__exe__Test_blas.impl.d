@@ -1,0 +1,1 @@
+test/test_blas.ml: Alcotest Array Blas Exact Float List Parallel Random

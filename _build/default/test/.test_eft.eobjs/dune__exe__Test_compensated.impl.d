@@ -1,0 +1,1 @@
+test/test_compensated.ml: Alcotest Array Blas Exact Float Multifloat Random

@@ -1,0 +1,1 @@
+test/test_edge_semantics.ml: Alcotest Float Int64 Multifloat

@@ -1,0 +1,1 @@
+test/test_eft.ml: Alcotest Eft Exact Float List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_elementary.ml: Alcotest Bigfloat Float Multifloat Random

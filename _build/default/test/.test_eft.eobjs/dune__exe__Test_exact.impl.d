@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Array Eft Exact Float Gen List Printf QCheck QCheck_alcotest

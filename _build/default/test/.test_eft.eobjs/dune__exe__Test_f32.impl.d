@@ -1,0 +1,1 @@
+test/test_f32.ml: Alcotest Array Bigfloat Exact Float Gpu32 Int64 List Multifloat Printf Random

@@ -1,0 +1,1 @@
+test/test_fpan.ml: Alcotest Array Eft Exact Float Fpan List Printf Random String

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Array Bigfloat Fpan Int64 Multifloat

@@ -1,0 +1,1 @@
+test/test_level1.ml: Alcotest Array Blas Float Multifloat Random

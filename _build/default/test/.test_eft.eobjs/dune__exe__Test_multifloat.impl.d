@@ -1,0 +1,1 @@
+test/test_multifloat.ml: Alcotest Array Eft Exact Float Fpan List Multifloat Printf Random Stdlib String

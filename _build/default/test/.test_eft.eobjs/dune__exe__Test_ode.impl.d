@@ -1,0 +1,1 @@
+test/test_ode.ml: Alcotest Array Float Multifloat Ode Printf

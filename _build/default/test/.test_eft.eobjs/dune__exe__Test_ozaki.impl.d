@@ -1,0 +1,1 @@
+test/test_ozaki.ml: Alcotest Array Blas Eft Exact Float Random

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Float Mutex Parallel

@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest Array Float List Multifloat Printf Random

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Baselines Bigfloat Eft Exact Float Fpan Gpu32 List Multifloat Printf QCheck QCheck_alcotest Random String

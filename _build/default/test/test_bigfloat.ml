@@ -1,0 +1,312 @@
+(* Tests for the software-FPU substrate.
+
+   The sharpest check: at prec = 53, every Bigfloat operation must agree
+   bit-for-bit with the hardware's IEEE double arithmetic, since both
+   claim round-to-nearest-even at the same precision. *)
+
+module B = Bigfloat
+module Bignat = Bigfloat.Bignat
+
+let rng = Random.State.make [| 0xb1f; 17 |]
+
+let random_double () =
+  let m = Random.State.float rng 2.0 -. 1.0 in
+  let e = Random.State.int rng 120 - 60 in
+  match Random.State.int rng 10 with
+  | 0 -> 0.0
+  | 1 -> Float.ldexp 1.0 e
+  | 2 -> Float.of_int (Random.State.int rng 1000 - 500)
+  | _ -> Float.ldexp m e
+
+let check_float = Alcotest.(check (float 0.0))
+
+let bits f = Int64.bits_of_float f
+
+let test_roundtrip_float () =
+  for _ = 1 to 5000 do
+    let f = random_double () in
+    let b = B.of_float ~prec:53 f in
+    if bits (B.to_float b) <> bits f then Alcotest.failf "roundtrip %h -> %h" f (B.to_float b)
+  done
+
+let binop_matches name bop fop =
+  for _ = 1 to 5000 do
+    let x = random_double () and y = random_double () in
+    let bx = B.of_float ~prec:53 x and by = B.of_float ~prec:53 y in
+    let got = B.to_float (bop bx by) in
+    let expected = fop x y in
+    (* Like the paper's algorithms (Section 4.4), Bigfloat does not
+       track the sign of zero, so -0.0 and +0.0 compare equal here. *)
+    let expected = if expected = 0.0 then 0.0 else expected in
+    if Float.is_finite expected && bits got <> bits expected then
+      Alcotest.failf "%s %h %h: got %h, expected %h" name x y got expected
+  done
+
+let test_add_matches_double () = binop_matches "add" B.add ( +. )
+let test_sub_matches_double () = binop_matches "sub" B.sub ( -. )
+let test_mul_matches_double () = binop_matches "mul" B.mul ( *. )
+let test_div_matches_double () = binop_matches "div" B.div ( /. )
+
+let test_sqrt_matches_double () =
+  for _ = 1 to 5000 do
+    let x = Float.abs (random_double ()) in
+    let got = B.to_float (B.sqrt (B.of_float ~prec:53 x)) in
+    let expected = Float.sqrt x in
+    if bits got <> bits expected then Alcotest.failf "sqrt %h: got %h, expected %h" x got expected
+  done
+
+let test_special_values () =
+  let p = 100 in
+  let nan = B.of_float ~prec:p Float.nan in
+  let inf = B.of_float ~prec:p Float.infinity in
+  let zero = B.make_zero ~prec:p in
+  let one = B.of_int ~prec:p 1 in
+  Alcotest.(check bool) "nan is nan" true (B.is_nan nan);
+  Alcotest.(check bool) "nan + 1" true (B.is_nan (B.add nan one));
+  Alcotest.(check bool) "inf + 1 = inf" true (B.is_inf (B.add inf one));
+  Alcotest.(check bool) "inf - inf = nan" true (B.is_nan (B.sub inf inf));
+  Alcotest.(check bool) "inf * 0 = nan" true (B.is_nan (B.mul inf zero));
+  Alcotest.(check bool) "1/0 = inf" true (B.is_inf (B.div one zero));
+  Alcotest.(check bool) "0/0 = nan" true (B.is_nan (B.div zero zero));
+  Alcotest.(check bool) "sqrt(-1) = nan" true (B.is_nan (B.sqrt (B.of_int ~prec:p (-1))));
+  check_float "0 + 0" 0.0 (B.to_float (B.add zero zero))
+
+let test_high_precision_identity () =
+  (* (1 + 2^-200) - 1 = 2^-200 at prec 300; at prec 53 it vanishes. *)
+  let p = 300 in
+  let one = B.of_int ~prec:p 1 in
+  let tiny = B.of_float ~prec:p (Float.ldexp 1.0 (-200)) in
+  let d = B.sub (B.add one tiny) one in
+  Alcotest.(check bool) "captures 2^-200" true (B.equal d tiny);
+  let low = B.round_to ~prec:53 (B.add one tiny) in
+  Alcotest.(check bool) "53-bit drops it" true (B.equal low (B.round_to ~prec:53 one))
+
+let test_sqrt2_squared () =
+  let p = 250 in
+  let two = B.of_int ~prec:p 2 in
+  let s = B.sqrt two in
+  let err = B.sub (B.mul s s) two in
+  (* |s^2 - 2| <= 2 ulp at 250 bits. *)
+  Alcotest.(check bool) "sqrt2^2 ~ 2" true (Float.abs (B.to_float err) < Float.ldexp 1.0 (-245))
+
+let test_compare () =
+  for _ = 1 to 3000 do
+    let x = random_double () and y = random_double () in
+    let c = B.compare (B.of_float ~prec:80 x) (B.of_float ~prec:80 y) in
+    if c <> Float.compare x y then Alcotest.failf "compare %h %h: %d" x y c
+  done
+
+let test_of_string_exact () =
+  List.iter
+    (fun (s, v) ->
+      let b = B.of_string ~prec:100 s in
+      check_float s v (B.to_float b))
+    [ ("1", 1.0); ("-2.5", -2.5); ("0.125", 0.125); ("1e10", 1e10); ("1024e-2", 10.24);
+      ("0.1", 0.1); ("3.14159", 3.14159); ("-0.0001220703125", -0.0001220703125) ]
+
+let test_of_string_correctly_rounded () =
+  (* 0.1 at 53 bits must be the double nearest 0.1. *)
+  let b = B.of_string ~prec:53 "0.1" in
+  if bits (B.to_float b) <> bits 0.1 then Alcotest.fail "0.1 not correctly rounded";
+  let b = B.of_string ~prec:53 "1.0000000000000000000000000000001" in
+  if bits (B.to_float b) <> bits 1.0 then Alcotest.fail "sticky parse failed"
+
+let test_string_roundtrip () =
+  for _ = 1 to 500 do
+    let x = random_double () in
+    if x <> 0.0 then begin
+      let b = B.of_float ~prec:120 x in
+      let s = B.to_string b in
+      let b2 = B.of_string ~prec:120 s in
+      let diff = B.to_float (B.abs (B.sub b b2)) in
+      let budget = Float.abs x *. Float.ldexp 1.0 (-100) in
+      if diff > budget then Alcotest.failf "roundtrip %h via %s: diff %h" x s diff
+    end
+  done
+
+let test_to_string_simple () =
+  let p = 100 in
+  Alcotest.(check string) "1" "1.0" (B.to_string ~digits:1 (B.of_int ~prec:p 1));
+  Alcotest.(check string) "-2.5" "-2.5" (B.to_string ~digits:2 (B.of_float ~prec:p (-2.5)));
+  Alcotest.(check string) "1e10" "1.0e+10" (B.to_string ~digits:2 (B.of_string ~prec:p "1e10"));
+  Alcotest.(check string) "nan" "nan" (B.to_string (B.of_float ~prec:p Float.nan));
+  Alcotest.(check string) "zero" "0.0" (B.to_string (B.make_zero ~prec:p))
+
+let test_expansion_conversions () =
+  for _ = 1 to 1000 do
+    let xs = Fpan.Gen.expansion rng ~n:4 ~e0_min:(-40) ~e0_max:40 () in
+    let b = B.of_expansion ~prec:300 xs in
+    (* 4-term expansions carry at most 215 bits: 300 is exact. *)
+    let back = B.to_expansion ~n:4 b in
+    let diff = B.sub b (B.of_expansion ~prec:300 back) in
+    if not (B.is_zero diff) then
+      Alcotest.failf "expansion roundtrip: residual %h" (B.to_float diff)
+  done
+
+let test_to_expansion_nonoverlapping () =
+  for _ = 1 to 500 do
+    let x = Float.abs (random_double ()) +. 1.0 in
+    let b = B.sqrt (B.of_float ~prec:300 x) in
+    let e = B.to_expansion ~n:4 b in
+    if not (Eft.is_nonoverlapping_seq e) then Alcotest.fail "to_expansion overlaps"
+  done
+
+let test_mixed_precision () =
+  (* Binary ops round to the left operand's precision. *)
+  let a = B.of_int ~prec:53 1 in
+  let b = B.of_float ~prec:200 (Float.ldexp 1.0 (-100)) in
+  let s = B.add a b in
+  Alcotest.(check int) "prec follows left" 53 (B.prec s);
+  Alcotest.(check bool) "rounded away" true (B.equal s (B.of_int ~prec:53 1))
+
+let test_fma_single_rounding () =
+  (* fma must beat mul-then-add when the product's low bits matter. *)
+  for _ = 1 to 3000 do
+    let x = random_double () and y = random_double () and z = random_double () in
+    let p = 53 in
+    let bx = B.of_float ~prec:p x and by = B.of_float ~prec:p y and bz = B.of_float ~prec:p z in
+    let got = B.to_float (B.fma bx by bz) in
+    let expected = Float.fma x y z in
+    let expected = if expected = 0.0 then 0.0 else expected in
+    if Float.is_finite expected && bits got <> bits expected then
+      Alcotest.failf "fma %h %h %h: got %h expected %h" x y z got expected
+  done
+
+(* Directed rounding. *)
+let test_rounding_modes_bracket () =
+  (* down <= nearest <= up, and |toward_zero| <= |nearest|. *)
+  for _ = 1 to 2000 do
+    let x = random_double () and y = random_double () in
+    let a = B.of_float ~prec:60 x and b = B.of_float ~prec:60 y in
+    List.iter
+      (fun (op, op_m) ->
+        let near = op a b in
+        if not (B.is_nan near) then begin
+          let up = op_m B.Upward a b in
+          let down = op_m B.Downward a b in
+          let tz = op_m B.Toward_zero a b in
+          if B.compare down near > 0 then Alcotest.fail "down > nearest";
+          if B.compare near up > 0 then Alcotest.fail "nearest > up";
+          if B.compare (B.abs tz) (B.abs near) > 0 then Alcotest.fail "|tz| > |nearest|";
+          (* up - down is 0 (exact) or one ulp *)
+          if B.compare down up > 0 then Alcotest.fail "down > up"
+        end)
+      [ (B.add, B.add_mode); (B.sub, B.sub_mode); (B.mul, B.mul_mode) ]
+  done
+
+let test_rounding_modes_exact_values () =
+  (* 1/3 at 8 bits: down = 85/256, up = 86/256 (0.33203125 / 0.3359375). *)
+  let one = B.of_int ~prec:8 1 in
+  let three = B.of_int ~prec:8 3 in
+  let down = B.div_mode B.Downward one three in
+  let up = B.div_mode B.Upward one three in
+  Alcotest.(check (float 0.0)) "1/3 down" 0.33203125 (B.to_float down);
+  Alcotest.(check (float 0.0)) "1/3 up" 0.333984375 (B.to_float up);
+  (* exact operations are unaffected by the mode *)
+  let q = B.div_mode B.Upward (B.of_int ~prec:60 6) (B.of_int ~prec:60 3) in
+  Alcotest.(check (float 0.0)) "6/3 exact" 2.0 (B.to_float q);
+  let s = B.sqrt_mode B.Downward (B.of_int ~prec:60 4) in
+  Alcotest.(check (float 0.0)) "sqrt 4 exact" 2.0 (B.to_float s)
+
+(* Bignat-level tests. *)
+let test_bignat_basics () =
+  let open Bignat in
+  Alcotest.(check bool) "zero" true (is_zero zero);
+  Alcotest.(check string) "12345" "12345" (to_string (of_int 12345));
+  let a = of_int 999999999999 in
+  let b = of_int 1 in
+  Alcotest.(check string) "add" "1000000000000" (to_string (add a b));
+  Alcotest.(check string) "sub" "999999999998" (to_string (sub a b));
+  Alcotest.(check string) "mul" "999999999999" (to_string (mul a b));
+  Alcotest.(check int) "bit_length 1" 1 (bit_length one);
+  Alcotest.(check int) "bit_length 2^40" 41 (bit_length (shift_left one 40))
+
+let test_bignat_divmod () =
+  for _ = 1 to 2000 do
+    let a = Random.State.full_int rng (1 lsl 60) in
+    let b = 1 + Random.State.full_int rng (1 lsl 30) in
+    let q, r = Bignat.divmod (Bignat.of_int a) (Bignat.of_int b) in
+    let qi = match Bignat.to_int_opt q with Some v -> v | None -> -1 in
+    let ri = match Bignat.to_int_opt r with Some v -> v | None -> -1 in
+    if qi <> a / b || ri <> a mod b then Alcotest.failf "divmod %d %d -> %d %d" a b qi ri
+  done
+
+let test_bignat_isqrt () =
+  for _ = 1 to 2000 do
+    let a = Random.State.full_int rng (1 lsl 60) in
+    let s, r = Bignat.isqrt_rem (Bignat.of_int a) in
+    let si = match Bignat.to_int_opt s with Some v -> v | None -> -1 in
+    let ri = match Bignat.to_int_opt r with Some v -> v | None -> -1 in
+    if (si * si) + ri <> a || si * si > a || (si + 1) * (si + 1) <= a then
+      Alcotest.failf "isqrt %d -> %d rem %d" a si ri
+  done;
+  let s, r = Bignat.isqrt_rem Bignat.zero in
+  Alcotest.(check bool) "isqrt 0" true (Bignat.is_zero s && Bignat.is_zero r)
+
+let test_bignat_shifts () =
+  for _ = 1 to 2000 do
+    let a = Random.State.full_int rng (1 lsl 50) in
+    let k = Random.State.int rng 80 in
+    let l = Bignat.shift_left (Bignat.of_int a) k in
+    let back = Bignat.shift_right l k in
+    if Bignat.compare back (Bignat.of_int a) <> 0 then Alcotest.fail "shift roundtrip";
+    if Bignat.bit_length l <> (if a = 0 then 0 else Bignat.bit_length (Bignat.of_int a) + k) then
+      Alcotest.fail "shift bit_length"
+  done
+
+let test_bignat_pow5 () =
+  Alcotest.(check string) "5^0" "1" (Bignat.to_string (Bignat.pow5 0));
+  Alcotest.(check string) "5^10" "9765625" (Bignat.to_string (Bignat.pow5 10));
+  Alcotest.(check string) "5^30" "931322574615478515625" (Bignat.to_string (Bignat.pow5 30))
+
+let test_bignat_decimal () =
+  for _ = 1 to 500 do
+    let a = Random.State.full_int rng max_int in
+    let s = Bignat.to_string (Bignat.of_int a) in
+    if s <> string_of_int a then Alcotest.failf "to_string %d = %s" a s;
+    if Bignat.compare (Bignat.of_decimal_string s) (Bignat.of_int a) <> 0 then
+      Alcotest.fail "decimal roundtrip"
+  done
+
+let test_bignat_sticky () =
+  let x = Bignat.of_int 0b101000 in
+  Alcotest.(check bool) "below 3" false (Bignat.any_bit_below x 3);
+  Alcotest.(check bool) "below 4" true (Bignat.any_bit_below x 4);
+  Alcotest.(check bool) "test_bit 3" true (Bignat.test_bit x 3);
+  Alcotest.(check bool) "test_bit 4" false (Bignat.test_bit x 4)
+
+let () =
+  Alcotest.run "bigfloat"
+    [ ( "vs-double",
+        [ Alcotest.test_case "roundtrip" `Quick test_roundtrip_float;
+          Alcotest.test_case "add" `Quick test_add_matches_double;
+          Alcotest.test_case "sub" `Quick test_sub_matches_double;
+          Alcotest.test_case "mul" `Quick test_mul_matches_double;
+          Alcotest.test_case "div" `Quick test_div_matches_double;
+          Alcotest.test_case "sqrt" `Quick test_sqrt_matches_double ] );
+      ( "semantics",
+        [ Alcotest.test_case "special values" `Quick test_special_values;
+          Alcotest.test_case "high precision" `Quick test_high_precision_identity;
+          Alcotest.test_case "sqrt2^2" `Quick test_sqrt2_squared;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "mixed precision" `Quick test_mixed_precision ] );
+      ("fma", [ Alcotest.test_case "matches hardware fma" `Quick test_fma_single_rounding ]);
+      ( "rounding-modes",
+        [ Alcotest.test_case "bracketing" `Quick test_rounding_modes_bracket;
+          Alcotest.test_case "exact values" `Quick test_rounding_modes_exact_values ] );
+      ( "strings",
+        [ Alcotest.test_case "of_string exact" `Quick test_of_string_exact;
+          Alcotest.test_case "correctly rounded" `Quick test_of_string_correctly_rounded;
+          Alcotest.test_case "roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "to_string simple" `Quick test_to_string_simple ] );
+      ( "expansions",
+        [ Alcotest.test_case "roundtrip" `Quick test_expansion_conversions;
+          Alcotest.test_case "nonoverlapping" `Quick test_to_expansion_nonoverlapping ] );
+      ( "bignat",
+        [ Alcotest.test_case "basics" `Quick test_bignat_basics;
+          Alcotest.test_case "divmod" `Quick test_bignat_divmod;
+          Alcotest.test_case "isqrt" `Quick test_bignat_isqrt;
+          Alcotest.test_case "shifts" `Quick test_bignat_shifts;
+          Alcotest.test_case "pow5" `Quick test_bignat_pow5;
+          Alcotest.test_case "decimal" `Quick test_bignat_decimal;
+          Alcotest.test_case "sticky" `Quick test_bignat_sticky ] ) ]

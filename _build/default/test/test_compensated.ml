@@ -1,0 +1,103 @@
+(* Tests for the compensated summation / dot algorithms (paper §6
+   related work): accuracy ordering naive < Kahan <= Neumaier = Sum2,
+   and Dot2 matching as-if-2-fold-precision. *)
+
+let rng = Random.State.make [| 0xc0; 81 |]
+
+let exact_sum xs = Exact.sum_floats xs
+
+let rel_err approx exact =
+  let d = Float.abs (Exact.approx (Exact.compress (Exact.grow exact (-.approx)))) in
+  let r = Float.abs (Exact.approx (Exact.compress exact)) in
+  if r = 0.0 then d else d /. r
+
+let naive_sum xs = Array.fold_left ( +. ) 0.0 xs
+
+(* Ill-conditioned sum: big terms cancel, the answer lives in the
+   tails. *)
+let nasty_sum n =
+  let xs = Array.init n (fun _ -> Float.ldexp (Random.State.float rng 2.0 -. 1.0) (Random.State.int rng 40)) in
+  let ys = Array.map (fun x -> -.x *. (1.0 +. Float.ldexp 1.0 (-30))) xs in
+  Array.append xs ys
+
+let test_sum_accuracy_ordering () =
+  for _ = 1 to 50 do
+    let xs = nasty_sum 100 in
+    let exact = exact_sum xs in
+    let e_naive = rel_err (naive_sum xs) exact in
+    let e_neum = rel_err (Blas.Compensated.neumaier_sum xs) exact in
+    let e_sum2 = rel_err (Blas.Compensated.sum2 xs) exact in
+    (* compensated results must be at least as good, usually far
+       better; allow equality for benign cases *)
+    if e_neum > e_naive +. 1e-18 then Alcotest.fail "neumaier worse than naive";
+    if e_sum2 > e_naive +. 1e-18 then Alcotest.fail "sum2 worse than naive";
+    if e_sum2 > 1e-12 then Alcotest.failf "sum2 error %e too big" e_sum2
+  done
+
+let test_kahan_vs_naive () =
+  (* The classic: 1 + tiny + tiny + ... *)
+  let n = 100000 in
+  let tiny = 1e-18 in
+  let xs = Array.init (n + 1) (fun i -> if i = 0 then 1.0 else tiny) in
+  let expected = 1.0 +. (Float.of_int n *. tiny) in
+  let naive = naive_sum xs in
+  let kahan = Blas.Compensated.kahan_sum xs in
+  Alcotest.(check bool) "naive loses the tinies" true (naive = 1.0);
+  Alcotest.(check bool) "kahan keeps them" true (Float.abs (kahan -. expected) < 1e-16)
+
+let test_sum2_is_two_fold () =
+  (* Sum2's result must equal the sum computed in Mf2 then rounded. *)
+  for _ = 1 to 100 do
+    let xs = nasty_sum 60 in
+    let s2 = Blas.Compensated.sum2 xs in
+    let m =
+      Array.fold_left (fun acc x -> Multifloat.Mf2.add_float acc x) Multifloat.Mf2.zero xs
+    in
+    let m2 = Multifloat.Mf2.to_float m in
+    (* Not bit-identical (different accumulation orders), but both are
+       as-if-2-fold: they agree to ~2^-90 of the exact value's scale. *)
+    let scale = Array.fold_left (fun a x -> Float.max a (Float.abs x)) 0.0 xs in
+    if Float.abs (s2 -. m2) > scale *. Float.ldexp 1.0 (-85) then
+      Alcotest.failf "sum2 %h vs mf2 %h" s2 m2
+  done
+
+let test_dot2_accuracy () =
+  for _ = 1 to 50 do
+    let n = 80 in
+    let x = Array.init n (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+    (* y chosen to largely cancel the dot product *)
+    let y = Array.init n (fun i -> if i < n - 1 then Random.State.float rng 2.0 -. 1.0 else 0.0) in
+    let partial = ref Exact.zero in
+    for i = 0 to n - 2 do
+      partial := Exact.sum !partial (Exact.mul (Exact.of_float x.(i)) (Exact.of_float y.(i)))
+    done;
+    y.(n - 1) <- -.Exact.approx !partial /. x.(n - 1);
+    let exact =
+      let acc = ref Exact.zero in
+      Array.iteri
+        (fun i xi -> acc := Exact.sum !acc (Exact.mul (Exact.of_float xi) (Exact.of_float y.(i))))
+        x;
+      !acc
+    in
+    let d2 = Blas.Compensated.dot2 x y in
+    let abs_exact = Float.abs (Exact.approx (Exact.compress exact)) in
+    (* as-if-2-fold: absolute error ~ 2^-106 * sum |x_i y_i| *)
+    let scale = Array.fold_left (fun a (x, y) -> a +. Float.abs (x *. y)) 0.0 (Array.combine x y) in
+    if Float.abs (d2 -. Exact.approx (Exact.compress exact)) > scale *. Float.ldexp 1.0 (-90) then
+      Alcotest.failf "dot2 off: %h (exact %h)" d2 abs_exact
+  done
+
+let test_empty_and_singleton () =
+  Alcotest.(check (float 0.0)) "empty kahan" 0.0 (Blas.Compensated.kahan_sum [||]);
+  Alcotest.(check (float 0.0)) "empty sum2" 0.0 (Blas.Compensated.sum2 [||]);
+  Alcotest.(check (float 0.0)) "singleton" 42.0 (Blas.Compensated.neumaier_sum [| 42.0 |]);
+  Alcotest.(check (float 0.0)) "dot2 empty" 0.0 (Blas.Compensated.dot2 [||] [||])
+
+let () =
+  Alcotest.run "compensated"
+    [ ( "sums",
+        [ Alcotest.test_case "accuracy ordering" `Quick test_sum_accuracy_ordering;
+          Alcotest.test_case "kahan vs naive" `Quick test_kahan_vs_naive;
+          Alcotest.test_case "sum2 = 2-fold" `Quick test_sum2_is_two_fold;
+          Alcotest.test_case "edge cases" `Quick test_empty_and_singleton ] );
+      ("dots", [ Alcotest.test_case "dot2 accuracy" `Quick test_dot2_accuracy ]) ]

@@ -1,0 +1,101 @@
+(* Section 4.4 of the paper documents exactly how the branch-free
+   algorithms deviate from IEEE 754 on special values; these tests pin
+   that documented behavior so it cannot drift silently:
+
+   - the sign of zero is not preserved (-0.0 becomes +0.0 in results);
+   - +/-Inf collapses to NaN (TwoSum computes Inf - Inf internally);
+   - the effective overflow threshold is one machine epsilon narrower
+     than DBL_MAX (TwoSum can overflow internally at the boundary);
+   - NaN propagates. *)
+
+module M2 = Multifloat.Mf2
+module M4 = Multifloat.Mf4
+
+let tf = M2.to_float
+
+let test_negative_zero_not_preserved () =
+  (* -0.0 + 0.0: IEEE says -0.0 under roundTiesToEven?  No: +0.0; but
+     -0.0 + -0.0 is -0.0 in IEEE.  Our algorithms lose the sign. *)
+  let nz = M2.of_float (-0.0) in
+  let r = M2.add nz nz in
+  Alcotest.(check bool) "result is zero" true (tf r = 0.0);
+  Alcotest.(check bool) "sign of zero dropped" false
+    (Int64.bits_of_float (tf r) = Int64.bits_of_float (-0.0) )
+  (* the bit pattern is +0.0, unlike IEEE's -0.0 *)
+
+let test_infinity_collapses_to_nan () =
+  let inf = M2.of_float Float.infinity in
+  let one = M2.one in
+  (* inf + 1: TwoSum computes (inf + 1) - 1 - ... = inf - inf = nan
+     internally, so the result is NaN, not inf (Section 4.4). *)
+  Alcotest.(check bool) "inf + 1 -> nan" true (M2.is_nan (M2.add inf one));
+  Alcotest.(check bool) "inf * 1 -> nan or inf" true
+    (let p = M2.mul inf one in
+     M2.is_nan p || tf p = Float.infinity);
+  Alcotest.(check bool) "inf - inf -> nan" true (M2.is_nan (M2.sub inf inf))
+
+let test_nan_propagates () =
+  let nan = M2.of_float Float.nan in
+  Alcotest.(check bool) "nan + 1" true (M2.is_nan (M2.add nan M2.one));
+  Alcotest.(check bool) "nan * 2" true (M2.is_nan (M2.mul nan M2.two));
+  Alcotest.(check bool) "sqrt nan" true (M2.is_nan (M2.sqrt nan));
+  Alcotest.(check bool) "1 / nan" true (M2.is_nan (M2.div M2.one nan))
+
+let test_overflow_threshold () =
+  (* Far from the threshold everything is fine... *)
+  let big = M2.of_float (Float.ldexp 1.0 1000) in
+  let r = M2.add big big in
+  Alcotest.(check (float 0.0)) "2^1000 doubles" (Float.ldexp 1.0 1001) (tf r);
+  (* ...at DBL_MAX itself, the result overflows to inf or collapses to
+     NaN through the internal TwoSum (documented, one-ulp-narrower
+     threshold). *)
+  let dmax = M2.of_float Float.max_float in
+  let r = M2.add dmax dmax in
+  Alcotest.(check bool) "DBL_MAX + DBL_MAX degenerates" true
+    (M2.is_nan r || tf r = Float.infinity)
+
+let test_underflow_gradual () =
+  (* Subnormal-range values: the expansion loses relative precision but
+     sums stay ordered and finite (the paper's formal machinery handles
+     subnormals transparently; the library inherits hardware gradual
+     underflow). *)
+  let tiny = M4.of_float (Float.ldexp 1.0 (-1070)) in
+  let s = M4.add tiny tiny in
+  Alcotest.(check (float 0.0)) "2 * 2^-1070" (Float.ldexp 1.0 (-1069)) (M4.to_float s);
+  let prod = M4.mul tiny tiny in
+  Alcotest.(check (float 0.0)) "underflow to zero" 0.0 (M4.to_float prod)
+
+let test_exponent_range_not_extended () =
+  (* Section 4.4: expansions extend precision, NOT exponent range.
+     2^600 * 2^600 overflows even though true quad would hold it. *)
+  let big = M4.of_float (Float.ldexp 1.0 600) in
+  let p = M4.mul big big in
+  Alcotest.(check bool) "2^1200 overflows" true
+    (M4.is_nan p || M4.to_float p = Float.infinity)
+
+let test_division_by_zero () =
+  Alcotest.(check bool) "1/0" true
+    (let q = M2.div M2.one M2.zero in
+     M2.to_float q = Float.infinity || M2.is_nan q);
+  Alcotest.(check bool) "0/0 nan-ish" true
+    (let q = M2.div M2.zero M2.zero in
+     M2.is_nan q || M2.is_zero q)
+
+let test_comparisons_with_specials () =
+  let nan = M2.of_float Float.nan in
+  (* equal never holds for nan *)
+  Alcotest.(check bool) "nan <> nan" false (M2.equal nan nan);
+  Alcotest.(check bool) "min/max total on finites" true
+    (M2.equal (M2.min M2.one M2.two) M2.one && M2.equal (M2.max M2.one M2.two) M2.two)
+
+let () =
+  Alcotest.run "edge-semantics"
+    [ ( "section-4.4",
+        [ Alcotest.test_case "negative zero" `Quick test_negative_zero_not_preserved;
+          Alcotest.test_case "infinity -> nan" `Quick test_infinity_collapses_to_nan;
+          Alcotest.test_case "nan propagates" `Quick test_nan_propagates;
+          Alcotest.test_case "overflow threshold" `Quick test_overflow_threshold;
+          Alcotest.test_case "gradual underflow" `Quick test_underflow_gradual;
+          Alcotest.test_case "exponent range" `Quick test_exponent_range_not_extended;
+          Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+          Alcotest.test_case "comparisons" `Quick test_comparisons_with_specials ] ) ]

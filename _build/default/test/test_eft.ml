@@ -1,0 +1,159 @@
+(* Unit and property tests for the error-free transformations. *)
+let ( ==> ) = QCheck.( ==> )
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 0.0))
+
+(* A float generator that covers the adversarial input classes of the
+   paper: mixed signs, wildly different magnitudes, ulp-adjacent values,
+   powers of two, and exact zeros. *)
+let gen_tricky_float =
+  let open QCheck.Gen in
+  let scaled =
+    let* m = float_range (-2.0) 2.0 in
+    let* e = int_range (-60) 60 in
+    return (Float.ldexp m e)
+  in
+  frequency
+    [ (4, scaled);
+      (2, map2 (fun m e -> Float.ldexp (float_of_int m) e) (int_range (-1000) 1000) (int_range (-40) 40));
+      (1, map (fun e -> Float.ldexp 1.0 e) (int_range (-60) 60));
+      (1, return 0.0);
+      (1, return 1.0);
+      (1, return (-1.0)) ]
+
+let arb_tricky = QCheck.make ~print:(Printf.sprintf "%h") gen_tricky_float
+
+(* Exactness of an EFT is checked against Exact: s + e must equal the
+   exact real sum/product of the operands. *)
+let exact_sum_is x y s e =
+  Exact.is_exactly (Exact.sum_floats [| x; y |]) s || Exact.sign (Exact.sum_floats [| x; y; -.s; -.e |]) = 0
+
+let test_two_sum_simple () =
+  let s, e = Eft.two_sum 1.0 Float.epsilon in
+  check_float "sum" (1.0 +. Float.epsilon) s;
+  check_float "no error" 0.0 e;
+  let s, e = Eft.two_sum 1.0 (Float.epsilon /. 4.0) in
+  check_float "rounded sum" 1.0 s;
+  check_float "error recovered" (Float.epsilon /. 4.0) e
+
+let test_two_sum_cancellation () =
+  let big = Float.ldexp 1.0 60 in
+  let s, e = Eft.two_sum big 1.0 in
+  check_float "rounded" big s;
+  check_float "error" 1.0 e;
+  let s, e = Eft.two_sum big (-.big) in
+  check_float "cancel sum" 0.0 s;
+  check_float "cancel err" 0.0 e
+
+let test_fast_two_sum_precondition () =
+  (* Valid when exponent x >= exponent y; compare against two_sum. *)
+  let cases = [ (1.0, 0.25); (-8.0, 3.0); (1e300, 1.0); (2.0, -1.999); (0.0, 0.0); (5.0, 0.0) ] in
+  List.iter
+    (fun (x, y) ->
+      let s1, e1 = Eft.two_sum x y in
+      let s2, e2 = Eft.fast_two_sum x y in
+      check_float "s agree" s1 s2;
+      check_float "e agree" e1 e2)
+    cases
+
+let test_two_prod_simple () =
+  let p, e = Eft.two_prod (1.0 +. Float.epsilon) (1.0 +. Float.epsilon) in
+  (* (1+u)^2 = 1 + 2u + u^2; u^2 = 2^-104 is the exact rounding error. *)
+  check_float "product" (1.0 +. (2.0 *. Float.epsilon)) p;
+  check_float "error" (Float.epsilon *. Float.epsilon) e
+
+let test_split () =
+  let check_one x =
+    let hi, lo = Eft.split x in
+    check_float "hi+lo" x (hi +. lo);
+    (* hi fits in 26 bits: multiplying by itself is exact. *)
+    check_bool "hi exact square" true (Float.is_finite (hi *. hi))
+  in
+  List.iter check_one [ 1.0; Float.pi; 1e10; -3.25e-7; 123456789.123 ]
+
+let test_exponent_ulp () =
+  Alcotest.(check int) "exp 1.0" 0 (Eft.exponent 1.0);
+  Alcotest.(check int) "exp 0.5" (-1) (Eft.exponent 0.5);
+  Alcotest.(check int) "exp -7" 2 (Eft.exponent (-7.0));
+  check_float "ulp 1.0" Float.epsilon (Eft.ulp 1.0);
+  check_float "ulp 2^52" 1.0 (Eft.ulp (Float.ldexp 1.0 52));
+  check_float "ulp 0" 0.0 (Eft.ulp 0.0)
+
+let test_nonoverlapping () =
+  check_bool "1, eps/2" true (Eft.is_nonoverlapping 1.0 (Float.epsilon /. 2.0));
+  check_bool "1, eps" false (Eft.is_nonoverlapping 1.0 Float.epsilon);
+  check_bool "x, 0" true (Eft.is_nonoverlapping 1.0 0.0);
+  check_bool "0, x" false (Eft.is_nonoverlapping 0.0 1.0);
+  check_bool "seq" true (Eft.is_nonoverlapping_seq [| 1.0; Float.epsilon /. 2.0; 0.0 |])
+
+let prop_two_sum_exact =
+  QCheck.Test.make ~count:20000 ~name:"two_sum is exact" (QCheck.pair arb_tricky arb_tricky) (fun (x, y) ->
+      let s, e = Eft.two_sum x y in
+      Float.is_finite s ==> exact_sum_is x y s e)
+  |> QCheck_alcotest.to_alcotest
+
+let prop_two_sum_rounded =
+  QCheck.Test.make ~count:20000 ~name:"two_sum s = fl(x+y)" (QCheck.pair arb_tricky arb_tricky) (fun (x, y) ->
+      let s, _ = Eft.two_sum x y in
+      s = x +. y)
+  |> QCheck_alcotest.to_alcotest
+
+let prop_two_sum_nonoverlap =
+  QCheck.Test.make ~count:20000 ~name:"two_sum output nonoverlapping" (QCheck.pair arb_tricky arb_tricky)
+    (fun (x, y) ->
+      let s, e = Eft.two_sum x y in
+      (s <> 0.0 && Float.is_finite s) ==> Eft.is_nonoverlapping s e)
+  |> QCheck_alcotest.to_alcotest
+
+let prop_two_prod_exact =
+  QCheck.Test.make ~count:20000 ~name:"two_prod is exact" (QCheck.pair arb_tricky arb_tricky) (fun (x, y) ->
+      let p, e = Eft.two_prod x y in
+      QCheck.assume (Float.is_finite p && Float.abs (x *. y) > Float.ldexp 1.0 (-900));
+      Exact.sign (Exact.grow (Exact.grow (Exact.mul (Exact.of_float x) (Exact.of_float y)) (-.p)) (-.e)) = 0)
+  |> QCheck_alcotest.to_alcotest
+
+let prop_two_prod_matches_dekker =
+  QCheck.Test.make ~count:20000 ~name:"two_prod = two_prod_dekker" (QCheck.pair arb_tricky arb_tricky)
+    (fun (x, y) ->
+      let p1, e1 = Eft.two_prod x y in
+      QCheck.assume (Float.is_finite p1 && Float.abs (x *. y) > Float.ldexp 1.0 (-900));
+      let p2, e2 = Eft.two_prod_dekker x y in
+      p1 = p2 && e1 = e2)
+  |> QCheck_alcotest.to_alcotest
+
+let prop_fast_two_sum_ordered =
+  QCheck.Test.make ~count:20000 ~name:"fast_two_sum under precondition" (QCheck.pair arb_tricky arb_tricky)
+    (fun (x, y) ->
+      (* Order the operands so the precondition holds. *)
+      let x, y = if Eft.exponent x >= Eft.exponent y then (x, y) else (y, x) in
+      let s1, e1 = Eft.two_sum x y in
+      let s2, e2 = Eft.fast_two_sum x y in
+      Float.is_finite s1 ==> (s1 = s2 && e1 = e2))
+  |> QCheck_alcotest.to_alcotest
+
+let prop_split_exact =
+  QCheck.Test.make ~count:20000 ~name:"split: hi + lo = x, 26-bit halves" arb_tricky (fun x ->
+      QCheck.assume (Float.abs x < Float.ldexp 1.0 990);
+      let hi, lo = Eft.split x in
+      hi +. lo = x && Float.abs lo <= Float.ldexp 1.0 (Eft.exponent x - 26))
+  |> QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "eft"
+    [ ( "unit",
+        [ Alcotest.test_case "two_sum simple" `Quick test_two_sum_simple;
+          Alcotest.test_case "two_sum cancellation" `Quick test_two_sum_cancellation;
+          Alcotest.test_case "fast_two_sum precondition" `Quick test_fast_two_sum_precondition;
+          Alcotest.test_case "two_prod simple" `Quick test_two_prod_simple;
+          Alcotest.test_case "split" `Quick test_split;
+          Alcotest.test_case "exponent/ulp" `Quick test_exponent_ulp;
+          Alcotest.test_case "nonoverlapping" `Quick test_nonoverlapping ] );
+      ( "property",
+        [ prop_two_sum_exact;
+          prop_two_sum_rounded;
+          prop_two_sum_nonoverlap;
+          prop_two_prod_exact;
+          prop_two_prod_matches_dekker;
+          prop_fast_two_sum_ordered;
+          prop_split_exact ] ) ]

@@ -1,0 +1,239 @@
+(* Tests for the elementary transcendental functions, by identities,
+   known values, and cross-precision agreement. *)
+
+let rng = Random.State.make [| 0xe1e; 41 |]
+
+module Check (M : Multifloat.Ops.S) (F : module type of Multifloat.Elementary.Make (M)) = struct
+  (* Elementary functions are allowed a small multiple of the last
+     expansion term. *)
+  let budget = M.precision_bits - 14
+
+  let close ?(bits = budget) a b =
+    if M.is_zero b then Float.abs (M.to_float a) <= Float.ldexp 1.0 (-bits)
+    else begin
+      let d = M.to_float (M.abs (M.sub a b)) in
+      let s = Float.abs (M.to_float b) in
+      d <= s *. Float.ldexp 1.0 (-bits)
+    end
+
+  let checkc name a b = if not (close a b) then Alcotest.failf "%s: %s vs %s" name (M.to_string a) (M.to_string b)
+
+  let random_small () = M.of_float (Random.State.float rng 20.0 -. 10.0)
+
+  let test_exp_log () =
+    checkc "exp 0" (F.exp M.zero) M.one;
+    checkc "exp 1" (F.exp M.one) F.e;
+    checkc "log 1" (F.log M.one) M.zero;
+    checkc "log e" (F.log F.e) M.one;
+    Alcotest.(check bool) "log -1 nan" true (M.is_nan (F.log (M.of_int (-1))));
+    Alcotest.(check bool) "log 0 -inf" true (M.to_float (F.log M.zero) = Float.neg_infinity);
+    Alcotest.(check bool) "exp -1000 = 0" true (M.is_zero (F.exp (M.of_int (-1000))));
+    Alcotest.(check bool) "exp 1000 = inf" true (M.to_float (F.exp (M.of_int 1000)) = Float.infinity);
+    for _ = 1 to 60 do
+      let x = random_small () in
+      checkc "log (exp x) = x" (F.log (F.exp x)) x;
+      let y = random_small () in
+      checkc "exp(x+y) = exp x exp y" (F.exp (M.add x y)) (M.mul (F.exp x) (F.exp y))
+    done;
+    for _ = 1 to 60 do
+      let x = M.abs (random_small ()) in
+      let y = M.abs (random_small ()) in
+      if not (M.is_zero x || M.is_zero y) then
+        checkc "log(xy) = log x + log y" (F.log (M.mul x y)) (M.add (F.log x) (F.log y))
+    done
+
+  let test_log_bases () =
+    checkc "log2 8" (F.log2 (M.of_int 8)) (M.of_int 3);
+    checkc "log10 1000" (F.log10 (M.of_int 1000)) (M.of_int 3);
+    checkc "log2 2^-20" (F.log2 (M.scale_pow2 M.one (-20))) (M.of_int (-20))
+
+  let test_pow () =
+    checkc "2^10" (F.pow (M.of_int 2) (M.of_int 10)) (M.of_int 1024);
+    checkc "2^0.5" (F.pow (M.of_int 2) (M.of_string "0.5")) F.sqrt2;
+    checkc "x^-1" (F.pow (M.of_int 7) (M.of_int (-1))) (M.inv (M.of_int 7));
+    for _ = 1 to 30 do
+      let x = M.add (M.abs (random_small ())) M.one in
+      let a = M.of_float (Random.State.float rng 3.0) in
+      let b = M.of_float (Random.State.float rng 3.0) in
+      checkc "x^(a+b) = x^a x^b" (F.pow x (M.add a b)) (M.mul (F.pow x a) (F.pow x b))
+    done
+
+  let test_trig_identities () =
+    checkc "sin 0" (F.sin M.zero) M.zero;
+    checkc "cos 0" (F.cos M.zero) M.one;
+    checkc "sin pi/2" (F.sin F.half_pi) M.one;
+    checkc "cos pi" (F.cos F.pi) (M.neg M.one);
+    (* sin pi is ~0 at the precision of the pi constant *)
+    Alcotest.(check bool) "sin pi ~ 0" true
+      (Float.abs (M.to_float (F.sin F.pi)) < Float.ldexp 1.0 (-(M.precision_bits - 6)));
+    for _ = 1 to 80 do
+      let x = M.of_float (Random.State.float rng 200.0 -. 100.0) in
+      let s, c = F.sin_cos x in
+      checkc "sin^2 + cos^2 = 1" (M.add (M.mul s s) (M.mul c c)) M.one;
+      checkc "sin(-x) = -sin x" (F.sin (M.neg x)) (M.neg s);
+      checkc "cos(-x) = cos x" (F.cos (M.neg x)) c;
+      checkc "sin(x+2pi) = sin x" (F.sin (M.add x F.two_pi)) s
+    done;
+    (* double angle *)
+    for _ = 1 to 40 do
+      let x = random_small () in
+      let s, c = F.sin_cos x in
+      checkc "sin 2x" (F.sin (M.scale_pow2 x 1)) (M.scale_pow2 (M.mul s c) 1);
+      checkc "cos 2x" (F.cos (M.scale_pow2 x 1)) (M.sub (M.mul c c) (M.mul s s))
+    done
+
+  let test_inverse_trig () =
+    checkc "atan 1" (F.atan M.one) F.quarter_pi;
+    checkc "atan 0" (F.atan M.zero) M.zero;
+    checkc "acos -1" (F.acos (M.neg M.one)) F.pi;
+    checkc "asin 1" (F.asin M.one) F.half_pi;
+    Alcotest.(check bool) "asin 2 nan" true (M.is_nan (F.asin (M.of_int 2)));
+    for _ = 1 to 60 do
+      let x = M.of_float (Random.State.float rng 3.0 -. 1.5) in
+      checkc "tan (atan x) = x" (F.tan (F.atan x)) x;
+      let y = M.of_float (Random.State.float rng 1.98 -. 0.99) in
+      checkc "sin (asin y) = y" (F.sin (F.asin y)) y;
+      checkc "asin + acos = pi/2" (M.add (F.asin y) (F.acos y)) F.half_pi
+    done
+
+  let test_atan2 () =
+    checkc "atan2 1 1" (F.atan2 M.one M.one) F.quarter_pi;
+    checkc "atan2 1 -1" (F.atan2 M.one (M.neg M.one)) (M.mul_float F.quarter_pi 3.0);
+    checkc "atan2 -1 -1" (F.atan2 (M.neg M.one) (M.neg M.one)) (M.mul_float F.quarter_pi (-3.0));
+    checkc "atan2 1 0" (F.atan2 M.one M.zero) F.half_pi;
+    checkc "atan2 -1 0" (F.atan2 (M.neg M.one) M.zero) (M.neg F.half_pi);
+    for _ = 1 to 40 do
+      let y = random_small () and x = random_small () in
+      if M.to_float x <> 0.0 || M.to_float y <> 0.0 then begin
+        let a = F.atan2 y x in
+        let r = M.sqrt (M.add (M.mul x x) (M.mul y y)) in
+        checkc "r sin(atan2) = y" (M.mul r (F.sin a)) y;
+        checkc "r cos(atan2) = x" (M.mul r (F.cos a)) x
+      end
+    done
+
+  let test_hyperbolic () =
+    checkc "sinh 0" (F.sinh M.zero) M.zero;
+    checkc "cosh 0" (F.cosh M.zero) M.one;
+    for _ = 1 to 60 do
+      let x = M.of_float (Random.State.float rng 10.0 -. 5.0) in
+      let s = F.sinh x and c = F.cosh x in
+      checkc "cosh^2 - sinh^2 = 1" (M.sub (M.mul c c) (M.mul s s)) M.one;
+      checkc "tanh = sinh/cosh" (F.tanh x) (M.div s c);
+      checkc "sinh(-x) = -sinh x" (F.sinh (M.neg x)) (M.neg s)
+    done;
+    (* small-argument branch agrees with the exp formula *)
+    let x = M.of_string "0.0123" in
+    let ex = F.exp x in
+    (* the exp route cancels ~7 bits; the Taylor branch is the sharper
+       one, so compare with matching slack *)
+    let reference = M.scale_pow2 (M.sub ex (M.inv ex)) (-1) in
+    if not (close ~bits:(budget - 10) (F.sinh x) reference) then
+      Alcotest.failf "sinh small: %s vs %s" (M.to_string (F.sinh x)) (M.to_string reference)
+
+  let suite name =
+    ( name,
+      [ Alcotest.test_case "exp/log" `Quick test_exp_log;
+        Alcotest.test_case "log bases" `Quick test_log_bases;
+        Alcotest.test_case "pow" `Quick test_pow;
+        Alcotest.test_case "trig identities" `Quick test_trig_identities;
+        Alcotest.test_case "inverse trig" `Quick test_inverse_trig;
+        Alcotest.test_case "atan2" `Quick test_atan2;
+        Alcotest.test_case "hyperbolic" `Quick test_hyperbolic ] )
+end
+
+module C2 = Check (Multifloat.Mf2) (Multifloat.Elementary.F2)
+module C3 = Check (Multifloat.Mf3) (Multifloat.Elementary.F3)
+module C4 = Check (Multifloat.Mf4) (Multifloat.Elementary.F4)
+
+(* Cross-precision: F2 and F4 must agree to F2's precision. *)
+let test_cross_precision () =
+  let module M2 = Multifloat.Mf2 in
+  let module M4 = Multifloat.Mf4 in
+  let to4 x = M4.of_string (M2.to_string ~digits:40 x) in
+  for _ = 1 to 40 do
+    let xf = Random.State.float rng 8.0 -. 4.0 in
+    let e2 = to4 (Multifloat.Elementary.F2.exp (M2.of_float xf)) in
+    let e4 = Multifloat.Elementary.F4.exp (M4.of_float xf) in
+    let d = Float.abs (M4.to_float (M4.sub e2 e4)) in
+    if d > Float.abs (M4.to_float e4) *. Float.ldexp 1.0 (-88) then
+      Alcotest.failf "exp cross-precision at %h: diff %h" xf d
+  done
+
+(* Constants vs the software FPU's decimal parser. *)
+let test_constants_vs_bigfloat () =
+  let check name m dec =
+    let b = Bigfloat.of_string ~prec:230 dec in
+    let m' = Bigfloat.of_expansion ~prec:230 (Multifloat.Mf4.components m) in
+    let diff = Bigfloat.to_float (Bigfloat.abs (Bigfloat.sub b m')) in
+    if diff > Float.abs (Bigfloat.to_float b) *. Float.ldexp 1.0 (-210) then
+      Alcotest.failf "constant %s off by %h" name diff
+  in
+  check "pi" Multifloat.Elementary.F4.pi
+    "3.14159265358979323846264338327950288419716939937510582097494459230781640628620899862803482534211706798";
+  check "e" Multifloat.Elementary.F4.e
+    "2.71828182845904523536028747135266249775724709369995957496696762772407663035354759457138217852516642743";
+  check "ln2" Multifloat.Elementary.F4.ln2
+    "0.69314718055994530941723212145817656807550013436025525412068000949339362196969471560586332699641868754";
+  check "sqrt2" Multifloat.Elementary.F4.sqrt2
+    "1.41421356237309504880168872420969807856967187537694807317667973799073247846210703885038753432764157274"
+
+(* Independent cross-check: Multifloat.Elementary (expansion arithmetic,
+   Newton/Taylor with FPAN ops) vs Bigfloat's transcendentals (software
+   FPU, series with guard bits).  The implementations share no code, so
+   agreement to ~200 bits validates both. *)
+let test_vs_bigfloat () =
+  let module M = Multifloat.Mf4 in
+  let module F = Multifloat.Elementary.F4 in
+  let prec = 230 in
+  let to_big m = Bigfloat.of_expansion ~prec (M.components m) in
+  let close name got expect =
+    let diff = Bigfloat.to_float (Bigfloat.abs (Bigfloat.sub got expect)) in
+    let scale = Float.max 1e-300 (Float.abs (Bigfloat.to_float expect)) in
+    if diff > scale *. Float.ldexp 1.0 (-195) then
+      Alcotest.failf "%s: disagreement %h" name diff
+  in
+  close "pi" (to_big F.pi) (Bigfloat.pi ~prec);
+  close "ln2" (to_big F.ln2) (Bigfloat.ln2 ~prec);
+  let rng = Random.State.make [| 0xcc; 3 |] in
+  for _ = 1 to 25 do
+    let xf = Random.State.float rng 6.0 -. 3.0 in
+    let xm = M.of_float xf in
+    let xb = Bigfloat.of_float ~prec xf in
+    close "exp" (to_big (F.exp xm)) (Bigfloat.exp xb);
+    close "sin" (to_big (F.sin xm)) (Bigfloat.sin xb);
+    close "cos" (to_big (F.cos xm)) (Bigfloat.cos xb);
+    close "atan" (to_big (F.atan xm)) (Bigfloat.atan xb);
+    let xpos = Float.abs xf +. 0.1 in
+    close "log" (to_big (F.log (M.of_float xpos))) (Bigfloat.log (Bigfloat.of_float ~prec xpos))
+  done
+
+let test_bigfloat_trig_identities () =
+  let prec = 180 in
+  let rng = Random.State.make [| 0xdd; 4 |] in
+  for _ = 1 to 25 do
+    let x = Bigfloat.of_float ~prec (Random.State.float rng 20.0 -. 10.0) in
+    let s, c = Bigfloat.sin_cos x in
+    let one = Bigfloat.of_int ~prec 1 in
+    let pyth = Bigfloat.add (Bigfloat.mul s s) (Bigfloat.mul c c) in
+    let diff = Float.abs (Bigfloat.to_float (Bigfloat.sub pyth one)) in
+    if diff > Float.ldexp 1.0 (-165) then Alcotest.failf "bigfloat sin^2+cos^2: %h" diff
+  done;
+  (* exp/log roundtrip *)
+  for _ = 1 to 15 do
+    let x = Bigfloat.of_float ~prec (Random.State.float rng 8.0 -. 4.0) in
+    let back = Bigfloat.log (Bigfloat.exp x) in
+    let diff = Float.abs (Bigfloat.to_float (Bigfloat.sub back x)) in
+    if diff > Float.ldexp 1.0 (-160) then Alcotest.failf "bigfloat log(exp x): %h" diff
+  done
+
+let () =
+  Alcotest.run "elementary"
+    [ C2.suite "mf2";
+      C3.suite "mf3";
+      C4.suite "mf4";
+      ( "cross",
+        [ Alcotest.test_case "2 vs 4 terms" `Quick test_cross_precision;
+          Alcotest.test_case "constants vs bigfloat" `Quick test_constants_vs_bigfloat;
+          Alcotest.test_case "vs bigfloat transcendentals" `Quick test_vs_bigfloat;
+          Alcotest.test_case "bigfloat trig identities" `Quick test_bigfloat_trig_identities ] ) ]

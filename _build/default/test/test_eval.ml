@@ -1,0 +1,87 @@
+(* Tests for the expression evaluator. *)
+
+module E = Multifloat.Eval.Make (Multifloat.Mf3) (Multifloat.Elementary.F3)
+module M = Multifloat.Mf3
+
+let ev s = E.eval s
+
+let check_val name s expect =
+  let v = ev s in
+  if not (M.equal v (M.of_string expect)) then
+    Alcotest.failf "%s: %s evaluated to %s" name s (M.to_string v)
+
+let check_close name s expect =
+  let v = ev s in
+  let d = Float.abs (M.to_float (M.sub v (M.of_string expect))) in
+  if d > Float.abs (float_of_string expect) *. 1e-40 +. 1e-45 then
+    Alcotest.failf "%s: %s = %s (expected %s)" name s (M.to_string v) expect
+
+let test_arithmetic () =
+  check_val "add" "1 + 2" "3";
+  check_val "precedence" "1 + 2 * 3" "7";
+  check_val "parens" "(1 + 2) * 3" "9";
+  check_val "sub assoc" "10 - 3 - 2" "5";
+  check_val "div assoc" "24 / 4 / 2" "3";
+  check_val "unary minus" "-5 + 2" "-3";
+  check_val "double negative" "--5" "5";
+  check_val "power" "2^10" "1024";
+  check_val "negative power" "2^-2" "0.25";
+  check_val "decimal" "0.125 * 8" "1";
+  check_val "scientific" "1e3 + 1" "1001";
+  check_val "nested" "((2))" "2"
+
+let test_functions () =
+  check_val "sqrt" "sqrt(16)" "4";
+  check_val "abs" "abs(-3)" "3";
+  check_val "inv" "inv(4)" "0.25";
+  check_val "floor" "floor(2.7)" "2";
+  check_val "ceil" "ceil(2.1)" "3";
+  check_val "round" "round(2.5)" "3";
+  check_close "exp log" "log(exp(2))" "2";
+  check_close "trig" "sin(0)" "0";
+  check_close "pythagoras" "sin(1)^2 + cos(1)^2" "1";
+  check_close "atan" "tan(atan(0.7))" "0.7";
+  check_close "hyperbolic" "cosh(1)^2 - sinh(1)^2" "1"
+
+let test_constants () =
+  check_close "pi" "2 * asin(1) - pi" "0";
+  check_close "e" "exp(1) - e" "0"
+
+let test_errors () =
+  List.iter
+    (fun s ->
+      match ev s with
+      | exception E.Parse_error _ -> ()
+      | exception Invalid_argument _ -> ()
+      | v -> Alcotest.failf "%S should fail, got %s" s (M.to_string v))
+    [ ""; "1 +"; "(1"; "1)"; "foo(2)"; "2 ^ x"; "1 2"; "@" ]
+
+let test_whitespace_and_case () =
+  check_val "spaces" "  1   +   1 " "2";
+  check_close "case" "SQRT(4) - 2" "0"
+
+let test_variables () =
+  let x = M.of_string "2.5" in
+  let v = E.eval_with ~vars:[ ("x", x) ] "x^2 + 1" in
+  if not (M.equal v (M.of_string "7.25")) then Alcotest.failf "x^2+1 = %s" (M.to_string v);
+  let v = E.eval_with ~vars:[ ("radius", M.of_int 3) ] "pi * radius^2" in
+  let expect = M.mul_float Multifloat.Elementary.F3.pi 9.0 in
+  if Float.abs (M.to_float (M.sub v expect)) > 1e-40 then Alcotest.fail "area";
+  (* unbound variable is a parse error *)
+  (match E.eval_with ~vars:[] "y + 1" with
+  | exception E.Parse_error _ -> ()
+  | _ -> Alcotest.fail "unbound variable accepted");
+  (* plain eval does not see stale bindings *)
+  match E.eval "x" with
+  | exception E.Parse_error _ -> ()
+  | _ -> Alcotest.fail "stale binding leaked"
+
+let () =
+  Alcotest.run "eval"
+    [ ( "eval",
+        [ Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "functions" `Quick test_functions;
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "whitespace/case" `Quick test_whitespace_and_case;
+          Alcotest.test_case "variables" `Quick test_variables ] ) ]

@@ -1,0 +1,145 @@
+(* Tests for the exact expansion-arithmetic oracle. *)
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 0.0))
+let check_int = Alcotest.(check int)
+
+let gen_tricky_float =
+  let open QCheck.Gen in
+  let scaled =
+    let* m = float_range (-2.0) 2.0 in
+    let* e = int_range (-50) 50 in
+    return (Float.ldexp m e)
+  in
+  frequency [ (5, scaled); (1, return 0.0); (1, return 1.0); (1, return (-1.0)) ]
+
+let arb_tricky = QCheck.make ~print:(Printf.sprintf "%h") gen_tricky_float
+let arb_floats n = QCheck.(list_of_size (Gen.int_range 0 n) arb_tricky)
+
+let value_via_compensated xs =
+  (* Kahan-free reference: sum with an accumulator of many partials is not
+     exact, so instead just check internal consistency of Exact itself in
+     the property tests; here, small cases are checked by hand. *)
+  Array.fold_left ( +. ) 0.0 xs
+
+let test_basics () =
+  check_int "sign zero" 0 (Exact.sign Exact.zero);
+  check_int "sign pos" 1 (Exact.sign (Exact.of_float 3.5));
+  check_int "sign neg" (-1) (Exact.sign (Exact.of_float (-1e-300)));
+  check_bool "is_exactly" true (Exact.is_exactly (Exact.of_float 2.5) 2.5);
+  check_bool "not is_exactly" false (Exact.is_exactly (Exact.of_float 2.5) 2.0)
+
+let test_grow_exact () =
+  (* 1 + 2^-70 cannot be represented in one float but must be exact as an
+     expansion. *)
+  let tiny = Float.ldexp 1.0 (-70) in
+  let e = Exact.grow (Exact.of_float 1.0) tiny in
+  check_bool "exact sum kept" true (Exact.sign (Exact.grow (Exact.grow e (-1.0)) (-.tiny)) = 0);
+  check_float "approx" 1.0 (Exact.approx e)
+
+let test_sum_floats_cancellation () =
+  let xs = [| 1e100; 1.0; -1e100; 1e-100; -1.0 |] in
+  let e = Exact.sum_floats xs in
+  check_bool "massive cancellation exact" true (Exact.is_exactly e 1e-100)
+
+let test_scale () =
+  let e = Exact.grow (Exact.of_float 1.0) (Float.ldexp 1.0 (-60)) in
+  let s = Exact.scale e 3.0 in
+  let expect = Exact.grow (Exact.of_float 3.0) (Float.ldexp 3.0 (-60)) in
+  check_int "scale exact" 0 (Exact.sign (Exact.sum s (Exact.neg expect)))
+
+let test_mul () =
+  (* (1 + 2^-60)^2 = 1 + 2^-59 + 2^-120 exactly. *)
+  let e = Exact.grow (Exact.of_float 1.0) (Float.ldexp 1.0 (-60)) in
+  let p = Exact.mul e e in
+  let expect =
+    Exact.grow (Exact.grow (Exact.of_float 1.0) (Float.ldexp 1.0 (-59))) (Float.ldexp 1.0 (-120))
+  in
+  check_int "mul exact" 0 (Exact.sign (Exact.sum p (Exact.neg expect)))
+
+let test_compress () =
+  let e = Exact.sum_floats [| 1e16; 1.0; 1e-16; 3.0; -1e16 |] in
+  let c = Exact.compress e in
+  check_int "value preserved" 0 (Exact.sign (Exact.sum c (Exact.neg e)));
+  let comps = Exact.components c in
+  check_bool "no zeros inside" true (Array.for_all (fun x -> x <> 0.0) comps || Array.length comps = 1)
+
+let test_compare_abs_scaled () =
+  (* |1e-20| vs |1.0| * 2^-60: 1e-20 > 2^-60 ~ 8.7e-19?  No: 2^-60 ~ 8.7e-19,
+     so 1e-20 < 2^-60. *)
+  let e = Exact.of_float 1e-20 in
+  check_int "below bound" (-1) (Exact.compare_abs_scaled e ~scale:1.0 ~bound:(Float.ldexp 1.0 (-60)));
+  check_int "above bound" 1 (Exact.compare_abs_scaled e ~scale:1.0 ~bound:(Float.ldexp 1.0 (-70)));
+  check_int "equal" 0
+    (Exact.compare_abs_scaled (Exact.of_float (Float.ldexp 1.0 (-60))) ~scale:1.0 ~bound:(Float.ldexp 1.0 (-60)))
+
+let prop_sum_floats_exact =
+  (* Adding the negations must yield exactly zero. *)
+  QCheck.Test.make ~count:3000 ~name:"sum_floats xs @ -xs = 0" (arb_floats 12) (fun xs ->
+      let xs = Array.of_list xs in
+      let neg = Array.map (fun x -> -.x) xs in
+      Exact.sign (Exact.sum_floats (Array.append xs neg)) = 0)
+  |> QCheck_alcotest.to_alcotest
+
+let prop_sum_commutes =
+  QCheck.Test.make ~count:3000 ~name:"sum_floats independent of order" (arb_floats 10) (fun xs ->
+      let a = Array.of_list xs in
+      let b = Array.of_list (List.rev xs) in
+      Exact.sign (Exact.sum (Exact.sum_floats a) (Exact.neg (Exact.sum_floats b))) = 0)
+  |> QCheck_alcotest.to_alcotest
+
+let prop_compress_preserves =
+  QCheck.Test.make ~count:3000 ~name:"compress preserves value" (arb_floats 10) (fun xs ->
+      let e = Exact.sum_floats (Array.of_list xs) in
+      Exact.sign (Exact.sum (Exact.compress e) (Exact.neg e)) = 0)
+  |> QCheck_alcotest.to_alcotest
+
+let prop_scale_distributes =
+  QCheck.Test.make ~count:3000 ~name:"scale e (a+b)... via two scales"
+    (QCheck.pair (arb_floats 6) arb_tricky) (fun (xs, b) ->
+      let e = Exact.sum_floats (Array.of_list xs) in
+      QCheck.assume (Array.for_all (fun x -> Float.abs x < 1e100) (Exact.components e));
+      QCheck.assume (Float.abs b < 1e100);
+      (* scale e b + scale e (-b) = 0 *)
+      Exact.sign (Exact.sum (Exact.scale e b) (Exact.scale e (-.b))) = 0)
+  |> QCheck_alcotest.to_alcotest
+
+let prop_mul_matches_scale =
+  QCheck.Test.make ~count:2000 ~name:"mul e [b] = scale e b" (QCheck.pair (arb_floats 6) arb_tricky)
+    (fun (xs, b) ->
+      let e = Exact.sum_floats (Array.of_list xs) in
+      QCheck.assume (Array.for_all (fun x -> Float.abs x < 1e80) (Exact.components e));
+      QCheck.assume (Float.abs b < 1e80 && b <> 0.0);
+      Exact.sign (Exact.sum (Exact.mul e (Exact.of_float b)) (Exact.neg (Exact.scale e b))) = 0)
+  |> QCheck_alcotest.to_alcotest
+
+let prop_approx_close =
+  QCheck.Test.make ~count:3000 ~name:"approx within 2 ulp of compressed head" (arb_floats 10) (fun xs ->
+      let e = Exact.sum_floats (Array.of_list xs) in
+      let c = Exact.components (Exact.compress e) in
+      let a = Exact.approx e in
+      let n = Array.length c in
+      if n = 0 then a = 0.0
+      else
+        let head = c.(n - 1) in
+        head = a || Float.abs (head -. a) <= 2.0 *. Eft.ulp head)
+  |> QCheck_alcotest.to_alcotest
+
+let () =
+  ignore value_via_compensated;
+  Alcotest.run "exact"
+    [ ( "unit",
+        [ Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "grow exact" `Quick test_grow_exact;
+          Alcotest.test_case "cancellation" `Quick test_sum_floats_cancellation;
+          Alcotest.test_case "scale" `Quick test_scale;
+          Alcotest.test_case "mul" `Quick test_mul;
+          Alcotest.test_case "compress" `Quick test_compress;
+          Alcotest.test_case "compare_abs_scaled" `Quick test_compare_abs_scaled ] );
+      ( "property",
+        [ prop_sum_floats_exact;
+          prop_sum_commutes;
+          prop_compress_preserves;
+          prop_scale_distributes;
+          prop_mul_matches_scale;
+          prop_approx_close ] ) ]

@@ -1,0 +1,186 @@
+(* Tests for the emulated binary32 base and the GPU MultiFloat types.
+
+   Bigfloat at prec = 24 implements the same arithmetic (modulo the
+   unbounded exponent range), so every F32 operation can be checked
+   against it bit-for-bit away from the binary32 overflow/underflow
+   thresholds. *)
+
+module F32 = Gpu32.F32
+module Gpu = Gpu32.Gpu
+
+let rng = Random.State.make [| 0xf32; 99 |]
+
+let random_f32 () =
+  let m = Random.State.float rng 2.0 -. 1.0 in
+  let e = Random.State.int rng 40 - 20 in
+  match Random.State.int rng 8 with
+  | 0 -> 0.0
+  | 1 -> F32.round (Float.ldexp 1.0 e)
+  | _ -> F32.round (Float.ldexp m e)
+
+let b24 f = Bigfloat.of_float ~prec:24 f
+let bits f = Int64.bits_of_float f
+
+let test_round_is_f32 () =
+  for _ = 1 to 5000 do
+    let x = Float.ldexp (Random.State.float rng 2.0 -. 1.0) (Random.State.int rng 60 - 30) in
+    let r = F32.round x in
+    (* Idempotent and exactly representable in 24 bits. *)
+    if bits (F32.round r) <> bits r then Alcotest.fail "round not idempotent";
+    if bits (Bigfloat.to_float (b24 r)) <> bits r then Alcotest.fail "not a binary32 value"
+  done
+
+let binop_matches name f32_op big_op =
+  for _ = 1 to 5000 do
+    let x = random_f32 () and y = random_f32 () in
+    let got = f32_op x y in
+    let got = if got = 0.0 then 0.0 else got in
+    let expected = Bigfloat.to_float (big_op (b24 x) (b24 y)) in
+    let expected = if expected = 0.0 then 0.0 else expected in
+    if Float.is_finite expected && bits got <> bits expected then
+      Alcotest.failf "%s %h %h: got %h, expected %h" name x y got expected
+  done
+
+let test_add () = binop_matches "add" F32.add Bigfloat.add
+let test_sub () = binop_matches "sub" F32.sub Bigfloat.sub
+let test_mul () = binop_matches "mul" F32.mul Bigfloat.mul
+let test_div () = binop_matches "div" F32.div Bigfloat.div
+
+let test_sqrt () =
+  for _ = 1 to 5000 do
+    let x = Float.abs (random_f32 ()) in
+    let got = F32.sqrt x in
+    let expected = Bigfloat.to_float (Bigfloat.sqrt (b24 x)) in
+    if bits got <> bits expected then Alcotest.failf "sqrt %h: got %h, expected %h" x got expected
+  done
+
+let test_fma () =
+  for _ = 1 to 20000 do
+    let x = random_f32 () and y = random_f32 () and z = random_f32 () in
+    let got = F32.fma x y z in
+    let got = if got = 0.0 then 0.0 else got in
+    (* Reference: exact product at 48 bits, exact-enough sum at high
+       precision, single rounding to 24. *)
+    let p = Bigfloat.mul (Bigfloat.round_to ~prec:100 (b24 x)) (b24 y) in
+    let s = Bigfloat.add p (b24 z) in
+    let expected = Bigfloat.to_float (Bigfloat.round_to ~prec:24 s) in
+    let expected = if expected = 0.0 then 0.0 else expected in
+    if Float.is_finite expected && bits got <> bits expected then
+      Alcotest.failf "fma %h %h %h: got %h, expected %h" x y z got expected
+  done
+
+let test_fma_is_single_rounded () =
+  (* A classic double-rounding witness: choose x*y+z landing exactly on
+     a binary32 tie only when computed exactly. *)
+  let x = F32.round (1.0 +. Float.ldexp 1.0 (-12)) in
+  let y = F32.round (1.0 +. Float.ldexp 1.0 (-12)) in
+  let z = F32.round (-1.0) in
+  let got = F32.fma x y z in
+  let p = Bigfloat.mul (Bigfloat.round_to ~prec:60 (b24 x)) (b24 y) in
+  let expected = Bigfloat.to_float (Bigfloat.round_to ~prec:24 (Bigfloat.add p (b24 z))) in
+  Alcotest.(check (float 0.0)) "tie case" expected got
+
+(* GPU MultiFloat types: 2-term binary32 expansions carry ~49 bits, so
+   a double-precision reference suffices. *)
+let test_gpu_mf2_add_mul () =
+  for _ = 1 to 3000 do
+    let x = random_f32 () and y = random_f32 () in
+    let a = Gpu.Mf2.of_float x and b = Gpu.Mf2.of_float y in
+    (* The full value lives in the component sum (the leading component
+       alone only has 24 bits). *)
+    let s = Exact.approx (Exact.sum_floats (Gpu.Mf2.components (Gpu.Mf2.add a b))) in
+    if Float.abs (s -. (x +. y)) > Float.abs (x +. y) *. Float.ldexp 1.0 (-45) then
+      Alcotest.failf "gpu add %h %h -> %h" x y s;
+    let p = Exact.approx (Exact.sum_floats (Gpu.Mf2.components (Gpu.Mf2.mul a b))) in
+    if Float.abs (p -. (x *. y)) > Float.abs (x *. y) *. Float.ldexp 1.0 (-45) then
+      Alcotest.failf "gpu mul %h %h -> %h" x y p
+  done
+
+let test_gpu_mf4_precision () =
+  (* 4-term binary32 expansions: ~99 bits.  sqrt(2)^2 - 2 must be below
+     2^-90 (checked in double, which only resolves 2^-53 relative, so
+     compare through components). *)
+  let two = Gpu.Mf4.of_float 2.0 in
+  let s = Gpu.Mf4.sqrt two in
+  let err = Gpu.Mf4.components (Gpu.Mf4.sub (Gpu.Mf4.mul s s) two) in
+  let mag = Float.abs (Exact.approx (Exact.sum_floats err)) in
+  Alcotest.(check bool) (Printf.sprintf "err %h" mag) true (mag < Float.ldexp 1.0 (-85))
+
+let test_gpu_components_are_f32 () =
+  for _ = 1 to 1000 do
+    let a = Gpu.Mf3.of_float (random_f32 ()) in
+    let b = Gpu.Mf3.of_float (random_f32 ()) in
+    let c = Gpu.Mf3.components (Gpu.Mf3.mul a b) in
+    Array.iter
+      (fun v -> if bits (F32.round v) <> bits v then Alcotest.failf "component %h not binary32" v)
+      c
+  done
+
+(* binary16 emulation: precision, range, and the Section 4.4
+   saturation. *)
+module F16 = Gpu32.F16
+
+let test_f16_rounding () =
+  Alcotest.(check (float 0.0)) "1.0005" 0x1.004p+0 (F16.round 1.0005);
+  Alcotest.(check (float 0.0)) "max" 65504.0 (F16.round 65504.0);
+  Alcotest.(check (float 0.0)) "overflow" Float.infinity (F16.round 65520.0);
+  Alcotest.(check (float 0.0)) "subnormal grid" (Float.ldexp 1.0 (-23))
+    (F16.round (1.5 *. Float.ldexp 1.0 (-24)));
+  Alcotest.(check (float 0.0)) "underflow to 0" 0.0 (F16.round (Float.ldexp 1.0 (-26)));
+  (* idempotent on its own grid *)
+  for _ = 1 to 2000 do
+    let x = F16.round (Float.ldexp (Random.State.float rng 2.0 -. 1.0) (Random.State.int rng 30 - 15)) in
+    if Float.is_finite x && Int64.bits_of_float (F16.round x) <> Int64.bits_of_float x then
+      Alcotest.failf "f16 round not idempotent at %h" x
+  done
+
+let test_f16_ops_closed () =
+  (* every op result lies on the binary16 grid *)
+  for _ = 1 to 2000 do
+    let a = F16.round (Float.ldexp (Random.State.float rng 2.0 -. 1.0) (Random.State.int rng 20 - 10)) in
+    let b = F16.round (Float.ldexp (Random.State.float rng 2.0 -. 1.0) (Random.State.int rng 20 - 10)) in
+    List.iter
+      (fun v ->
+        if Float.is_finite v && Int64.bits_of_float (F16.round v) <> Int64.bits_of_float v then
+          Alcotest.failf "op escaped the grid: %h" v)
+      [ F16.add a b; F16.sub a b; F16.mul a b; F16.sqrt (Float.abs a) ]
+  done
+
+let test_f16_expansion_saturation () =
+  (* Section 4.4: half-precision expansions stop gaining precision
+     after ~2 terms.  sqrt(2)^2 - 2 shows no improvement from 2 to 4
+     terms. *)
+  let module G2 = Multifloat.Generic.Make (Gpu32.F16) (struct let terms = 2 end) in
+  let module G4 = Multifloat.Generic.Make (Gpu32.F16) (struct let terms = 4 end) in
+  let e2 =
+    let s = G2.sqrt (G2.of_float 2.0) in
+    Float.abs (Exact.approx (Exact.sum_floats (G2.components (G2.sub (G2.mul s s) (G2.of_float 2.0)))))
+  in
+  let e4 =
+    let s = G4.sqrt (G4.of_float 2.0) in
+    Float.abs (Exact.approx (Exact.sum_floats (G4.components (G4.sub (G4.mul s s) (G4.of_float 2.0)))))
+  in
+  (* 2-term achieves ~2^-23; 4 terms does NOT improve on it (saturated
+     at the underflow grid). *)
+  Alcotest.(check bool) "2-term decent" true (e2 <= Float.ldexp 1.0 (-20));
+  Alcotest.(check bool) "4-term saturated" true (e4 >= e2 /. 4.0)
+
+let () =
+  Alcotest.run "f32"
+    [ ( "base",
+        [ Alcotest.test_case "round" `Quick test_round_is_f32;
+          Alcotest.test_case "add" `Quick test_add;
+          Alcotest.test_case "sub" `Quick test_sub;
+          Alcotest.test_case "mul" `Quick test_mul;
+          Alcotest.test_case "div" `Quick test_div;
+          Alcotest.test_case "sqrt" `Quick test_sqrt;
+          Alcotest.test_case "fma" `Quick test_fma;
+          Alcotest.test_case "fma single-rounded" `Quick test_fma_is_single_rounded ] );
+      ( "gpu-multifloat",
+        [ Alcotest.test_case "mf2 add/mul" `Quick test_gpu_mf2_add_mul;
+          Alcotest.test_case "mf4 precision" `Quick test_gpu_mf4_precision;
+          Alcotest.test_case "components on grid" `Quick test_gpu_components_are_f32 ] );
+      ( "f16",
+        [ Alcotest.test_case "rounding" `Quick test_f16_rounding;
+          Alcotest.test_case "ops closed" `Quick test_f16_ops_closed;
+          Alcotest.test_case "saturation (4.4)" `Quick test_f16_expansion_saturation ] ) ]

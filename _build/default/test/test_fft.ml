@@ -1,0 +1,115 @@
+(* Tests for the extended-precision FFT. *)
+
+module M = Multifloat.Mf3
+module F = Multifloat.Fft.Make (Multifloat.Mf3)
+module C = F.C
+
+let rng = Random.State.make [| 0xff7; 31 |]
+
+let random_signal n =
+  Array.init n (fun _ ->
+      C.make (M.of_float (Random.State.float rng 2.0 -. 1.0))
+        (M.of_float (Random.State.float rng 2.0 -. 1.0)))
+
+let cdist a b =
+  let d = C.sub a b in
+  Float.sqrt ((M.to_float d.C.re ** 2.0) +. (M.to_float d.C.im ** 2.0))
+
+let max_dist a b =
+  let worst = ref 0.0 in
+  Array.iteri (fun i ai -> worst := Float.max !worst (cdist ai b.(i))) a;
+  !worst
+
+let test_roundtrip () =
+  List.iter
+    (fun n ->
+      let x = random_signal n in
+      let back = F.ifft (F.fft x) in
+      let d = max_dist x back in
+      if d > 1e-40 then Alcotest.failf "fft/ifft roundtrip n=%d: %.2e" n d)
+    [ 1; 2; 4; 8; 32; 128 ]
+
+let test_matches_naive () =
+  List.iter
+    (fun n ->
+      let x = random_signal n in
+      let fast = F.fft x in
+      let slow = F.dft_naive x in
+      let d = max_dist fast slow in
+      if d > 1e-40 then Alcotest.failf "fft vs naive n=%d: %.2e" n d)
+    [ 2; 4; 8; 16 ]
+
+let test_delta_and_constant () =
+  let n = 8 in
+  (* delta -> all ones *)
+  let delta = Array.init n (fun i -> if i = 0 then C.one else C.zero) in
+  let fd = F.fft delta in
+  Array.iter
+    (fun z -> if cdist z C.one > 1e-45 then Alcotest.fail "fft delta should be all ones")
+    fd;
+  (* constant -> n at bin 0, 0 elsewhere *)
+  let ones = Array.make n C.one in
+  let fo = F.fft ones in
+  if cdist fo.(0) (C.make (M.of_int n) M.zero) > 1e-44 then Alcotest.fail "bin 0";
+  for k = 1 to n - 1 do
+    if cdist fo.(k) C.zero > 1e-44 then Alcotest.failf "bin %d nonzero" k
+  done
+
+let test_parseval () =
+  let n = 64 in
+  let x = random_signal n in
+  let fx = F.fft x in
+  let energy v = Array.fold_left (fun acc z -> M.add acc (C.norm2 z)) M.zero v in
+  let lhs = M.mul_float (energy x) (Float.of_int n) in
+  let rhs = energy fx in
+  let d = Float.abs (M.to_float (M.sub lhs rhs)) in
+  if d > Float.abs (M.to_float rhs) *. 1e-40 then Alcotest.failf "parseval: %.2e" d
+
+let test_linearity () =
+  let n = 16 in
+  let x = random_signal n and y = random_signal n in
+  let sum = Array.init n (fun i -> C.add x.(i) y.(i)) in
+  let f1 = F.fft sum in
+  let fx = F.fft x and fy = F.fft y in
+  let f2 = Array.init n (fun i -> C.add fx.(i) fy.(i)) in
+  if max_dist f1 f2 > 1e-42 then Alcotest.fail "linearity"
+
+let test_convolution () =
+  (* Cyclic convolution vs the direct O(n^2) sum. *)
+  let n = 16 in
+  let x = Array.init n (fun _ -> M.of_float (Random.State.float rng 2.0 -. 1.0)) in
+  let y = Array.init n (fun _ -> M.of_float (Random.State.float rng 2.0 -. 1.0)) in
+  let via_fft = F.convolve x y in
+  for k = 0 to n - 1 do
+    let direct = ref M.zero in
+    for j = 0 to n - 1 do
+      direct := M.add !direct (M.mul x.(j) y.((k - j + n) mod n))
+    done;
+    let d = Float.abs (M.to_float (M.sub via_fft.(k) !direct)) in
+    if d > 1e-40 then Alcotest.failf "convolution bin %d: %.2e" k d
+  done
+
+let test_precision_advantage () =
+  (* The butterfly error at 161 bits is far below double's: transform
+     then invert a large signal and look at the worst coefficient. *)
+  let n = 512 in
+  let x = random_signal n in
+  let d = max_dist x (F.ifft (F.fft x)) in
+  Alcotest.(check bool) (Printf.sprintf "deep roundtrip %.2e" d) true (d < 1e-40)
+
+let test_rejects_non_pow2 () =
+  match F.fft (random_signal 3) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length 3 should be rejected"
+
+let () =
+  Alcotest.run "fft"
+    [ ( "fft",
+        [ Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "matches naive" `Quick test_matches_naive;
+          Alcotest.test_case "delta/constant" `Quick test_delta_and_constant;
+          Alcotest.test_case "parseval" `Quick test_parseval;
+          Alcotest.test_case "linearity" `Quick test_linearity;
+          Alcotest.test_case "convolution" `Quick test_convolution;
+          Alcotest.test_case "deep roundtrip" `Quick test_precision_advantage;
+          Alcotest.test_case "rejects non-pow2" `Quick test_rejects_non_pow2 ] ) ]

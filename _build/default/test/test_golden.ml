@@ -1,0 +1,111 @@
+(* Golden regression tests: exact component-level outputs of the core
+   operations on fixed inputs.  The FPAN wirings define bit-exact
+   results; any change to a network, kernel transcription, or rounding
+   path shows up here first, with the expected values embedded as hex
+   literals (captured from the verified implementation). *)
+
+module M2 = Multifloat.Mf2
+module M3 = Multifloat.Mf3
+module M4 = Multifloat.Mf4
+
+let check_components name got expect =
+  if Array.length got <> Array.length expect then Alcotest.failf "%s: arity" name;
+  Array.iteri
+    (fun i g ->
+      if Int64.bits_of_float g <> Int64.bits_of_float expect.(i) then
+        Alcotest.failf "%s component %d: got %h, expected %h" name i g expect.(i))
+    got
+
+(* A fixed pair of 4-term expansions used across the golden cases. *)
+let ax = [| 0x1.921fb54442d18p+1; 0x1.1a62633145c07p-53; -0x1.f1976b7ed8fbcp-109; 0x1.4cf98e804177dp-163 |]
+let bx = [| 0x1.5bf0a8b145769p+1; 0x1.4d57ee2b1013ap-53; -0x1.618713a31d3e2p-109; 0x1.c5a6d2b53c26dp-163 |]
+
+let test_mf2_golden () =
+  let a = M2.of_components (Array.sub ax 0 2) in
+  let b = M2.of_components (Array.sub bx 0 2) in
+  check_components "mf2 add" (M2.components (M2.add a b))
+    [| 0x1.77082efac4241p+2; -0x1.9845aea3aa2cp-53 |];
+  check_components "mf2 sub" (M2.components (M2.sub a b))
+    [| 0x1.b1786497ead78p-2; -0x1.97ac57ce52998p-56 |];
+  check_components "mf2 mul" (M2.components (M2.mul a b))
+    [| 0x1.114580b45d475p+3; -0x1.867bdea1974bcp-51 |];
+  check_components "mf2 div" (M2.components (M2.div a b))
+    [| 0x1.27ddbf6271dbep+0; -0x1.023c476cc3363p-56 |];
+  check_components "mf2 sqrt" (M2.components (M2.sqrt a))
+    [| 0x1.c5bf891b4ef6bp+0; -0x1.618f13eb7ca89p-54 |]
+
+let test_mf3_golden () =
+  let a = M3.of_components (Array.sub ax 0 3) in
+  let b = M3.of_components (Array.sub bx 0 3) in
+  check_components "mf3 add" (M3.components (M3.add a b))
+    [| 0x1.77082efac4241p+2; -0x1.9845aea3aa2bfp-53; -0x1.a98f3f90fb1cfp-108 |];
+  check_components "mf3 mul" (M3.components (M3.mul a b))
+    [| 0x1.114580b45d475p+3; -0x1.867bdea1974bdp-51; 0x1.4e0463c225c84p-106 |]
+
+let test_mf4_golden () =
+  let a = M4.of_components ax in
+  let b = M4.of_components bx in
+  check_components "mf4 add" (M4.components (M4.add a b))
+    [| 0x1.77082efac4241p+2; -0x1.9845aea3aa2bfp-53; -0x1.a98f3f90fb1cfp-108; 0x1.8950309abecf5p-162 |];
+  check_components "mf4 mul" (M4.components (M4.mul a b))
+    [| 0x1.114580b45d475p+3; -0x1.867bdea1974bdp-51; 0x1.4e0463c225c84p-106; -0x1.a1cccb186a09cp-160 |]
+
+let test_string_golden () =
+  (* pi * e at 4 terms, 60 digits. *)
+  let a = M4.of_components ax in
+  let b = M4.of_components bx in
+  Alcotest.(check string) "pi*e"
+    "8.53973422267356706546355086954657449503488853576511496187960"
+    (M4.to_string ~digits:60 (M4.mul a b));
+  Alcotest.(check string) "pi-e"
+    "4.23310825130748003102355911926840386439922305675146246007977e-01"
+    (M4.to_string ~digits:60 (M4.sub a b))
+
+let test_network_interpreter_golden () =
+  (* One fixed run of the raw add2 network. *)
+  let out =
+    Fpan.Interp.run Fpan.Networks.add2
+      [| 1.0; 0x1p-30; 0x1p-55; -0x1p-85 |]
+  in
+  check_components "add2 interp" out [| 0x1.00000004p+0; 0x1.fffffff8p-56 |]
+
+let test_bigfloat_golden () =
+  let b = Bigfloat.of_string ~prec:120 "3.14159265358979323846264338327950288" in
+  Alcotest.(check string) "bigfloat pi parse" "3.14159265358979323846264338327950288"
+    (Bigfloat.to_string ~digits:36 b);
+  let s = Bigfloat.sqrt (Bigfloat.of_int ~prec:150 2) in
+  Alcotest.(check string) "bigfloat sqrt2"
+    "1.414213562373095048801688724209698078569671875"
+    (Bigfloat.to_string ~digits:46 s)
+
+let test_bigfloat_transcendental_golden () =
+  let p = 200 in
+  Alcotest.(check string) "pi 50"
+    "3.1415926535897932384626433832795028841971693993751"
+    (Bigfloat.to_string ~digits:50 (Bigfloat.pi ~prec:p));
+  Alcotest.(check string) "ln2 50"
+    "6.9314718055994530941723212145817656807550013436026e-01"
+    (Bigfloat.to_string ~digits:50 (Bigfloat.ln2 ~prec:p));
+  Alcotest.(check string) "exp 10"
+    "2.2026465794806716516957900645284244366353512618557e+04"
+    (Bigfloat.to_string ~digits:50 (Bigfloat.exp (Bigfloat.of_int ~prec:p 10)));
+  Alcotest.(check string) "log 10"
+    "2.3025850929940456840179914546843642076011014886288"
+    (Bigfloat.to_string ~digits:50 (Bigfloat.log (Bigfloat.of_int ~prec:p 10)));
+  Alcotest.(check string) "sin 1"
+    "8.4147098480789650665250232163029899962256306079837e-01"
+    (Bigfloat.to_string ~digits:50 (Bigfloat.sin (Bigfloat.of_int ~prec:p 1)));
+  Alcotest.(check string) "atan 1 = pi/4"
+    "7.8539816339744830961566084581987572104929234984378e-01"
+    (Bigfloat.to_string ~digits:50 (Bigfloat.atan (Bigfloat.of_int ~prec:p 1)))
+
+let () =
+  Alcotest.run "golden"
+    [ ( "golden",
+        [ Alcotest.test_case "mf2" `Quick test_mf2_golden;
+          Alcotest.test_case "mf3" `Quick test_mf3_golden;
+          Alcotest.test_case "mf4" `Quick test_mf4_golden;
+          Alcotest.test_case "strings" `Quick test_string_golden;
+          Alcotest.test_case "network interp" `Quick test_network_interpreter_golden;
+          Alcotest.test_case "bigfloat" `Quick test_bigfloat_golden;
+          Alcotest.test_case "bigfloat transcendentals" `Quick test_bigfloat_transcendental_golden ] ) ]

@@ -1,0 +1,98 @@
+(* Tests for the extended BLAS level-1/2 routines, run at every
+   precision. *)
+
+let rng = Random.State.make [| 0x1e1; 8 |]
+
+module Suite (M : Multifloat.Ops.S) = struct
+  module L = Blas.Level1.Make (M)
+
+let random_vec n = Array.init n (fun _ -> M.of_float (Random.State.float rng 4.0 -. 2.0))
+
+let tol = Float.ldexp 1.0 (-(M.precision_bits - 15))
+
+let close a b =
+  let d = Float.abs (M.to_float (M.sub a b)) in
+  let s = Float.max 1.0 (Float.abs (M.to_float b)) in
+  d <= s *. tol
+
+let test_scal_copy_swap () =
+  let x = random_vec 20 in
+  let orig = Array.copy x in
+  L.scal ~alpha:(M.of_int 3) x;
+  Array.iteri
+    (fun i v -> if not (close v (M.mul (M.of_int 3) orig.(i))) then Alcotest.fail "scal") x;
+  let y = Array.make 20 M.zero in
+  L.copy ~src:x ~dst:y;
+  Array.iteri (fun i v -> if not (M.equal v x.(i)) then Alcotest.fail "copy") y;
+  let z = random_vec 20 in
+  let zc = Array.copy z in
+  L.swap y z;
+  Array.iteri (fun i v -> if not (M.equal v zc.(i)) then Alcotest.fail "swap y") y;
+  Array.iteri (fun i v -> if not (M.equal v x.(i)) then Alcotest.fail "swap z") z
+
+let test_asum_nrm2 () =
+  let x = Array.map M.of_float [| 3.0; -4.0; 0.0; 12.0 |] in
+  Alcotest.(check bool) "asum" true (M.equal (L.asum x) (M.of_int 19));
+  Alcotest.(check bool) "nrm2" true (close (L.nrm2 x) (M.of_int 13));
+  Alcotest.(check bool) "nrm2 empty-ish" true (M.is_zero (L.nrm2 (Array.make 3 M.zero)));
+  (* overflow safety: components near DBL_MAX/2 *)
+  let big = Array.make 4 (M.of_float (Float.ldexp 1.0 600)) in
+  let n = L.nrm2 big in
+  Alcotest.(check bool) "no overflow" true (M.is_finite n);
+  Alcotest.(check bool) "value" true (close n (M.of_float (Float.ldexp 2.0 600)))
+
+let test_iamax () =
+  let x = Array.map M.of_float [| 1.0; -7.0; 7.0; 2.0 |] in
+  Alcotest.(check int) "first maximal" 1 (L.iamax x)
+
+let test_rot_givens () =
+  for _ = 1 to 100 do
+    let a = M.of_float (Random.State.float rng 4.0 -. 2.0) in
+    let b = M.of_float (Random.State.float rng 4.0 -. 2.0) in
+    let c, s, r = L.givens ~a ~b in
+    (* c a + s b = r;  -s a + c b = 0;  c^2 + s^2 = 1 *)
+    if not (close (M.add (M.mul c a) (M.mul s b)) r) then Alcotest.fail "givens r";
+    let zero = M.sub (M.mul c b) (M.mul s a) in
+    if Float.abs (M.to_float zero) > tol then Alcotest.fail "givens annihilation";
+    if not (close (M.add (M.mul c c) (M.mul s s)) M.one) then Alcotest.fail "givens unit"
+  done;
+  (* rot preserves the 2-norm of each column pair *)
+  let x = random_vec 10 and y = random_vec 10 in
+  let before = M.add (M.mul (L.nrm2 x) (L.nrm2 x)) (M.mul (L.nrm2 y) (L.nrm2 y)) in
+  let c, s, _ = L.givens ~a:(M.of_float 0.6) ~b:(M.of_float 0.8) in
+  L.rot ~c ~s x y;
+  let after = M.add (M.mul (L.nrm2 x) (L.nrm2 x)) (M.mul (L.nrm2 y) (L.nrm2 y)) in
+  Alcotest.(check bool) "rotation preserves norm" true (close after before)
+
+let test_axpby () =
+  let x = Array.map M.of_float [| 1.0; 2.0 |] in
+  let y = Array.map M.of_float [| 10.0; 20.0 |] in
+  L.axpby ~alpha:(M.of_int 2) ~x ~beta:(M.of_int 3) ~y;
+  Alcotest.(check bool) "axpby 0" true (M.equal y.(0) (M.of_int 32));
+  Alcotest.(check bool) "axpby 1" true (M.equal y.(1) (M.of_int 64))
+
+let test_ger () =
+  let m = 3 and n = 2 in
+  let x = Array.map M.of_float [| 1.0; 2.0; 3.0 |] in
+  let y = Array.map M.of_float [| 10.0; 100.0 |] in
+  let a = Array.make (m * n) M.one in
+  L.ger ~m ~n ~alpha:M.one ~x ~y ~a;
+  let expect = [| 11; 101; 21; 201; 31; 301 |] in
+  Array.iteri
+    (fun k e -> if not (M.equal a.(k) (M.of_int e)) then Alcotest.failf "ger %d" k)
+    expect
+
+  let suite =
+    [ Alcotest.test_case "scal/copy/swap" `Quick test_scal_copy_swap;
+      Alcotest.test_case "asum/nrm2" `Quick test_asum_nrm2;
+      Alcotest.test_case "iamax" `Quick test_iamax;
+      Alcotest.test_case "rot/givens" `Quick test_rot_givens;
+      Alcotest.test_case "axpby" `Quick test_axpby;
+      Alcotest.test_case "ger" `Quick test_ger ]
+end
+
+module S2 = Suite (Multifloat.Mf2)
+module S3 = Suite (Multifloat.Mf3)
+module S4 = Suite (Multifloat.Mf4)
+
+let () = Alcotest.run "level1" [ ("mf2", S2.suite); ("mf3", S3.suite); ("mf4", S4.suite) ]

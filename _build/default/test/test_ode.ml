@@ -1,0 +1,113 @@
+(* Tests for the ODE integrators: exact solutions, convergence orders,
+   symplectic energy conservation, adaptive tolerance honoring. *)
+
+module M = Multifloat.Mf4
+module O = Ode.Make (Multifloat.Mf4)
+module F = Multifloat.Elementary.F4
+
+(* y' = y, y(0) = 1: y(t) = e^t. *)
+let exp_system ~t:_ ~y ~dy = dy.(0) <- y.(0)
+
+(* Harmonic oscillator: y = (q, p), q' = p, p' = -q. *)
+let sho ~t:_ ~(y : M.t array) ~(dy : M.t array) =
+  dy.(0) <- y.(1);
+  dy.(1) <- M.neg y.(0)
+
+let err_vs a b = Float.abs (M.to_float (M.sub a b))
+
+let test_rk4_exp () =
+  let y = O.rk4 ~f:exp_system ~t0:M.zero ~h:(M.of_string "0.01") ~steps:100 ~y0:[| M.one |] in
+  let e = err_vs y.(0) F.e in
+  (* RK4 global error ~ h^4 = 1e-8 scale; with h = 0.01 expect ~1e-10. *)
+  Alcotest.(check bool) (Printf.sprintf "rk4 e err %.2e" e) true (e < 1e-9)
+
+let test_rk4_order () =
+  (* Halving h must reduce the global error ~16x (4th order).  This is
+     only measurable when arithmetic error is negligible -- the point
+     of integrating in extended precision. *)
+  let run h steps =
+    let y = O.rk4 ~f:exp_system ~t0:M.zero ~h:(M.of_string h) ~steps ~y0:[| M.one |] in
+    err_vs y.(0) F.e
+  in
+  let e1 = run "0.02" 50 in
+  let e2 = run "0.01" 100 in
+  let ratio = e1 /. e2 in
+  Alcotest.(check bool) (Printf.sprintf "order ratio %.1f" ratio) true (ratio > 12.0 && ratio < 20.0)
+
+let test_rk4_sho_roundtrip () =
+  (* Integrate the oscillator for one full period 2 pi: back to the
+     start. *)
+  let two_pi = F.two_pi in
+  let steps = 2000 in
+  let h = M.div two_pi (M.of_int steps) in
+  let y = O.rk4 ~f:sho ~t0:M.zero ~h ~steps ~y0:[| M.one; M.zero |] in
+  Alcotest.(check bool) "q back to 1" true (err_vs y.(0) M.one < 1e-11);
+  Alcotest.(check bool) "p back to 0" true (Float.abs (M.to_float y.(1)) < 1e-11)
+
+let test_leapfrog_energy () =
+  (* Symplectic: energy error stays bounded over many periods instead
+     of drifting. *)
+  let accel ~(q : M.t array) ~(a : M.t array) = a.(0) <- M.neg q.(0) in
+  let q = [| M.one |] and p = [| M.zero |] in
+  let h = M.of_string "0.05" in
+  let energy () =
+    M.to_float (M.scale_pow2 (M.add (M.mul q.(0) q.(0)) (M.mul p.(0) p.(0))) (-1))
+  in
+  let e0 = energy () in
+  let worst = ref 0.0 in
+  for _ = 1 to 5000 do
+    O.leapfrog_step ~accel ~h ~q ~p;
+    worst := Float.max !worst (Float.abs (energy () -. e0))
+  done;
+  (* leapfrog energy oscillates at O(h^2) without secular drift *)
+  Alcotest.(check bool) (Printf.sprintf "energy bound %.2e" !worst) true (!worst < 1e-3)
+
+let test_rkf45_exp () =
+  let y, stats =
+    O.rkf45 ~f:exp_system ~t0:M.zero ~t1:M.one ~h0:(M.of_string "0.1") ~tol:1e-12
+      ~y0:[| M.one |]
+  in
+  let e = err_vs y.(0) F.e in
+  Alcotest.(check bool) (Printf.sprintf "rkf45 err %.2e (acc %d rej %d)" e stats.O.steps_accepted
+                           stats.O.steps_rejected)
+    true (e < 1e-11);
+  Alcotest.(check bool) "did adapt" true (stats.O.steps_accepted > 5)
+
+module O2 = Ode.Make (Multifloat.Mf2)
+module M2 = Multifloat.Mf2
+
+let exp_system2 ~t:_ ~(y : M2.t array) ~(dy : M2.t array) = dy.(0) <- y.(0)
+
+let test_rkf45_below_double_tolerance () =
+  (* Tolerances below double's 1.1e-16 are meaningful in extended
+     precision -- the capability a double-precision integrator cannot
+     offer.  Run at 107 bits for speed. *)
+  let y, stats =
+    O2.rkf45 ~f:exp_system2 ~t0:M2.zero ~t1:M2.one ~h0:(M2.of_string "0.02") ~tol:1e-18
+      ~y0:[| M2.one |]
+  in
+  let e2 = Multifloat.Elementary.F2.e in
+  let e = Float.abs (M2.to_float (M2.sub y.(0) e2)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "beyond-double tol: %.2e (%d steps)" e stats.O2.steps_accepted)
+    true (e < 5e-17)
+
+let test_rkf45_lands_on_t1 () =
+  (* The final clamped step must land exactly on t1. *)
+  let y, _ =
+    O.rkf45 ~f:sho ~t0:M.zero ~t1:F.two_pi ~h0:(M.of_string "0.3") ~tol:1e-14
+      ~y0:[| M.one; M.zero |]
+  in
+  Alcotest.(check bool) "period roundtrip" true (err_vs y.(0) M.one < 1e-11)
+
+let () =
+  Alcotest.run "ode"
+    [ ( "fixed-step",
+        [ Alcotest.test_case "rk4 exp" `Quick test_rk4_exp;
+          Alcotest.test_case "rk4 4th order" `Quick test_rk4_order;
+          Alcotest.test_case "rk4 oscillator period" `Quick test_rk4_sho_roundtrip;
+          Alcotest.test_case "leapfrog energy" `Quick test_leapfrog_energy ] );
+      ( "adaptive",
+        [ Alcotest.test_case "rkf45 exp" `Quick test_rkf45_exp;
+          Alcotest.test_case "sub-double tolerance" `Quick test_rkf45_below_double_tolerance;
+          Alcotest.test_case "lands on t1" `Quick test_rkf45_lands_on_t1 ] ) ]

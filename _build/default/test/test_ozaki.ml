@@ -1,0 +1,99 @@
+(* Tests for the Ozaki splitting scheme (paper Section 4.4's
+   wide-exponent-range alternative). *)
+
+let rng = Random.State.make [| 0x07a; 21 |]
+
+let exact_dot x y =
+  let acc = ref Exact.zero in
+  Array.iteri (fun i xi -> acc := Exact.sum !acc (Exact.mul (Exact.of_float xi) (Exact.of_float y.(i)))) x;
+  !acc
+
+let test_split_exact () =
+  (* Slices must sum back to the input exactly. *)
+  for _ = 1 to 2000 do
+    let x = Float.ldexp (Random.State.float rng 2.0 -. 1.0) (Random.State.int rng 80 - 40) in
+    let slices = 1 + Random.State.int rng 5 in
+    let parts = Blas.Ozaki.split ~slices ~width:20 x in
+    if Exact.sign (Exact.grow (Exact.sum_floats parts) (-.x)) <> 0 then
+      Alcotest.failf "split not exact for %h" x
+  done
+
+let test_slice_width () =
+  Alcotest.(check int) "n=1" 24 (Blas.Ozaki.slice_width ~n:1);
+  Alcotest.(check int) "n=1024" 19 (Blas.Ozaki.slice_width ~n:1024);
+  Alcotest.(check bool) "positive for big n" true (Blas.Ozaki.slice_width ~n:1_000_000 > 10)
+
+let test_dot_accuracy () =
+  (* The result is one double, so the attainable accuracy is half an
+     ulp of the value ("as if computed in high precision, rounded
+     once"), plus the 2^-(4 width) slice-truncation tail relative to
+     sum |x_i y_i|. *)
+  for _ = 1 to 200 do
+    let n = 1 + Random.State.int rng 200 in
+    let x = Array.init n (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+    let y = Array.init n (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+    let got = Blas.Ozaki.dot x y in
+    let e = exact_dot x y in
+    let d = Float.abs (Exact.approx (Exact.compress (Exact.grow e (-.got)))) in
+    let scale =
+      Array.fold_left ( +. ) 0.0 (Array.mapi (fun i xi -> Float.abs (xi *. y.(i))) x)
+    in
+    let budget = (0.51 *. Eft.ulp got) +. (scale *. Float.ldexp 1.0 (-70)) in
+    if d > budget then Alcotest.failf "dot error %h (budget %h)" d budget
+  done
+
+let test_dot_cancellation () =
+  (* The headline ability: a dot product that cancels ~60 bits still
+     comes out almost correctly rounded, where plain double loses
+     everything. *)
+  for _ = 1 to 100 do
+    let n = 50 in
+    let x = Array.init n (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+    let y = Array.init n (fun i -> if i < n - 1 then Random.State.float rng 2.0 -. 1.0 else 0.0) in
+    let partial = ref Exact.zero in
+    for i = 0 to n - 2 do
+      partial := Exact.sum !partial (Exact.mul (Exact.of_float x.(i)) (Exact.of_float y.(i)))
+    done;
+    y.(n - 1) <- -.Exact.approx !partial /. x.(n - 1);
+    let e = exact_dot x y in
+    let got = Blas.Ozaki.dot x y in
+    let ev = Exact.approx (Exact.compress e) in
+    if ev <> 0.0 && Float.abs ((got -. ev) /. ev) > 1e-6 then
+      Alcotest.failf "cancellation dot: got %h exact %h" got ev
+  done
+
+let test_wide_exponent_range () =
+  (* Where fixed-length expansions lose precision (Section 4.4), the
+     slice scheme keeps the leading bits of each magnitude group. *)
+  let x = [| 1e200; 1.0; 1e-200 |] in
+  let y = [| 1e-200; 1.0; 1e200 |] in
+  (* exact dot = 1 + 1 + 1 = 3 *)
+  let got = Blas.Ozaki.dot ~slices:3 x y in
+  Alcotest.(check (float 1e-10)) "wide range" 3.0 got
+
+let test_gemm_matches_exact () =
+  let m = 5 and n = 4 and k = 6 in
+  let a = Array.init (m * k) (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+  let b = Array.init (k * n) (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+  let c = Array.make (m * n) 0.0 in
+  Blas.Ozaki.gemm ~m ~n ~k ~a ~b ~c ();
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let row = Array.init k (fun p -> a.((i * k) + p)) in
+      let col = Array.init k (fun p -> b.((p * n) + j)) in
+      let e = Exact.approx (Exact.compress (exact_dot row col)) in
+      let got = c.((i * n) + j) in
+      if Float.abs (got -. e) > Float.abs e *. 1e-12 +. 1e-300 then
+        Alcotest.failf "gemm %d %d: %h vs %h" i j got e
+    done
+  done
+
+let () =
+  Alcotest.run "ozaki"
+    [ ( "ozaki",
+        [ Alcotest.test_case "split exact" `Quick test_split_exact;
+          Alcotest.test_case "slice width" `Quick test_slice_width;
+          Alcotest.test_case "dot accuracy" `Quick test_dot_accuracy;
+          Alcotest.test_case "dot cancellation" `Quick test_dot_cancellation;
+          Alcotest.test_case "wide exponent range" `Quick test_wide_exponent_range;
+          Alcotest.test_case "gemm" `Quick test_gemm_matches_exact ] ) ]

@@ -1,0 +1,106 @@
+(* Tests for the domain pool. *)
+
+let test_parallel_for_covers () =
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      let n = 1000 in
+      let hits = Array.make n 0 in
+      (* Distinct indices: no synchronization needed. *)
+      Parallel.Pool.parallel_for pool ~lo:0 ~hi:n (fun i -> hits.(i) <- hits.(i) + 1);
+      Alcotest.(check bool) "each index once" true (Array.for_all (fun h -> h = 1) hits))
+
+let test_parallel_for_empty () =
+  Parallel.Pool.with_pool ~domains:2 (fun pool ->
+      let fired = ref false in
+      Parallel.Pool.parallel_for pool ~lo:5 ~hi:5 (fun _ -> fired := true);
+      Alcotest.(check bool) "empty range" false !fired)
+
+let test_reduce_sum () =
+  Parallel.Pool.with_pool ~domains:3 (fun pool ->
+      let n = 10_000 in
+      let s =
+        Parallel.Pool.parallel_reduce pool ~lo:0 ~hi:n ~init:0 ~map:(fun i -> i) ~combine:( + )
+      in
+      Alcotest.(check int) "gauss" (n * (n - 1) / 2) s)
+
+let test_reduce_deterministic_float () =
+  (* Chunked combination must not depend on worker count for a fixed
+     chunking; compare 1-domain and k-domain pools on an associative
+     reduction (int max) and on float sums with identical chunking
+     (sequential fold as the witness). *)
+  let n = 5000 in
+  let data = Array.init n (fun i -> Float.sin (Float.of_int i)) in
+  let via domains =
+    Parallel.Pool.with_pool ~domains (fun pool ->
+        Parallel.Pool.parallel_reduce pool ~lo:0 ~hi:n ~init:0.0
+          ~map:(fun i -> data.(i))
+          ~combine:( +. ))
+  in
+  (* Determinism within the same pool size: run twice. *)
+  let a = via 4 and b = via 4 in
+  Alcotest.(check (float 0.0)) "same pool size reproducible" a b
+
+let test_pool_reuse () =
+  Parallel.Pool.with_pool ~domains:2 (fun pool ->
+      for _ = 1 to 50 do
+        let acc = ref 0 in
+        let m = Mutex.create () in
+        Parallel.Pool.parallel_for pool ~lo:0 ~hi:100 (fun _ ->
+            Mutex.lock m;
+            incr acc;
+            Mutex.unlock m);
+        Alcotest.(check int) "reused batch" 100 !acc
+      done)
+
+let test_single_domain_inline () =
+  Parallel.Pool.with_pool ~domains:1 (fun pool ->
+      Alcotest.(check int) "size" 1 (Parallel.Pool.size pool);
+      let s =
+        Parallel.Pool.parallel_reduce pool ~lo:0 ~hi:100 ~init:0 ~map:(fun i -> i) ~combine:( + )
+      in
+      Alcotest.(check int) "inline" 4950 s)
+
+let test_exception_in_job_no_deadlock () =
+  (* A raising job must not wedge the batch accounting. *)
+  Parallel.Pool.with_pool ~domains:3 (fun pool ->
+      let ok = ref 0 in
+      let m = Mutex.create () in
+      Parallel.Pool.parallel_for pool ~lo:0 ~hi:100 (fun i ->
+          if i = 50 then failwith "boom"
+          else begin
+            Mutex.lock m;
+            incr ok;
+            Mutex.unlock m
+          end);
+      (* the pool survives and can run another batch *)
+      let s =
+        Parallel.Pool.parallel_reduce pool ~lo:0 ~hi:10 ~init:0 ~map:(fun i -> i) ~combine:( + )
+      in
+      Alcotest.(check int) "pool alive after exception" 45 s)
+
+let test_large_fanout () =
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      let n = 100_000 in
+      let s =
+        Parallel.Pool.parallel_reduce pool ~lo:0 ~hi:n ~init:0
+          ~map:(fun i -> if i land 1 = 0 then 1 else -1)
+          ~combine:( + )
+      in
+      Alcotest.(check int) "alternating" 0 s)
+
+let test_default_domain_count () =
+  let pool = Parallel.Pool.create () in
+  Alcotest.(check bool) "at least one" true (Parallel.Pool.size pool >= 1);
+  Parallel.Pool.shutdown pool
+
+let () =
+  Alcotest.run "parallel"
+    [ ( "pool",
+        [ Alcotest.test_case "parallel_for covers" `Quick test_parallel_for_covers;
+          Alcotest.test_case "empty range" `Quick test_parallel_for_empty;
+          Alcotest.test_case "reduce sum" `Quick test_reduce_sum;
+          Alcotest.test_case "reduce deterministic" `Quick test_reduce_deterministic_float;
+          Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+          Alcotest.test_case "single domain" `Quick test_single_domain_inline;
+          Alcotest.test_case "exception in job" `Quick test_exception_in_job_no_deadlock;
+          Alcotest.test_case "large fanout" `Quick test_large_fanout;
+          Alcotest.test_case "default domains" `Quick test_default_domain_count ] ) ]

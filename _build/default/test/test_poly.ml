@@ -1,0 +1,100 @@
+(* Tests for the polynomial module. *)
+
+module M = Multifloat.Mf4
+module P = Multifloat.Poly.Make (Multifloat.Mf4)
+module P2 = Multifloat.Poly.Make (Multifloat.Mf2)
+
+let rng = Random.State.make [| 0x901; 11 |]
+
+let test_eval_simple () =
+  (* p(x) = 1 + 2x + 3x^2 at x = 2: 1 + 4 + 12 = 17 *)
+  let p = P.of_float_coeffs [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check bool) "17" true (M.equal (P.eval p (M.of_int 2)) (M.of_int 17));
+  Alcotest.(check bool) "empty" true (M.is_zero (P.eval [||] (M.of_int 5)));
+  Alcotest.(check bool) "constant" true (M.equal (P.eval (P.of_float_coeffs [| 7.0 |]) (M.of_int 3)) (M.of_int 7))
+
+let test_derivative () =
+  (* d/dx (1 + 2x + 3x^2 + 4x^3) = 2 + 6x + 12x^2; at x = 1: 20 *)
+  let p = P.of_float_coeffs [| 1.0; 2.0; 3.0; 4.0 |] in
+  let d = P.derivative p in
+  Alcotest.(check int) "degree" 2 (P.degree d);
+  Alcotest.(check bool) "at 1" true (M.equal (P.eval d M.one) (M.of_int 20));
+  let v, dv = P.eval_with_derivative p M.one in
+  Alcotest.(check bool) "value" true (M.equal v (M.of_int 10));
+  Alcotest.(check bool) "deriv" true (M.equal dv (M.of_int 20))
+
+let test_add_mul () =
+  let a = P.of_float_coeffs [| 1.0; 1.0 |] in
+  (* (1 + x)^2 = 1 + 2x + x^2 *)
+  let sq = P.mul a a in
+  Alcotest.(check bool) "sq" true
+    (M.equal sq.(0) M.one && M.equal sq.(1) M.two && M.equal sq.(2) M.one);
+  let s = P.add a (P.of_float_coeffs [| 0.0; 0.0; 5.0 |]) in
+  Alcotest.(check int) "add degree" 2 (P.degree s);
+  Alcotest.(check bool) "add val" true (M.equal (P.eval s M.one) (M.of_int 7))
+
+let test_from_roots () =
+  (* (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6 *)
+  let p = P.from_roots [| M.of_int 1; M.of_int 2; M.of_int 3 |] in
+  let expect = [| -6; 11; -6; 1 |] in
+  Array.iteri
+    (fun i e -> if not (M.equal p.(i) (M.of_int e)) then Alcotest.failf "coeff %d" i)
+    expect;
+  (* roots evaluate to exactly zero *)
+  List.iter
+    (fun r -> if not (M.is_zero (P.eval p (M.of_int r))) then Alcotest.failf "root %d" r)
+    [ 1; 2; 3 ]
+
+let test_newton_root () =
+  (* sqrt 2 as the positive root of x^2 - 2 *)
+  let p = P.of_float_coeffs [| -2.0; 0.0; 1.0 |] in
+  let r = P.newton_root p ~x0:(M.of_string "1.4") () in
+  let err = Float.abs (M.to_float (M.sub (M.mul r r) M.two)) in
+  Alcotest.(check bool) (Printf.sprintf "err %h" err) true (err < 1e-60);
+  (* agrees with M.sqrt *)
+  let d = Float.abs (M.to_float (M.sub r (M.sqrt M.two))) in
+  Alcotest.(check bool) "matches sqrt" true (d < 1e-60)
+
+let test_newton_wilkinson_root () =
+  let w = P.from_roots (Array.init 20 (fun i -> M.of_int (i + 1))) in
+  List.iter
+    (fun k ->
+      let x0 = M.add_float (M.of_int k) 0.004 in
+      let r = P.newton_root w ~x0 () in
+      let d = Float.abs (M.to_float (M.sub r (M.of_int k))) in
+      if d > 1e-50 then Alcotest.failf "wilkinson root %d off by %h" k d)
+    [ 1; 7; 14; 20 ]
+
+let test_random_roundtrip () =
+  (* from_roots then eval at a random point equals the product form. *)
+  for _ = 1 to 50 do
+    let k = 1 + Random.State.int rng 6 in
+    let roots = Array.init k (fun _ -> M.of_float (Random.State.float rng 4.0 -. 2.0)) in
+    let p = P.from_roots roots in
+    let x = M.of_float (Random.State.float rng 4.0 -. 2.0) in
+    let via_poly = P.eval p x in
+    let via_prod = Array.fold_left (fun acc r -> M.mul acc (M.sub x r)) M.one roots in
+    let d = Float.abs (M.to_float (M.sub via_poly via_prod)) in
+    let scale = Float.max 1e-300 (Float.abs (M.to_float via_prod)) in
+    if d > scale *. 1e-55 && d > 1e-60 then Alcotest.failf "roundtrip diff %h" d
+  done
+
+let test_mf2_precision_limit () =
+  (* The same Wilkinson refinement at 107 bits still works (smaller
+     margin). *)
+  let w = P2.from_roots (Array.init 20 (fun i -> Multifloat.Mf2.of_int (i + 1))) in
+  let r = P2.newton_root w ~x0:(Multifloat.Mf2.of_string "14.002") () in
+  let d = Float.abs (Multifloat.Mf2.to_float (Multifloat.Mf2.sub r (Multifloat.Mf2.of_int 14))) in
+  Alcotest.(check bool) (Printf.sprintf "mf2 wilkinson: %h" d) true (d < 1e-12)
+
+let () =
+  Alcotest.run "poly"
+    [ ( "poly",
+        [ Alcotest.test_case "eval" `Quick test_eval_simple;
+          Alcotest.test_case "derivative" `Quick test_derivative;
+          Alcotest.test_case "add/mul" `Quick test_add_mul;
+          Alcotest.test_case "from_roots" `Quick test_from_roots;
+          Alcotest.test_case "newton sqrt2" `Quick test_newton_root;
+          Alcotest.test_case "newton wilkinson" `Quick test_newton_wilkinson_root;
+          Alcotest.test_case "random roundtrip" `Quick test_random_roundtrip;
+          Alcotest.test_case "mf2 limit" `Quick test_mf2_precision_limit ] ) ]

@@ -1,0 +1,172 @@
+(* QCheck property tests over the public arithmetic types: algebraic
+   laws that must hold exactly, and accuracy laws that must hold to the
+   documented bounds, on randomly generated expansions. *)
+
+let ( ==> ) = QCheck.( ==> )
+
+let rng_of_seed seed = Random.State.make [| seed; 0x9c9 |]
+
+(* Arbitrary nonoverlapping expansions, sized per module. *)
+let arb_expansion n =
+  let gen st =
+    (* QCheck gives us its own random state. *)
+    Fpan.Gen.expansion st ~n ~e0_min:(-50) ~e0_max:50 ()
+  in
+  QCheck.make
+    ~print:(fun xs -> String.concat "," (Array.to_list (Array.map (Printf.sprintf "%h") xs)))
+    gen
+
+module Props (M : Multifloat.Ops.S) = struct
+  let arb =
+    QCheck.map
+      ~rev:(fun m -> M.components m)
+      M.of_components (arb_expansion M.terms)
+
+  let exact_of m = Exact.sum_floats (M.components m)
+
+  let within_bits got ref_ bits =
+    let diff = Exact.sum (exact_of got) (Exact.neg ref_) in
+    let d = Float.abs (Exact.approx (Exact.compress diff)) in
+    let r = Float.abs (Exact.approx (Exact.compress ref_)) in
+    d = 0.0 || (r > 0.0 && Float.log2 d -. Float.log2 r <= Float.of_int (-bits))
+
+  let tests name =
+    [ QCheck.Test.make ~count:2000 ~name:(name ^ ": add commutes (bitwise)") (QCheck.pair arb arb)
+        (fun (a, b) -> M.components (M.add a b) = M.components (M.add b a));
+      QCheck.Test.make ~count:2000 ~name:(name ^ ": mul commutes (bitwise)") (QCheck.pair arb arb)
+        (fun (a, b) -> M.components (M.mul a b) = M.components (M.mul b a));
+      QCheck.Test.make ~count:2000 ~name:(name ^ ": neg is exact involution") arb (fun a ->
+          M.components (M.neg (M.neg a)) = M.components a);
+      QCheck.Test.make ~count:2000 ~name:(name ^ ": a + 0 = a") arb (fun a ->
+          M.equal (M.add a M.zero) a);
+      QCheck.Test.make ~count:2000 ~name:(name ^ ": a * 1 = a") arb (fun a ->
+          M.equal (M.mul a M.one) a);
+      QCheck.Test.make ~count:2000 ~name:(name ^ ": a - a = 0") arb (fun a -> M.is_zero (M.sub a a));
+      QCheck.Test.make ~count:1000 ~name:(name ^ ": add accuracy bound") (QCheck.pair arb arb)
+        (fun (a, b) ->
+          within_bits (M.add a b) (Exact.sum (exact_of a) (exact_of b)) M.error_exp);
+      QCheck.Test.make ~count:1000 ~name:(name ^ ": mul accuracy bound") (QCheck.pair arb arb)
+        (fun (a, b) -> within_bits (M.mul a b) (Exact.mul (exact_of a) (exact_of b)) M.error_exp);
+      QCheck.Test.make ~count:1000 ~name:(name ^ ": output nonoverlapping") (QCheck.pair arb arb)
+        (fun (a, b) ->
+          Eft.is_nonoverlapping_seq (M.components (M.add a b))
+          && Eft.is_nonoverlapping_seq (M.components (M.mul a b)));
+      QCheck.Test.make ~count:500 ~name:(name ^ ": distributivity within bounds")
+        (QCheck.triple arb arb arb) (fun (a, b, c) ->
+          (* a (b + c) vs ab + ac.  When b and c cancel, the error of the
+             right-hand side is naturally relative to |ab| + |ac|, not to
+             the small result, so exclude heavy cancellation. *)
+          QCheck.assume
+            (Float.abs (M.to_float (M.add b c))
+            >= (Float.abs (M.to_float b) +. Float.abs (M.to_float c)) *. Float.ldexp 1.0 (-8));
+          let lhs = M.mul a (M.add b c) in
+          let rhs = M.add (M.mul a b) (M.mul a c) in
+          let ref_ = Exact.mul (exact_of a) (Exact.sum (exact_of b) (exact_of c)) in
+          within_bits lhs ref_ (M.error_exp - 3) && within_bits rhs ref_ (M.error_exp - 12));
+      QCheck.Test.make ~count:500 ~name:(name ^ ": compare antisymmetry") (QCheck.pair arb arb)
+        (fun (a, b) -> M.compare a b = -M.compare b a);
+      QCheck.Test.make ~count:500 ~name:(name ^ ": triangle |a+b| <= |a| + |b|")
+        (QCheck.pair arb arb) (fun (a, b) ->
+          M.compare (M.abs (M.add a b)) (M.add (M.abs a) (M.abs b)) <= 0);
+      QCheck.Test.make ~count:300 ~name:(name ^ ": sqrt monotone") (QCheck.pair arb arb)
+        (fun (a, b) ->
+          let a = M.abs a and b = M.abs b in
+          M.compare a b <= 0 ==> (M.compare (M.sqrt a) (M.sqrt b) <= 0));
+      QCheck.Test.make ~count:300 ~name:(name ^ ": to_string/of_string roundtrip") arb (fun a ->
+          let b = M.of_string (M.to_string a) in
+          within_bits b (exact_of a) (M.precision_bits - 10)) ]
+end
+
+module P2 = Props (Multifloat.Mf2)
+module P3 = Props (Multifloat.Mf3)
+module P4 = Props (Multifloat.Mf4)
+
+(* Bigfloat properties at mixed precisions. *)
+let arb_bigfloat =
+  let gen st =
+    let m = Random.State.float st 2.0 -. 1.0 in
+    let e = Random.State.int st 100 - 50 in
+    Bigfloat.of_float ~prec:150 (Float.ldexp m e)
+  in
+  QCheck.make ~print:Bigfloat.to_string gen
+
+let bigfloat_tests =
+  [ QCheck.Test.make ~count:2000 ~name:"bigfloat: add commutes" (QCheck.pair arb_bigfloat arb_bigfloat)
+      (fun (a, b) -> Bigfloat.equal (Bigfloat.add a b) (Bigfloat.add b a));
+    QCheck.Test.make ~count:2000 ~name:"bigfloat: mul commutes" (QCheck.pair arb_bigfloat arb_bigfloat)
+      (fun (a, b) -> Bigfloat.equal (Bigfloat.mul a b) (Bigfloat.mul b a));
+    QCheck.Test.make ~count:2000 ~name:"bigfloat: a - a = 0" arb_bigfloat (fun a ->
+        Bigfloat.is_zero (Bigfloat.sub a a));
+    QCheck.Test.make ~count:1000 ~name:"bigfloat: (a/b)*b ~ a" (QCheck.pair arb_bigfloat arb_bigfloat)
+      (fun (a, b) ->
+        (not (Bigfloat.is_zero b))
+        ==>
+        let q = Bigfloat.div a b in
+        let back = Bigfloat.mul q b in
+        let diff = Bigfloat.abs (Bigfloat.sub back a) in
+        Bigfloat.is_zero diff
+        || Bigfloat.compare diff
+             (Bigfloat.mul (Bigfloat.abs a) (Bigfloat.of_float ~prec:150 (Float.ldexp 1.0 (-145))))
+           <= 0);
+    QCheck.Test.make ~count:1000 ~name:"bigfloat: sqrt(a)^2 ~ a" arb_bigfloat (fun a ->
+        let a = Bigfloat.abs a in
+        let s = Bigfloat.sqrt a in
+        let diff = Bigfloat.abs (Bigfloat.sub (Bigfloat.mul s s) a) in
+        Bigfloat.is_zero diff
+        || Bigfloat.compare diff
+             (Bigfloat.mul a (Bigfloat.of_float ~prec:150 (Float.ldexp 1.0 (-145))))
+           <= 0);
+    QCheck.Test.make ~count:500 ~name:"bigfloat: round_to widens exactly" arb_bigfloat (fun a ->
+        Bigfloat.equal (Bigfloat.round_to ~prec:300 a) a) ]
+
+(* CAMPARY baseline properties. *)
+let campary_tests =
+  [ QCheck.Test.make ~count:1000 ~name:"campary: add accuracy" (QCheck.pair (arb_expansion 3) (arb_expansion 3))
+      (fun (x, y) ->
+        let s = Baselines.Campary.add x y in
+        let ref_ = Exact.sum (Exact.sum_floats x) (Exact.sum_floats y) in
+        let diff = Exact.sum (Exact.sum_floats s) (Exact.neg ref_) in
+        let d = Float.abs (Exact.approx (Exact.compress diff)) in
+        let r = Float.abs (Exact.approx (Exact.compress ref_)) in
+        d = 0.0 || (r > 0.0 && Float.log2 d -. Float.log2 r <= -150.0));
+    QCheck.Test.make ~count:1000 ~name:"campary: sub self = 0" (arb_expansion 4) (fun x ->
+        Baselines.Campary.to_float (Baselines.Campary.sub x x) = 0.0) ]
+
+(* Quad-double baseline properties. *)
+let qd_tests =
+  let arb4 = arb_expansion 4 in
+  [ QCheck.Test.make ~count:1000 ~name:"qd: add accuracy class" (QCheck.pair arb4 arb4)
+      (fun (x, y) ->
+        let s = Baselines.Qd_qd.add (Baselines.Qd_qd.of_components x) (Baselines.Qd_qd.of_components y) in
+        let ref_ = Exact.sum (Exact.sum_floats x) (Exact.sum_floats y) in
+        let diff = Exact.sum (Exact.sum_floats (Baselines.Qd_qd.components s)) (Exact.neg ref_) in
+        let d = Float.abs (Exact.approx (Exact.compress diff)) in
+        let r = Float.abs (Exact.approx (Exact.compress ref_)) in
+        d = 0.0 || (r > 0.0 && Float.log2 d -. Float.log2 r <= -200.0));
+    QCheck.Test.make ~count:1000 ~name:"qd: sub self = 0" arb4 (fun x ->
+        let v = Baselines.Qd_qd.of_components x in
+        Baselines.Qd_qd.to_float (Baselines.Qd_qd.sub v v) = 0.0) ]
+
+(* Emulated-binary32 generic type properties. *)
+let gpu_tests =
+  let arbf = QCheck.map Gpu32.F32.round (QCheck.float_range (-1000.0) 1000.0) in
+  [ QCheck.Test.make ~count:1000 ~name:"gpu mf3: add commutes" (QCheck.pair arbf arbf)
+      (fun (x, y) ->
+        let a = Gpu32.Gpu.Mf3.of_float x and b = Gpu32.Gpu.Mf3.of_float y in
+        Gpu32.Gpu.Mf3.components (Gpu32.Gpu.Mf3.add a b)
+        = Gpu32.Gpu.Mf3.components (Gpu32.Gpu.Mf3.add b a));
+    QCheck.Test.make ~count:1000 ~name:"gpu mf3: a - a = 0" arbf (fun x ->
+        let a = Gpu32.Gpu.Mf3.of_float x in
+        Gpu32.Gpu.Mf3.to_float (Gpu32.Gpu.Mf3.sub a a) = 0.0) ]
+
+let () =
+  ignore rng_of_seed;
+  let to_alcotest = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "properties"
+    [ ("mf2", to_alcotest (P2.tests "mf2"));
+      ("mf3", to_alcotest (P3.tests "mf3"));
+      ("mf4", to_alcotest (P4.tests "mf4"));
+      ("bigfloat", to_alcotest bigfloat_tests);
+      ("campary", to_alcotest campary_tests);
+      ("qd", to_alcotest qd_tests);
+      ("gpu", to_alcotest gpu_tests) ]

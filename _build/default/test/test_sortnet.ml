@@ -1,0 +1,82 @@
+(* Tests for the sorting-network module (the FPAN structural cousins of
+   paper Section 6). *)
+
+let rng = Random.State.make [| 0x5027; 13 |]
+
+let test_01_principle () =
+  (* Both constructions sort all boolean inputs at several sizes; a
+     deliberately broken network must fail. *)
+  List.iter
+    (fun n ->
+      if not (Fpan.Sortnet.verify_01 (Fpan.Sortnet.batcher n)) then
+        Alcotest.failf "batcher %d fails 0-1" n;
+      if not (Fpan.Sortnet.verify_01 (Fpan.Sortnet.transposition n)) then
+        Alcotest.failf "transposition %d fails 0-1" n)
+    [ 1; 2; 3; 4; 5; 7; 8; 12; 16 ];
+  let broken = { Fpan.Sortnet.wires = 4; comparators = [| (0, 1); (2, 3) |] } in
+  Alcotest.(check bool) "broken rejected" false (Fpan.Sortnet.verify_01 broken)
+
+let test_sorts_random () =
+  for _ = 1 to 500 do
+    let n = 1 + Random.State.int rng 20 in
+    let net = Fpan.Sortnet.batcher n in
+    let v = Array.init n (fun _ -> Random.State.int rng 1000) in
+    let expect = Array.copy v in
+    Array.sort Stdlib.compare expect;
+    Fpan.Sortnet.sort net ~cmp:Stdlib.compare v;
+    if v <> expect then Alcotest.fail "batcher mis-sorts"
+  done
+
+let test_magnitude_sort () =
+  for _ = 1 to 500 do
+    let n = 2 + Random.State.int rng 14 in
+    let net = Fpan.Sortnet.batcher n in
+    let v = Array.init n (fun _ -> Float.ldexp (Random.State.float rng 2.0 -. 1.0) (Random.State.int rng 40 - 20)) in
+    Fpan.Sortnet.sort_floats_by_magnitude net v;
+    for i = 0 to n - 2 do
+      if Float.abs v.(i) < Float.abs v.(i + 1) then Alcotest.fail "not decreasing |.|"
+    done
+  done
+
+let test_size_depth () =
+  (* Known values: Batcher at n = 4 has 5 comparators, depth 3; the
+     transposition sort at n has n(n-1)/2 comparators, depth n. *)
+  let b4 = Fpan.Sortnet.batcher 4 in
+  Alcotest.(check int) "batcher4 size" 5 (Fpan.Sortnet.size b4);
+  Alcotest.(check int) "batcher4 depth" 3 (Fpan.Sortnet.depth b4);
+  let t6 = Fpan.Sortnet.transposition 6 in
+  Alcotest.(check int) "transposition6 size" 15 (Fpan.Sortnet.size t6);
+  Alcotest.(check int) "transposition6 depth" 6 (Fpan.Sortnet.depth t6);
+  (* Batcher's asymptotic advantage is visible already at n = 16. *)
+  Alcotest.(check bool) "batcher smaller at 16" true
+    (Fpan.Sortnet.size (Fpan.Sortnet.batcher 16) < Fpan.Sortnet.size (Fpan.Sortnet.transposition 16))
+
+(* The Section 6 connection made concrete: a certified expansion
+   addition whose branchy magnitude-merge is replaced by a fixed
+   comparator schedule. *)
+let sortnet_add net x y =
+  let v = Array.append x y in
+  Fpan.Sortnet.sort_floats_by_magnitude net v;
+  Baselines.Campary.renormalize v (Array.length x)
+
+let test_sortnet_add_accuracy () =
+  let net = Fpan.Sortnet.batcher 8 in
+  for _ = 1 to 3000 do
+    let x, y = Fpan.Gen.pair rng ~n:4 ~e0_min:(-50) ~e0_max:50 () in
+    let s = sortnet_add net x y in
+    let ref_ = Exact.sum (Exact.sum_floats x) (Exact.sum_floats y) in
+    let diff = Exact.sum (Exact.sum_floats s) (Exact.neg ref_) in
+    let d = Float.abs (Exact.approx (Exact.compress diff)) in
+    let r = Float.abs (Exact.approx (Exact.compress ref_)) in
+    if d <> 0.0 && r > 0.0 && Float.log2 d -. Float.log2 r > -200.0 then
+      Alcotest.failf "sortnet add error 2^%.1f" (Float.log2 d -. Float.log2 r)
+  done
+
+let () =
+  Alcotest.run "sortnet"
+    [ ( "networks",
+        [ Alcotest.test_case "0-1 principle" `Quick test_01_principle;
+          Alcotest.test_case "sorts random" `Quick test_sorts_random;
+          Alcotest.test_case "magnitude order" `Quick test_magnitude_sort;
+          Alcotest.test_case "size/depth" `Quick test_size_depth;
+          Alcotest.test_case "sortnet-merge add" `Quick test_sortnet_add_accuracy ] ) ]

@@ -1,0 +1,1 @@
+bench/json_out.ml: Buffer Char Float List Printf String

@@ -1,1 +1,1 @@
-examples/ill_conditioned_dot.ml: Array Blas Exact Float List Printf Random
+examples/ill_conditioned_dot.ml: Array Blas Exact Float Int64 List Printf Random

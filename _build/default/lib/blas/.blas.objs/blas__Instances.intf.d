@@ -1,0 +1,1 @@
+lib/blas/instances.mli: Baselines Gpu32 Multifloat Numeric

@@ -76,3 +76,80 @@ module Make (N : Numeric.S) = struct
   let vec_of_floats fs = Array.map N.of_float fs
   let vec_to_floats vs = Array.map N.to_float vs
 end
+
+(* Batched kernels over a planar (structure-of-arrays) vector type.
+   Same kernels, same op-count convention, same accumulation orders as
+   [Make] — the per-element arithmetic is identical, so sequential
+   results are bitwise equal to the scalar path, and the pooled
+   variants reproduce the scalar pooled chunking/combination order
+   bit-for-bit (Pool.chunk_ranges is the same partition parallel_for
+   and parallel_reduce use). *)
+module Make_batched (N : Numeric.BATCHED) = struct
+  module V = N.V
+
+  let axpy ~alpha ~x ~y =
+    let n = V.length x in
+    assert (V.length y = n);
+    V.axpy ~lo:0 ~hi:n ~alpha ~x ~y
+
+  let dot ~x ~y =
+    let n = V.length x in
+    assert (V.length y = n);
+    V.dot ~init:N.zero ~x ~xoff:0 ~y ~yoff:0 ~len:n
+
+  let gemv ~m ~n ~a ~x ~y =
+    assert (V.length a = m * n && V.length x = n && V.length y = m);
+    for i = 0 to m - 1 do
+      V.set y i (V.dot ~init:N.zero ~x:a ~xoff:(i * n) ~y:x ~yoff:0 ~len:n)
+    done
+
+  let gemm ~m ~n ~k ~a ~b ~c =
+    assert (V.length a = m * k && V.length b = k * n && V.length c = m * n);
+    for i = 0 to m - 1 do
+      for p = 0 to k - 1 do
+        let aip = V.get a ((i * k) + p) in
+        V.madd ~alpha:aip ~x:b ~xoff:(p * n) ~y:c ~yoff:(i * n) ~len:n
+      done
+    done
+
+  (* Pooled variants: chunk over contiguous planar ranges.  Writes land
+     on disjoint ranges/rows; the dot reduction combines chunk partials
+     in index order (deterministic, independent of scheduling). *)
+
+  let ranges pool ~lo ~hi =
+    Array.of_list (Parallel.Pool.chunk_ranges ~lo ~hi ~parts:(Parallel.Pool.size pool))
+
+  let axpy_pool pool ~alpha ~x ~y =
+    let n = V.length x in
+    assert (V.length y = n);
+    let rs = ranges pool ~lo:0 ~hi:n in
+    Parallel.Pool.parallel_for pool ~lo:0 ~hi:(Array.length rs) (fun pi ->
+        let lo, hi = rs.(pi) in
+        V.axpy ~lo ~hi ~alpha ~x ~y)
+
+  let dot_pool pool ~x ~y =
+    let n = V.length x in
+    assert (V.length y = n);
+    let rs = ranges pool ~lo:0 ~hi:n in
+    let partials = Array.make (max 1 (Array.length rs)) N.zero in
+    Parallel.Pool.parallel_for pool ~lo:0 ~hi:(Array.length rs) (fun pi ->
+        let lo, hi = rs.(pi) in
+        partials.(pi) <- V.dot ~init:N.zero ~x ~xoff:lo ~y ~yoff:lo ~len:(hi - lo));
+    Array.fold_left N.add N.zero partials
+
+  let gemv_pool pool ~m ~n ~a ~x ~y =
+    assert (V.length a = m * n && V.length x = n && V.length y = m);
+    Parallel.Pool.parallel_for pool ~lo:0 ~hi:m (fun i ->
+        V.set y i (V.dot ~init:N.zero ~x:a ~xoff:(i * n) ~y:x ~yoff:0 ~len:n))
+
+  let gemm_pool pool ~m ~n ~k ~a ~b ~c =
+    assert (V.length a = m * k && V.length b = k * n && V.length c = m * n);
+    Parallel.Pool.parallel_for pool ~lo:0 ~hi:m (fun i ->
+        for p = 0 to k - 1 do
+          let aip = V.get a ((i * k) + p) in
+          V.madd ~alpha:aip ~x:b ~xoff:(p * n) ~y:c ~yoff:(i * n) ~len:n
+        done)
+
+  let vec_of_floats = V.of_floats
+  let vec_to_floats = V.to_floats
+end

@@ -39,3 +39,40 @@ module Make (N : Numeric.S) : sig
   val vec_of_floats : float array -> N.t array
   val vec_to_floats : N.t array -> float array
 end
+
+(** The same four kernels over planar (structure-of-arrays) vectors:
+    the fast path for arithmetics advertising {!Numeric.BATCHED}.
+
+    Identical per-element arithmetic and accumulation orders to
+    {!Make}, so sequential results are bitwise equal to the scalar
+    path, and the pooled variants reproduce the scalar pooled
+    chunking/combination order bit-for-bit (asserted by
+    [test/test_batch.ml]).  What changes is the data layout: one
+    unboxed [floatarray] per expansion component instead of an array of
+    boxed records, which removes the per-element pointer chase and heap
+    allocation — the OCaml analogue of the paper's cross-element SIMD
+    vectorization. *)
+module Make_batched (N : Numeric.BATCHED) : sig
+  module V : Numeric.VEC with type elt = N.t and type t = N.V.t
+
+  val axpy : alpha:N.t -> x:V.t -> y:V.t -> unit
+  (** In-place [y.(i) <- alpha * x.(i) + y.(i)]. *)
+
+  val dot : x:V.t -> y:V.t -> N.t
+
+  val gemv : m:int -> n:int -> a:V.t -> x:V.t -> y:V.t -> unit
+  (** [y <- A x] with [A] an [m*n] row-major planar matrix. *)
+
+  val gemm : m:int -> n:int -> k:int -> a:V.t -> b:V.t -> c:V.t -> unit
+  (** [C <- C + A B] with [A : m*k], [B : k*n], [C : m*n], ikj order. *)
+
+  val axpy_pool : Parallel.Pool.t -> alpha:N.t -> x:V.t -> y:V.t -> unit
+  val dot_pool : Parallel.Pool.t -> x:V.t -> y:V.t -> N.t
+  val gemv_pool : Parallel.Pool.t -> m:int -> n:int -> a:V.t -> x:V.t -> y:V.t -> unit
+
+  val gemm_pool :
+    Parallel.Pool.t -> m:int -> n:int -> k:int -> a:V.t -> b:V.t -> c:V.t -> unit
+
+  val vec_of_floats : float array -> V.t
+  val vec_to_floats : V.t -> float array
+end

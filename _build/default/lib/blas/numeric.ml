@@ -22,3 +22,48 @@ module type S = sig
   val add : t -> t -> t
   val mul : t -> t -> t
 end
+
+(** Planar (structure-of-arrays) vectors over an arithmetic: the
+    batched counterpart of an element array, mirroring
+    {!Multifloat.Batch.V} so the hand-inlined planar MultiFloat
+    kernels plug in directly.  The fold and update operations fix the
+    accumulation order of the scalar kernels in {!Kernels.Make}, which
+    is what makes batched results bitwise equal to the scalar path. *)
+module type VEC = sig
+  type elt
+  type t
+
+  val terms : int
+  val length : t -> int
+  val create : int -> t
+  val copy : t -> t
+  val get : t -> int -> elt
+  val set : t -> int -> elt -> unit
+  val of_array : elt array -> t
+  val to_array : t -> elt array
+  val of_floats : float array -> t
+  val to_floats : t -> float array
+  val add : dst:t -> t -> t -> unit
+  val sub : dst:t -> t -> t -> unit
+  val mul : dst:t -> t -> t -> unit
+
+  val axpy : lo:int -> hi:int -> alpha:elt -> x:t -> y:t -> unit
+  (** [y.(i) <- add (mul alpha x.(i)) y.(i)]. *)
+
+  val madd : alpha:elt -> x:t -> xoff:int -> y:t -> yoff:int -> len:int -> unit
+  (** [y.(yoff+i) <- add y.(yoff+i) (mul alpha x.(xoff+i))]. *)
+
+  val dot : init:elt -> x:t -> xoff:int -> y:t -> yoff:int -> len:int -> elt
+  (** Index-order fold [acc <- add acc (mul x.(xoff+i) y.(yoff+i))]. *)
+end
+
+(** An arithmetic that additionally advertises a planar fast path.
+    Every {!BATCHED} is an {!S} (first-class-module coercion included),
+    so baselines without a planar representation simply stay {!S} and
+    keep the scalar kernels — same kernel code, same op-count
+    convention, the comparison still isolates the arithmetic. *)
+module type BATCHED = sig
+  include S
+
+  module V : VEC with type elt = t
+end

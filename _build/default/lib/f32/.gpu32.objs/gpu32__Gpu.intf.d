@@ -1,0 +1,1 @@
+lib/f32/gpu.mli:

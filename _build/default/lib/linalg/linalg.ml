@@ -251,3 +251,61 @@ module Refine (M : Multifloat.Ops.S) = struct
     in
     (!x, { iterations = !iters; final_residual_norm = !best; converged })
 end
+
+(* Same refinement scheme, but the extended-precision matrix and
+   solution live in a planar (structure-of-arrays) vector and the
+   residual rows are planar dot products.  The per-element arithmetic
+   and accumulation order match [Refine] exactly, so the returned
+   solution and stats are bitwise identical — only the layout (and the
+   allocation profile of the residual, the refinement hot loop)
+   changes. *)
+module Refine_batched
+    (M : Multifloat.Ops.S)
+    (V : Multifloat.Batch.V with type elt = M.t) =
+struct
+  module R = Refine (M)
+  module L = Make (M)
+
+  type stats = R.stats = {
+    iterations : int;
+    final_residual_norm : float;
+    converged : bool;
+  }
+
+  let solve ~n ~a ~b ?(max_iter = 50) () =
+    let lu = R.factor_double n a in
+    let am = V.of_array (Array.map M.of_float a) in
+    let xv = V.of_array (Array.map M.of_float (R.solve_double n lu (Array.map M.to_float b))) in
+    let resid_norm () =
+      let r =
+        Array.init n (fun i ->
+            M.sub b.(i) (V.dot ~init:M.zero ~x:am ~xoff:(i * n) ~y:xv ~yoff:0 ~len:n))
+      in
+      (r, M.to_float (L.norm_inf r))
+    in
+    let r, rn = resid_norm () in
+    let r = ref r and best = ref rn in
+    let iters = ref 0 in
+    let stalled = ref false in
+    let target () =
+      let xn = M.to_float (L.norm_inf (V.to_array xv)) in
+      Float.max xn 1e-300 *. Float.ldexp 1.0 (-(M.precision_bits + 2))
+    in
+    while (not !stalled) && !iters < max_iter && !best > target () do
+      incr iters;
+      let d = R.solve_double n lu (Array.map M.to_float !r) in
+      Array.iteri (fun i di -> V.set xv i (M.add_float (V.get xv i) di)) d;
+      let r', rn' = resid_norm () in
+      if rn' < !best then begin
+        best := rn';
+        r := r'
+      end
+      else stalled := true
+    done;
+    let x = V.to_array xv in
+    let xnorm = M.to_float (L.norm_inf x) in
+    let converged =
+      !best = 0.0 || (xnorm > 0.0 && !best /. xnorm < Float.ldexp 1.0 (-(M.precision_bits - 15)))
+    in
+    (x, { iterations = !iters; final_residual_norm = !best; converged })
+end

@@ -72,3 +72,23 @@ module Refine (M : Multifloat.Ops.S) : sig
       until the residual stops shrinking (typically
       [precision_bits / 50] iterations). *)
 end
+
+(** {!Refine} over a planar (structure-of-arrays) layout: the
+    extended-precision matrix and solution are stored as
+    {!Multifloat.Batch.V} vectors and the residual — the hot loop of
+    refinement — is computed row-wise with the hand-inlined planar dot
+    kernel.  Arithmetic and accumulation orders match {!Refine}
+    exactly, so solutions and stats are bitwise identical; only the
+    memory layout changes. *)
+module Refine_batched
+    (M : Multifloat.Ops.S)
+    (_ : Multifloat.Batch.V with type elt = M.t) : sig
+  type stats = {
+    iterations : int;
+    final_residual_norm : float;
+    converged : bool;
+  }
+
+  val solve :
+    n:int -> a:float array -> b:M.t array -> ?max_iter:int -> unit -> M.t array * stats
+end

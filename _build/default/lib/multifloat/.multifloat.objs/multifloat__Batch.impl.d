@@ -1,0 +1,1 @@
+lib/multifloat/batch.ml: Array Float Mf2 Mf3 Mf4

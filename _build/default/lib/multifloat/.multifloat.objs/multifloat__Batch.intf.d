@@ -1,0 +1,1 @@
+lib/multifloat/batch.mli: Mf2 Mf3 Mf4

@@ -1,0 +1,1 @@
+lib/multifloat/kernel.mli:

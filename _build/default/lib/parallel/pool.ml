@@ -91,6 +91,8 @@ let chunks ~lo ~hi ~parts =
     go 0 lo []
   end
 
+let chunk_ranges ~lo ~hi ~parts = chunks ~lo ~hi ~parts
+
 let parallel_for pool ~lo ~hi f =
   let jobs =
     List.map

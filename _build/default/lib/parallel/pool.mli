@@ -16,6 +16,13 @@ val create : ?domains:int -> unit -> t
 val size : t -> int
 (** Number of workers, including the calling domain. *)
 
+val chunk_ranges : lo:int -> hi:int -> parts:int -> (int * int) list
+(** The deterministic contiguous partition of [\[lo, hi)] into at most
+    [parts] half-open ranges that {!parallel_for} and
+    {!parallel_reduce} use (pure; exposed so batched kernels can
+    process the same chunks range-wise and reproduce the pooled
+    reduction order bit-for-bit). *)
+
 val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
 (** [parallel_for pool ~lo ~hi f] runs [f i] for [lo <= i < hi],
     partitioned into contiguous chunks across workers.  [f] must be

@@ -1,0 +1,1 @@
+test/test_batch.ml: Alcotest Array Blas Eft Float Fpan Int64 List Multifloat Parallel Printf QCheck QCheck_alcotest Random String

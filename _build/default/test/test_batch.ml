@@ -1,0 +1,282 @@
+(* Batched (planar, structure-of-arrays) kernels vs the scalar path.
+
+   The batch layer promises *bitwise* equality with the scalar kernels:
+   the per-element arithmetic is the same FPAN wire sequence, hand
+   inlined over component planes, and the accumulation orders match.
+   So these tests don't use error budgets — every comparison is on the
+   raw bits of every expansion component, over random inputs and over
+   the adversarial structures that break naive networks (massive
+   cancellation, ulp-adjacent values, powers of two, nonoverlapping
+   expansions with extreme gaps), sequential and pooled. *)
+
+let rng = Random.State.make [| 0xba7c; 11 |]
+
+let bits_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* A batched instance plus the scalar component surface the bitwise
+   comparison needs (Instances seals everything down to
+   Numeric.BATCHED, so the extra ops come from the multifloat module
+   itself). *)
+module type INSTANCE = sig
+  include Blas.Numeric.BATCHED
+
+  val sub : t -> t -> t
+  val components : t -> float array
+  val of_components : float array -> t
+end
+
+module CheckB (N : INSTANCE) = struct
+  module Ks = Blas.Kernels.Make (N)
+  module Kb = Blas.Kernels.Make_batched (N)
+  module V = Kb.V
+
+  let eq_t a b =
+    let ca = N.components a and cb = N.components b in
+    Array.length ca = Array.length cb
+    && Array.for_all2 (fun x y -> bits_eq x y) ca cb
+
+  let check_vec what xs v =
+    if Array.length xs <> V.length v then Alcotest.failf "%s %s: length" N.name what;
+    Array.iteri
+      (fun i x ->
+        if not (eq_t x (V.get v i)) then Alcotest.failf "%s %s: element %d differs" N.name what i)
+      xs
+
+  (* --- input vectors: random and adversarial, element for element --- *)
+
+  let random_elt () =
+    N.of_components (Fpan.Gen.expansion rng ~n:V.terms ~e0_min:(-40) ~e0_max:40 ())
+
+  let adversarial_elt i =
+    match i mod 4 with
+    | 0 ->
+        (* extreme inter-term gaps *)
+        N.of_components (Fpan.Gen.expansion rng ~n:V.terms ~e0_min:(-200) ~e0_max:200 ())
+    | 1 ->
+        (* ulp-adjacent to a power of two *)
+        let b = Float.ldexp 1.0 (Random.State.int rng 41 - 20) in
+        N.of_float (if Random.State.bool rng then Float.succ b else Float.pred b)
+    | 2 ->
+        (* exact power of two, half of them negative *)
+        let b = Float.ldexp 1.0 (Random.State.int rng 81 - 40) in
+        N.of_float (if Random.State.bool rng then b else -.b)
+    | _ -> random_elt ()
+
+  let random_elts n = Array.init n (fun _ -> random_elt ())
+  let adversarial_elts n = Array.init n adversarial_elt
+
+  (* y built to cancel massively against x: y_i = tiny - x_i, so
+     x_i + y_i collapses ~all leading bits. *)
+  let cancelling_against x =
+    Array.map
+      (fun xi -> N.sub (N.of_float (Float.ldexp (Random.State.float rng 1.0) (-45))) xi)
+      x
+
+  (* --- element/bulk op equality: add, sub, mul, roundtrips --- *)
+
+  let test_ops () =
+    List.iter
+      (fun (what, xs) ->
+        let n = Array.length xs in
+        let ys =
+          if what = "cancel" then cancelling_against xs
+          else adversarial_elts n
+        in
+        let xv = V.of_array xs and yv = V.of_array ys in
+        check_vec (what ^ " roundtrip") xs xv;
+        let dst = V.create n in
+        V.add ~dst xv yv;
+        check_vec (what ^ " add") (Array.map2 N.add xs ys) dst;
+        V.sub ~dst xv yv;
+        check_vec (what ^ " sub") (Array.map2 N.sub xs ys) dst;
+        V.mul ~dst xv yv;
+        check_vec (what ^ " mul") (Array.map2 N.mul xs ys) dst;
+        (* set/get and copy preserve bits *)
+        let cp = V.copy xv in
+        V.set cp 0 ys.(0);
+        if not (eq_t ys.(0) (V.get cp 0)) then Alcotest.failf "%s set/get" N.name;
+        check_vec "copy unaliased" xs xv)
+      [ ("random", random_elts 33); ("adversarial", adversarial_elts 33);
+        ("cancel", random_elts 33) ]
+
+  (* --- kernel equality, sequential --- *)
+
+  let check_kernels what xs ys =
+    let n = Array.length xs in
+    let xv = V.of_array xs and yv = V.of_array ys in
+    (* DOT *)
+    let ds = Ks.dot ~x:xs ~y:ys in
+    let db = Kb.dot ~x:xv ~y:yv in
+    if not (eq_t ds db) then Alcotest.failf "%s %s dot differs" N.name what;
+    (* AXPY *)
+    let alpha = adversarial_elt 0 in
+    let y1 = Array.copy ys and y2 = V.of_array ys in
+    Ks.axpy ~alpha ~x:xs ~y:y1;
+    Kb.axpy ~alpha ~x:xv ~y:y2;
+    check_vec (what ^ " axpy") y1 y2;
+    (* GEMV: reuse a prefix of xs as a 6x(n/6) matrix *)
+    let m = 6 in
+    let nn = n / m in
+    let am = Array.sub xs 0 (m * nn) in
+    let ys1 = Array.make m N.zero and ys2 = V.create m in
+    Ks.gemv ~m ~n:nn ~a:am ~x:(Array.sub ys 0 nn) ~y:ys1;
+    Kb.gemv ~m ~n:nn ~a:(V.of_array am) ~x:(V.of_array (Array.sub ys 0 nn)) ~y:ys2;
+    check_vec (what ^ " gemv") ys1 ys2;
+    (* GEMM: 4x5 * 5x3 *)
+    let m, k, nn = (4, 5, 3) in
+    let a = Array.sub xs 0 (m * k) and b = Array.sub ys 0 (k * nn) in
+    let c1 = Array.make (m * nn) N.zero in
+    let c2 = V.of_array c1 in
+    Ks.gemm ~m ~n:nn ~k ~a ~b ~c:c1;
+    Kb.gemm ~m ~n:nn ~k ~a:(V.of_array a) ~b:(V.of_array b) ~c:c2;
+    check_vec (what ^ " gemm") c1 c2
+
+  let test_kernels () =
+    let xs = random_elts 48 in
+    check_kernels "random" xs (random_elts 48);
+    check_kernels "cancel" xs (cancelling_against xs);
+    check_kernels "adversarial" (adversarial_elts 48) (adversarial_elts 48)
+
+  (* --- kernel equality, pooled: batched pooled must reproduce the
+     scalar pooled results bit-for-bit (same chunk partition, same
+     index-order combination), and the disjoint-write kernels must also
+     match their own sequential forms --- *)
+
+  let test_pool () =
+    Parallel.Pool.with_pool ~domains:3 (fun pool ->
+        List.iter
+          (fun (what, xs, ys) ->
+            let n = Array.length xs in
+            let xv = V.of_array xs and yv = V.of_array ys in
+            let ds = Ks.dot_pool pool ~x:xs ~y:ys in
+            let db = Kb.dot_pool pool ~x:xv ~y:yv in
+            if not (eq_t ds db) then Alcotest.failf "%s %s pool dot differs" N.name what;
+            let alpha = adversarial_elt 0 in
+            let y1 = Array.copy ys and y2 = V.of_array ys in
+            Ks.axpy_pool pool ~alpha ~x:xs ~y:y1;
+            Kb.axpy_pool pool ~alpha ~x:xv ~y:y2;
+            check_vec (what ^ " pool axpy") y1 y2;
+            let m = 6 in
+            let nn = n / m in
+            let am = Array.sub xs 0 (m * nn) in
+            let ys1 = Array.make m N.zero and ys2 = V.create m in
+            Ks.gemv_pool pool ~m ~n:nn ~a:am ~x:(Array.sub ys 0 nn) ~y:ys1;
+            Kb.gemv_pool pool ~m ~n:nn ~a:(V.of_array am) ~x:(V.of_array (Array.sub ys 0 nn))
+              ~y:ys2;
+            check_vec (what ^ " pool gemv") ys1 ys2;
+            let m, k, nn = (4, 5, 3) in
+            let a = Array.sub xs 0 (m * k) and b = Array.sub ys 0 (k * nn) in
+            let c1 = Array.make (m * nn) N.zero in
+            let c2 = V.of_array c1 in
+            Ks.gemm_pool pool ~m ~n:nn ~k ~a ~b ~c:c1;
+            Kb.gemm_pool pool ~m ~n:nn ~k ~a:(V.of_array a) ~b:(V.of_array b) ~c:c2;
+            check_vec (what ^ " pool gemm") c1 c2)
+          (let xs = random_elts 64 in
+           [ ("random", xs, random_elts 64);
+             ("cancel", xs, cancelling_against xs);
+             ("adversarial", adversarial_elts 64, adversarial_elts 64) ]))
+
+  (* --- outputs of the batched networks stay nonoverlapping (the
+     paper's Eq. 8 invariant), including under massive cancellation --- *)
+
+  let test_nonoverlap () =
+    let n = 64 in
+    let xs = random_elts n in
+    List.iter
+      (fun ys ->
+        let xv = V.of_array xs and yv = V.of_array ys in
+        let dst = V.create n in
+        List.iter
+          (fun (what, (op : dst:V.t -> V.t -> V.t -> unit)) ->
+            op ~dst xv yv;
+            for i = 0 to n - 1 do
+              if not (Eft.is_nonoverlapping_seq (N.components (V.get dst i))) then
+                Alcotest.failf "%s batched %s output %d overlaps" N.name what i
+            done)
+          [ ("add", V.add); ("sub", V.sub); ("mul", V.mul) ])
+      [ random_elts n; cancelling_against xs ]
+
+  (* --- qcheck: dot bitwise equality on arbitrary sign/magnitude mixes --- *)
+
+  let arb_elt_floats =
+    let open QCheck.Gen in
+    let tricky =
+      let* m = float_range (-2.0) 2.0 in
+      let* e = int_range (-40) 40 in
+      return (Float.ldexp m e)
+    in
+    let one = frequency [ (6, tricky); (1, return 0.0); (1, return 1.0); (1, return (-1.0)) ] in
+    QCheck.make
+      ~print:(fun l -> String.concat ";" (List.map (Printf.sprintf "%h") l))
+      (list_size (int_range 1 40) one)
+
+  let qcheck_dot =
+    QCheck.Test.make ~count:300 ~name:(N.name ^ " batched dot bitwise = scalar dot")
+      (QCheck.pair arb_elt_floats arb_elt_floats)
+      (fun (lx, ly) ->
+        let n = min (List.length lx) (List.length ly) in
+        let xs = Array.init n (List.nth lx) |> Array.map N.of_float in
+        let ys = Array.init n (List.nth ly) |> Array.map N.of_float in
+        eq_t (Ks.dot ~x:xs ~y:ys) (Kb.dot ~x:(V.of_array xs) ~y:(V.of_array ys)))
+
+  let qcheck_axpy =
+    QCheck.Test.make ~count:300 ~name:(N.name ^ " batched axpy bitwise = scalar axpy")
+      (QCheck.pair arb_elt_floats arb_elt_floats)
+      (fun (lx, ly) ->
+        let n = min (List.length lx) (List.length ly) in
+        let xs = Array.init n (List.nth lx) |> Array.map N.of_float in
+        let ys = Array.init n (List.nth ly) |> Array.map N.of_float in
+        let alpha = N.of_float (List.nth lx 0) in
+        let y1 = Array.copy ys and y2 = V.of_array ys in
+        Ks.axpy ~alpha ~x:xs ~y:y1;
+        Kb.axpy ~alpha ~x:(V.of_array xs) ~y:y2;
+        Array.for_all (fun b -> b) (Array.mapi (fun i v -> eq_t v (V.get y2 i)) y1))
+
+  let cases name =
+    [ Alcotest.test_case (name ^ " ops bitwise") `Quick test_ops;
+      Alcotest.test_case (name ^ " kernels bitwise") `Quick test_kernels;
+      Alcotest.test_case (name ^ " pooled bitwise") `Quick test_pool;
+      Alcotest.test_case (name ^ " outputs nonoverlapping") `Quick test_nonoverlap;
+      QCheck_alcotest.to_alcotest qcheck_dot;
+      QCheck_alcotest.to_alcotest qcheck_axpy ]
+end
+
+module C2 = CheckB (struct
+  include Blas.Instances.Mf2
+
+  let sub = Multifloat.Mf2.sub
+  let components = Multifloat.Mf2.components
+  let of_components = Multifloat.Mf2.of_components
+end)
+
+module C3 = CheckB (struct
+  include Blas.Instances.Mf3
+
+  let sub = Multifloat.Mf3.sub
+  let components = Multifloat.Mf3.components
+  let of_components = Multifloat.Mf3.of_components
+end)
+
+module C4 = CheckB (struct
+  include Blas.Instances.Mf4
+
+  let sub = Multifloat.Mf4.sub
+  let components = Multifloat.Mf4.components
+  let of_components = Multifloat.Mf4.of_components
+end)
+
+(* Double (Mf1v) rides the same planar machinery with a single plane. *)
+module C1 = CheckB (struct
+  include Blas.Instances.Double
+
+  let sub a b = a -. b
+  let components x = [| x |]
+  let of_components c = c.(0)
+end)
+
+let () =
+  Alcotest.run "batch"
+    [ ("double", C1.cases "double");
+      ("mf2", C2.cases "mf2");
+      ("mf3", C3.cases "mf3");
+      ("mf4", C4.cases "mf4") ]

@@ -2,7 +2,7 @@
     library zoo of the paper's evaluation, all driving the same kernel
     code in {!Kernels}. *)
 
-module Double : Numeric.S with type t = float = struct
+module Double : Numeric.BATCHED with type t = float = struct
   type t = float
 
   let name = "double"
@@ -12,27 +12,35 @@ module Double : Numeric.S with type t = float = struct
   let to_float x = x
   let add = ( +. )
   let mul = ( *. )
+
+  module V = Multifloat.Batch.Mf1v
 end
 
-module Mf2 : Numeric.S with type t = Multifloat.Mf2.t = struct
+module Mf2 : Numeric.BATCHED with type t = Multifloat.Mf2.t = struct
   include Multifloat.Mf2
 
   let name = "MultiFloats (ours)"
   let bits = 103
+
+  module V = Multifloat.Batch.Mf2v
 end
 
-module Mf3 : Numeric.S with type t = Multifloat.Mf3.t = struct
+module Mf3 : Numeric.BATCHED with type t = Multifloat.Mf3.t = struct
   include Multifloat.Mf3
 
   let name = "MultiFloats (ours)"
   let bits = 156
+
+  module V = Multifloat.Batch.Mf3v
 end
 
-module Mf4 : Numeric.S with type t = Multifloat.Mf4.t = struct
+module Mf4 : Numeric.BATCHED with type t = Multifloat.Mf4.t = struct
   include Multifloat.Mf4
 
   let name = "MultiFloats (ours)"
   let bits = 208
+
+  module V = Multifloat.Batch.Mf4v
 end
 
 module Qd_dd : Numeric.S with type t = Baselines.Qd_dd.t = struct
@@ -150,9 +158,12 @@ module Gpu_n (G : sig
   val zero : t
   val of_float : float -> t
   val to_float : t -> float
+  val components : t -> float array
+  val of_components : float array -> t
   val add : t -> t -> t
+  val sub : t -> t -> t
   val mul : t -> t -> t
-end) : Numeric.S with type t = G.t = struct
+end) : Numeric.BATCHED with type t = G.t = struct
   type t = G.t
 
   let name = Printf.sprintf "MultiFloat<float32,%d>" G.terms
@@ -162,6 +173,11 @@ end) : Numeric.S with type t = G.t = struct
   let to_float = G.to_float
   let add = G.add
   let mul = G.mul
+
+  (* Planar layout with element-at-a-time emulated-binary32 arithmetic:
+     no hand-inlined plane kernels for the GPU base type (yet), but the
+     same batched code path and accumulation orders. *)
+  module V = Multifloat.Batch.Of_scalar (G)
 end
 
 module Gpu1 = Gpu_n (Gpu32.Gpu.Mf1)

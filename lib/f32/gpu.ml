@@ -2,6 +2,31 @@
     datatypes of the paper's GPU experiment (Figure 11): extended
     precision built on single-precision hardware. *)
 
+(** The surface of one emulated-binary32 MultiFloat size (the result
+    signature of {!Multifloat.Generic.Make}, pinned so the instances
+    stop leaking their construction). *)
+module type GPU_MF = sig
+  type t
+
+  val terms : int
+  val precision_bits : int
+  val zero : t
+  val one : t
+  val of_float : float -> t
+  val to_float : t -> float
+  val components : t -> float array
+  val of_components : float array -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val sqrt : t -> t
+  val neg : t -> t
+  val abs : t -> t
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+end
+
 module Mf1 = Multifloat.Generic.Make
     (F32)
     (struct

@@ -1,0 +1,33 @@
+(** [MultiFloat<float, N>] over the emulated binary32 base — the
+    datatypes of the paper's GPU experiment (Figure 11): extended
+    precision built on single-precision hardware. *)
+
+(** The surface of one emulated-binary32 MultiFloat size (the result
+    signature of {!Multifloat.Generic.Make}, pinned here so the GPU
+    instances stop leaking their construction). *)
+module type GPU_MF = sig
+  type t
+
+  val terms : int
+  val precision_bits : int
+  val zero : t
+  val one : t
+  val of_float : float -> t
+  val to_float : t -> float
+  val components : t -> float array
+  val of_components : float array -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val sqrt : t -> t
+  val neg : t -> t
+  val abs : t -> t
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+end
+
+module Mf1 : GPU_MF
+module Mf2 : GPU_MF
+module Mf3 : GPU_MF
+module Mf4 : GPU_MF

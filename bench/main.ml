@@ -301,6 +301,8 @@ let kernel_n spec = function
   | Gemv -> spec.mv_n
   | Gemm -> spec.mm_n
 
+module Json_out = Check.Json_out
+
 let json_of_tables tables =
   Json_out.List
     (List.map

@@ -123,10 +123,103 @@ let check_n_cmd =
   in
   Cmd.v (Cmd.info "check-n" ~doc) Term.(const run $ n_arg $ cases_arg $ seed_arg)
 
+let fuzz_cmd =
+  let doc =
+    "Differential fuzz of every extended-precision implementation (MultiFloat scalar and batch, \
+     QD, CAMPARY, software FPU) against the exact-arithmetic oracle, with ulp histograms, \
+     bitwise scalar-vs-batch comparison, and counterexample shrinking.  Writes a JSON audit \
+     report and exits nonzero on any gated failure."
+  in
+  let cases_arg =
+    Arg.(value & opt int Check.Fuzz.default.Check.Fuzz.cases
+         & info [ "cases"; "n" ] ~docv:"N" ~doc:"Scalar cases per precision tier.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.") in
+  let ops_arg =
+    Arg.(value & opt (some string) None
+         & info [ "ops" ] ~docv:"OPS"
+             ~doc:"Comma-separated operation filter (add,sub,mul,div,sqrt,dot,axpy,gemv).")
+  in
+  let tiers_arg =
+    Arg.(value & opt (some string) None
+         & info [ "tiers" ] ~docv:"TIERS" ~doc:"Comma-separated term counts to audit (2,3,4).")
+  in
+  let vec_len_arg =
+    Arg.(value & opt int Check.Fuzz.default.Check.Fuzz.vec_len
+         & info [ "vec-len" ] ~docv:"N" ~doc:"Vector length for DOT/AXPY/GEMV cases.")
+  in
+  let out_arg =
+    Arg.(value & opt string "CHECK_report.json"
+         & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Where to write the JSON audit report.")
+  in
+  let split_commas s = String.split_on_char ',' s |> List.filter (fun p -> p <> "") in
+  let run cases seed ops tiers vec_len out =
+    (* The harness must prove it can catch a broken renormalization
+       before its clean bill of health means anything. *)
+    (match Check.Fuzz.self_test () with
+    | Error msg ->
+        prerr_endline msg;
+        exit 2
+    | Ok (finding, _, terms) ->
+        Printf.printf
+          "self-test: sloppy_add caught (%s on %s corpus, %.3g ulps), shrunk to %d terms\n%!"
+          (Check.Differ.kind_name finding.Check.Differ.kind)
+          (Check.Corpus.cls_name finding.Check.Differ.cls)
+          finding.Check.Differ.ulps terms);
+    let cfg =
+      { Check.Fuzz.default with
+        Check.Fuzz.cases; seed; vec_len;
+        ops =
+          (match ops with
+          | None -> Check.Fuzz.default.Check.Fuzz.ops
+          | Some s -> List.map Check.Corpus.op_of_name (split_commas s));
+        tiers =
+          (match tiers with
+          | None -> Check.Fuzz.default.Check.Fuzz.tiers
+          | Some s -> List.map int_of_string (split_commas s))
+      }
+    in
+    let report = Check.Fuzz.run cfg in
+    List.iter
+      (fun row ->
+        let st = row.Check.Fuzz.stats in
+        Printf.printf "%-10s %-5s %s  cases %7d  skipped %5d  max %10.4g ulps  mean %10.4g%s\n"
+          row.Check.Fuzz.impl row.Check.Fuzz.op
+          (if row.Check.Fuzz.gated then "gated" else "audit")
+          (Check.Ulp_stats.count st)
+          (Check.Ulp_stats.skipped st)
+          (Check.Ulp_stats.max_ulps st) (Check.Ulp_stats.mean st)
+          (if Check.Ulp_stats.exceed st > 0 then
+             Printf.sprintf "  EXCEED %d" (Check.Ulp_stats.exceed st)
+           else ""))
+      report.Check.Fuzz.rows;
+    List.iter
+      (fun f ->
+        Printf.printf "FAIL %s %s [%s] %s: shrunk to %d terms\n"
+          f.Check.Fuzz.finding.Check.Differ.impl
+          (Check.Corpus.op_name f.Check.Fuzz.finding.Check.Differ.op)
+          (Check.Corpus.cls_name f.Check.Fuzz.finding.Check.Differ.cls)
+          (Check.Differ.kind_name f.Check.Fuzz.finding.Check.Differ.kind)
+          f.Check.Fuzz.shrunk_terms;
+        Array.iteri
+          (fun i o ->
+            Printf.printf "  operand %d: %s\n" i
+              (String.concat " " (Array.to_list (Array.map (Printf.sprintf "%h") o))))
+          f.Check.Fuzz.shrunk)
+      report.Check.Fuzz.failures;
+    Check.Fuzz.write_report out report;
+    Printf.printf "%d scalar + %d vector cases; %d failure(s); report: %s\n"
+      report.Check.Fuzz.scalar_cases report.Check.Fuzz.vector_cases
+      report.Check.Fuzz.failure_count out;
+    if not (Check.Fuzz.passed report) then exit 1
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const run $ cases_arg $ seed_arg $ ops_arg $ tiers_arg $ vec_len_arg $ out_arg)
+
 let () =
   let doc = "Inspect and verify floating-point accumulation networks." in
   let info = Cmd.info "fpan_tool" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; show_cmd; check_cmd; check_all_cmd; check_n_cmd; dot_cmd; search_cmd; analyze_cmd; enumerate_cmd ]))
+          [ list_cmd; show_cmd; check_cmd; check_all_cmd; check_n_cmd; dot_cmd; search_cmd; analyze_cmd; enumerate_cmd; fuzz_cmd ]))

@@ -6,6 +6,8 @@ module type S = sig
   val one : t
   val of_float : float -> t
   val to_float : t -> float
+  val of_expansion : float array -> t
+  val to_expansion : n:int -> t -> float array
   val add : t -> t -> t
   val sub : t -> t -> t
   val mul : t -> t -> t
@@ -25,6 +27,8 @@ end) : S = struct
   let one = Bigfloat.of_int ~prec 1
   let of_float = Bigfloat.of_float ~prec
   let to_float = Bigfloat.to_float
+  let of_expansion = Bigfloat.of_expansion ~prec
+  let to_expansion = Bigfloat.to_expansion
   let add = Bigfloat.add
   let sub = Bigfloat.sub
   let mul = Bigfloat.mul

@@ -12,6 +12,15 @@ module type S = sig
   val one : t
   val of_float : float -> t
   val to_float : t -> float
+
+  val of_expansion : float array -> t
+  (** Round the exact sum of the components to [prec] bits — what an
+      MPFR-class library holds after ingesting a MultiFloat value. *)
+
+  val to_expansion : n:int -> t -> float array
+  (** First [n] terms of the nonoverlapping expansion of the value, for
+      full-precision accuracy audits (leading term first). *)
+
   val add : t -> t -> t
   val sub : t -> t -> t
   val mul : t -> t -> t

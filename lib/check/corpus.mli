@@ -1,0 +1,59 @@
+(** Structured adversarial input corpus for the differential audit.
+
+    Operands are raw component arrays ([terms]-term expansions, leading
+    term first): the one representation every implementation of a tier
+    can ingest — MultiFloat via [of_components], QD/CAMPARY structurally,
+    the software FPU by rounding the exact sum to its precision.
+
+    Each class targets a specific failure mode (massive cancellation,
+    ulp-adjacent ties, subnormal and near-overflow scales, interleaved
+    zeros, full-mantissa randoms, IEEE specials) and declares per
+    operation whether the oracle error bound is a hard {!gated} check
+    there; outside the gated envelope the audit records errors without
+    failing (Section 4.4 of the paper documents those deviations). *)
+
+type op = Add | Sub | Mul | Div | Sqrt | Dot | Axpy | Gemv
+
+val op_name : op -> string
+val op_of_name : string -> op
+(** Raises [Invalid_argument] on an unknown name. *)
+
+val scalar_ops : op list
+val vector_ops : op list
+val all_ops : op list
+
+type cls =
+  | Uniform
+  | Full_mantissa
+  | Cancellation
+  | Ulp_adjacent
+  | Wide_exponent
+  | Subnormal
+  | Near_overflow
+  | Zero_structure
+  | Special
+
+val cls_name : cls -> string
+
+val gated : cls -> op -> bool
+(** Is the oracle bound a hard pass/fail gate for this class and
+    operation? *)
+
+type case = {
+  cls : cls;
+  x : float array;
+  y : float array;
+}
+
+val has_special : float array -> bool
+(** Any non-finite component. *)
+
+val scalar_case : Random.State.t -> terms:int -> int -> case
+(** [scalar_case rng ~terms i]: the [i]-th scalar case (classes cycle
+    deterministically; the heavyweight classes appear twice per
+    cycle). *)
+
+val vector_case :
+  Random.State.t -> terms:int -> len:int -> int -> cls * float array array * float array array
+(** Element vectors for DOT/AXPY/GEMV, including exact-cancellation and
+    special-element structures. *)

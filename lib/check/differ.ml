@@ -1,0 +1,279 @@
+(* The differential driver: one corpus case, every implementation of a
+   tier, one oracle verdict each — plus the bitwise scalar-vs-batch
+   obligation for the planar path.
+
+   Verdict policy:
+   - gated implementations (MultiFloat scalar/batch) on a gated
+     class must (1) return finite components on finite inputs,
+     (2) return a nonoverlapping expansion (Eq. 8 of the paper), and
+     (3) sit within the per-operation error bound; any miss is a
+     failure handed to the sink together with a [keep] predicate that
+     re-runs the check, so the caller can shrink it;
+   - ungated implementations (and ungated classes) only feed the ulp
+     statistics;
+   - a batch implementation must additionally match its [bitref]
+     scalar twin bit-for-bit on every component — including NaN
+     payloads on the special corpus, where the oracle abstains. *)
+
+type kind =
+  | Bound_exceeded
+  | Nonfinite_result
+  | Overlapping_output
+  | Batch_mismatch
+
+let kind_name = function
+  | Bound_exceeded -> "bound-exceeded"
+  | Nonfinite_result -> "nonfinite-result"
+  | Overlapping_output -> "overlapping-output"
+  | Batch_mismatch -> "batch-mismatch"
+
+type finding = {
+  impl : string;
+  op : Corpus.op;
+  cls : Corpus.cls;
+  kind : kind;
+  inputs : float array array;
+  got : float array;
+  ulps : float;
+}
+
+type sink = {
+  on_ulps : Impls.t -> Corpus.op -> float -> unit;
+  on_skip : Impls.t -> Corpus.op -> unit;
+  on_fail : finding -> keep:(float array array -> bool) -> unit;
+}
+
+(* Per-operation gate bounds in units of 2^-q * |reference| (or the
+   magnitude sum for reductions).  add/sub/mul carry the verified
+   network bound itself (the 1e-6 covers the ~2^-50 noise of the float
+   ratio); Newton division and square root get a small constant factor;
+   length-n reductions the standard linear growth. *)
+let gate_bound op ~len =
+  match op with
+  | Corpus.Add | Corpus.Sub | Corpus.Mul -> 1.0 +. 1e-6
+  | Corpus.Div | Corpus.Sqrt -> 8.0
+  | Corpus.Axpy -> 4.0
+  | Corpus.Dot | Corpus.Gemv -> 4.0 *. Float.of_int (Stdlib.max 1 len)
+
+type result =
+  | Unsupported
+  | Raised
+  | Got of float array array  (* result elements, each a component array *)
+
+let finite_elts elts = Array.for_all (fun e -> Array.for_all Float.is_finite e) elts
+
+let bits_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let bitwise_eq_elts a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun ea eb -> Array.length ea = Array.length eb && Array.for_all2 bits_eq ea eb)
+       a b
+
+(* The shapes a flat operand list decodes to (shrinking mutates the
+   flat list; re-checking needs the structure back). *)
+type shape =
+  | Sc1                (* [|x|] *)
+  | Sc2                (* [|x; y|] *)
+  | Vdot               (* x elements then y elements, half and half *)
+  | Vaxpy              (* alpha, then x elements, then y elements *)
+  | Vgemv of int       (* m; a rows (m*n elements) then x (n elements) *)
+
+let run impl op ~shape (inputs : float array array) : result =
+  let app f = try Got (f ()) with _ -> Raised in
+  let opt o k = match o with None -> Unsupported | Some f -> k f in
+  match (op, shape) with
+  | Corpus.Add, Sc2 -> opt impl.Impls.add (fun f -> app (fun () -> [| f inputs.(0) inputs.(1) |]))
+  | Corpus.Sub, Sc2 -> opt impl.Impls.sub (fun f -> app (fun () -> [| f inputs.(0) inputs.(1) |]))
+  | Corpus.Mul, Sc2 -> opt impl.Impls.mul (fun f -> app (fun () -> [| f inputs.(0) inputs.(1) |]))
+  | Corpus.Div, Sc2 -> opt impl.Impls.div (fun f -> app (fun () -> [| f inputs.(0) inputs.(1) |]))
+  | Corpus.Sqrt, Sc1 -> opt impl.Impls.sqrt_ (fun f -> app (fun () -> [| f inputs.(0) |]))
+  | Corpus.Dot, Vdot ->
+      let n = Array.length inputs / 2 in
+      let x = Array.sub inputs 0 n and y = Array.sub inputs n n in
+      opt impl.Impls.dot (fun f -> app (fun () -> [| f x y |]))
+  | Corpus.Axpy, Vaxpy ->
+      let n = (Array.length inputs - 1) / 2 in
+      let alpha = inputs.(0) in
+      let x = Array.sub inputs 1 n and y = Array.sub inputs (1 + n) n in
+      opt impl.Impls.axpy (fun f -> app (fun () -> f ~alpha ~x ~y))
+  | Corpus.Gemv, Vgemv m ->
+      let n = Array.length inputs / (m + 1) in
+      let a = Array.sub inputs 0 (m * n) and x = Array.sub inputs (m * n) n in
+      opt impl.Impls.gemv (fun f -> app (fun () -> f ~m ~n ~a ~x))
+  | _ -> Unsupported
+
+let oracle_err op ~shape (inputs : float array array) (got : float array array) =
+  match (op, shape) with
+  | Corpus.Add, Sc2 -> Oracle.add_err ~x:inputs.(0) ~y:inputs.(1) ~got:got.(0)
+  | Corpus.Sub, Sc2 -> Oracle.sub_err ~x:inputs.(0) ~y:inputs.(1) ~got:got.(0)
+  | Corpus.Mul, Sc2 -> Oracle.mul_err ~x:inputs.(0) ~y:inputs.(1) ~got:got.(0)
+  | Corpus.Div, Sc2 -> Oracle.div_err ~x:inputs.(0) ~y:inputs.(1) ~got:got.(0)
+  | Corpus.Sqrt, Sc1 -> Oracle.sqrt_err ~x:inputs.(0) ~got:got.(0)
+  | Corpus.Dot, Vdot ->
+      let n = Array.length inputs / 2 in
+      Oracle.dot_err ~x:(Array.sub inputs 0 n) ~y:(Array.sub inputs n n) ~got:got.(0)
+  | Corpus.Axpy, Vaxpy ->
+      let n = (Array.length inputs - 1) / 2 in
+      Oracle.axpy_err ~alpha:inputs.(0) ~x:(Array.sub inputs 1 n)
+        ~y:(Array.sub inputs (1 + n) n) ~got
+  | Corpus.Gemv, Vgemv m ->
+      let n = Array.length inputs / (m + 1) in
+      Oracle.gemv_err ~m ~n ~a:(Array.sub inputs 0 (m * n)) ~x:(Array.sub inputs (m * n) n) ~got
+  | _ -> assert false
+
+(* A shrunk candidate must remain a well-formed gated case: finite
+   operands whose leading component is live (a zero leader over a live
+   tail breaks the magnitude-ordering precondition), plus the
+   per-operation guards. *)
+let valid_operand o =
+  Array.for_all Float.is_finite o && (o.(0) <> 0.0 || Array.for_all (fun v -> v = 0.0) o)
+
+let valid_gated_inputs op ~shape inputs =
+  Array.for_all valid_operand inputs
+  &&
+  match (op, shape) with
+  | Corpus.Div, Sc2 -> inputs.(1).(0) <> 0.0
+  | Corpus.Sqrt, Sc1 -> inputs.(0).(0) > 0.0 || Array.for_all (fun v -> v = 0.0) inputs.(0)
+  | _ -> true
+
+let gated_failure impl op ~shape ~q ~len inputs =
+  match run impl op ~shape inputs with
+  | Unsupported -> None
+  | Raised -> Some (Nonfinite_result, [||], Float.infinity)
+  | Got got ->
+      if not (finite_elts got) then
+        Some (Nonfinite_result, Array.concat (Array.to_list got), Float.infinity)
+      else if not (Array.for_all Eft.is_nonoverlapping_seq got) then
+        Some (Overlapping_output, Array.concat (Array.to_list got), Float.nan)
+      else begin
+        let ulps = Float.ldexp (oracle_err op ~shape inputs got) q in
+        if ulps > gate_bound op ~len then
+          Some (Bound_exceeded, Array.concat (Array.to_list got), ulps)
+        else None
+      end
+
+let batch_mismatch impl ref_impl op ~shape inputs =
+  let ra = run impl op ~shape inputs and rb = run ref_impl op ~shape inputs in
+  match (ra, rb) with
+  | Got a, Got b -> if bitwise_eq_elts a b then None else Some (Array.concat (Array.to_list a))
+  | Raised, Raised -> None
+  | Unsupported, _ | _, Unsupported -> None
+  | Raised, Got b -> Some (Array.concat (Array.to_list b))
+  | Got a, Raised -> Some (Array.concat (Array.to_list a))
+
+(* The shrinking predicate: does this (possibly mutated) input still
+   exhibit *some* gated failure for this implementation?  Shrinking is
+   allowed to morph one failure kind into another — any surviving
+   failure is a valid counterexample. *)
+let still_fails impl ~ref_impl op ~shape ~q ~len inputs =
+  (match ref_impl with
+  | Some r -> batch_mismatch impl r op ~shape inputs <> None
+  | None -> false)
+  || (valid_gated_inputs op ~shape inputs && gated_failure impl op ~shape ~q ~len inputs <> None)
+
+let emit sink impl op ~cls ~shape ~q ~len ~ref_impl (kind, got, ulps) inputs =
+  let finding = { impl = impl.Impls.name; op; cls; kind; inputs; got; ulps } in
+  sink.on_fail finding ~keep:(fun candidate -> still_fails impl ~ref_impl op ~shape ~q ~len candidate)
+
+(* Drive one op over one case for every implementation, then settle the
+   bitwise obligations among them. *)
+let drive sink ~impls ~q ~op ~cls ~shape ~len (inputs : float array array) =
+  let special = Array.exists Corpus.has_special inputs in
+  let oracle_on = Corpus.gated cls op && not special && valid_gated_inputs op ~shape inputs in
+  let results =
+    List.map
+      (fun impl ->
+        (* Baselines are not defined on IEEE specials (the Bigfloat FPU
+           asserts finiteness); only the branch-free paths, whose
+           Section 4.4 semantics the bitwise comparison pins, run there. *)
+        if special && not impl.Impls.gated then (impl, Unsupported)
+        else (impl, run impl op ~shape inputs))
+      impls
+  in
+  List.iter
+    (fun (impl, res) ->
+      match res with
+      | Unsupported -> ()
+      | Raised ->
+          if oracle_on && impl.Impls.gated then
+            emit sink impl op ~cls ~shape ~q ~len ~ref_impl:None
+              (Nonfinite_result, [||], Float.infinity)
+              inputs
+          else sink.on_skip impl op
+      | Got got ->
+          if not oracle_on then sink.on_skip impl op
+          else if not (finite_elts got) then begin
+            if impl.Impls.gated then
+              emit sink impl op ~cls ~shape ~q ~len ~ref_impl:None
+                (Nonfinite_result, Array.concat (Array.to_list got), Float.infinity)
+                inputs
+            else sink.on_skip impl op
+          end
+          else begin
+            let ulps = Float.ldexp (oracle_err op ~shape inputs got) q in
+            sink.on_ulps impl op ulps;
+            if impl.Impls.gated then begin
+              if not (Array.for_all Eft.is_nonoverlapping_seq got) then
+                emit sink impl op ~cls ~shape ~q ~len ~ref_impl:None
+                  (Overlapping_output, Array.concat (Array.to_list got), ulps)
+                  inputs
+              else if ulps > gate_bound op ~len then
+                emit sink impl op ~cls ~shape ~q ~len ~ref_impl:None
+                  (Bound_exceeded, Array.concat (Array.to_list got), ulps)
+                  inputs
+            end
+          end)
+    results;
+  (* Bitwise obligations: each batch implementation against its twin. *)
+  List.iter
+    (fun (impl, res) ->
+      match impl.Impls.bitref with
+      | None -> ()
+      | Some ref_name -> (
+          match List.find_opt (fun (i, _) -> i.Impls.name = ref_name) results with
+          | None -> ()
+          | Some (ref_impl, ref_res) -> (
+              match (res, ref_res) with
+              | Got a, Got b when not (bitwise_eq_elts a b) ->
+                  emit sink impl op ~cls ~shape ~q ~len ~ref_impl:(Some ref_impl)
+                    (Batch_mismatch, Array.concat (Array.to_list a), Float.nan)
+                    inputs
+              | (Raised, Got _ | Got _, Raised) ->
+                  emit sink impl op ~cls ~shape ~q ~len ~ref_impl:(Some ref_impl)
+                    (Batch_mismatch, [||], Float.nan)
+                    inputs
+              | _ -> ())))
+    results
+
+let scalar_shape op = match op with Corpus.Sqrt -> Sc1 | _ -> Sc2
+
+let run_scalar_case sink ~impls ~q ~ops ~(case : Corpus.case) =
+  List.iter
+    (fun op ->
+      if List.mem op Corpus.scalar_ops then begin
+        let shape = scalar_shape op in
+        let x =
+          (* Square root reads the magnitude: a negative operand would
+             only exercise the documented NaN path. *)
+          if op = Corpus.Sqrt && case.Corpus.x.(0) < 0.0 then Array.map Float.neg case.Corpus.x
+          else case.Corpus.x
+        in
+        let inputs = match shape with Sc1 -> [| x |] | _ -> [| x; case.Corpus.y |] in
+        drive sink ~impls ~q ~op ~cls:case.Corpus.cls ~shape ~len:1 inputs
+      end)
+    ops
+
+let run_vector_case sink ~impls ~q ~ops ~cls ~alpha ~x ~y ~a ~m =
+  let len = Array.length x in
+  List.iter
+    (fun op ->
+      match op with
+      | Corpus.Dot -> drive sink ~impls ~q ~op ~cls ~shape:Vdot ~len (Array.append x y)
+      | Corpus.Axpy ->
+          drive sink ~impls ~q ~op ~cls ~shape:Vaxpy ~len
+            (Array.concat [ [| alpha |]; x; y ])
+      | Corpus.Gemv ->
+          drive sink ~impls ~q ~op ~cls ~shape:(Vgemv m) ~len (Array.append a x)
+      | _ -> ())
+    ops

@@ -1,0 +1,52 @@
+(** The differential driver: runs one corpus case through every
+    implementation of a tier, scores each against the exact oracle, and
+    settles the bitwise scalar-vs-batch obligations.
+
+    Failures are reported through the sink together with a [keep]
+    predicate that re-runs the whole check on mutated inputs, so callers
+    can hand it straight to {!Shrink.shrink}. *)
+
+type kind =
+  | Bound_exceeded      (** gated error above the per-op bound *)
+  | Nonfinite_result    (** NaN/Inf (or an exception) on finite gated inputs *)
+  | Overlapping_output  (** result expansion violates nonoverlap *)
+  | Batch_mismatch      (** planar path differs bitwise from its scalar twin *)
+
+val kind_name : kind -> string
+
+type finding = {
+  impl : string;
+  op : Corpus.op;
+  cls : Corpus.cls;
+  kind : kind;
+  inputs : float array array;  (** flat operand list, shape implied by [op] *)
+  got : float array;           (** offending result components, concatenated *)
+  ulps : float;                (** observed error in tier-bound units; NaN if n/a *)
+}
+
+type sink = {
+  on_ulps : Impls.t -> Corpus.op -> float -> unit;
+  on_skip : Impls.t -> Corpus.op -> unit;
+  on_fail : finding -> keep:(float array array -> bool) -> unit;
+}
+
+val gate_bound : Corpus.op -> len:int -> float
+(** Hard bound, in units of [2^-q * |reference|], applied to gated
+    implementations on gated corpus classes. *)
+
+val run_scalar_case :
+  sink -> impls:Impls.t list -> q:int -> ops:Corpus.op list -> case:Corpus.case -> unit
+
+val run_vector_case :
+  sink ->
+  impls:Impls.t list ->
+  q:int ->
+  ops:Corpus.op list ->
+  cls:Corpus.cls ->
+  alpha:float array ->
+  x:float array array ->
+  y:float array array ->
+  a:float array array ->
+  m:int ->
+  unit
+(** [a] is a row-major [m * length x] element array for GEMV. *)

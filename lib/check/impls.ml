@@ -1,0 +1,242 @@
+(* The implementation registry: every arithmetic under audit behind one
+   uniform surface, operands and results as raw component arrays.
+
+   Per precision tier (2/3/4 terms) the registry carries:
+   - the MultiFloat scalar kernels (the verified FPAN path, gated);
+   - the planar Batch path (gated, plus a bitwise-equality obligation
+     against its scalar twin via [bitref]);
+   - the branching baselines: QD (tiers 2 and 4), CAMPARY (all tiers),
+     and the software FPU at the matching precision — audited for their
+     ulp histograms but never gated (their divergence under cancellation
+     is the paper's point, not a bug in this repository).
+
+   Vector kernels go through the real BLAS layer ({!Blas.Kernels}), not
+   a reimplementation, so the audit exercises the code users run. *)
+
+type vec = float array array
+
+type t = {
+  name : string;
+  terms : int;
+  gated : bool;
+  bitref : string option;
+      (* name of the implementation whose results must match bitwise *)
+  add : (float array -> float array -> float array) option;
+  sub : (float array -> float array -> float array) option;
+  mul : (float array -> float array -> float array) option;
+  div : (float array -> float array -> float array) option;
+  sqrt_ : (float array -> float array) option;
+  dot : (vec -> vec -> float array) option;
+  axpy : (alpha:float array -> x:vec -> y:vec -> vec) option;
+  gemv : (m:int -> n:int -> a:vec -> x:vec -> vec) option;
+}
+
+let q_of_terms = function
+  | 2 -> Multifloat.Mf2.error_exp
+  | 3 -> Multifloat.Mf3.error_exp
+  | 4 -> Multifloat.Mf4.error_exp
+  | n -> invalid_arg (Printf.sprintf "Impls.q_of_terms: %d" n)
+
+(* A scalar arithmetic pluggable into the audit: the BLAS numeric
+   surface plus lossless (or precision-faithful) expansion transport. *)
+module type ARITH = sig
+  include Blas.Numeric.S
+
+  val of_expansion : float array -> t
+  val to_expansion : t -> float array
+  val sub : t -> t -> t
+  val div_opt : (t -> t -> t) option
+  val sqrt_opt : (t -> t) option
+end
+
+module Lift (A : ARITH) = struct
+  module Ks = Blas.Kernels.Make (A)
+
+  let lift2 f x y = A.to_expansion (f (A.of_expansion x) (A.of_expansion y))
+  let lift1 f x = A.to_expansion (f (A.of_expansion x))
+  let vin = Array.map A.of_expansion
+  let vout = Array.map A.to_expansion
+
+  let impl ~name ~terms ~gated =
+    { name; terms; gated; bitref = None;
+      add = Some (lift2 A.add);
+      sub = Some (lift2 A.sub);
+      mul = Some (lift2 A.mul);
+      div = Option.map lift2 A.div_opt;
+      sqrt_ = Option.map lift1 A.sqrt_opt;
+      dot = Some (fun x y -> A.to_expansion (Ks.dot ~x:(vin x) ~y:(vin y)));
+      axpy =
+        Some
+          (fun ~alpha ~x ~y ->
+            let y' = vin y in
+            Ks.axpy ~alpha:(A.of_expansion alpha) ~x:(vin x) ~y:y';
+            vout y');
+      gemv =
+        Some
+          (fun ~m ~n ~a ~x ->
+            let y = Array.make m A.zero in
+            Ks.gemv ~m ~n ~a:(vin a) ~x:(vin x) ~y;
+            vout y)
+    }
+end
+
+module LiftBatch (N : sig
+  include Blas.Numeric.BATCHED
+
+  val of_expansion : float array -> t
+  val to_expansion : t -> float array
+end) =
+struct
+  module Kb = Blas.Kernels.Make_batched (N)
+  module V = Kb.V
+
+  let vin v = V.of_array (Array.map N.of_expansion v)
+  let vout v = Array.map N.to_expansion (V.to_array v)
+
+  let lift2 vop x y =
+    let vx = vin [| x |] and vy = vin [| y |] in
+    let dst = V.create 1 in
+    vop ~dst vx vy;
+    N.to_expansion (V.get dst 0)
+
+  let impl ~name ~terms ~bitref =
+    { name; terms; gated = true; bitref = Some bitref;
+      add = Some (lift2 V.add);
+      sub = Some (lift2 V.sub);
+      mul = Some (lift2 V.mul);
+      div = None;
+      sqrt_ = None;
+      dot = Some (fun x y -> N.to_expansion (Kb.dot ~x:(vin x) ~y:(vin y)));
+      axpy =
+        Some
+          (fun ~alpha ~x ~y ->
+            let y' = vin y in
+            Kb.axpy ~alpha:(N.of_expansion alpha) ~x:(vin x) ~y:y';
+            vout y');
+      gemv =
+        Some
+          (fun ~m ~n ~a ~x ->
+            let y = V.create m in
+            Kb.gemv ~m ~n ~a:(vin a) ~x:(vin x) ~y;
+            vout y)
+    }
+end
+
+(* --- MultiFloat scalar + batch ------------------------------------- *)
+
+module Mf2A = struct
+  include Blas.Instances.Mf2
+
+  let of_expansion = Multifloat.Mf2.of_components
+  let to_expansion = Multifloat.Mf2.components
+  let sub = Multifloat.Mf2.sub
+  let div_opt = Some Multifloat.Mf2.div
+  let sqrt_opt = Some Multifloat.Mf2.sqrt
+end
+
+module Mf3A = struct
+  include Blas.Instances.Mf3
+
+  let of_expansion = Multifloat.Mf3.of_components
+  let to_expansion = Multifloat.Mf3.components
+  let sub = Multifloat.Mf3.sub
+  let div_opt = Some Multifloat.Mf3.div
+  let sqrt_opt = Some Multifloat.Mf3.sqrt
+end
+
+module Mf4A = struct
+  include Blas.Instances.Mf4
+
+  let of_expansion = Multifloat.Mf4.of_components
+  let to_expansion = Multifloat.Mf4.components
+  let sub = Multifloat.Mf4.sub
+  let div_opt = Some Multifloat.Mf4.div
+  let sqrt_opt = Some Multifloat.Mf4.sqrt
+end
+
+module Mf2S = Lift (Mf2A)
+module Mf3S = Lift (Mf3A)
+module Mf4S = Lift (Mf4A)
+module Mf2B = LiftBatch (Mf2A)
+module Mf3B = LiftBatch (Mf3A)
+module Mf4B = LiftBatch (Mf4A)
+
+(* --- baselines ----------------------------------------------------- *)
+
+module QddA = struct
+  include Blas.Instances.Qd_dd
+
+  let of_expansion c = { Baselines.Qd_dd.hi = c.(0); lo = c.(1) }
+  let to_expansion = Baselines.Qd_dd.components
+  let sub = Baselines.Qd_dd.sub
+  let div_opt = Some Baselines.Qd_dd.div
+  let sqrt_opt = Some Baselines.Qd_dd.sqrt
+end
+
+module QqdA = struct
+  include Blas.Instances.Qd_qd
+
+  let of_expansion = Baselines.Qd_qd.of_components
+  let to_expansion = Baselines.Qd_qd.components
+  let sub = Baselines.Qd_qd.sub
+  let div_opt = Some Baselines.Qd_qd.div
+  let sqrt_opt = Some Baselines.Qd_qd.sqrt
+end
+
+module CamparyA (I : Blas.Numeric.S with type t = Baselines.Campary.t) = struct
+  include I
+
+  let of_expansion = Array.copy
+  let to_expansion = Array.copy
+  let sub = Baselines.Campary.sub
+  let div_opt = None
+  let sqrt_opt = None
+end
+
+module FpuA (P : Baselines.Fpu_emul.S) (I : Blas.Numeric.S with type t = P.t) (T : sig
+  val terms : int
+end) =
+struct
+  include I
+
+  let of_expansion = P.of_expansion
+  let to_expansion = P.to_expansion ~n:T.terms
+  let sub = P.sub
+  let div_opt = Some P.div
+  let sqrt_opt = Some P.sqrt
+end
+
+module QddS = Lift (QddA)
+module QqdS = Lift (QqdA)
+module Campary2S = Lift (CamparyA (Blas.Instances.Campary2))
+module Campary3S = Lift (CamparyA (Blas.Instances.Campary3))
+module Campary4S = Lift (CamparyA (Blas.Instances.Campary4))
+
+module Fpu103S =
+  Lift (FpuA (Baselines.Fpu_emul.P103) (Blas.Instances.Fpu103) (struct let terms = 2 end))
+
+module Fpu156S =
+  Lift (FpuA (Baselines.Fpu_emul.P156) (Blas.Instances.Fpu156) (struct let terms = 3 end))
+
+module Fpu208S =
+  Lift (FpuA (Baselines.Fpu_emul.P208) (Blas.Instances.Fpu208) (struct let terms = 4 end))
+
+let all =
+  [ Mf2S.impl ~name:"mf2" ~terms:2 ~gated:true;
+    Mf2B.impl ~name:"mf2-batch" ~terms:2 ~bitref:"mf2";
+    QddS.impl ~name:"qd-dd" ~terms:2 ~gated:false;
+    Campary2S.impl ~name:"campary2" ~terms:2 ~gated:false;
+    Fpu103S.impl ~name:"fpu103" ~terms:2 ~gated:false;
+    Mf3S.impl ~name:"mf3" ~terms:3 ~gated:true;
+    Mf3B.impl ~name:"mf3-batch" ~terms:3 ~bitref:"mf3";
+    Campary3S.impl ~name:"campary3" ~terms:3 ~gated:false;
+    Fpu156S.impl ~name:"fpu156" ~terms:3 ~gated:false;
+    Mf4S.impl ~name:"mf4" ~terms:4 ~gated:true;
+    Mf4B.impl ~name:"mf4-batch" ~terms:4 ~bitref:"mf4";
+    QqdS.impl ~name:"qd-qd" ~terms:4 ~gated:false;
+    Campary4S.impl ~name:"campary4" ~terms:4 ~gated:false;
+    Fpu208S.impl ~name:"fpu208" ~terms:4 ~gated:false
+  ]
+
+let tier terms = List.filter (fun i -> i.terms = terms) all
+let find name = List.find_opt (fun i -> i.name = name) all

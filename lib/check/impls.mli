@@ -1,0 +1,37 @@
+(** The implementation registry of the differential audit: every
+    arithmetic under comparison behind one uniform surface, operands and
+    results transported as raw component arrays.
+
+    Gated implementations (the MultiFloat scalar and planar Batch paths)
+    must stay within the per-format error bound on the gated corpus and,
+    for Batch, match their scalar twin {e bitwise} ([bitref]).  The
+    branching baselines — QD, CAMPARY, the software FPU — are audited
+    for their ulp histograms but never gated: their divergence under
+    cancellation is the paper's claim, not a defect here.  Vector
+    operations run through the production {!Blas.Kernels} code. *)
+
+type vec = float array array
+
+type t = {
+  name : string;
+  terms : int;
+  gated : bool;
+  bitref : string option;
+  add : (float array -> float array -> float array) option;
+  sub : (float array -> float array -> float array) option;
+  mul : (float array -> float array -> float array) option;
+  div : (float array -> float array -> float array) option;
+  sqrt_ : (float array -> float array) option;
+  dot : (vec -> vec -> float array) option;
+  axpy : (alpha:float array -> x:vec -> y:vec -> vec) option;
+  gemv : (m:int -> n:int -> a:vec -> x:vec -> vec) option;
+}
+
+val q_of_terms : int -> int
+(** The verified accuracy exponent of the tier's MultiFloat format
+    (103/156/208): the unit in which every implementation's error is
+    reported, so histograms are comparable within a tier. *)
+
+val all : t list
+val tier : int -> t list
+val find : string -> t option

@@ -1,0 +1,17 @@
+(** Minimal JSON writer for the machine-readable outputs
+    ([BENCH_*.json], [CHECK_report.json]).  Emission only, no parsing,
+    no dependencies; pretty-printed so the files diff cleanly across
+    runs.  Non-finite numbers are emitted as [null] (JSON has no
+    inf/nan literals); exact float transport uses {!Str} with C99 hex
+    notation instead. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val write_file : string -> t -> unit

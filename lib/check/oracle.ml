@@ -1,0 +1,106 @@
+(* Exact-arithmetic error oracle for the differential audit.
+
+   Every reference value is computed without rounding in the {!Exact}
+   expansion arithmetic (the same oracle the FPAN checker uses), so the
+   measured error is the implementation's alone:
+
+   - add/sub/mul/dot: the exact result is directly representable as an
+     expansion, and the error is the exact difference;
+   - div: a computed quotient q satisfies
+       |q - x/y| / |x/y| = |q*y - x| / |x|,
+     and the right-hand side needs only exact products and sums;
+   - sqrt: for s near sqrt(x),
+       |s - sqrt x| / sqrt x = |s^2 - x| / (2x) + O(eps^2),
+     and the second-order term is ~2^-200 of the first at our scales.
+
+   The final magnitude ratio is taken through float approximations of
+   the compressed exact differences: the ratio itself is then accurate
+   to ~2^-50 relative, which is ample for locating an error against a
+   2^-q bound provided the gates keep a little slack (they do).
+
+   The Bigfloat correctly-rounded software FPU is the *second* oracle
+   tier: it does not appear here (everything scalar is exact), but it
+   independently cross-checks the elementary functions in the golden
+   test suite, and the audited FPU baseline is itself Bigfloat-backed,
+   so a bug in either oracle would show up as a systematic divergence
+   between the two. *)
+
+let approx_abs e = Float.abs (Exact.approx (Exact.compress e))
+
+let value comps = Exact.sum_floats comps
+
+(* |ref - got| / denom as a float ratio; 0/0 is 0 (an exact result),
+   nonzero/0 is +inf (an impossible demand: any error at all when the
+   budget is zero). *)
+let ratio ~num ~den = if num = 0.0 then 0.0 else if den = 0.0 then Float.infinity else num /. den
+
+let err_vs ~reference ~got =
+  let diff = Exact.sum reference (Exact.neg (value got)) in
+  ratio ~num:(approx_abs diff) ~den:(approx_abs reference)
+
+let add_err ~x ~y ~got = err_vs ~reference:(Exact.sum (value x) (value y)) ~got
+let sub_err ~x ~y ~got = err_vs ~reference:(Exact.sum (value x) (Exact.neg (value y))) ~got
+let mul_err ~x ~y ~got = err_vs ~reference:(Exact.mul (value x) (value y)) ~got
+
+let div_err ~x ~y ~got =
+  let residual = Exact.sum (Exact.mul (value got) (value y)) (Exact.neg (value x)) in
+  ratio ~num:(approx_abs residual) ~den:(approx_abs (value x))
+
+let sqrt_err ~x ~got =
+  let g = value got in
+  let residual = Exact.sum (Exact.mul g g) (Exact.neg (value x)) in
+  ratio ~num:(approx_abs residual) ~den:(2.0 *. approx_abs (value x))
+
+(* Vector reductions: the error budget scales with the magnitude sum
+   (sum of |x_i * y_i|), not the possibly-cancelled result — the
+   standard forward bound for a length-n recursive summation, and the
+   only meaningful yardstick on the ill-conditioned corpus. *)
+
+let abs_exact e = if Exact.sign e < 0 then Exact.neg e else e
+
+let dot_refs ~x ~y =
+  let n = Array.length x in
+  let acc = ref Exact.zero and mag = ref Exact.zero in
+  for i = 0 to n - 1 do
+    let p = Exact.mul (value x.(i)) (value y.(i)) in
+    acc := Exact.sum !acc p;
+    mag := Exact.sum !mag (abs_exact p)
+  done;
+  (!acc, !mag)
+
+let dot_err ~x ~y ~got =
+  let reference, mag = dot_refs ~x ~y in
+  let diff = Exact.sum reference (Exact.neg (value got)) in
+  ratio ~num:(approx_abs diff) ~den:(approx_abs mag)
+
+let axpy_elt_refs ~alpha ~x ~y =
+  let p = Exact.mul (value alpha) (value x) in
+  let reference = Exact.sum p (value y) in
+  let mag = Exact.sum (abs_exact p) (abs_exact (value y)) in
+  (reference, mag)
+
+(* Max elementwise error of an AXPY result, each element against its
+   own magnitude budget. *)
+let axpy_err ~alpha ~x ~y ~got =
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i gi ->
+      let reference, mag = axpy_elt_refs ~alpha ~x:x.(i) ~y:y.(i) in
+      let diff = Exact.sum reference (Exact.neg (value gi)) in
+      let r = ratio ~num:(approx_abs diff) ~den:(approx_abs mag) in
+      if r > !worst then worst := r)
+    got;
+  !worst
+
+(* Max rowwise error of a GEMV result: row i of A dotted with x,
+   against that row's magnitude budget. *)
+let gemv_err ~m ~n ~a ~x ~got =
+  let worst = ref 0.0 in
+  for i = 0 to m - 1 do
+    let row = Array.sub a (i * n) n in
+    let reference, mag = dot_refs ~x:row ~y:x in
+    let diff = Exact.sum reference (Exact.neg (value got.(i))) in
+    let r = ratio ~num:(approx_abs diff) ~den:(approx_abs mag) in
+    if r > !worst then worst := r
+  done;
+  !worst

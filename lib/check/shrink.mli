@@ -1,0 +1,14 @@
+(** Greedy counterexample shrinking to locally minimal failing inputs.
+
+    [shrink ~keep inputs] repeatedly simplifies individual components
+    (to zero, to a power of two in the same binade, to short mantissas)
+    while [keep] — which re-runs the failing check — stays true, until
+    no single component can be simplified further.  [keep] is called on
+    the mutated array in place; exceptions inside it count as "no
+    longer failing". *)
+
+val shrink : keep:(float array array -> bool) -> float array array -> float array array
+
+val nonzero_terms : float array array -> int
+(** Nonzero components across all operands — the "≤ n-term
+    counterexample" size measure. *)

@@ -1,0 +1,73 @@
+(* Per-(implementation, operation) error statistics in units of the
+   tier bound 2^-q * |reference| ("ulps" below).  The histogram is
+   log2-bucketed: bucket 0 collects everything below 2^lo_exp
+   (including exact results), the last bucket everything at or above
+   2^hi_exp, and bucket i in between covers [2^(lo_exp+i-1),
+   2^(lo_exp+i)).  A verified FPAN implementation should concentrate
+   in the buckets at or below 1 ulp; the branching baselines spread
+   right of it — the per-format shape Figure 1 of the paper argues
+   about, now machine-readable. *)
+
+let lo_exp = -12
+let hi_exp = 12
+let nbuckets = hi_exp - lo_exp + 2
+
+type t = {
+  mutable count : int;
+  mutable skipped : int;
+  mutable nonfinite : int;
+  mutable exceed : int;
+  mutable max_ulps : float;
+  mutable sum_ulps : float;
+  buckets : int array;
+}
+
+let create () =
+  { count = 0; skipped = 0; nonfinite = 0; exceed = 0; max_ulps = 0.0; sum_ulps = 0.0;
+    buckets = Array.make nbuckets 0 }
+
+let bucket_of ulps =
+  if ulps < Float.ldexp 1.0 lo_exp then 0
+  else if not (ulps < Float.ldexp 1.0 hi_exp) then nbuckets - 1
+  else begin
+    let b = 1 + (int_of_float (Float.floor (Float.log2 ulps)) - lo_exp) in
+    Stdlib.min (nbuckets - 2) (Stdlib.max 1 b)
+  end
+
+let record t ulps =
+  t.count <- t.count + 1;
+  if Float.is_nan ulps then t.nonfinite <- t.nonfinite + 1
+  else begin
+    if ulps > t.max_ulps then t.max_ulps <- ulps;
+    if Float.is_finite ulps then t.sum_ulps <- t.sum_ulps +. ulps;
+    t.buckets.(bucket_of ulps) <- t.buckets.(bucket_of ulps) + 1
+  end
+
+let skip t = t.skipped <- t.skipped + 1
+let fail t = t.exceed <- t.exceed + 1
+
+let mean t = if t.count = 0 then 0.0 else t.sum_ulps /. Float.of_int t.count
+let count t = t.count
+let skipped t = t.skipped
+let max_ulps t = t.max_ulps
+let exceed t = t.exceed
+
+let to_json ~impl ~op ~q ~gated t =
+  Json_out.Obj
+    [ ("impl", Json_out.Str impl);
+      ("op", Json_out.Str op);
+      ("q", Json_out.Num (Float.of_int q));
+      ("gated", Json_out.Bool gated);
+      ("count", Json_out.Num (Float.of_int t.count));
+      ("skipped", Json_out.Num (Float.of_int t.skipped));
+      ("nonfinite", Json_out.Num (Float.of_int t.nonfinite));
+      ("exceed", Json_out.Num (Float.of_int t.exceed));
+      ("max_ulps", Json_out.Num t.max_ulps);
+      ("mean_ulps", Json_out.Num (mean t));
+      ( "histogram",
+        Json_out.Obj
+          [ ("lo_exp", Json_out.Num (Float.of_int lo_exp));
+            ("hi_exp", Json_out.Num (Float.of_int hi_exp));
+            ("buckets", Json_out.List (Array.to_list (Array.map (fun c -> Json_out.Num (Float.of_int c)) t.buckets)))
+          ] )
+    ]

@@ -1,0 +1,50 @@
+(* The randomized verifier on the multiplication networks: mul2/mul3/mul4
+   driven through Checker.check_mul (TwoProd expansion step included)
+   must satisfy both Section 3 correctness conditions, with the observed
+   worst discarded-error mass below the format's claimed 2^-q bound.
+
+   The worst_error_log2 assertion is the quantitative half: it is the
+   measured analogue of the SMT certificate, and a regression in a
+   renormalization wire order shows up here as the bound creeping above
+   -error_exp long before it breaks an end-to-end value test. *)
+
+let check_network name net terms =
+  let expand = Fpan.Networks.mul_expand terms in
+  let report = Fpan.Checker.check_mul net ~terms ~expand ~cases:20_000 ~seed:1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s passes both correctness conditions" name)
+    true
+    (Fpan.Checker.passed report);
+  Alcotest.(check int) (Printf.sprintf "%s ran all cases" name) 20_000 report.Fpan.Checker.cases_run;
+  let bound = -.Float.of_int net.Fpan.Network.error_exp in
+  if report.Fpan.Checker.worst_error_log2 > bound then
+    Alcotest.failf "%s: worst discarded error 2^%.2f above claimed bound 2^%.0f" name
+      report.Fpan.Checker.worst_error_log2 bound
+
+let test_mul2 () = check_network "mul2" Fpan.Networks.mul2 2
+let test_mul3 () = check_network "mul3" Fpan.Networks.mul3 3
+let test_mul4 () = check_network "mul4" Fpan.Networks.mul4 4
+
+(* The verifier itself must have teeth: dropping the last renormalization
+   gate from mul2 (a plausible "optimization" bug) has to be caught. *)
+let test_checker_catches_truncated_net () =
+  let net = Fpan.Networks.mul2 in
+  let truncated =
+    { net with
+      Fpan.Network.gates =
+        Array.sub net.Fpan.Network.gates 0 (Array.length net.Fpan.Network.gates - 1)
+    }
+  in
+  let report =
+    Fpan.Checker.check_mul truncated ~terms:2 ~expand:(Fpan.Networks.mul_expand 2) ~cases:20_000
+      ~seed:1
+  in
+  Alcotest.(check bool) "truncated mul2 is rejected" false (Fpan.Checker.passed report)
+
+let () =
+  Alcotest.run "checker-mul"
+    [ ( "section-3-bounds",
+        [ Alcotest.test_case "mul2" `Quick test_mul2;
+          Alcotest.test_case "mul3" `Quick test_mul3;
+          Alcotest.test_case "mul4" `Quick test_mul4;
+          Alcotest.test_case "truncated net caught" `Quick test_checker_catches_truncated_net ] ) ]

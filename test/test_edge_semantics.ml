@@ -88,6 +88,74 @@ let test_comparisons_with_specials () =
   Alcotest.(check bool) "min/max total on finites" true
     (M2.equal (M2.min M2.one M2.two) M2.one && M2.equal (M2.max M2.one M2.two) M2.two)
 
+(* The planar Batch path advertises bitwise equality with the scalar
+   kernels — including on the special values above, where "the
+   documented deviation" must be the SAME deviation: the same NaN
+   collapse, the same sign-of-zero loss, the same overflow behavior,
+   component for component. *)
+
+let special_pool =
+  [ Float.nan; Float.infinity; Float.neg_infinity; 0.0; -0.0; Float.max_float; -.Float.max_float;
+    0x1p-1074; -0x1p-1074; 1.0; -1.5; 0x1.fffffffffffffp+1023 ]
+
+let bits_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let check_batch_matches_scalar (type s v) (name : string)
+    (module S : Multifloat.Batch.SCALAR with type t = s)
+    (module V : Multifloat.Batch.V with type elt = s and type t = v) ops =
+  let pool = Array.of_list special_pool in
+  let n = Array.length pool in
+  (* All ordered pairs of specials in the leading component, a few with
+     live tails, as one batch. *)
+  let mk f = S.of_components (Array.init S.terms (fun i -> if i = 0 then f else 0.0)) in
+  let mk_tail f =
+    S.of_components
+      (Array.init S.terms (fun i -> if i = 0 then f else if i = 1 then 0x1p-60 else 0.0))
+  in
+  let xs = Array.init (n * n * 2) (fun k -> (if k < n * n then mk else mk_tail) pool.(k mod n)) in
+  let ys = Array.init (n * n * 2) (fun k -> (if k < n * n then mk else mk_tail) pool.(k / n mod n)) in
+  List.iter
+    (fun (opname, scalar_op, batch_op) ->
+      let vx = V.of_array xs and vy = V.of_array ys in
+      let dst = V.create (Array.length xs) in
+      batch_op ~dst vx vy;
+      Array.iteri
+        (fun i x ->
+          let want = S.components (scalar_op x ys.(i)) in
+          let got = S.components (V.get dst i) in
+          let ok = Array.for_all2 bits_eq want got in
+          if not ok then
+            Alcotest.failf "%s %s: lane %d differs bitwise from scalar (want %s, got %s)" name
+              opname i
+              (String.concat " " (Array.to_list (Array.map (Printf.sprintf "%h") want)))
+              (String.concat " " (Array.to_list (Array.map (Printf.sprintf "%h") got))))
+        xs)
+    ops
+
+let test_batch_specials_mf2 () =
+  check_batch_matches_scalar "mf2"
+    (module Multifloat.Mf2)
+    (module Multifloat.Batch.Mf2v)
+    [ ("add", Multifloat.Mf2.add, Multifloat.Batch.Mf2v.add);
+      ("sub", Multifloat.Mf2.sub, Multifloat.Batch.Mf2v.sub);
+      ("mul", Multifloat.Mf2.mul, Multifloat.Batch.Mf2v.mul) ]
+
+let test_batch_specials_mf3 () =
+  check_batch_matches_scalar "mf3"
+    (module Multifloat.Mf3)
+    (module Multifloat.Batch.Mf3v)
+    [ ("add", Multifloat.Mf3.add, Multifloat.Batch.Mf3v.add);
+      ("sub", Multifloat.Mf3.sub, Multifloat.Batch.Mf3v.sub);
+      ("mul", Multifloat.Mf3.mul, Multifloat.Batch.Mf3v.mul) ]
+
+let test_batch_specials_mf4 () =
+  check_batch_matches_scalar "mf4"
+    (module Multifloat.Mf4)
+    (module Multifloat.Batch.Mf4v)
+    [ ("add", Multifloat.Mf4.add, Multifloat.Batch.Mf4v.add);
+      ("sub", Multifloat.Mf4.sub, Multifloat.Batch.Mf4v.sub);
+      ("mul", Multifloat.Mf4.mul, Multifloat.Batch.Mf4v.mul) ]
+
 let () =
   Alcotest.run "edge-semantics"
     [ ( "section-4.4",
@@ -98,4 +166,8 @@ let () =
           Alcotest.test_case "gradual underflow" `Quick test_underflow_gradual;
           Alcotest.test_case "exponent range" `Quick test_exponent_range_not_extended;
           Alcotest.test_case "division by zero" `Quick test_division_by_zero;
-          Alcotest.test_case "comparisons" `Quick test_comparisons_with_specials ] ) ]
+          Alcotest.test_case "comparisons" `Quick test_comparisons_with_specials ] );
+      ( "batch-bitwise",
+        [ Alcotest.test_case "mf2 specials" `Quick test_batch_specials_mf2;
+          Alcotest.test_case "mf3 specials" `Quick test_batch_specials_mf3;
+          Alcotest.test_case "mf4 specials" `Quick test_batch_specials_mf4 ] ) ]

@@ -7,7 +7,8 @@
      dune exec bench/main.exe -- fig9 fig11   -- selected experiments
      dune exec bench/main.exe -- --quick ...  -- shorter timing windows
 
-   Experiments: counts accuracy fig8 fig9 fig10 fig11 ablations bechamel
+   Experiments: counts accuracy fig8 fig9 fig10 fig11 exponent-range
+                ablation-layout ablation-sched ablations application bechamel
 
    Absolute numbers are OCaml-on-one-core, not Zen 5/M3 silicon; the
    claims under reproduction are the RATIOS and RANKINGS (who wins, by
@@ -113,33 +114,42 @@ let bench_cell_scalar (module N : Blas.Numeric.S) spec kernel =
       let c = Array.make (n * n) N.zero in
       gops ~ops:(n * n * n) (fun () -> K.gemm ~m:n ~n ~k:n ~a ~b ~c)
 
+(* The production parallel substrate for the planar rows: one shared
+   work-stealing scheduler (lib/runtime), sized to the machine.  The
+   legacy Parallel.Pool path survives as the [ablation-sched]
+   baseline. *)
+let sched = lazy (Runtime.Sched.create ())
+
+let sched_rt () = Lazy.force sched
+
 let bench_cell_batched (module N : Blas.Numeric.BATCHED) spec kernel =
   let module K = Blas.Kernels.Make_batched (N) in
+  let rt = sched_rt () in
   match kernel with
   | Axpy ->
       let n = spec.vec_n in
       let x = K.vec_of_floats (random_floats n) in
       let y = K.vec_of_floats (random_floats n) in
       let alpha = N.of_float 0.999999 in
-      gops ~ops:n (fun () -> K.axpy ~alpha ~x ~y)
+      gops ~ops:n (fun () -> K.axpy_rt rt ~alpha ~x ~y)
   | Dot ->
       let n = spec.vec_n in
       let x = K.vec_of_floats (random_floats n) in
       let y = K.vec_of_floats (random_floats n) in
       let sink = ref N.zero in
-      gops ~ops:n (fun () -> sink := K.dot ~x ~y)
+      gops ~ops:n (fun () -> sink := K.dot_rt rt ~x ~y)
   | Gemv ->
       let n = spec.mv_n in
       let a = K.vec_of_floats (random_floats (n * n)) in
       let x = K.vec_of_floats (random_floats n) in
       let y = K.V.create n in
-      gops ~ops:(n * n) (fun () -> K.gemv ~m:n ~n ~a ~x ~y)
+      gops ~ops:(n * n) (fun () -> K.gemv_rt rt ~m:n ~n ~a ~x ~y)
   | Gemm ->
       let n = spec.mm_n in
       let a = K.vec_of_floats (random_floats (n * n)) in
       let b = K.vec_of_floats (random_floats (n * n)) in
       let c = K.V.create (n * n) in
-      gops ~ops:(n * n * n) (fun () -> K.gemm ~m:n ~n ~k:n ~a ~b ~c)
+      gops ~ops:(n * n * n) (fun () -> K.gemm_rt rt ~m:n ~n ~k:n ~a ~b ~c ())
 
 let bench_cell spec kernel =
   match spec.num with
@@ -357,7 +367,7 @@ let layout_speedups tables =
       | _ -> [])
     tables
 
-let write_table_json ~file ~experiment ~note tables =
+let write_table_json ?(extra = []) ~file ~experiment ~note tables =
   if tables <> [] then begin
     let speedups = layout_speedups tables in
     let fields =
@@ -366,9 +376,48 @@ let write_table_json ~file ~experiment ~note tables =
         ("note", Json_out.Str note);
         ("tables", json_of_tables tables) ]
       @ (if speedups = [] then [] else [ ("layout_speedup", Json_out.List speedups) ])
+      @ extra
     in
     Json_out.write_file file (Json_out.Obj fields)
   end
+
+(* Execution-telemetry block for BENCH_fig9.json: run the tiled
+   103-bit runtime GEMM on a fresh scheduler and serialize the
+   per-worker counters.  Two workers minimum so the steal machinery is
+   actually exercised (on a one-core box the domains time-slice; the
+   counters stay exact either way). *)
+let sched_telemetry_block () =
+  let n = if !min_time < 0.2 then 96 else 256 in
+  let workers = max 2 (Domain.recommended_domain_count ()) in
+  let module K = Blas.Kernels.Make_batched (Blas.Instances.Mf2) in
+  Runtime.Sched.with_sched ~workers (fun rt ->
+      let a = K.vec_of_floats (random_floats (n * n)) in
+      let b = K.vec_of_floats (random_floats (n * n)) in
+      let c = K.V.create (n * n) in
+      Runtime.Sched.reset_stats rt;
+      let t0 = now_s () in
+      K.gemm_rt rt ~m:n ~n ~k:n ~a ~b ~c ();
+      let wall = now_s () -. t0 in
+      let per_worker =
+        Array.to_list (Runtime.Sched.stats rt)
+        |> List.map (fun s ->
+               Json_out.Obj
+                 [ ("worker", Json_out.Num (Float.of_int s.Runtime.Sched.worker_id));
+                   ("tasks", Json_out.Num (Float.of_int s.Runtime.Sched.tasks_executed));
+                   ("steals", Json_out.Num (Float.of_int s.Runtime.Sched.steals));
+                   ("tile_flops", Json_out.Num (Float.of_int s.Runtime.Sched.tile_flops));
+                   ("busy_fraction", Json_out.Num (Runtime.Sched.busy_fraction s)) ])
+      in
+      ( "sched",
+        Json_out.Obj
+          [ ("engine", Json_out.Str "work-stealing tiled runtime (lib/runtime)");
+            ("kernel", Json_out.Str "GEMM");
+            ("bits", Json_out.Num 103.0);
+            ("n", Json_out.Num (Float.of_int n));
+            ("workers", Json_out.Num (Float.of_int workers));
+            ("tile", Json_out.Str "32x32");
+            ("wall_s", Json_out.Num wall);
+            ("per_worker", Json_out.List per_worker) ] ))
 
 let fig9 () =
   print_endline "\n=== Figure 9 (CPU tables): AXPY/DOT/GEMV/GEMM at 53/103/156/208 bits ===";
@@ -442,6 +491,68 @@ let ablation_layout () =
   print_endline "(the planar path wins twice: no boxed-record pointer chase, and the";
   print_endline " hand-inlined plane loops replace one non-inlined closure call per";
   print_endline " element-op — which is why even the 53-bit row speeds up)"
+
+(* Scheduler ablation: the work-stealing tiled runtime GEMM against
+   the legacy row-parallel Parallel.Pool path and the sequential
+   batched kernel, at matched domain counts, with bitwise-equality
+   checks across every configuration (all three reproduce the
+   sequential accumulation order). *)
+let ablation_sched () =
+  print_endline "\n=== Ablation: work-stealing tiled runtime vs legacy domain pool (103-bit GEMM) ===";
+  let n = if !min_time < 0.2 then 96 else 256 in
+  let reps = if !min_time < 0.2 then 2 else 3 in
+  let module K = Blas.Kernels.Make_batched (Blas.Instances.Mf2) in
+  let a = K.vec_of_floats (random_floats (n * n)) in
+  let b = K.vec_of_floats (random_floats (n * n)) in
+  let time_gemm f =
+    (* fresh C per rep (GEMM accumulates); one untimed warmup, then
+       report the best wall clock *)
+    f (K.V.create (n * n));
+    let best = ref infinity in
+    let result = ref None in
+    for _ = 1 to reps do
+      let c = K.V.create (n * n) in
+      let t0 = now_s () in
+      f c;
+      let dt = now_s () -. t0 in
+      if dt < !best then best := dt;
+      result := Some (K.vec_to_floats c)
+    done;
+    (!best, Option.get !result)
+  in
+  let gops_of dt = Float.of_int (n * n * n) /. dt *. 1e-9 in
+  let t_seq, ref_c = time_gemm (fun c -> K.gemm ~m:n ~n ~k:n ~a ~b ~c) in
+  Printf.printf "  n = %d, %d reps, best wall clock per configuration\n" n reps;
+  Printf.printf "  %-34s %10s %10s %9s %8s\n" "configuration" "wall (s)" "Gop/s" "vs seq" "bitwise";
+  Printf.printf "  %-34s %10.4f %10.4f %9s %8s\n" "sequential batched kernel" t_seq (gops_of t_seq)
+    "1.00x" "ref";
+  let check c = if c = ref_c then "yes" else "NO!" in
+  List.iter
+    (fun d ->
+      let t_pool, c_pool =
+        Parallel.Pool.with_pool ~domains:d (fun pool ->
+            time_gemm (fun c -> K.gemm_pool pool ~m:n ~n ~k:n ~a ~b ~c))
+      in
+      Printf.printf "  %-34s %10.4f %10.4f %8.2fx %8s\n"
+        (Printf.sprintf "pool (row-parallel), %d domains" d)
+        t_pool (gops_of t_pool) (t_seq /. t_pool) (check c_pool);
+      let (t_rt, c_rt), steals =
+        Runtime.Sched.with_sched ~workers:d (fun rt ->
+            Runtime.Sched.reset_stats rt;
+            let r = time_gemm (fun c -> K.gemm_rt rt ~m:n ~n ~k:n ~a ~b ~c ()) in
+            let steals =
+              Array.fold_left
+                (fun acc s -> acc + s.Runtime.Sched.steals)
+                0 (Runtime.Sched.stats rt)
+            in
+            (r, steals))
+      in
+      Printf.printf "  %-34s %10.4f %10.4f %8.2fx %8s   (%d steals over %d reps)\n"
+        (Printf.sprintf "runtime (tiled, stealing), %d workers" d)
+        t_rt (gops_of t_rt) (t_seq /. t_rt) (check c_rt) steals reps)
+    [ 1; 2; 4 ];
+  print_endline "  (all configurations must agree bitwise: the tile decomposition never";
+  print_endline "   splits the k accumulation, so parallelism cannot change a single bit)"
 
 (* ------------------------------------------------------------------ *)
 (* Structural counts (Section 4 claims; Figures 2-7 parameters)        *)
@@ -839,7 +950,7 @@ let () =
   let selected =
     if args = [] then
       [ "counts"; "accuracy"; "fig9"; "fig8"; "fig10"; "fig11"; "exponent-range";
-        "ablation-layout"; "ablations"; "application"; "bechamel" ]
+        "ablation-layout"; "ablation-sched"; "ablations"; "application"; "bechamel" ]
     else args
   in
   let want x = List.mem x selected in
@@ -847,8 +958,9 @@ let () =
   if want "counts" then counts ();
   if want "accuracy" then accuracy ();
   let fig9_results = if want "fig9" || want "fig8" then fig9 () else [] in
-  write_table_json ~file:"BENCH_fig9.json" ~experiment:"fig9"
-    ~note:"CPU tables; MultiFloats (ours) = planar SoA batch kernels, AoS ablation = same arithmetic over boxed record arrays"
+  let sched_extra = if fig9_results = [] then [] else [ sched_telemetry_block () ] in
+  write_table_json ~extra:sched_extra ~file:"BENCH_fig9.json" ~experiment:"fig9"
+    ~note:"CPU tables; MultiFloats (ours) = planar SoA batch kernels (runtime-scheduled), AoS ablation = same arithmetic over boxed record arrays"
     fig9_results;
   if want "fig8" then fig8 fig9_results;
   let fig10_results = if want "fig10" then fig10 () else [] in
@@ -861,7 +973,9 @@ let () =
     fig11_results;
   if want "exponent-range" then exponent_range ();
   if want "ablation-layout" then ablation_layout ();
+  if want "ablation-sched" then ablation_sched ();
   if want "ablations" then ablations ();
   if want "application" then application ();
   if want "bechamel" then bechamel_suite ();
+  if Lazy.is_val sched then Runtime.Sched.shutdown (Lazy.force sched);
   print_endline "\nDone."

@@ -216,10 +216,188 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(const run $ cases_arg $ seed_arg $ ops_arg $ tiers_arg $ vec_len_arg $ out_arg)
 
+(* ------------------------------------------------------------------ *)
+(* bench-sched: worker-count scaling curve of the work-stealing tiled
+   GEMM engine (lib/runtime), with execution telemetry and bitwise
+   determinism checks against the sequential batched kernel and the
+   legacy Parallel.Pool row-parallel path. *)
+
+let bench_sched_run n terms workers_csv reps tile sweep out =
+  let module B =
+    (val (match terms with
+         | 2 -> (module Blas.Instances.Mf2 : Blas.Numeric.BATCHED)
+         | 3 -> (module Blas.Instances.Mf3)
+         | 4 -> (module Blas.Instances.Mf4)
+         | t ->
+             Printf.eprintf "bench-sched: --terms must be 2, 3, or 4 (got %d)\n" t;
+             exit 2))
+  in
+  let module K = Blas.Kernels.Make_batched (B) in
+  let workers =
+    String.split_on_char ',' workers_csv
+    |> List.filter_map (fun s ->
+           match int_of_string_opt (String.trim s) with
+           | Some w when w >= 1 -> Some w
+           | _ -> None)
+  in
+  let workers = if workers = [] then [ 1; 2; 4 ] else workers in
+  let rng = Random.State.make [| 0x5ced; n; terms |] in
+  let rand_vec len = K.vec_of_floats (Array.init len (fun _ -> Random.State.float rng 2.0 -. 1.0)) in
+  let a = rand_vec (n * n) and b = rand_vec (n * n) in
+  let ops = n * n * n in
+  let time_gemm f =
+    (* fresh C per rep (GEMM accumulates); one warmup, then best-of *)
+    f (K.V.create (n * n));
+    let best = ref infinity and result = ref None in
+    for _ = 1 to max 1 reps do
+      let c = K.V.create (n * n) in
+      let t0 = Unix.gettimeofday () in
+      f c;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      result := Some (K.vec_to_floats c)
+    done;
+    (!best, Option.get !result)
+  in
+  let gops dt = Float.of_int ops /. dt *. 1e-9 in
+  Printf.printf "bench-sched: %d-bit GEMM, n = %d, tile %dx%d, best of %d\n" B.bits n (fst tile)
+    (snd tile) reps;
+  let t_seq, ref_c = time_gemm (fun c -> K.gemm ~m:n ~n ~k:n ~a ~b ~c) in
+  Printf.printf "  sequential batched kernel: %.4f s  (%.4f Gop/s)\n" t_seq (gops t_seq);
+  let mismatches = ref 0 in
+  let module J = Check.Json_out in
+  let curve =
+    List.map
+      (fun w ->
+        Runtime.Sched.with_sched ~workers:w (fun rt ->
+            Runtime.Sched.reset_stats rt;
+            let t_rt, c_rt = time_gemm (fun c -> K.gemm_rt rt ~tile ~m:n ~n ~k:n ~a ~b ~c ()) in
+            let stats = Runtime.Sched.stats rt in
+            let bitwise = c_rt = ref_c in
+            if not bitwise then incr mismatches;
+            let t_pool, c_pool =
+              Parallel.Pool.with_pool ~domains:w (fun pool ->
+                  time_gemm (fun c -> K.gemm_pool pool ~m:n ~n ~k:n ~a ~b ~c))
+            in
+            if c_pool <> ref_c then incr mismatches;
+            let steals = Array.fold_left (fun acc s -> acc + s.Runtime.Sched.steals) 0 stats in
+            Printf.printf
+              "  %2d worker%s: runtime %.4f s (%.4f Gop/s, %.2fx vs seq, %d steals)  pool %.4f s  bitwise %s\n"
+              w
+              (if w = 1 then " " else "s")
+              t_rt (gops t_rt) (t_seq /. t_rt) steals t_pool
+              (if bitwise then "ok" else "MISMATCH");
+            J.Obj
+              [ ("workers", J.Num (Float.of_int w));
+                ("runtime_wall_s", J.Num t_rt);
+                ("runtime_gops", J.Num (gops t_rt));
+                ("speedup_vs_seq", J.Num (t_seq /. t_rt));
+                ("pool_wall_s", J.Num t_pool);
+                ("pool_gops", J.Num (gops t_pool));
+                ("bitwise_equal_seq", J.Bool bitwise);
+                ( "telemetry",
+                  J.List
+                    (Array.to_list stats
+                    |> List.map (fun s ->
+                           J.Obj
+                             [ ("worker", J.Num (Float.of_int s.Runtime.Sched.worker_id));
+                               ("tasks", J.Num (Float.of_int s.Runtime.Sched.tasks_executed));
+                               ("steals", J.Num (Float.of_int s.Runtime.Sched.steals));
+                               ("tile_flops", J.Num (Float.of_int s.Runtime.Sched.tile_flops));
+                               ("busy_fraction", J.Num (Runtime.Sched.busy_fraction s)) ])) ) ]))
+      workers
+  in
+  let tile_sweep =
+    if not sweep then []
+    else begin
+      Printf.printf "  tile sweep (workers = %d):\n" (List.hd workers);
+      List.map
+        (fun t ->
+          let dt, c =
+            Runtime.Sched.with_sched ~workers:(List.hd workers) (fun rt ->
+                time_gemm (fun cc -> K.gemm_rt rt ~tile:(t, t) ~m:n ~n ~k:n ~a ~b ~c:cc ()))
+          in
+          if c <> ref_c then incr mismatches;
+          Printf.printf "    %3dx%-3d: %.4f s  (%.4f Gop/s)\n" t t dt (gops dt);
+          J.Obj [ ("tile", J.Num (Float.of_int t)); ("wall_s", J.Num dt); ("gops", J.Num (gops dt)) ])
+        [ 8; 16; 32; 64; 128 ]
+    end
+  in
+  let json =
+    J.Obj
+      ([ ("schema", J.Str "fpan-bench-sched/1");
+         ("kernel", J.Str "GEMM");
+         ("bits", J.Num (Float.of_int B.bits));
+         ("n", J.Num (Float.of_int n));
+         ("tile_m", J.Num (Float.of_int (fst tile)));
+         ("tile_n", J.Num (Float.of_int (snd tile)));
+         ("reps", J.Num (Float.of_int reps));
+         ("seq_wall_s", J.Num t_seq);
+         ("seq_gops", J.Num (gops t_seq));
+         ("curve", J.List curve) ]
+      @ if tile_sweep = [] then [] else [ ("tile_sweep", J.List tile_sweep) ])
+  in
+  J.write_file out json;
+  Printf.printf "  scaling curve written to %s\n" out;
+  if !mismatches > 0 then begin
+    Printf.eprintf "bench-sched: %d bitwise mismatch(es) -- determinism violated\n" !mismatches;
+    exit 1
+  end
+
+let bench_sched_cmd =
+  let doc =
+    "Benchmark the work-stealing tiled GEMM runtime across worker counts (scaling curve, \
+     per-worker telemetry, bitwise-determinism checks)."
+  in
+  let n_arg =
+    Arg.(value & opt int 256 & info [ "n"; "size" ] ~docv:"N" ~doc:"Matrix dimension.")
+  in
+  let terms_arg =
+    Arg.(value & opt int 2 & info [ "terms" ] ~docv:"T" ~doc:"MultiFloat terms (2, 3, or 4).")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt string "1,2,4"
+      & info [ "workers" ] ~docv:"W,W,..." ~doc:"Comma-separated worker counts.")
+  in
+  let reps_arg =
+    Arg.(value & opt int 3 & info [ "reps" ] ~docv:"R" ~doc:"Timed repetitions (best-of).")
+  in
+  let tile_arg =
+    let parse s =
+      match String.split_on_char 'x' (String.lowercase_ascii s) with
+      | [ a ] | [ a; "" ] -> (
+          match int_of_string_opt a with Some t when t > 0 -> Ok (t, t) | _ -> Error (`Msg "bad tile"))
+      | [ a; b ] -> (
+          match (int_of_string_opt a, int_of_string_opt b) with
+          | Some tm, Some tn when tm > 0 && tn > 0 -> Ok (tm, tn)
+          | _ -> Error (`Msg "bad tile"))
+      | _ -> Error (`Msg "bad tile")
+    in
+    let print ppf (tm, tn) = Format.fprintf ppf "%dx%d" tm tn in
+    Arg.(
+      value
+      & opt (conv (parse, print)) (32, 32)
+      & info [ "tile" ] ~docv:"MxN" ~doc:"GEMM tile size (e.g. 32 or 32x64).")
+  in
+  let sweep_arg =
+    Arg.(value & flag & info [ "sweep-tiles" ] ~doc:"Also sweep square tile sizes 8..128.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "BENCH_sched.json"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"JSON output path.")
+  in
+  Cmd.v
+    (Cmd.info "bench-sched" ~doc)
+    Term.(
+      const bench_sched_run $ n_arg $ terms_arg $ workers_arg $ reps_arg $ tile_arg $ sweep_arg
+      $ out_arg)
+
 let () =
   let doc = "Inspect and verify floating-point accumulation networks." in
   let info = Cmd.info "fpan_tool" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; show_cmd; check_cmd; check_all_cmd; check_n_cmd; dot_cmd; search_cmd; analyze_cmd; enumerate_cmd; fuzz_cmd ]))
+          [ list_cmd; show_cmd; check_cmd; check_all_cmd; check_n_cmd; dot_cmd; search_cmd; analyze_cmd; enumerate_cmd; fuzz_cmd; bench_sched_cmd ]))

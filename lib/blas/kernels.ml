@@ -150,6 +150,38 @@ module Make_batched (N : Numeric.BATCHED) = struct
           V.madd ~alpha:aip ~x:b ~xoff:(p * n) ~y:c ~yoff:(i * n) ~len:n
         done)
 
+  (* Runtime variants: the work-stealing scheduler + tiled engine
+     (lib/runtime).  GEMV/GEMM/AXPY are bitwise equal to the
+     sequential kernels above at any worker count and tile size; DOT
+     uses the engine's fixed-shape reduction tree (deterministic
+     across worker counts, grouped differently from the sequential
+     fold).  This is the production parallel path; the [_pool]
+     variants above are kept as the ablation baseline (bench mode
+     [ablation-sched]). *)
+
+  module Rt = Runtime.Engine.Make (N) (V)
+
+  let cfg_of ?tile () =
+    match tile with
+    | None -> Runtime.Engine.default_cfg
+    | Some (tm, tn) -> { Runtime.Engine.default_cfg with tile_m = tm; tile_n = tn }
+
+  let axpy_rt rt ~alpha ~x ~y =
+    assert (V.length y = V.length x);
+    Rt.axpy rt ~alpha ~x ~y ()
+
+  let dot_rt rt ~x ~y =
+    assert (V.length y = V.length x);
+    Rt.dot rt x y
+
+  let gemv_rt rt ~m ~n ~a ~x ~y =
+    assert (V.length a = m * n && V.length x = n && V.length y = m);
+    Rt.gemv rt ~m ~n ~a ~x ~y ()
+
+  let gemm_rt rt ?tile ~m ~n ~k ~a ~b ~c () =
+    assert (V.length a = m * k && V.length b = k * n && V.length c = m * n);
+    Rt.gemm rt ~cfg:(cfg_of ?tile ()) ~m ~n ~k ~a ~b ~c ()
+
   let vec_of_floats = V.of_floats
   let vec_to_floats = V.to_floats
 end

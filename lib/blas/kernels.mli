@@ -73,6 +73,34 @@ module Make_batched (N : Numeric.BATCHED) : sig
   val gemm_pool :
     Parallel.Pool.t -> m:int -> n:int -> k:int -> a:V.t -> b:V.t -> c:V.t -> unit
 
+  (** {2 Runtime variants}
+
+      The production parallel path: the work-stealing scheduler and
+      tiled engine of {!Runtime}.  AXPY/GEMV/GEMM are bitwise equal to
+      the sequential kernels above at any worker count and tile size;
+      DOT uses the engine's fixed-shape reduction tree (deterministic
+      across worker counts, though grouped differently from the
+      sequential fold).  The [_pool] variants above remain as the
+      ablation baseline (bench mode [ablation-sched]). *)
+
+  val axpy_rt : Runtime.Sched.t -> alpha:N.t -> x:V.t -> y:V.t -> unit
+  val dot_rt : Runtime.Sched.t -> x:V.t -> y:V.t -> N.t
+  val gemv_rt : Runtime.Sched.t -> m:int -> n:int -> a:V.t -> x:V.t -> y:V.t -> unit
+
+  val gemm_rt :
+    Runtime.Sched.t ->
+    ?tile:int * int ->
+    m:int ->
+    n:int ->
+    k:int ->
+    a:V.t ->
+    b:V.t ->
+    c:V.t ->
+    unit ->
+    unit
+  (** [C <- C + A B], cache-blocked over [?tile] (default 32x32) with
+      each tile a stealable task. *)
+
   val vec_of_floats : float array -> V.t
   val vec_to_floats : V.t -> float array
 end

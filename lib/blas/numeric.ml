@@ -55,6 +55,11 @@ module type VEC = sig
 
   val dot : init:elt -> x:t -> xoff:int -> y:t -> yoff:int -> len:int -> elt
   (** Index-order fold [acc <- add acc (mul x.(xoff+i) y.(yoff+i))]. *)
+
+  val transpose : m:int -> n:int -> src:t -> dst:t -> unit
+  (** Plane-wise matrix transpose of an [m*n] row-major [src] into a
+      distinct [dst] (the panel-packing primitive: matrix columns
+      become contiguous planar rows). *)
 end
 
 (** An arithmetic that additionally advertises a planar fast path.

@@ -272,14 +272,26 @@ struct
     converged : bool;
   }
 
-  let solve ~n ~a ~b ?(max_iter = 50) () =
+  module E = Runtime.Engine.Make (M) (V)
+
+  let solve ?rt ~n ~a ~b ?(max_iter = 50) () =
     let lu = R.factor_double n a in
     let am = V.of_array (Array.map M.of_float a) in
     let xv = V.of_array (Array.map M.of_float (R.solve_double n lu (Array.map M.to_float b))) in
+    (* With a scheduler the residual's matrix-vector product runs on
+       the runtime engine (row-parallel); each row is the same planar
+       dot from M.zero, so the refinement trajectory stays bitwise
+       identical to the sequential path at any worker count. *)
+    let axv = match rt with None -> None | Some _ -> Some (V.create n) in
     let resid_norm () =
       let r =
-        Array.init n (fun i ->
-            M.sub b.(i) (V.dot ~init:M.zero ~x:am ~xoff:(i * n) ~y:xv ~yoff:0 ~len:n))
+        match (rt, axv) with
+        | Some rt, Some yv ->
+            E.gemv rt ~m:n ~n ~a:am ~x:xv ~y:yv ();
+            Array.init n (fun i -> M.sub b.(i) (V.get yv i))
+        | _ ->
+            Array.init n (fun i ->
+                M.sub b.(i) (V.dot ~init:M.zero ~x:am ~xoff:(i * n) ~y:xv ~yoff:0 ~len:n))
       in
       (r, M.to_float (L.norm_inf r))
     in

@@ -90,5 +90,14 @@ module Refine_batched
   }
 
   val solve :
-    n:int -> a:float array -> b:M.t array -> ?max_iter:int -> unit -> M.t array * stats
+    ?rt:Runtime.Sched.t ->
+    n:int ->
+    a:float array ->
+    b:M.t array ->
+    ?max_iter:int ->
+    unit ->
+    M.t array * stats
+  (** With [?rt], the residual matrix-vector product runs row-parallel
+      on the work-stealing runtime; solutions and stats remain bitwise
+      identical to the sequential path at any worker count. *)
 end

@@ -61,6 +61,14 @@ module type V = sig
   val dot : init:elt -> x:t -> xoff:int -> y:t -> yoff:int -> len:int -> elt
   (** Index-order fold [acc <- add acc (mul x.(xoff+i) y.(yoff+i))]
       starting from [init]: the scalar DOT/GEMV accumulation order. *)
+
+  val transpose : m:int -> n:int -> src:t -> dst:t -> unit
+  (** [dst.(j*m+i) <- src.(i*n+j)] viewing [src] as an [m*n] row-major
+      matrix: the plane-wise matrix transpose, blocked for cache (the
+      panel-packing primitive that turns matrix columns into contiguous
+      planar rows, e.g. for [B^T]-packed dot micro-kernels).  [dst]
+      must be a distinct vector; both lengths must be [m*n]
+      ([Invalid_argument] otherwise). *)
 end
 
 module Mf1v : V with type elt = float

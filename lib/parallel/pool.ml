@@ -8,9 +8,15 @@ type t = {
   batch_done : Condition.t;
   queue : (unit -> unit) Queue.t;
   mutable outstanding : int;
+  mutable first_exn : exn option;  (* first exception of the current batch *)
   mutable closed : bool;
   mutable workers : unit Domain.t array;
 }
+
+let record_exn pool e =
+  match pool.first_exn with
+  | None -> pool.first_exn <- Some e
+  | Some _ -> ()
 
 let worker_loop pool =
   let rec loop () =
@@ -22,8 +28,9 @@ let worker_loop pool =
     else begin
       let job = Queue.pop pool.queue in
       Mutex.unlock pool.mutex;
-      (try job () with _ -> ());
+      let err = (try job (); None with e -> Some e) in
       Mutex.lock pool.mutex;
+      (match err with Some e -> record_exn pool e | None -> ());
       pool.outstanding <- pool.outstanding - 1;
       if pool.outstanding = 0 then Condition.broadcast pool.batch_done;
       Mutex.unlock pool.mutex;
@@ -45,6 +52,7 @@ let create ?domains () =
       batch_done = Condition.create ();
       queue = Queue.create ();
       outstanding = 0;
+      first_exn = None;
       closed = false;
       workers = [||];
     }
@@ -60,6 +68,7 @@ let run_batch pool jobs =
   | [ only ] -> only ()
   | first :: rest ->
       Mutex.lock pool.mutex;
+      pool.first_exn <- None;
       List.iter
         (fun job ->
           Queue.push job pool.queue;
@@ -68,12 +77,27 @@ let run_batch pool jobs =
       Condition.broadcast pool.have_work;
       Mutex.unlock pool.mutex;
       (* The calling domain takes the first chunk itself. *)
-      first ();
+      let err = (try first (); None with e -> Some e) in
       Mutex.lock pool.mutex;
+      (match err with Some e -> record_exn pool e | None -> ());
+      (* Drain the queue alongside the workers: with queued jobs and no
+         worker domains (a 1-domain pool) the caller runs them all here
+         instead of deadlocking on [batch_done]. *)
       while pool.outstanding > 0 do
-        Condition.wait pool.batch_done pool.mutex
+        match Queue.take_opt pool.queue with
+        | Some job ->
+            Mutex.unlock pool.mutex;
+            let err = (try job (); None with e -> Some e) in
+            Mutex.lock pool.mutex;
+            (match err with Some e -> record_exn pool e | None -> ());
+            pool.outstanding <- pool.outstanding - 1;
+            if pool.outstanding = 0 then Condition.broadcast pool.batch_done
+        | None -> Condition.wait pool.batch_done pool.mutex
       done;
-      Mutex.unlock pool.mutex
+      let exn = pool.first_exn in
+      pool.first_exn <- None;
+      Mutex.unlock pool.mutex;
+      (match exn with Some e -> raise e | None -> ())
 
 let chunks ~lo ~hi ~parts =
   let n = hi - lo in

@@ -23,12 +23,20 @@ val chunk_ranges : lo:int -> hi:int -> parts:int -> (int * int) list
     process the same chunks range-wise and reproduce the pooled
     reduction order bit-for-bit). *)
 
+val run_batch : t -> (unit -> unit) list -> unit
+(** Run a list of independent jobs to completion: the calling domain
+    takes the first job, then drains the shared queue alongside the
+    worker domains (so batches of any size complete even on a
+    one-domain pool).  If any job raises, the remaining jobs still
+    run, and the first recorded exception re-raises on the calling
+    domain once the batch is quiescent. *)
+
 val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
 (** [parallel_for pool ~lo ~hi f] runs [f i] for [lo <= i < hi],
     partitioned into contiguous chunks across workers.  [f] must be
-    safe to run concurrently on distinct indices and should not raise:
-    an exception aborts the remainder of its chunk (silently on worker
-    chunks, propagating on the calling domain's own chunk). *)
+    safe to run concurrently on distinct indices.  An exception aborts
+    the remainder of its own chunk only; the first recorded exception
+    re-raises on the calling domain after the whole batch finishes. *)
 
 val parallel_reduce : t -> lo:int -> hi:int -> init:'a -> map:(int -> 'a) -> combine:('a -> 'a -> 'a) -> 'a
 (** Chunked map-reduce; partials are combined left-to-right in chunk

@@ -1,0 +1,87 @@
+(* A Chase-Lev-style work-stealing deque over OCaml 5 atomics.
+
+   The owner pushes and pops at the bottom (LIFO, so the hot end stays
+   cache-resident and fork/join unwinds in stack order); thieves CAS
+   the top (FIFO, so they take the oldest -- and for divide-and-conquer
+   task trees the largest -- pending task).
+
+   Deviations from the textbook algorithm, both on the simple side:
+
+   - The circular buffer has a fixed capacity instead of growing.  A
+     full deque makes [push] return [false] and the scheduler runs the
+     task inline -- for fork/join trees the pending-task count per
+     worker is bounded by the tree depth, so the capacity is never the
+     limit in practice, and the inline fallback keeps the semantics
+     (execute exactly once) regardless.
+   - [top] and [bottom] are both [Atomic.t].  OCaml's memory model
+     gives atomic writes release semantics and atomic reads acquire
+     semantics, so the buffer store in [push] (before the [bottom]
+     store) is visible to a thief that reads the new [bottom] before
+     loading the slot.  The capacity bound rules out ABA on slot
+     reuse: a slot is only overwritten after [top] has advanced past
+     it, which makes any thief still holding the old [top] fail its
+     CAS. *)
+
+type 'a t = {
+  top : int Atomic.t;  (* next index to steal; only ever incremented *)
+  bottom : int Atomic.t;  (* next index to push; owned by the worker *)
+  buf : 'a option array;  (* circular, capacity a power of two *)
+  mask : int;
+}
+
+let create ?(capacity = 8192) () =
+  let cap =
+    let c = ref 1 in
+    while !c < capacity do
+      c := !c * 2
+    done;
+    !c
+  in
+  { top = Atomic.make 0; bottom = Atomic.make 0; buf = Array.make cap None; mask = cap - 1 }
+
+let is_empty d = Atomic.get d.top >= Atomic.get d.bottom
+
+let push d x =
+  let b = Atomic.get d.bottom in
+  let t = Atomic.get d.top in
+  if b - t > d.mask then false
+  else begin
+    d.buf.(b land d.mask) <- Some x;
+    Atomic.set d.bottom (b + 1);
+    true
+  end
+
+let pop d =
+  let b = Atomic.get d.bottom - 1 in
+  Atomic.set d.bottom b;
+  let t = Atomic.get d.top in
+  if b < t then begin
+    (* empty; restore *)
+    Atomic.set d.bottom t;
+    None
+  end
+  else if b > t then begin
+    let x = d.buf.(b land d.mask) in
+    d.buf.(b land d.mask) <- None;
+    x
+  end
+  else begin
+    (* last element: compete with thieves for it via the top CAS *)
+    let won = Atomic.compare_and_set d.top t (t + 1) in
+    Atomic.set d.bottom (t + 1);
+    if won then begin
+      let x = d.buf.(b land d.mask) in
+      d.buf.(b land d.mask) <- None;
+      x
+    end
+    else None
+  end
+
+let steal d =
+  let t = Atomic.get d.top in
+  let b = Atomic.get d.bottom in
+  if t >= b then None
+  else
+    match d.buf.(t land d.mask) with
+    | None -> None (* the owner claimed it between our two loads *)
+    | Some _ as x -> if Atomic.compare_and_set d.top t (t + 1) then x else None

@@ -1,0 +1,24 @@
+(** Chase-Lev-style work-stealing deque: single owner pushes/pops at
+    the bottom (LIFO), any number of thieves steal at the top (FIFO)
+    with a single CAS.  Every element is returned exactly once across
+    [pop] and [steal].  Fixed capacity: a full deque rejects the push
+    (the scheduler then runs the task inline). *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] (default 8192) is rounded up to a power of two. *)
+
+val is_empty : 'a t -> bool
+(** Racy snapshot; safe from any domain. *)
+
+val push : 'a t -> 'a -> bool
+(** Owner only.  [false] if the deque is full (element NOT enqueued). *)
+
+val pop : 'a t -> 'a option
+(** Owner only: newest element, competing with thieves for the last
+    one. *)
+
+val steal : 'a t -> 'a option
+(** Any domain: oldest element, or [None] if empty / lost the race
+    (callers retry or move to another victim). *)

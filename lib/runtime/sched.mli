@@ -1,0 +1,101 @@
+(** Work-stealing fork/join scheduler over OCaml 5 domains.
+
+    Per-worker Chase-Lev deques ({!Deque}); recursive binary-split
+    fork/join tasks; joining workers help (pop own deque / steal)
+    instead of blocking.  The scheduler decides only {e where} tasks
+    run: the task tree and every reduction's combine order are fixed
+    by the input sizes and the grain, so results are bitwise identical
+    for any worker count — the property {!Engine} and the rewired BLAS
+    kernels rely on, and test/test_runtime.ml asserts. *)
+
+type t
+(** A scheduler: [w] workers, of which [w-1] are spawned domains and
+    one slot is taken by the external caller for the duration of each
+    {!run}. *)
+
+val create : ?workers:int -> unit -> t
+(** Spawn a scheduler with [workers] total workers (default
+    [Domain.recommended_domain_count ()], min 1; [workers = 1] spawns
+    no domains and runs everything inline on the caller). *)
+
+val size : t -> int
+(** Total worker count (including the caller slot). *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent.  [run] after
+    shutdown raises [Invalid_argument]. *)
+
+val with_sched : ?workers:int -> (t -> 'a) -> 'a
+(** [create], apply, [shutdown] (also on exception). *)
+
+(** {1 Fork/join} *)
+
+type 'a promise
+(** An unevaluated, running, or finished task result. *)
+
+val run : t -> (unit -> 'a) -> 'a
+(** Execute [f] with the calling domain participating as worker 0.
+    External calls are serialized (one root run at a time); a call
+    from inside a run of the same scheduler just runs [f] inline.
+    Exceptions from [f] (or propagated from joined tasks) re-raise on
+    the caller after the run quiesces. *)
+
+val fork : t -> (unit -> 'a) -> 'a promise
+(** Push a task onto the current worker's deque (inside {!run} only —
+    [Invalid_argument] otherwise).  If the deque is full the task runs
+    inline immediately; either way the promise is eventually
+    fulfilled exactly once. *)
+
+val join : t -> 'a promise -> 'a
+(** Wait for a promise, executing other pending tasks while waiting.
+    Re-raises the task's exception if it raised. *)
+
+val both : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** [both rt f g] forks [g], runs [f] inline, joins [g].  The join
+    always happens — even when [f] raises — so no forked task outlives
+    the enclosing {!run}; if either side raised, re-raises the [f]
+    exception first. *)
+
+(** {1 Deterministic parallel loops}
+
+    Both loops split [lo, hi) by recursive halving ([mid = lo +
+    (hi-lo)/2]) down to ranges of at most [grain] (default 1), so the
+    task tree — and for [parallel_reduce] the combine tree — depends
+    only on [lo], [hi], and [grain].  Never derive [grain] from the
+    worker count: that would change the tree shape (and reduction
+    results) across machines. *)
+
+val parallel_for : t -> ?grain:int -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** [parallel_for rt ~grain ~lo ~hi body] calls [body l h] on disjoint
+    leaf ranges covering [lo, hi). *)
+
+val parallel_reduce :
+  t -> ?grain:int -> lo:int -> hi:int -> leaf:(int -> int -> 'a) -> ('a -> 'a -> 'a) -> 'a
+(** [parallel_reduce rt ~lo ~hi ~leaf combine]: fixed-shape tree
+    reduction — [leaf l h] on each leaf range, [combine left right] at
+    each internal node, in tree order.  ([combine] is positional so
+    partial applications without [?grain] still erase the default.) *)
+
+(** {1 Execution telemetry} *)
+
+type worker_stats = {
+  worker_id : int;
+  tasks_executed : int;  (** tasks run on this worker (root runs count on worker 0) *)
+  steals : int;  (** successful steals by this worker *)
+  tile_flops : int;  (** extended-precision operations reported via {!add_flops} *)
+  busy_seconds : float;  (** wall-clock executing top-level tasks *)
+  idle_seconds : float;  (** wall-clock spinning/sleeping while work was scarce *)
+}
+
+val add_flops : t -> int -> unit
+(** Credit [n] extended-precision operations to the current worker
+    (inside {!run} only). *)
+
+val stats : t -> worker_stats array
+(** Snapshot of all workers' counters since creation or the last
+    {!reset_stats}.  Read between runs for exact values. *)
+
+val reset_stats : t -> unit
+
+val busy_fraction : worker_stats -> float
+(** [busy / (busy + idle)], or [0.] when neither was recorded. *)

@@ -176,6 +176,28 @@ module CheckB (N : INSTANCE) = struct
              ("cancel", xs, cancelling_against xs);
              ("adversarial", adversarial_elts 64, adversarial_elts 64) ]))
 
+  (* --- transpose: index spot-checks against the definition, and
+     transpose-twice = identity, across shapes that straddle the 32x32
+     cache block (tall, wide, square, degenerate) --- *)
+
+  let test_transpose () =
+    List.iter
+      (fun (m, n) ->
+        let xs = random_elts (m * n) in
+        let src = V.of_array xs in
+        let dst = V.create (m * n) in
+        V.transpose ~m ~n ~src ~dst;
+        for i = 0 to m - 1 do
+          for j = 0 to n - 1 do
+            if not (eq_t xs.((i * n) + j) (V.get dst ((j * m) + i))) then
+              Alcotest.failf "%s transpose %dx%d: (%d,%d) differs" N.name m n i j
+          done
+        done;
+        let back = V.create (m * n) in
+        V.transpose ~m:n ~n:m ~src:dst ~dst:back;
+        check_vec (Printf.sprintf "transpose twice %dx%d" m n) xs back)
+      [ (1, 1); (1, 17); (17, 1); (5, 7); (32, 32); (33, 31); (40, 96) ]
+
   (* --- outputs of the batched networks stay nonoverlapping (the
      paper's Eq. 8 invariant), including under massive cancellation --- *)
 
@@ -236,6 +258,7 @@ module CheckB (N : INSTANCE) = struct
     [ Alcotest.test_case (name ^ " ops bitwise") `Quick test_ops;
       Alcotest.test_case (name ^ " kernels bitwise") `Quick test_kernels;
       Alcotest.test_case (name ^ " pooled bitwise") `Quick test_pool;
+      Alcotest.test_case (name ^ " transpose") `Quick test_transpose;
       Alcotest.test_case (name ^ " outputs nonoverlapping") `Quick test_nonoverlap;
       QCheck_alcotest.to_alcotest qcheck_dot;
       QCheck_alcotest.to_alcotest qcheck_axpy ]

@@ -59,23 +59,61 @@ let test_single_domain_inline () =
       in
       Alcotest.(check int) "inline" 4950 s)
 
-let test_exception_in_job_no_deadlock () =
-  (* A raising job must not wedge the batch accounting. *)
+let test_exception_in_job_propagates () =
+  (* A raising job must not wedge the batch accounting, and the
+     exception must re-raise on the calling domain. *)
   Parallel.Pool.with_pool ~domains:3 (fun pool ->
-      let ok = ref 0 in
-      let m = Mutex.create () in
-      Parallel.Pool.parallel_for pool ~lo:0 ~hi:100 (fun i ->
-          if i = 50 then failwith "boom"
-          else begin
-            Mutex.lock m;
-            incr ok;
-            Mutex.unlock m
-          end);
+      let raised =
+        match
+          Parallel.Pool.parallel_for pool ~lo:0 ~hi:100 (fun i ->
+              if i = 50 then failwith "boom")
+        with
+        | () -> None
+        | exception e -> Some e
+      in
+      (match raised with
+      | Some (Failure msg) -> Alcotest.(check string) "propagated" "boom" msg
+      | Some e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e)
+      | None -> Alcotest.fail "exception was swallowed");
       (* the pool survives and can run another batch *)
       let s =
         Parallel.Pool.parallel_reduce pool ~lo:0 ~hi:10 ~init:0 ~map:(fun i -> i) ~combine:( + )
       in
       Alcotest.(check int) "pool alive after exception" 45 s)
+
+let test_exception_from_worker_chunk () =
+  (* The raising index lands in a worker's chunk (not the caller's
+     first chunk): it must still propagate. *)
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      let raised =
+        match Parallel.Pool.parallel_for pool ~lo:0 ~hi:100 (fun i -> if i = 99 then failwith "w") with
+        | () -> false
+        | exception Failure _ -> true
+      in
+      Alcotest.(check bool) "worker-chunk exception propagated" true raised)
+
+let test_run_batch_single_domain_drains () =
+  (* A 1-domain pool has no workers: the caller must drain queued jobs
+     itself instead of deadlocking on batch completion. *)
+  Parallel.Pool.with_pool ~domains:1 (fun pool ->
+      let hits = Array.make 8 0 in
+      let jobs = List.init 8 (fun i () -> hits.(i) <- hits.(i) + 1) in
+      Parallel.Pool.run_batch pool jobs;
+      Alcotest.(check bool) "all jobs ran" true (Array.for_all (fun h -> h = 1) hits))
+
+let test_run_batch_exception_still_runs_rest () =
+  Parallel.Pool.with_pool ~domains:1 (fun pool ->
+      let hits = Array.make 6 0 in
+      let jobs =
+        List.init 6 (fun i () -> if i = 2 then failwith "mid" else hits.(i) <- hits.(i) + 1)
+      in
+      let raised = match Parallel.Pool.run_batch pool jobs with
+        | () -> false
+        | exception Failure _ -> true
+      in
+      Alcotest.(check bool) "raised" true raised;
+      let others = List.filteri (fun i _ -> i <> 2) (Array.to_list hits) in
+      Alcotest.(check bool) "other jobs still ran" true (List.for_all (fun h -> h = 1) others))
 
 let test_large_fanout () =
   Parallel.Pool.with_pool ~domains:4 (fun pool ->
@@ -101,6 +139,10 @@ let () =
           Alcotest.test_case "reduce deterministic" `Quick test_reduce_deterministic_float;
           Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
           Alcotest.test_case "single domain" `Quick test_single_domain_inline;
-          Alcotest.test_case "exception in job" `Quick test_exception_in_job_no_deadlock;
+          Alcotest.test_case "exception in job" `Quick test_exception_in_job_propagates;
+          Alcotest.test_case "exception from worker chunk" `Quick test_exception_from_worker_chunk;
+          Alcotest.test_case "run_batch 1-domain drains" `Quick test_run_batch_single_domain_drains;
+          Alcotest.test_case "run_batch exception runs rest" `Quick
+            test_run_batch_exception_still_runs_rest;
           Alcotest.test_case "large fanout" `Quick test_large_fanout;
           Alcotest.test_case "default domains" `Quick test_default_domain_count ] ) ]

@@ -398,16 +398,7 @@ let sched_telemetry_block () =
       let t0 = now_s () in
       K.gemm_rt rt ~m:n ~n ~k:n ~a ~b ~c ();
       let wall = now_s () -. t0 in
-      let per_worker =
-        Array.to_list (Runtime.Sched.stats rt)
-        |> List.map (fun s ->
-               Json_out.Obj
-                 [ ("worker", Json_out.Num (Float.of_int s.Runtime.Sched.worker_id));
-                   ("tasks", Json_out.Num (Float.of_int s.Runtime.Sched.tasks_executed));
-                   ("steals", Json_out.Num (Float.of_int s.Runtime.Sched.steals));
-                   ("tile_flops", Json_out.Num (Float.of_int s.Runtime.Sched.tile_flops));
-                   ("busy_fraction", Json_out.Num (Runtime.Sched.busy_fraction s)) ])
-      in
+      let per_worker = Runtime.Sched.stats_json (Runtime.Sched.stats rt) in
       ( "sched",
         Json_out.Obj
           [ ("engine", Json_out.Str "work-stealing tiled runtime (lib/runtime)");
@@ -417,7 +408,7 @@ let sched_telemetry_block () =
             ("workers", Json_out.Num (Float.of_int workers));
             ("tile", Json_out.Str "32x32");
             ("wall_s", Json_out.Num wall);
-            ("per_worker", Json_out.List per_worker) ] ))
+            ("per_worker", per_worker) ] ))
 
 let fig9 () =
   print_endline "\n=== Figure 9 (CPU tables): AXPY/DOT/GEMV/GEMM at 53/103/156/208 bits ===";

@@ -222,7 +222,7 @@ let fuzz_cmd =
    determinism checks against the sequential batched kernel and the
    legacy Parallel.Pool row-parallel path. *)
 
-let bench_sched_run n terms workers_csv reps tile sweep out =
+let bench_sched_run n terms workers_csv reps tile sweep obs out =
   let module B =
     (val (match terms with
          | 2 -> (module Blas.Instances.Mf2 : Blas.Numeric.BATCHED)
@@ -266,6 +266,12 @@ let bench_sched_run n terms workers_csv reps tile sweep out =
   Printf.printf "  sequential batched kernel: %.4f s  (%.4f Gop/s)\n" t_seq (gops t_seq);
   let mismatches = ref 0 in
   let module J = Check.Json_out in
+  if obs then begin
+    Obs.Trace.set_enabled true;
+    Obs.Trace.clear ();
+    Obs.Metrics.reset ()
+  end;
+  let last_sched = ref None in
   let curve =
     List.map
       (fun w ->
@@ -287,6 +293,8 @@ let bench_sched_run n terms workers_csv reps tile sweep out =
               (if w = 1 then " " else "s")
               t_rt (gops t_rt) (t_seq /. t_rt) steals t_pool
               (if bitwise then "ok" else "MISMATCH");
+            let telemetry = Runtime.Sched.stats_json stats in
+            last_sched := Some telemetry;
             J.Obj
               [ ("workers", J.Num (Float.of_int w));
                 ("runtime_wall_s", J.Num t_rt);
@@ -295,16 +303,7 @@ let bench_sched_run n terms workers_csv reps tile sweep out =
                 ("pool_wall_s", J.Num t_pool);
                 ("pool_gops", J.Num (gops t_pool));
                 ("bitwise_equal_seq", J.Bool bitwise);
-                ( "telemetry",
-                  J.List
-                    (Array.to_list stats
-                    |> List.map (fun s ->
-                           J.Obj
-                             [ ("worker", J.Num (Float.of_int s.Runtime.Sched.worker_id));
-                               ("tasks", J.Num (Float.of_int s.Runtime.Sched.tasks_executed));
-                               ("steals", J.Num (Float.of_int s.Runtime.Sched.steals));
-                               ("tile_flops", J.Num (Float.of_int s.Runtime.Sched.tile_flops));
-                               ("busy_fraction", J.Num (Runtime.Sched.busy_fraction s)) ])) ) ]))
+                ("telemetry", telemetry) ]))
       workers
   in
   let tile_sweep =
@@ -323,6 +322,34 @@ let bench_sched_run n terms workers_csv reps tile sweep out =
         [ 8; 16; 32; 64; 128 ]
     end
   in
+  (* With --obs the whole curve ran traced: export the spans as a
+     Chrome trace plus an fpan-trace/1 summary (the summary's sched
+     rows are the last curve point's telemetry, verbatim) and link
+     both from the BENCH json. *)
+  let obs_block =
+    if not obs then []
+    else begin
+      Obs.Trace.set_enabled false;
+      let dropped = Obs.Trace.dropped () in
+      let spans = Obs.Trace.drain () in
+      let unbalanced = Obs.Trace.unbalanced () in
+      let base = Filename.remove_extension out in
+      let summary_path = base ^ "_trace.json" in
+      let chrome_path = base ^ "_chrome_trace.json" in
+      let summary =
+        Obs.Export.summary ~workload:"bench-sched" ?sched:!last_sched ~spans
+          ~metrics:(Obs.Metrics.snapshot ()) ~dropped ~unbalanced ()
+      in
+      Obs.Schema.check ~name:summary_path Obs.Schemas.trace_summary summary;
+      let chrome = Obs.Export.chrome_trace spans in
+      Obs.Schema.check ~name:chrome_path Obs.Schemas.chrome_trace chrome;
+      Obs.Export.write_json summary_path summary;
+      Obs.Export.write_json chrome_path chrome;
+      Printf.printf "  trace summary: %s; chrome trace: %s (%d spans, %d dropped)\n" summary_path
+        chrome_path (List.length spans) dropped;
+      [ ("obs", J.Obj [ ("trace_summary", J.Str summary_path); ("chrome_trace", J.Str chrome_path) ]) ]
+    end
+  in
   let json =
     J.Obj
       ([ ("schema", J.Str "fpan-bench-sched/1");
@@ -335,8 +362,10 @@ let bench_sched_run n terms workers_csv reps tile sweep out =
          ("seq_wall_s", J.Num t_seq);
          ("seq_gops", J.Num (gops t_seq));
          ("curve", J.List curve) ]
-      @ if tile_sweep = [] then [] else [ ("tile_sweep", J.List tile_sweep) ])
+      @ (if tile_sweep = [] then [] else [ ("tile_sweep", J.List tile_sweep) ])
+      @ obs_block)
   in
+  Obs.Schema.check ~name:out Obs.Schemas.bench_sched json;
   J.write_file out json;
   Printf.printf "  scaling curve written to %s\n" out;
   if !mismatches > 0 then begin
@@ -383,6 +412,14 @@ let bench_sched_cmd =
   let sweep_arg =
     Arg.(value & flag & info [ "sweep-tiles" ] ~doc:"Also sweep square tile sizes 8..128.")
   in
+  let obs_arg =
+    Arg.(
+      value & flag
+      & info [ "obs" ]
+          ~doc:
+            "Trace the whole run and also write a Chrome trace and an fpan-trace/1 summary next \
+             to the output file.")
+  in
   let out_arg =
     Arg.(
       value & opt string "BENCH_sched.json"
@@ -392,7 +429,166 @@ let bench_sched_cmd =
     (Cmd.info "bench-sched" ~doc)
     Term.(
       const bench_sched_run $ n_arg $ terms_arg $ workers_arg $ reps_arg $ tile_arg $ sweep_arg
-      $ out_arg)
+      $ obs_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace: run an instrumented workload untraced then traced, measure
+   the overhead, and export the Chrome trace + fpan-trace/1 summary.
+   The summary's sched rows are Sched.stats_json verbatim; we parse
+   the written file back and demand the rows survived the round trip
+   bitwise, which is the acceptance check that BENCH telemetry and
+   trace telemetry cannot disagree. *)
+
+let trace_run workload n terms workers reps out_prefix =
+  let module J = Check.Json_out in
+  (* One execution of the workload: wall seconds plus the per-worker
+     telemetry when a scheduler was involved. *)
+  let execute =
+    match workload with
+    | "gemm" ->
+        let module B =
+          (val (match terms with
+               | 2 -> (module Blas.Instances.Mf2 : Blas.Numeric.BATCHED)
+               | 3 -> (module Blas.Instances.Mf3)
+               | 4 -> (module Blas.Instances.Mf4)
+               | t ->
+                   Printf.eprintf "trace: --terms must be 2, 3, or 4 (got %d)\n" t;
+                   exit 2))
+        in
+        let module K = Blas.Kernels.Make_batched (B) in
+        let rng = Random.State.make [| 0x7ace; n; terms |] in
+        let rand_vec len =
+          K.vec_of_floats (Array.init len (fun _ -> Random.State.float rng 2.0 -. 1.0))
+        in
+        let a = rand_vec (n * n) and b = rand_vec (n * n) in
+        fun () ->
+          Runtime.Sched.with_sched ~workers (fun rt ->
+              Runtime.Sched.reset_stats rt;
+              let c = K.V.create (n * n) in
+              let t0 = Unix.gettimeofday () in
+              K.gemm_rt rt ~m:n ~n ~k:n ~a ~b ~c ();
+              let wall = Unix.gettimeofday () -. t0 in
+              (wall, Some (Runtime.Sched.stats_json (Runtime.Sched.stats rt))))
+    | "refine" ->
+        let module M = Multifloat.Mf2 in
+        let module RB = Linalg.Refine_batched (M) (Multifloat.Batch.Mf2v) in
+        let rng = Random.State.make [| 0xbeef; n |] in
+        let a = Array.init (n * n) (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+        for i = 0 to n - 1 do
+          (* diagonally dominant, so refinement converges *)
+          a.((i * n) + i) <- a.((i * n) + i) +. Float.of_int n
+        done;
+        let b = Array.init n (fun _ -> M.of_float (Random.State.float rng 2.0 -. 1.0)) in
+        fun () ->
+          Runtime.Sched.with_sched ~workers (fun rt ->
+              Runtime.Sched.reset_stats rt;
+              let t0 = Unix.gettimeofday () in
+              let _x, _stats = RB.solve ~rt ~n ~a ~b () in
+              let wall = Unix.gettimeofday () -. t0 in
+              (wall, Some (Runtime.Sched.stats_json (Runtime.Sched.stats rt))))
+    | "fuzz" ->
+        let cfg =
+          { Check.Fuzz.default with Check.Fuzz.cases = Stdlib.max 50 n; tiers = [ 2; 3 ] }
+        in
+        fun () ->
+          let t0 = Unix.gettimeofday () in
+          let r = Check.Fuzz.run cfg in
+          ignore r.Check.Fuzz.failure_count;
+          (Unix.gettimeofday () -. t0, None)
+    | w ->
+        Printf.eprintf "trace: unknown workload %s (gemm, refine, fuzz)\n" w;
+        exit 2
+  in
+  let best_of reps =
+    let best = ref infinity and sched = ref None in
+    for _ = 1 to Stdlib.max 1 reps do
+      let dt, s = execute () in
+      if dt < !best then best := dt;
+      sched := s (* telemetry of the most recent run *)
+    done;
+    (!best, !sched)
+  in
+  ignore (execute ()) (* warmup *);
+  Obs.Trace.set_enabled false;
+  let t_un, _ = best_of reps in
+  Obs.Trace.set_enabled true;
+  ignore (execute ()) (* traced warmup: creates the per-domain rings *);
+  Obs.Trace.clear ();
+  Obs.Metrics.reset ();
+  let t_tr, sched = best_of reps in
+  Obs.Trace.set_enabled false;
+  let dropped = Obs.Trace.dropped () in
+  let spans = Obs.Trace.drain () in
+  let unbalanced = Obs.Trace.unbalanced () in
+  let metrics = Obs.Metrics.snapshot () in
+  let overhead_pct = (t_tr -. t_un) /. t_un *. 100.0 in
+  let overhead =
+    J.Obj
+      [ ("untraced_wall_s", J.Num t_un);
+        ("traced_wall_s", J.Num t_tr);
+        ("overhead_pct", J.Num overhead_pct) ]
+  in
+  let summary =
+    Obs.Export.summary ~workload ?sched ~extra:[ ("overhead", overhead) ] ~spans ~metrics
+      ~dropped ~unbalanced ()
+  in
+  let summary_path = Printf.sprintf "%s_%s.json" out_prefix workload in
+  let chrome_path = Printf.sprintf "%s_%s_chrome.json" out_prefix workload in
+  Obs.Schema.check ~name:summary_path Obs.Schemas.trace_summary summary;
+  let chrome = Obs.Export.chrome_trace spans in
+  Obs.Schema.check ~name:chrome_path Obs.Schemas.chrome_trace chrome;
+  Obs.Export.write_json summary_path summary;
+  Obs.Export.write_json chrome_path chrome;
+  Printf.printf "trace %s: untraced %.4f s, traced %.4f s (overhead %+.2f%%)\n" workload t_un t_tr
+    overhead_pct;
+  Printf.printf "  %d spans (%d dropped, %d unbalanced); summary %s; chrome trace %s\n"
+    (List.length spans) dropped unbalanced summary_path chrome_path;
+  (* round-trip cross-check: the sched rows in the file on disk must
+     be bitwise the rows Sched.stats produced *)
+  match sched with
+  | None -> ()
+  | Some expect -> (
+      match J.parse_file summary_path with
+      | Error msg ->
+          Printf.eprintf "trace: cannot re-read %s: %s\n" summary_path msg;
+          exit 1
+      | Ok doc -> (
+          match J.member "sched" doc with
+          | Some got when J.to_string got = J.to_string expect ->
+              Printf.printf "  sched telemetry round-trips bitwise against Sched.stats: ok\n"
+          | _ ->
+              Printf.eprintf "trace: sched telemetry in %s differs from Sched.stats\n" summary_path;
+              exit 1))
+
+let trace_cmd =
+  let doc =
+    "Run an instrumented workload with tracing off then on, report the tracing overhead, and \
+     export a Chrome trace (load in Perfetto / about:tracing) plus an fpan-trace/1 summary whose \
+     scheduler telemetry is bitwise that of Runtime.Sched.stats."
+  in
+  let workload_arg =
+    Arg.(value & pos 0 string "gemm" & info [] ~docv:"WORKLOAD" ~doc:"gemm, refine, or fuzz.")
+  in
+  let n_arg =
+    Arg.(value & opt int 192
+         & info [ "n"; "size" ] ~docv:"N"
+             ~doc:"Problem size (matrix dimension; for fuzz: scalar cases per tier).")
+  in
+  let terms_arg =
+    Arg.(value & opt int 2 & info [ "terms" ] ~docv:"T" ~doc:"MultiFloat terms (gemm only).")
+  in
+  let workers_arg =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"W" ~doc:"Scheduler worker count.")
+  in
+  let reps_arg =
+    Arg.(value & opt int 3 & info [ "reps" ] ~docv:"R" ~doc:"Timed repetitions (best-of).")
+  in
+  let out_arg =
+    Arg.(value & opt string "TRACE"
+         & info [ "out"; "o" ] ~docv:"PREFIX" ~doc:"Output path prefix.")
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const trace_run $ workload_arg $ n_arg $ terms_arg $ workers_arg $ reps_arg $ out_arg)
 
 let () =
   let doc = "Inspect and verify floating-point accumulation networks." in
@@ -400,4 +596,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; show_cmd; check_cmd; check_all_cmd; check_n_cmd; dot_cmd; search_cmd; analyze_cmd; enumerate_cmd; fuzz_cmd; bench_sched_cmd ]))
+          [ list_cmd; show_cmd; check_cmd; check_all_cmd; check_n_cmd; dot_cmd; search_cmd; analyze_cmd; enumerate_cmd; fuzz_cmd; bench_sched_cmd; trace_cmd ]))

@@ -166,21 +166,39 @@ module Make_batched (N : Numeric.BATCHED) = struct
     | None -> Runtime.Engine.default_cfg
     | Some (tm, tn) -> { Runtime.Engine.default_cfg with tile_m = tm; tile_n = tn }
 
+  (* Entry spans cover the whole scheduled call (task-tree setup
+     included), with the total extended-precision operation count as
+     the argument; the engine adds per-tile spans beneath gemm's. *)
+  let traced name fl f =
+    let tr = Obs.Trace.enabled () in
+    if tr then Obs.Trace.begin_span Obs.Trace.Kernel name;
+    let finish () =
+      if tr then Obs.Trace.end_span_f ~arg_name:"flops" ~arg:(float_of_int fl)
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+
   let axpy_rt rt ~alpha ~x ~y =
     assert (V.length y = V.length x);
-    Rt.axpy rt ~alpha ~x ~y ()
+    traced "kernels.axpy_rt" (V.length x) (fun () -> Rt.axpy rt ~alpha ~x ~y ())
 
   let dot_rt rt ~x ~y =
     assert (V.length y = V.length x);
-    Rt.dot rt x y
+    traced "kernels.dot_rt" (V.length x) (fun () -> Rt.dot rt x y)
 
   let gemv_rt rt ~m ~n ~a ~x ~y =
     assert (V.length a = m * n && V.length x = n && V.length y = m);
-    Rt.gemv rt ~m ~n ~a ~x ~y ()
+    traced "kernels.gemv_rt" (m * n) (fun () -> Rt.gemv rt ~m ~n ~a ~x ~y ())
 
   let gemm_rt rt ?tile ~m ~n ~k ~a ~b ~c () =
     assert (V.length a = m * k && V.length b = k * n && V.length c = m * n);
-    Rt.gemm rt ~cfg:(cfg_of ?tile ()) ~m ~n ~k ~a ~b ~c ()
+    traced "kernels.gemm_rt" (m * n * k) (fun () ->
+        Rt.gemm rt ~cfg:(cfg_of ?tile ()) ~m ~n ~k ~a ~b ~c ())
 
   let vec_of_floats = V.of_floats
   let vec_to_floats = V.to_floats

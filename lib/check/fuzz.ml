@@ -94,11 +94,22 @@ let run cfg =
               end)
         }
       in
+      (* One span per tier with its case count as the argument, and a
+         per-operand-class throughput counter (fuzz.cases.<class>) in
+         the metrics registry. *)
+      let tr = Obs.Trace.enabled () in
+      let tier_cases = ref 0 in
+      let count_cls cls =
+        incr tier_cases;
+        Obs.Metrics.incr (Obs.Metrics.counter ("fuzz.cases." ^ Corpus.cls_name cls))
+      in
+      if tr then Obs.Trace.begin_span Obs.Trace.Fuzz (Printf.sprintf "fuzz.tier%d" terms);
       if scalar_ops <> [] then begin
         let rng = Random.State.make [| cfg.seed; terms |] in
         for i = 0 to cfg.cases - 1 do
           incr scalar_cases;
           let case = Corpus.scalar_case rng ~terms i in
+          count_cls case.Corpus.cls;
           Differ.run_scalar_case sink ~impls ~q ~ops:scalar_ops ~case
         done
       end;
@@ -107,6 +118,7 @@ let run cfg =
         for i = 0 to n_vec - 1 do
           incr vector_cases;
           let cls, x, y = Corpus.vector_case rng ~terms ~len:cfg.vec_len i in
+          count_cls cls;
           let alpha = Fpan.Gen.expansion rng ~n:terms ~e0_min:(-20) ~e0_max:20 () in
           let a =
             Array.init (gemv_rows * cfg.vec_len) (fun _ ->
@@ -114,7 +126,9 @@ let run cfg =
           in
           Differ.run_vector_case sink ~impls ~q ~ops:vector_ops ~cls ~alpha ~x ~y ~a ~m:gemv_rows
         done
-      end)
+      end;
+      if tr then
+        Obs.Trace.end_span_f ~arg_name:"cases" ~arg:(float_of_int !tier_cases))
     cfg.tiers;
   let rows = List.rev_map (fun key -> Hashtbl.find table key) !order in
   { config = cfg; scalar_cases = !scalar_cases; vector_cases = !vector_cases;

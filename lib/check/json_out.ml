@@ -1,83 +1,6 @@
-(* Minimal JSON writer for the machine-readable benchmark outputs
-   (BENCH_fig9.json and friends).  Emission only, no parsing, no
-   dependencies; pretty-printed so the files diff cleanly across
-   runs. *)
+(* The JSON reader/writer moved to lib/obs (Obs.Json_out): the
+   observability layer sits below lib/check in the dependency order
+   (lib/runtime depends on it), and both need JSON emission.  This
+   alias keeps every existing Check.Json_out user working. *)
 
-type t =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | List of t list
-  | Obj of (string * t) list
-
-let escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-(* JSON has no inf/nan literals: emit them as null. *)
-let num f =
-  if not (Float.is_finite f) then "null"
-  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
-  else Printf.sprintf "%.6g" f
-
-let rec emit buf ~level v =
-  let pad n = String.make (2 * n) ' ' in
-  match v with
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Num f -> Buffer.add_string buf (num f)
-  | Str s ->
-      Buffer.add_char buf '"';
-      Buffer.add_string buf (escape s);
-      Buffer.add_char buf '"'
-  | List [] -> Buffer.add_string buf "[]"
-  | List items ->
-      Buffer.add_string buf "[\n";
-      List.iteri
-        (fun i item ->
-          if i > 0 then Buffer.add_string buf ",\n";
-          Buffer.add_string buf (pad (level + 1));
-          emit buf ~level:(level + 1) item)
-        items;
-      Buffer.add_char buf '\n';
-      Buffer.add_string buf (pad level);
-      Buffer.add_char buf ']'
-  | Obj [] -> Buffer.add_string buf "{}"
-  | Obj fields ->
-      Buffer.add_string buf "{\n";
-      List.iteri
-        (fun i (k, item) ->
-          if i > 0 then Buffer.add_string buf ",\n";
-          Buffer.add_string buf (pad (level + 1));
-          Buffer.add_char buf '"';
-          Buffer.add_string buf (escape k);
-          Buffer.add_string buf "\": ";
-          emit buf ~level:(level + 1) item)
-        fields;
-      Buffer.add_char buf '\n';
-      Buffer.add_string buf (pad level);
-      Buffer.add_char buf '}'
-
-let to_string v =
-  let buf = Buffer.create 4096 in
-  emit buf ~level:0 v;
-  Buffer.add_char buf '\n';
-  Buffer.contents buf
-
-let write_file path v =
-  let oc = open_out path in
-  output_string oc (to_string v);
-  close_out oc;
-  Printf.printf "  [wrote %s]\n%!" path
+include Obs.Json_out

@@ -1,11 +1,8 @@
-(** Minimal JSON writer for the machine-readable outputs
-    ([BENCH_*.json], [CHECK_report.json]).  Emission only, no parsing,
-    no dependencies; pretty-printed so the files diff cleanly across
-    runs.  Non-finite numbers are emitted as [null] (JSON has no
-    inf/nan literals); exact float transport uses {!Str} with C99 hex
-    notation instead. *)
+(** Alias of {!Obs.Json_out} (the writer moved into the observability
+    layer, which sits below lib/check in the dependency order).  See
+    that module for documentation. *)
 
-type t =
+type t = Obs.Json_out.t =
   | Null
   | Bool of bool
   | Num of float
@@ -15,3 +12,13 @@ type t =
 
 val to_string : t -> string
 val write_file : string -> t -> unit
+
+exception Parse_error of string
+
+val parse : string -> (t, string) result
+val parse_exn : string -> t
+val parse_file : string -> (t, string) result
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_num : t -> float option
+val to_str : t -> string option

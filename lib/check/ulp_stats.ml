@@ -30,7 +30,10 @@ let bucket_of ulps =
   if ulps < Float.ldexp 1.0 lo_exp then 0
   else if not (ulps < Float.ldexp 1.0 hi_exp) then nbuckets - 1
   else begin
-    let b = 1 + (int_of_float (Float.floor (Float.log2 ulps)) - lo_exp) in
+    (* frexp gives floor(log2 ulps) = e - 1 exactly; Float.log2 would
+       round values one ulp below a power of two up onto the boundary
+       and misbucket them *)
+    let b = 1 + (snd (Float.frexp ulps) - 1 - lo_exp) in
     Stdlib.min (nbuckets - 2) (Stdlib.max 1 b)
   end
 
@@ -45,6 +48,23 @@ let record t ulps =
 
 let skip t = t.skipped <- t.skipped + 1
 let fail t = t.exceed <- t.exceed + 1
+
+(* Pointwise combination of two accumulators, as if every case of [a]
+   and [b] had been recorded into one: counts and buckets add, max is
+   max.  Commutative and associative (addition and max both are), so
+   sharded campaigns can merge in any order. *)
+let merge a b =
+  {
+    count = a.count + b.count;
+    skipped = a.skipped + b.skipped;
+    nonfinite = a.nonfinite + b.nonfinite;
+    exceed = a.exceed + b.exceed;
+    max_ulps = Float.max a.max_ulps b.max_ulps;
+    sum_ulps = a.sum_ulps +. b.sum_ulps;
+    buckets = Array.init nbuckets (fun i -> a.buckets.(i) + b.buckets.(i));
+  }
+
+let bucket t i = t.buckets.(i)
 
 let mean t = if t.count = 0 then 0.0 else t.sum_ulps /. Float.of_int t.count
 let count t = t.count

@@ -26,4 +26,16 @@ val count : t -> int
 val skipped : t -> int
 val max_ulps : t -> float
 val exceed : t -> int
+
+val bucket_of : float -> int
+(** The histogram bucket a given ulp value lands in (exposed for the
+    boundary tests: bucket edges sit at exact powers of two). *)
+
+val bucket : t -> int -> int
+(** Occupancy of one histogram bucket. *)
+
+val merge : t -> t -> t
+(** Pointwise combination (counts and buckets add, max of maxima);
+    commutative and associative, so shards merge in any order. *)
+
 val to_json : impl:string -> op:string -> q:int -> gated:bool -> t -> Json_out.t

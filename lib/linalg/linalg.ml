@@ -275,6 +275,8 @@ struct
   module E = Runtime.Engine.Make (M) (V)
 
   let solve ?rt ~n ~a ~b ?(max_iter = 50) () =
+    let tr = Obs.Trace.enabled () in
+    if tr then Obs.Trace.begin_span Obs.Trace.Eft "refine.solve";
     let lu = R.factor_double n a in
     let am = V.of_array (Array.map M.of_float a) in
     let xv = V.of_array (Array.map M.of_float (R.solve_double n lu (Array.map M.to_float b))) in
@@ -305,6 +307,7 @@ struct
     in
     while (not !stalled) && !iters < max_iter && !best > target () do
       incr iters;
+      if tr then Obs.Trace.begin_span Obs.Trace.Eft "refine.iter";
       let d = R.solve_double n lu (Array.map M.to_float !r) in
       Array.iteri (fun i di -> V.set xv i (M.add_float (V.get xv i) di)) d;
       let r', rn' = resid_norm () in
@@ -312,12 +315,15 @@ struct
         best := rn';
         r := r'
       end
-      else stalled := true
+      else stalled := true;
+      (* each iteration span carries the residual norm it achieved *)
+      if tr then Obs.Trace.end_span_f ~arg_name:"residual" ~arg:rn'
     done;
     let x = V.to_array xv in
     let xnorm = M.to_float (L.norm_inf x) in
     let converged =
       !best = 0.0 || (xnorm > 0.0 && !best /. xnorm < Float.ldexp 1.0 (-(M.precision_bits - 15)))
     in
+    if tr then Obs.Trace.end_span_f ~arg_name:"residual" ~arg:!best;
     (x, { iterations = !iters; final_residual_norm = !best; converged })
 end

@@ -1,0 +1,15 @@
+(* Monotonic time base for the observability layer.
+
+   All span timestamps are nanoseconds since the process epoch (the
+   moment this module was initialised), carried as floats: relative ns
+   stay well below 2^53 for any realistic process lifetime (~104 days),
+   so every tick is exactly representable, and floats let the trace
+   rings keep timestamps in unboxed [floatarray]s. *)
+
+let epoch = Monotonic_clock.now ()
+
+let raw_ns () = Monotonic_clock.now ()
+
+let now_ns () = Int64.to_float (Int64.sub (Monotonic_clock.now ()) epoch)
+
+let ns_to_us ns = ns /. 1e3

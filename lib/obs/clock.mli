@@ -1,0 +1,13 @@
+(** Monotonic time base for the observability layer. *)
+
+val epoch : int64
+(** Absolute monotonic reading (ns) taken at module initialisation. *)
+
+val raw_ns : unit -> int64
+(** Absolute monotonic nanoseconds (clock origin is unspecified). *)
+
+val now_ns : unit -> float
+(** Monotonic nanoseconds since {!epoch}.  Exactly representable as a
+    float for ~104 days of process lifetime. *)
+
+val ns_to_us : float -> float

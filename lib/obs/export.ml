@@ -1,0 +1,153 @@
+(* Trace export: Chrome trace-event JSON (loadable in about:tracing /
+   Perfetto) and the compact fpan-trace/1 aggregate summary.
+
+   Chrome events are emitted as balanced B/E pairs reconstructed from
+   the completed-span records.  Spans are swept per ring (tid) in
+   start order with a stack: before opening a span, every stacked span
+   that ended before it starts — or ended exactly when it starts
+   without being an ancestor (deeper depth) — is closed first.  The
+   recorded nesting depth breaks timestamp ties, so zero-width spans
+   at coarse clock resolution still close in stack order and the event
+   stream is balanced by construction (asserted by test/test_obs.ml's
+   round-trip test). *)
+
+module J = Json_out
+
+let us ns = ns /. 1e3
+
+(* --- Chrome trace events -------------------------------------------- *)
+
+let event_fields ~ph ~tid (s : Trace.span) ~ts =
+  [ ("name", J.Str s.Trace.name);
+    ("cat", J.Str (Trace.cat_name s.Trace.cat));
+    ("ph", J.Str ph);
+    ("ts", J.Num (us ts));
+    ("pid", J.Num 1.0);
+    ("tid", J.Num (Float.of_int tid)) ]
+
+let begin_event s = J.Obj (event_fields ~ph:"B" ~tid:s.Trace.tid s ~ts:s.Trace.t0_ns)
+
+let end_event s =
+  let args =
+    if s.Trace.arg_name = "" then []
+    else [ ("args", J.Obj [ (s.Trace.arg_name, J.Num s.Trace.arg) ]) ]
+  in
+  J.Obj (event_fields ~ph:"E" ~tid:s.Trace.tid s ~ts:s.Trace.t1_ns @ args)
+
+let chrome_events spans =
+  (* group by tid, preserving the drain order (t0 asc, depth asc) *)
+  let by_tid = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let tid = s.Trace.tid in
+      Hashtbl.replace by_tid tid (s :: (try Hashtbl.find by_tid tid with Not_found -> [])))
+    spans;
+  let tids = Hashtbl.fold (fun tid _ acc -> tid :: acc) by_tid [] |> List.sort compare in
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  List.iter
+    (fun tid ->
+      emit
+        (J.Obj
+           [ ("name", J.Str "thread_name"); ("ph", J.Str "M"); ("pid", J.Num 1.0);
+             ("tid", J.Num (Float.of_int tid));
+             ("args", J.Obj [ ("name", J.Str (Printf.sprintf "domain%d" tid)) ]) ]);
+      let spans = List.rev (Hashtbl.find by_tid tid) in
+      let stack = ref [] in
+      (* [s] can only nest inside [top] if it is deeper; anything at
+         the same depth or shallower closes the stacked span first
+         (this is what keeps zero-width spans at coarse clock
+         resolution, and rings with dropped ancestors, balanced). *)
+      let closes_before (top : Trace.span) (s : Trace.span) =
+        top.Trace.t1_ns < s.Trace.t0_ns || s.Trace.depth <= top.Trace.depth
+      in
+      List.iter
+        (fun s ->
+          let rec unwind () =
+            match !stack with
+            | top :: rest when closes_before top s ->
+                emit (end_event top);
+                stack := rest;
+                unwind ()
+            | _ -> ()
+          in
+          unwind ();
+          emit (begin_event s);
+          stack := s :: !stack)
+        spans;
+      List.iter (fun top -> emit (end_event top)) !stack)
+    tids;
+  List.rev !events
+
+let chrome_trace spans =
+  J.Obj [ ("traceEvents", J.List (chrome_events spans)); ("displayTimeUnit", J.Str "ms") ]
+
+(* --- aggregate summary ---------------------------------------------- *)
+
+type agg = {
+  mutable count : int;
+  mutable total_ns : float;
+  mutable max_ns : float;
+  mutable arg_name : string;
+  mutable arg_sum : float;
+}
+
+let by_name spans =
+  let tbl : (string * string, agg) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (s : Trace.span) ->
+      let key = (s.Trace.name, Trace.cat_name s.Trace.cat) in
+      let a =
+        match Hashtbl.find_opt tbl key with
+        | Some a -> a
+        | None ->
+            let a = { count = 0; total_ns = 0.0; max_ns = 0.0; arg_name = ""; arg_sum = 0.0 } in
+            Hashtbl.add tbl key a;
+            a
+      in
+      let d = s.Trace.t1_ns -. s.Trace.t0_ns in
+      a.count <- a.count + 1;
+      a.total_ns <- a.total_ns +. d;
+      if d > a.max_ns then a.max_ns <- d;
+      if s.Trace.arg_name <> "" then begin
+        a.arg_name <- s.Trace.arg_name;
+        a.arg_sum <- a.arg_sum +. s.Trace.arg
+      end)
+    spans;
+  Hashtbl.fold (fun k a acc -> (k, a) :: acc) tbl []
+  |> List.sort (fun ((a, _), _) ((b, _), _) -> String.compare a b)
+
+let summary ~workload ?sched ?(extra = []) ~spans ~metrics ~dropped ~unbalanced () =
+  let rows =
+    List.map
+      (fun ((name, cat), a) ->
+        J.Obj
+          ([ ("name", J.Str name);
+             ("cat", J.Str cat);
+             ("count", J.Num (Float.of_int a.count));
+             ("total_ns", J.Num a.total_ns);
+             ("mean_ns", J.Num (if a.count = 0 then 0.0 else a.total_ns /. Float.of_int a.count));
+             ("max_ns", J.Num a.max_ns) ]
+          @
+          if a.arg_name = "" then []
+          else [ ("arg_name", J.Str a.arg_name); ("arg_sum", J.Num a.arg_sum) ]))
+      (by_name spans)
+  in
+  J.Obj
+    ([ ("schema", J.Str "fpan-trace/1");
+       ("workload", J.Str workload);
+       ("span_count", J.Num (Float.of_int (List.length spans)));
+       ("dropped", J.Num (Float.of_int dropped));
+       ("unbalanced", J.Num (Float.of_int unbalanced));
+       ("by_name", J.List rows);
+       ("metrics", Metrics.to_json metrics) ]
+    @ (match sched with Some j -> [ ("sched", j) ] | None -> [])
+    @ extra)
+
+(* --- file output ---------------------------------------------------- *)
+
+let write_json path json =
+  let tr = Trace.enabled () in
+  if tr then Trace.begin_span Trace.Io "io.write_json";
+  Json_out.write_file path json;
+  if tr then Trace.end_span ()

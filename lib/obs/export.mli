@@ -1,0 +1,30 @@
+(** Trace export: Chrome trace-event JSON and the compact
+    [fpan-trace/1] aggregate summary. *)
+
+val chrome_events : Trace.span list -> Json_out.t list
+(** Balanced B/E event pairs (plus thread-name metadata events) in a
+    valid Chrome trace interleaving, reconstructed per ring from the
+    completed spans; recorded nesting depth breaks timestamp ties. *)
+
+val chrome_trace : Trace.span list -> Json_out.t
+(** The [{"traceEvents": [...]}] document [about:tracing] / Perfetto
+    load directly. *)
+
+val summary :
+  workload:string ->
+  ?sched:Json_out.t ->
+  ?extra:(string * Json_out.t) list ->
+  spans:Trace.span list ->
+  metrics:Metrics.snapshot ->
+  dropped:int ->
+  unbalanced:int ->
+  unit ->
+  Json_out.t
+(** The [fpan-trace/1] summary: per-(name, category) span aggregates
+    (count, total/mean/max ns, argument sums), the merged metrics
+    snapshot, and optionally the scheduler's per-worker telemetry
+    ([Runtime.Sched.stats_json] — kept verbatim so its totals are
+    bitwise those of [Sched.stats]). *)
+
+val write_json : string -> Json_out.t -> unit
+(** {!Json_out.write_file} wrapped in an [io] span when tracing. *)

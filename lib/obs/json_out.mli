@@ -1,0 +1,35 @@
+(** Minimal JSON reader/writer for the machine-readable artifacts
+    ([BENCH_*.json], [CHECK_report.json], [TRACE_*.json]).  Emission is
+    pretty-printed so the files diff cleanly across runs; numbers use
+    the shortest decimal that round-trips to the same double, and
+    non-finite numbers become [null] (JSON has no inf/nan literals) —
+    exact float transport uses {!Str} with C99 hex notation instead.
+    The parser accepts exactly what the emitter produces plus ordinary
+    standard JSON (escapes, [\u] sequences, nested containers). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val write_file : string -> t -> unit
+
+exception Parse_error of string
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete JSON document.  [parse (to_string v)]
+    is [Ok v] whenever [v] contains no non-finite numbers. *)
+
+val parse_exn : string -> t
+val parse_file : string -> (t, string) result
+
+(** {1 Accessors} (for tests and schema validation) *)
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_num : t -> float option
+val to_str : t -> string option

@@ -1,0 +1,100 @@
+(* Structural JSON schema validation for the machine-readable
+   artifacts.  A schema is a small combinator tree; [validate] walks a
+   Json_out value against it and collects every violation with a
+   JSON-pointer-ish path, so a schema drift reports all its symptoms
+   in one run instead of one per rerun. *)
+
+type t =
+  | Any
+  | Null
+  | Bool
+  | Num  (* any JSON number *)
+  | Int  (* a number with an integral value *)
+  | Str
+  | Str_const of string
+  | List of t  (* homogeneous array *)
+  | Obj of field list
+  | One_of of t list
+
+and field = Req of string * t | Opt of string * t
+
+let nullable t = One_of [ t; Null ]
+
+let rec describe = function
+  | Any -> "any"
+  | Null -> "null"
+  | Bool -> "bool"
+  | Num -> "number"
+  | Int -> "integer"
+  | Str -> "string"
+  | Str_const s -> Printf.sprintf "%S" s
+  | List _ -> "array"
+  | Obj _ -> "object"
+  | One_of ts -> String.concat " | " (List.map describe ts)
+
+let validate spec json =
+  let errs = ref [] in
+  let err path msg = errs := Printf.sprintf "%s: %s" (if path = "" then "$" else path) msg :: !errs in
+  let rec go path spec (json : Json_out.t) =
+    match (spec, json) with
+    | Any, _ -> ()
+    | Null, Json_out.Null -> ()
+    | Bool, Json_out.Bool _ -> ()
+    | Num, Json_out.Num _ -> ()
+    | Int, Json_out.Num f when Float.is_integer f -> ()
+    | Str, Json_out.Str _ -> ()
+    | Str_const want, Json_out.Str got ->
+        if got <> want then err path (Printf.sprintf "expected %S, got %S" want got)
+    | List elt, Json_out.List items ->
+        List.iteri (fun i item -> go (Printf.sprintf "%s[%d]" path i) elt item) items
+    | Obj fields, Json_out.Obj kvs ->
+        List.iter
+          (fun field ->
+            let key, spec, required =
+              match field with Req (k, s) -> (k, s, true) | Opt (k, s) -> (k, s, false)
+            in
+            match List.assoc_opt key kvs with
+            | Some v -> go (path ^ "." ^ key) spec v
+            | None -> if required then err path (Printf.sprintf "missing required key %S" key))
+          fields;
+        (* unknown keys are schema drift too: catch additions that the
+           declared schema does not know about *)
+        let known =
+          List.map (function Req (k, _) | Opt (k, _) -> k) fields
+        in
+        List.iter
+          (fun (k, _) ->
+            if not (List.mem k known) then err path (Printf.sprintf "unexpected key %S" k))
+          kvs
+    | One_of specs, v ->
+        let ok =
+          List.exists
+            (fun s ->
+              let saved = !errs in
+              go path s v;
+              let passed = !errs == saved in
+              errs := saved;
+              passed)
+            specs
+        in
+        if not ok then err path (Printf.sprintf "matches none of: %s" (describe spec))
+    | _, v ->
+        let got =
+          match v with
+          | Json_out.Null -> "null"
+          | Json_out.Bool _ -> "bool"
+          | Json_out.Num _ -> "number"
+          | Json_out.Str _ -> "string"
+          | Json_out.List _ -> "array"
+          | Json_out.Obj _ -> "object"
+        in
+        err path (Printf.sprintf "expected %s, got %s" (describe spec) got)
+  in
+  go "" spec json;
+  match List.rev !errs with [] -> Ok () | es -> Error es
+
+let check ~name spec json =
+  match validate spec json with
+  | Ok () -> ()
+  | Error es ->
+      failwith (Printf.sprintf "%s: schema violation:\n  %s" name (String.concat "\n  " es))

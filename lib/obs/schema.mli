@@ -1,0 +1,29 @@
+(** Structural JSON schema validation for the machine-readable
+    artifacts.  Objects are closed: a key the schema does not declare
+    is a violation, so additions to an emitter fail validation until
+    the declared schema (and its version, if the shape changed
+    incompatibly) is updated. *)
+
+type t =
+  | Any
+  | Null
+  | Bool
+  | Num
+  | Int  (** a number with an integral value *)
+  | Str
+  | Str_const of string
+  | List of t  (** homogeneous array *)
+  | Obj of field list
+  | One_of of t list
+
+and field = Req of string * t | Opt of string * t
+
+val nullable : t -> t
+(** [One_of [t; Null]] — for numbers that may be emitted as [null]
+    (inf/nan have no JSON literal). *)
+
+val validate : t -> Json_out.t -> (unit, string list) result
+(** All violations, each tagged with the path where it occurred. *)
+
+val check : name:string -> t -> Json_out.t -> unit
+(** [validate] raising [Failure] with every violation listed. *)

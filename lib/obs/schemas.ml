@@ -1,0 +1,197 @@
+(* The declared schemas of every machine-readable artifact the stack
+   emits.  test/test_json_schemas.ml validates real artifacts against
+   these; fpan_tool validates its own output before writing.  A shape
+   change that is not reflected here fails `dune runtest` instead of
+   downstream tooling. *)
+
+open Schema
+
+let num_or_null = nullable Num
+
+(* Per-worker scheduler telemetry row (Runtime.Sched.stats_json).
+   busy/idle seconds and the steal_attempts/join_helps counters were
+   added after the first BENCH artifacts shipped, so they stay
+   optional: committed pre-extension artifacts still validate. *)
+let worker_row =
+  Obj
+    [ Req ("worker", Int);
+      Req ("tasks", Int);
+      Req ("steals", Int);
+      Opt ("steal_attempts", Int);
+      Opt ("join_helps", Int);
+      Req ("tile_flops", Int);
+      Opt ("busy_seconds", Num);
+      Opt ("idle_seconds", Num);
+      Req ("busy_fraction", Num) ]
+
+(* --- BENCH_fig9/10/11.json ------------------------------------------ *)
+
+let fig_cell =
+  Obj
+    [ Req ("name", Str);
+      Req ("bits", Int);
+      Req ("layout", Str);
+      Req ("n", Int);
+      Req ("gops", num_or_null) ]
+
+let fig_table =
+  Obj
+    [ Req ("kernel", Str);
+      Req ("rows", List (Obj [ Req ("label", Str); Req ("cells", List fig_cell) ])) ]
+
+let fig_sched_block =
+  Obj
+    [ Req ("engine", Str);
+      Req ("kernel", Str);
+      Req ("bits", Int);
+      Req ("n", Int);
+      Req ("workers", Int);
+      Req ("tile", Str);
+      Req ("wall_s", Num);
+      Req ("per_worker", List worker_row) ]
+
+let bench_fig =
+  Obj
+    [ Req ("experiment", Str);
+      Req ("units", Str);
+      Req ("note", Str);
+      Req ("tables", List fig_table);
+      Opt
+        ( "layout_speedup",
+          List (Obj [ Req ("kernel", Str); Req ("bits", Int); Req ("planar_over_aos", num_or_null) ])
+        );
+      Opt ("sched", fig_sched_block) ]
+
+(* --- BENCH_sched.json (fpan-bench-sched/1) -------------------------- *)
+
+let sched_curve_row =
+  Obj
+    [ Req ("workers", Int);
+      Req ("runtime_wall_s", Num);
+      Req ("runtime_gops", Num);
+      Req ("speedup_vs_seq", Num);
+      Req ("pool_wall_s", Num);
+      Req ("pool_gops", Num);
+      Req ("bitwise_equal_seq", Bool);
+      Req ("telemetry", List worker_row) ]
+
+let bench_sched =
+  Obj
+    [ Req ("schema", Str_const "fpan-bench-sched/1");
+      Req ("kernel", Str);
+      Req ("bits", Int);
+      Req ("n", Int);
+      Req ("tile_m", Int);
+      Req ("tile_n", Int);
+      Req ("reps", Int);
+      Req ("seq_wall_s", Num);
+      Req ("seq_gops", Num);
+      Req ("curve", List sched_curve_row);
+      Opt ("tile_sweep", List (Obj [ Req ("tile", Int); Req ("wall_s", Num); Req ("gops", Num) ]));
+      Opt ("obs", Obj [ Req ("trace_summary", Str); Req ("chrome_trace", Str) ]) ]
+
+(* --- CHECK_report.json (fpan-check/1) ------------------------------- *)
+
+let hex_floats = List Str
+
+let check_failure =
+  Obj
+    [ Req ("impl", Str);
+      Req ("op", Str);
+      Req ("class", Str);
+      Req ("kind", Str);
+      Req ("ulps", num_or_null);
+      Req ("inputs", List hex_floats);
+      Req ("got", hex_floats);
+      Req ("shrunk", List hex_floats);
+      Req ("shrunk_terms", Int) ]
+
+let check_result_row =
+  Obj
+    [ Req ("impl", Str);
+      Req ("op", Str);
+      Req ("q", Int);
+      Req ("gated", Bool);
+      Req ("count", Int);
+      Req ("skipped", Int);
+      Req ("nonfinite", Int);
+      Req ("exceed", Int);
+      Req ("max_ulps", num_or_null);
+      Req ("mean_ulps", num_or_null);
+      Req
+        ( "histogram",
+          Obj [ Req ("lo_exp", Int); Req ("hi_exp", Int); Req ("buckets", List Int) ] ) ]
+
+let check_report =
+  Obj
+    [ Req ("schema", Str_const "fpan-check/1");
+      Req ("seed", Int);
+      Req ("cases", Int);
+      Req ("scalar_cases", Int);
+      Req ("vector_cases", Int);
+      Req ("vec_len", Int);
+      Req ("tiers", List Int);
+      Req ("ops", List Str);
+      Req ("passed", Bool);
+      Req ("failure_count", Int);
+      Req ("failures", List check_failure);
+      Req ("results", List check_result_row) ]
+
+(* --- TRACE_*.json (fpan-trace/1) ------------------------------------ *)
+
+let metric_row =
+  One_of
+    [ Obj [ Req ("name", Str); Req ("type", Str_const "counter"); Req ("value", Int) ];
+      Obj [ Req ("name", Str); Req ("type", Str_const "gauge"); Req ("value", num_or_null) ];
+      Obj
+        [ Req ("name", Str);
+          Req ("type", Str_const "histogram");
+          Req ("lo_exp", Int);
+          Req ("hi_exp", Int);
+          Req ("count", Int);
+          Req ("sum", num_or_null);
+          Req ("max", num_or_null);
+          Req ("buckets", List Int) ] ]
+
+let trace_by_name_row =
+  Obj
+    [ Req ("name", Str);
+      Req ("cat", Str);
+      Req ("count", Int);
+      Req ("total_ns", Num);
+      Req ("mean_ns", Num);
+      Req ("max_ns", Num);
+      Opt ("arg_name", Str);
+      Opt ("arg_sum", Num) ]
+
+let trace_summary =
+  Obj
+    [ Req ("schema", Str_const "fpan-trace/1");
+      Req ("workload", Str);
+      Req ("span_count", Int);
+      Req ("dropped", Int);
+      Req ("unbalanced", Int);
+      Req ("by_name", List trace_by_name_row);
+      Req ("metrics", List metric_row);
+      Opt ("sched", List worker_row);
+      Opt
+        ( "overhead",
+          Obj
+            [ Req ("untraced_wall_s", Num);
+              Req ("traced_wall_s", Num);
+              Req ("overhead_pct", Num) ] ) ]
+
+(* Chrome trace files are externally specified; we still pin the
+   envelope and the event fields we rely on. *)
+let chrome_event =
+  Obj
+    [ Opt ("name", Str);
+      Opt ("cat", Str);
+      Req ("ph", Str);
+      Opt ("ts", Num);
+      Req ("pid", Int);
+      Req ("tid", Int);
+      Opt ("args", Any) ]
+
+let chrome_trace =
+  Obj [ Req ("traceEvents", List chrome_event); Req ("displayTimeUnit", Str) ]

@@ -1,0 +1,21 @@
+(** Declared schemas for every machine-readable artifact the stack
+    emits.  One place to update on intentional shape changes;
+    test/test_json_schemas.ml validates the real artifacts. *)
+
+val worker_row : Schema.t
+(** Per-worker telemetry row ([Runtime.Sched.stats_json]). *)
+
+val bench_fig : Schema.t
+(** [BENCH_fig9.json], [BENCH_fig10.json], [BENCH_fig11.json]. *)
+
+val bench_sched : Schema.t
+(** [BENCH_sched.json], schema id [fpan-bench-sched/1]. *)
+
+val check_report : Schema.t
+(** [CHECK_report.json], schema id [fpan-check/1]. *)
+
+val trace_summary : Schema.t
+(** [TRACE_*.json], schema id [fpan-trace/1]. *)
+
+val chrome_trace : Schema.t
+(** The envelope and event fields of the exported Chrome trace. *)

@@ -1,0 +1,209 @@
+(* Low-overhead span tracing over per-domain ring buffers.
+
+   Each domain that opens a span gets a private ring (created lazily —
+   a disabled process never allocates one).  A span is pushed onto the
+   domain's open-span stack by [begin_span] and written into the ring
+   by [end_span] as one completed record (name, category, nesting
+   depth, start/end timestamps, optional float argument), so records
+   are naturally balanced and the ring holds the most recent [cap]
+   completed spans; older ones are overwritten and counted as dropped.
+   No locks or atomics are touched on the span path — the global
+   registry lock is only taken when a ring is created and when the
+   rings are drained.
+
+   DISABLED MODE is a single branch: every entry point first reads the
+   [on] flag and returns.  No ring exists, nothing is allocated —
+   test/test_obs.ml asserts an exact zero minor-allocation delta over
+   the begin/end fast path.  Because a float argument would be boxed
+   at the call site even when tracing is off, hot instrumentation
+   sites guard themselves:
+
+     let tr = Trace.enabled () in
+     if tr then Trace.begin_span Trace.Kernel "gemm.tile";
+     ...
+     if tr then Trace.end_span_f ~arg_name:"flops" ~arg:(float_of_int fl)
+
+   [with_span] is the convenient (closure-allocating) form for cold
+   entry points.
+
+   Timestamps come from {!Clock} (monotonic ns since process start)
+   and live in unboxed [floatarray]s. *)
+
+type cat = Kernel | Sched | Eft | Fuzz | Io
+
+let cat_name = function
+  | Kernel -> "kernel"
+  | Sched -> "sched"
+  | Eft -> "eft"
+  | Fuzz -> "fuzz"
+  | Io -> "io"
+
+let cat_idx = function Kernel -> 0 | Sched -> 1 | Eft -> 2 | Fuzz -> 3 | Io -> 4
+let cat_of_idx = [| Kernel; Sched; Eft; Fuzz; Io |]
+
+type span = {
+  name : string;
+  cat : cat;
+  tid : int;  (* ring id: one per domain that ever traced *)
+  depth : int;  (* open spans below this one on the same domain *)
+  t0_ns : float;
+  t1_ns : float;
+  arg_name : string;  (* "" when absent *)
+  arg : float;
+}
+
+(* --- the enabled flag ----------------------------------------------- *)
+
+let on =
+  Atomic.make
+    (match Sys.getenv_opt "FPAN_OBS" with
+    | Some ("1" | "true" | "on" | "yes") -> true
+    | _ -> false)
+
+let enabled () = Atomic.get on
+let set_enabled b = Atomic.set on b
+
+(* --- rings ---------------------------------------------------------- *)
+
+let max_depth = 256
+let default_capacity = ref 32768
+
+let set_ring_capacity c = default_capacity := Stdlib.max 16 c
+
+type ring = {
+  tid : int;
+  cap : int;
+  r_name : string array;
+  r_cat : int array;
+  r_depth : int array;
+  r_t0 : floatarray;
+  r_t1 : floatarray;
+  r_arg_name : string array;
+  r_arg : floatarray;
+  mutable widx : int;  (* completed spans ever written *)
+  (* open-span stack *)
+  s_name : string array;
+  s_cat : int array;
+  s_t0 : floatarray;
+  mutable sp : int;
+  mutable unbalanced : int;  (* end without begin / stack overflow *)
+}
+
+let rings : ring list ref = ref []
+let rings_lock = Mutex.create ()
+let next_tid = Atomic.make 0
+
+let mk_ring () =
+  let cap = !default_capacity in
+  let r =
+    { tid = Atomic.fetch_and_add next_tid 1; cap;
+      r_name = Array.make cap ""; r_cat = Array.make cap 0; r_depth = Array.make cap 0;
+      r_t0 = Float.Array.make cap 0.0; r_t1 = Float.Array.make cap 0.0;
+      r_arg_name = Array.make cap ""; r_arg = Float.Array.make cap 0.0; widx = 0;
+      s_name = Array.make max_depth ""; s_cat = Array.make max_depth 0;
+      s_t0 = Float.Array.make max_depth 0.0; sp = 0; unbalanced = 0 }
+  in
+  Mutex.lock rings_lock;
+  rings := r :: !rings;
+  Mutex.unlock rings_lock;
+  r
+
+let ring_key = Domain.DLS.new_key mk_ring
+
+(* --- span path ------------------------------------------------------ *)
+
+let begin_span cat name =
+  if Atomic.get on then begin
+    let r = Domain.DLS.get ring_key in
+    if r.sp >= max_depth then r.unbalanced <- r.unbalanced + 1
+    else begin
+      let sp = r.sp in
+      r.s_name.(sp) <- name;
+      r.s_cat.(sp) <- cat_idx cat;
+      Float.Array.set r.s_t0 sp (Clock.now_ns ());
+      r.sp <- sp + 1
+    end
+  end
+
+let record r arg_name arg =
+  r.sp <- r.sp - 1;
+  let sp = r.sp in
+  let i = r.widx mod r.cap in
+  r.r_name.(i) <- r.s_name.(sp);
+  r.r_cat.(i) <- r.s_cat.(sp);
+  r.r_depth.(i) <- sp;
+  Float.Array.set r.r_t0 i (Float.Array.get r.s_t0 sp);
+  Float.Array.set r.r_t1 i (Clock.now_ns ());
+  r.r_arg_name.(i) <- arg_name;
+  Float.Array.set r.r_arg i arg;
+  r.widx <- r.widx + 1
+
+let end_span () =
+  if Atomic.get on then begin
+    let r = Domain.DLS.get ring_key in
+    if r.sp = 0 then r.unbalanced <- r.unbalanced + 1 else record r "" 0.0
+  end
+
+let end_span_f ~arg_name ~arg =
+  if Atomic.get on then begin
+    let r = Domain.DLS.get ring_key in
+    if r.sp = 0 then r.unbalanced <- r.unbalanced + 1 else record r arg_name arg
+  end
+
+let with_span cat name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    begin_span cat name;
+    match f () with
+    | v ->
+        end_span ();
+        v
+    | exception e ->
+        end_span ();
+        raise e
+  end
+
+(* --- drain ---------------------------------------------------------- *)
+
+let all_rings () =
+  Mutex.lock rings_lock;
+  let rs = !rings in
+  Mutex.unlock rings_lock;
+  rs
+
+let dropped () =
+  List.fold_left (fun acc r -> acc + Stdlib.max 0 (r.widx - r.cap)) 0 (all_rings ())
+
+let unbalanced () = List.fold_left (fun acc r -> acc + r.unbalanced) 0 (all_rings ())
+
+(* Like Sched.stats, drain between runs (while tracing domains are
+   quiescent) for exact contents. *)
+let drain () =
+  let spans = ref [] in
+  List.iter
+    (fun r ->
+      let total = r.widx in
+      let kept = Stdlib.min total r.cap in
+      for j = total - kept to total - 1 do
+        let i = j mod r.cap in
+        spans :=
+          { name = r.r_name.(i); cat = cat_of_idx.(r.r_cat.(i)); tid = r.tid;
+            depth = r.r_depth.(i); t0_ns = Float.Array.get r.r_t0 i;
+            t1_ns = Float.Array.get r.r_t1 i; arg_name = r.r_arg_name.(i);
+            arg = Float.Array.get r.r_arg i }
+          :: !spans
+      done;
+      r.widx <- 0)
+    (all_rings ());
+  List.sort
+    (fun a b ->
+      let c = compare a.t0_ns b.t0_ns in
+      if c <> 0 then c else compare a.depth b.depth)
+    !spans
+
+let clear () =
+  List.iter
+    (fun r ->
+      r.widx <- 0;
+      r.unbalanced <- 0)
+    (all_rings ())

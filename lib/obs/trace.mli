@@ -1,0 +1,74 @@
+(** Low-overhead span tracing over per-domain ring buffers.
+
+    Nestable spans with categories, recorded per domain into a
+    fixed-capacity ring (most recent spans win; older ones are counted
+    as dropped).  The span path touches no locks or atomics; the
+    disabled mode is a single branch on a flag with no allocation —
+    hot sites should guard float-argument ends themselves:
+
+    {[
+      let tr = Obs.Trace.enabled () in
+      if tr then Obs.Trace.begin_span Obs.Trace.Kernel "gemm.tile";
+      (* ... work ... *)
+      if tr then Obs.Trace.end_span_f ~arg_name:"flops" ~arg:(float_of_int fl)
+    ]} *)
+
+type cat = Kernel | Sched | Eft | Fuzz | Io
+
+val cat_name : cat -> string
+
+type span = {
+  name : string;
+  cat : cat;
+  tid : int;  (** ring id — one per domain that ever traced *)
+  depth : int;  (** open spans below this one on the same domain *)
+  t0_ns : float;  (** {!Clock.now_ns} at begin *)
+  t1_ns : float;
+  arg_name : string;  (** [""] when no argument was attached *)
+  arg : float;
+}
+
+val enabled : unit -> bool
+(** Initially set from the [FPAN_OBS] environment variable
+    ([1]/[true]/[on]/[yes]). *)
+
+val set_enabled : bool -> unit
+
+val set_ring_capacity : int -> unit
+(** Capacity (spans) of rings created after this call; default 32768.
+    Existing rings keep their size. *)
+
+val begin_span : cat -> string -> unit
+(** Open a span on the calling domain.  No-op (one branch, no
+    allocation) when disabled.  Deeper than 256 open spans counts as
+    unbalanced and is dropped. *)
+
+val end_span : unit -> unit
+(** Close the innermost open span.  An end without a begin increments
+    the {!unbalanced} count instead of recording. *)
+
+val end_span_f : arg_name:string -> arg:float -> unit
+(** [end_span] attaching a named float argument (flop count, residual
+    norm, ...).  Guard the call site on {!enabled} — the float would
+    be boxed even when tracing is off. *)
+
+val with_span : cat -> string -> (unit -> 'a) -> 'a
+(** Convenience wrapper (closes on exception too).  The closure makes
+    this allocate at the call site even when disabled — use begin/end
+    on hot paths. *)
+
+val drain : unit -> span list
+(** Collect and clear every domain's completed spans, sorted by start
+    time (ties by depth, so parents sort before the children they
+    started simultaneously with).  Open spans stay open.  Drain while
+    tracing domains are quiescent for exact contents; read {!dropped}
+    first (draining resets it). *)
+
+val dropped : unit -> int
+(** Completed spans overwritten before being drained. *)
+
+val unbalanced : unit -> int
+(** Ends without a begin, plus begins beyond the depth limit. *)
+
+val clear : unit -> unit
+(** Discard all completed spans and reset the unbalanced count. *)

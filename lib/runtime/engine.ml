@@ -101,14 +101,18 @@ module Make (E : ELT) (V : VEC with type elt = E.t) = struct
             let ti = tile / ntj and tj = tile mod ntj in
             let i0 = ti * tm and j0 = tj * tn in
             let i1 = min m (i0 + tm) and j1 = min n (j0 + tn) in
-            Sched.add_flops rt ((i1 - i0) * (j1 - j0) * k);
+            let fl = (i1 - i0) * (j1 - j0) * k in
+            let tr = Obs.Trace.enabled () in
+            if tr then Obs.Trace.begin_span Obs.Trace.Kernel "gemm.tile";
+            Sched.add_flops rt fl;
             let len = j1 - j0 in
             for i = i0 to i1 - 1 do
               let arow = i * k and crow = (i * n) + j0 in
               for p = 0 to k - 1 do
                 V.madd ~alpha:(V.get a (arow + p)) ~x:b ~xoff:((p * n) + j0) ~y:c ~yoff:crow ~len
               done
-            done
+            done;
+            if tr then Obs.Trace.end_span_f ~arg_name:"flops" ~arg:(float_of_int fl)
           done)
     end
 end

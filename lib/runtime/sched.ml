@@ -25,9 +25,17 @@
    inline child raised -- so no task outlives [run], then re-raises
    the leftmost exception.
 
-   TELEMETRY.  Each worker counts executed tasks, successful steals,
-   reported flops, and busy/idle wall-clock; [stats] snapshots the
-   counters (read them between runs for exact values). *)
+   TELEMETRY.  Each worker counts executed tasks, steal attempts and
+   successes, tasks executed while helping a join, reported flops, and
+   busy/idle wall-clock; [stats] snapshots the counters (read them
+   between runs for exact values).  Idle time covers only spinning
+   while a run was in flight — parked time between runs is not
+   telemetry, and excluding it is what makes a [reset_stats] between
+   runs exact (no wall-clock segment straddles the reset).  When
+   Obs.Trace is enabled, top-level task execution and root runs are
+   also recorded as [sched] spans, and [stats_json] renders the
+   per-worker rows every JSON surface (BENCH_sched.json, the fig9
+   sched block, TRACE summaries) shares. *)
 
 type worker = {
   id : int;
@@ -36,6 +44,8 @@ type worker = {
   mutable depth : int;  (* task nesting, so busy time is not double-counted *)
   mutable tasks : int;
   mutable steals : int;
+  mutable steal_attempts : int;
+  mutable join_helps : int;
   mutable flops : int;
   mutable busy_s : float;
   mutable idle_s : float;
@@ -56,6 +66,8 @@ type worker_stats = {
   worker_id : int;
   tasks_executed : int;
   steals : int;
+  steal_attempts : int;
+  join_helps : int;
   tile_flops : int;
   busy_seconds : float;
   idle_seconds : float;
@@ -85,27 +97,36 @@ let mk_worker id =
     depth = 0;
     tasks = 0;
     steals = 0;
+    steal_attempts = 0;
+    join_helps = 0;
     flops = 0;
     busy_s = 0.0;
     idle_s = 0.0;
   }
 
-(* Tasks never raise: promise bodies catch into the promise state. *)
+(* Tasks never raise: promise bodies catch into the promise state.
+   Only depth-0 execution is timed and traced: nested tasks run inline
+   inside an already-timed span, and a per-leaf span at fine grain
+   would dominate the work it measures. *)
 let exec_task w task =
   w.tasks <- w.tasks + 1;
   if w.depth = 0 then begin
+    let tr = Obs.Trace.enabled () in
+    if tr then Obs.Trace.begin_span Obs.Trace.Sched "sched.task";
     let t0 = now () in
     w.depth <- 1;
     task ();
     w.depth <- 0;
-    w.busy_s <- w.busy_s +. (now () -. t0)
+    w.busy_s <- w.busy_s +. (now () -. t0);
+    if tr then Obs.Trace.end_span ()
   end
   else task ()
 
-let try_steal rt w =
+let try_steal rt (w : worker) =
   let n = Array.length rt.workers in
   if n = 1 then None
   else begin
+    w.steal_attempts <- w.steal_attempts + 1;
     let start = Random.State.int w.victim_rng n in
     let rec go i =
       if i = n then None
@@ -142,25 +163,27 @@ let worker_loop rt slot =
   let misses = ref 0 in
   while not (Atomic.get rt.closed) do
     if step rt w then misses := 0
-    else begin
+    else if Atomic.get rt.active > 0 then begin
+      (* A run is in flight but nothing is stealable yet: spin
+         briefly, then yield the core (essential when domains
+         oversubscribe the machine -- a spinning thief would steal
+         cycles from the worker actually holding the work).  Only
+         this in-run spinning counts as idle time: parked time
+         between runs is not telemetry, and timing it would leak a
+         wall-clock segment across a [reset_stats] issued while the
+         scheduler is quiescent. *)
       let t0 = now () in
-      if Atomic.get rt.active > 0 then begin
-        incr misses;
-        (* A run is in flight but nothing is stealable yet: spin
-           briefly, then yield the core (essential when domains
-           oversubscribe the machine -- a spinning thief would steal
-           cycles from the worker actually holding the work). *)
-        if !misses < 100 then Domain.cpu_relax () else Unix.sleepf 0.0002
-      end
-      else begin
-        Mutex.lock rt.lock;
-        while Atomic.get rt.active = 0 && not (Atomic.get rt.closed) do
-          Condition.wait rt.wake rt.lock
-        done;
-        Mutex.unlock rt.lock;
-        misses := 0
-      end;
+      incr misses;
+      if !misses < 100 then Domain.cpu_relax () else Unix.sleepf 0.0002;
       w.idle_s <- w.idle_s +. (now () -. t0)
+    end
+    else begin
+      Mutex.lock rt.lock;
+      while Atomic.get rt.active = 0 && not (Atomic.get rt.closed) do
+        Condition.wait rt.wake rt.lock
+      done;
+      Mutex.unlock rt.lock;
+      misses := 0
     end
   done
 
@@ -228,7 +251,10 @@ let join rt p =
         | Raised e -> raise e
         | Todo _ ->
             (* help: run other tasks while the stolen child finishes *)
-            if step rt w then misses := 0
+            if step rt w then begin
+              w.join_helps <- w.join_helps + 1;
+              misses := 0
+            end
             else begin
               incr misses;
               if !misses < 100 then Domain.cpu_relax () else Unix.sleepf 0.0002
@@ -258,10 +284,13 @@ let run rt f =
         Mutex.unlock rt.root_lock;
         match result with Ok v -> v | Error e -> raise e
       in
+      let tr = Obs.Trace.enabled () in
+      if tr then Obs.Trace.begin_span Obs.Trace.Sched "sched.run";
       let t0 = now () in
       let result = try Ok (f ()) with e -> Error e in
       w.tasks <- w.tasks + 1;
       w.busy_s <- w.busy_s +. (now () -. t0);
+      if tr then Obs.Trace.end_span ();
       finish result
 
 let both rt f g =
@@ -315,6 +344,8 @@ let stats rt =
         worker_id = w.id;
         tasks_executed = w.tasks;
         steals = w.steals;
+        steal_attempts = w.steal_attempts;
+        join_helps = w.join_helps;
         tile_flops = w.flops;
         busy_seconds = w.busy_s;
         idle_seconds = w.idle_s;
@@ -326,6 +357,8 @@ let reset_stats rt =
     (fun w ->
       w.tasks <- 0;
       w.steals <- 0;
+      w.steal_attempts <- 0;
+      w.join_helps <- 0;
       w.flops <- 0;
       w.busy_s <- 0.0;
       w.idle_s <- 0.0)
@@ -334,6 +367,27 @@ let reset_stats rt =
 let busy_fraction (s : worker_stats) =
   let total = s.busy_seconds +. s.idle_seconds in
   if total <= 0.0 then 0.0 else s.busy_seconds /. total
+
+(* The one JSON rendering of per-worker telemetry.  BENCH_sched.json,
+   the fig9 sched block, and the trace summary all call this, so their
+   rows are bitwise-identical by construction. *)
+let stats_json (ws : worker_stats array) =
+  let open Obs.Json_out in
+  List
+    (Array.to_list ws
+    |> List.map (fun s ->
+           Obj
+             [
+               ("worker", Num (float_of_int s.worker_id));
+               ("tasks", Num (float_of_int s.tasks_executed));
+               ("steals", Num (float_of_int s.steals));
+               ("steal_attempts", Num (float_of_int s.steal_attempts));
+               ("join_helps", Num (float_of_int s.join_helps));
+               ("tile_flops", Num (float_of_int s.tile_flops));
+               ("busy_seconds", Num s.busy_seconds);
+               ("idle_seconds", Num s.idle_seconds);
+               ("busy_fraction", Num (busy_fraction s));
+             ]))
 
 (* ------------------------------------------------------------------ *)
 

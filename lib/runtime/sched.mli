@@ -82,9 +82,13 @@ type worker_stats = {
   worker_id : int;
   tasks_executed : int;  (** tasks run on this worker (root runs count on worker 0) *)
   steals : int;  (** successful steals by this worker *)
+  steal_attempts : int;  (** victim scans, successful or not *)
+  join_helps : int;  (** tasks executed while waiting inside {!join} *)
   tile_flops : int;  (** extended-precision operations reported via {!add_flops} *)
   busy_seconds : float;  (** wall-clock executing top-level tasks *)
-  idle_seconds : float;  (** wall-clock spinning/sleeping while work was scarce *)
+  idle_seconds : float;  (** wall-clock spinning while a run was in flight
+                             (parked time between runs is not counted, so a
+                             {!reset_stats} between runs is exact) *)
 }
 
 val add_flops : t -> int -> unit
@@ -99,3 +103,12 @@ val reset_stats : t -> unit
 
 val busy_fraction : worker_stats -> float
 (** [busy / (busy + idle)], or [0.] when neither was recorded. *)
+
+val stats_json : worker_stats array -> Obs.Json_out.t
+(** The canonical JSON rendering of a {!stats} snapshot: a list of
+    per-worker objects with keys [worker], [tasks], [steals],
+    [steal_attempts], [join_helps], [tile_flops], [busy_seconds],
+    [idle_seconds], [busy_fraction].  Every artifact that reports
+    worker telemetry (BENCH_sched.json, the fig9 sched block, trace
+    summaries) goes through this one function, so their rows agree
+    bitwise. *)

@@ -1,0 +1,103 @@
+(* Every machine-readable artifact validates against its declared
+   schema: the committed BENCH_*.json files on disk, plus CHECK and
+   TRACE documents generated in-process.  Objects are closed, so an
+   emitter growing a key fails here until Obs.Schemas declares it. *)
+
+module J = Obs.Json_out
+module S = Obs.Schema
+
+let validate_file name schema path =
+  match J.parse_file path with
+  | Error msg -> Alcotest.fail (Printf.sprintf "%s: %s" path msg)
+  | Ok doc -> S.check ~name schema doc
+
+(* Under `dune runtest` the cwd is _build/default/test/ and the
+   committed artifacts are dune deps one level up; under `dune exec`
+   from the workspace root they are right here. *)
+let artifact f =
+  let up = Filename.concat ".." f in
+  if Sys.file_exists up then up else f
+
+let test_bench_figs () =
+  List.iter
+    (fun f -> validate_file f Obs.Schemas.bench_fig (artifact f))
+    [ "BENCH_fig9.json"; "BENCH_fig10.json"; "BENCH_fig11.json" ]
+
+let test_bench_sched () =
+  validate_file "BENCH_sched.json" Obs.Schemas.bench_sched (artifact "BENCH_sched.json")
+
+let test_trace_artifacts () =
+  validate_file "TRACE_gemm.json" Obs.Schemas.trace_summary (artifact "TRACE_gemm.json");
+  validate_file "TRACE_gemm_chrome.json" Obs.Schemas.chrome_trace
+    (artifact "TRACE_gemm_chrome.json");
+  validate_file "BENCH_sched_trace.json" Obs.Schemas.trace_summary
+    (artifact "BENCH_sched_trace.json");
+  validate_file "BENCH_sched_chrome_trace.json" Obs.Schemas.chrome_trace
+    (artifact "BENCH_sched_chrome_trace.json")
+
+let test_check_report () =
+  let cfg = { Check.Fuzz.default with Check.Fuzz.cases = 40; tiers = [ 2 ]; max_findings = 2 } in
+  let report = Check.Fuzz.run cfg in
+  S.check ~name:"fpan-check/1" Obs.Schemas.check_report (Check.Fuzz.to_json report)
+
+let test_trace_summary () =
+  Obs.Trace.set_enabled true;
+  Obs.Trace.clear ();
+  Obs.Metrics.reset ();
+  Obs.Trace.with_span Obs.Trace.Kernel "outer" (fun () ->
+      Obs.Trace.with_span Obs.Trace.Eft "inner" (fun () -> ()));
+  Obs.Metrics.incr (Obs.Metrics.counter "schemas.test.c");
+  Obs.Metrics.set (Obs.Metrics.gauge "schemas.test.g") 1.5;
+  Obs.Metrics.observe (Obs.Metrics.hist "schemas.test.h") 2.0;
+  let dropped = Obs.Trace.dropped () in
+  let spans = Obs.Trace.drain () in
+  Obs.Trace.set_enabled false;
+  let sched =
+    Runtime.Sched.with_sched ~workers:2 (fun rt ->
+        Runtime.Sched.parallel_for rt ~lo:0 ~hi:64 (fun _ _ -> ());
+        Runtime.Sched.stats_json (Runtime.Sched.stats rt))
+  in
+  let overhead =
+    J.Obj
+      [ ("untraced_wall_s", J.Num 1.0);
+        ("traced_wall_s", J.Num 1.01);
+        ("overhead_pct", J.Num 1.0) ]
+  in
+  let summary =
+    Obs.Export.summary ~workload:"schema-test" ~sched ~extra:[ ("overhead", overhead) ] ~spans
+      ~metrics:(Obs.Metrics.snapshot ()) ~dropped ~unbalanced:(Obs.Trace.unbalanced ()) ()
+  in
+  S.check ~name:"fpan-trace/1" Obs.Schemas.trace_summary summary;
+  S.check ~name:"chrome" Obs.Schemas.chrome_trace (Obs.Export.chrome_trace spans);
+  (* and the sched rows of the summary validate on their own *)
+  match J.member "sched" summary with
+  | Some rows -> S.check ~name:"worker rows" (S.List Obs.Schemas.worker_row) rows
+  | None -> Alcotest.fail "summary lost the sched block"
+
+(* The validator itself: closed objects, required keys, type and
+   constant mismatches all produce violations with paths. *)
+let test_validator_rejects () =
+  let schema = S.Obj [ S.Req ("a", S.Int); S.Opt ("b", S.Str) ] in
+  let ok v = Result.is_ok (S.validate schema v) in
+  Alcotest.(check bool) "conforming" true (ok (J.Obj [ ("a", J.Num 3.0) ]));
+  Alcotest.(check bool) "optional present" true
+    (ok (J.Obj [ ("a", J.Num 3.0); ("b", J.Str "x") ]));
+  Alcotest.(check bool) "missing required" false (ok (J.Obj [ ("b", J.Str "x") ]));
+  Alcotest.(check bool) "unknown key" false
+    (ok (J.Obj [ ("a", J.Num 3.0); ("zzz", J.Null) ]));
+  Alcotest.(check bool) "non-integral Int" false (ok (J.Obj [ ("a", J.Num 3.5) ]));
+  Alcotest.(check bool) "wrong type" false (ok (J.Obj [ ("a", J.Str "3") ]));
+  Alcotest.(check bool) "str const" false
+    (Result.is_ok (S.validate (S.Str_const "v1") (J.Str "v2")));
+  Alcotest.(check bool) "nullable accepts null" true
+    (Result.is_ok (S.validate (S.nullable S.Num) J.Null))
+
+let () =
+  Alcotest.run "json_schemas"
+    [ ( "artifacts",
+        [ Alcotest.test_case "BENCH_fig9/10/11.json" `Quick test_bench_figs;
+          Alcotest.test_case "BENCH_sched.json" `Quick test_bench_sched;
+          Alcotest.test_case "TRACE_gemm(_chrome).json" `Quick test_trace_artifacts;
+          Alcotest.test_case "CHECK report (in-process)" `Quick test_check_report;
+          Alcotest.test_case "TRACE summary (in-process)" `Quick test_trace_summary ] );
+      ("validator", [ Alcotest.test_case "rejections" `Quick test_validator_rejects ]) ]

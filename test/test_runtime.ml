@@ -391,6 +391,52 @@ let test_telemetry_flops_and_tasks () =
       Alcotest.(check int) "reset clears flops" 0
         (Array.fold_left (fun acc s -> acc + s.Sched.tile_flops) 0 st))
 
+(* reset_stats between runs must be exact even with live (parked)
+   worker domains: the snapshot after a reset is all-zero, and the
+   counters of the next run are not polluted by anything from before
+   the reset — in particular no idle time leaks across it from a
+   worker that was parked while the reset happened. *)
+let test_reset_stats_exact_between_runs w =
+  Sched.with_sched ~workers:w (fun rt ->
+      let work () = Sched.parallel_for rt ~lo:0 ~hi:256 (fun _ _ -> ()) in
+      work ();
+      (* let in-flight spin iterations finish and the workers park:
+         a worker that saw active > 0 just before the run ended may
+         still account one ~0.2ms idle slice after it *)
+      Unix.sleepf 0.05;
+      Sched.reset_stats rt;
+      Array.iter
+        (fun s ->
+          Alcotest.(check int) "tasks zero" 0 s.Sched.tasks_executed;
+          Alcotest.(check int) "steals zero" 0 s.Sched.steals;
+          Alcotest.(check int) "attempts zero" 0 s.Sched.steal_attempts;
+          Alcotest.(check int) "helps zero" 0 s.Sched.join_helps;
+          Alcotest.(check int) "flops zero" 0 s.Sched.tile_flops;
+          Alcotest.(check (float 0.0)) "busy zero" 0.0 s.Sched.busy_seconds;
+          Alcotest.(check (float 0.0)) "idle zero" 0.0 s.Sched.idle_seconds)
+        (Sched.stats rt);
+      (* park the workers well past the reset, then run again: if the
+         park interval leaked into idle_seconds, the total would
+         exceed the post-reset wall time by the sleep duration *)
+      let parked_s = 0.3 in
+      Unix.sleepf parked_s;
+      let t0 = Unix.gettimeofday () in
+      work ();
+      let wall = Unix.gettimeofday () -. t0 in
+      let stats = Sched.stats rt in
+      let idle = Array.fold_left (fun acc s -> acc +. s.Sched.idle_seconds) 0.0 stats in
+      Alcotest.(check bool)
+        (Printf.sprintf "no parked time in idle (idle %.4f, wall %.4f)" idle wall)
+        true
+        (idle <= Float.of_int w *. wall +. (parked_s /. 2.0));
+      (* the task count is exact and worker-count independent: one
+         task per fork (255 internal splits of 256 leaves) + the root *)
+      let tasks = Array.fold_left (fun acc s -> acc + s.Sched.tasks_executed) 0 stats in
+      Alcotest.(check int) "exact task count after reset" 256 tasks)
+
+let test_reset_stats_1 () = test_reset_stats_exact_between_runs 1
+let test_reset_stats_4 () = test_reset_stats_exact_between_runs 4
+
 (* ------------------------------------------------------------------ *)
 (* QCheck: random shapes stay bitwise equal to the sequential kernel *)
 
@@ -444,7 +490,9 @@ let () =
       ( "refine",
         [ Alcotest.test_case "refine ?rt bitwise" `Quick test_refine_rt_bitwise ] );
       ( "telemetry",
-        [ Alcotest.test_case "flops and tasks" `Quick test_telemetry_flops_and_tasks ] );
+        [ Alcotest.test_case "flops and tasks" `Quick test_telemetry_flops_and_tasks;
+          Alcotest.test_case "reset exact @1 worker" `Quick test_reset_stats_1;
+          Alcotest.test_case "reset exact @4 workers" `Quick test_reset_stats_4 ] );
       ( "qcheck",
         [ QCheck_alcotest.to_alcotest qcheck_gemm_random_shapes;
           QCheck_alcotest.to_alcotest qcheck_dot_worker_invariance ] ) ]

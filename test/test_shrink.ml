@@ -1,0 +1,104 @@
+(* Check.Shrink: the shrunk counterexample must still fail, and must
+   be locally minimal — running one more shrink pass over the result
+   changes nothing. *)
+
+module Sh = Check.Shrink
+
+(* A deterministic family of "failing checks" over operand arrays,
+   each keeping a different structural feature alive so shrinking has
+   something to chew on and something it must not destroy. *)
+let predicates =
+  [ (* fails while any component is nonzero *)
+    ("any-nonzero", fun inputs -> Sh.nonzero_terms inputs > 0);
+    (* fails while at least 3 components survive *)
+    ("three-terms", fun inputs -> Sh.nonzero_terms inputs >= 3);
+    (* fails while operand 0 still sums to something >= 1.0 *)
+    ( "sum-ge-1",
+      fun inputs ->
+        Array.length inputs > 0 && Array.fold_left ( +. ) 0.0 inputs.(0) >= 1.0 );
+    (* fails while some component has a long mantissa (> 12 bits) *)
+    ( "long-mantissa",
+      fun inputs ->
+        Array.exists
+          (Array.exists (fun v ->
+               v <> 0.0
+               && Float.is_finite v
+               &&
+               let m, _ = Float.frexp v in
+               Float.ldexp m 13 <> Float.round (Float.ldexp m 13)))
+          inputs ) ]
+
+let operands_gen =
+  QCheck.Gen.(
+    let component =
+      oneof
+        [ float_bound_inclusive 1e6;
+          map (fun (m, e) -> Float.ldexp m (e - 30)) (pair (float_bound_inclusive 2.0) (int_bound 60));
+          return 0.0 ]
+    in
+    list_size (int_range 1 3) (array_size (int_range 1 6) component)
+    |> map Array.of_list)
+
+let copy inputs = Array.map Array.copy inputs
+
+let prop_shrunk_still_fails =
+  QCheck.Test.make ~count:300 ~name:"shrunk case still fails"
+    (QCheck.make operands_gen)
+    (fun inputs ->
+      List.for_all
+        (fun (_, keep) ->
+          (not (keep (copy inputs)))
+          || keep (Sh.shrink ~keep (copy inputs)))
+        predicates)
+
+let prop_shrink_is_fixpoint =
+  QCheck.Test.make ~count:300 ~name:"one more shrink pass changes nothing"
+    (QCheck.make operands_gen)
+    (fun inputs ->
+      List.for_all
+        (fun (_, keep) ->
+          (not (keep (copy inputs)))
+          ||
+          let once = Sh.shrink ~keep (copy inputs) in
+          let twice = Sh.shrink ~keep (copy once) in
+          once = twice)
+        predicates)
+
+let prop_never_grows =
+  QCheck.Test.make ~count:300 ~name:"shrinking never adds terms"
+    (QCheck.make operands_gen)
+    (fun inputs ->
+      List.for_all
+        (fun (_, keep) ->
+          (not (keep (copy inputs)))
+          || Sh.nonzero_terms (Sh.shrink ~keep (copy inputs)) <= Sh.nonzero_terms inputs)
+        predicates)
+
+(* A raising keep counts as "no longer failing": the shrinker must
+   back the mutation out rather than crash or accept it. *)
+let test_keep_exception () =
+  let inputs = [| [| 1.0; 2.0; 3.0 |] |] in
+  let keep c =
+    if c.(0).(1) <> 2.0 then failwith "probe mutated the sacred component"
+    else Sh.nonzero_terms c > 0
+  in
+  let shrunk = Sh.shrink ~keep (copy inputs) in
+  Alcotest.(check (float 0.0)) "component the check depends on survives" 2.0 shrunk.(0).(1)
+
+let test_known_minimum () =
+  (* the "three-terms" predicate admits exactly 3 surviving terms, and
+     greedy zeroing must reach it from any larger failing start *)
+  let keep c = Sh.nonzero_terms c >= 3 in
+  let inputs = [| Array.init 8 (fun i -> Float.of_int (i + 1) *. 0.37) |] in
+  let shrunk = Sh.shrink ~keep inputs in
+  Alcotest.(check int) "reaches the 3-term minimum" 3 (Sh.nonzero_terms shrunk)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "shrink"
+    [ ( "shrink",
+        [ q prop_shrunk_still_fails;
+          q prop_shrink_is_fixpoint;
+          q prop_never_grows;
+          Alcotest.test_case "keep exception backs out" `Quick test_keep_exception;
+          Alcotest.test_case "known minimum reached" `Quick test_known_minimum ] ) ]

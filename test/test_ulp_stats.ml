@@ -1,0 +1,119 @@
+(* Check.Ulp_stats: bucket boundaries sit at exact powers of two, and
+   [merge] combines shards independently of grouping and order. *)
+
+module U = Check.Ulp_stats
+
+let test_bucket_boundaries () =
+  let lo = U.lo_exp and hi = U.hi_exp in
+  (* bucket 0: strictly below 2^lo (exact results live here) *)
+  Alcotest.(check int) "zero" 0 (U.bucket_of 0.0);
+  Alcotest.(check int) "just below 2^lo" 0
+    (U.bucket_of (Float.pred (Float.ldexp 1.0 lo)));
+  (* each power of two 2^e, lo <= e < hi, opens bucket e - lo + 1 *)
+  for e = lo to hi - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "2^%d opens its bucket" e)
+      (e - lo + 1)
+      (U.bucket_of (Float.ldexp 1.0 e));
+    Alcotest.(check int)
+      (Printf.sprintf "just below 2^%d stays in the bucket below" e)
+      (e - lo)
+      (U.bucket_of (Float.pred (Float.ldexp 1.0 e)))
+  done;
+  (* overflow bucket: everything at or above 2^hi *)
+  Alcotest.(check int) "2^hi" (U.nbuckets - 1) (U.bucket_of (Float.ldexp 1.0 hi));
+  Alcotest.(check int) "just below 2^hi" (U.nbuckets - 2)
+    (U.bucket_of (Float.pred (Float.ldexp 1.0 hi)));
+  Alcotest.(check int) "infinity" (U.nbuckets - 1) (U.bucket_of Float.infinity)
+
+let test_nan_counted_nonfinite () =
+  let t = U.create () in
+  U.record t Float.nan;
+  U.record t 1.0;
+  Alcotest.(check int) "both counted" 2 (U.count t);
+  let occupied = ref 0 in
+  for i = 0 to U.nbuckets - 1 do
+    occupied := !occupied + U.bucket t i
+  done;
+  Alcotest.(check int) "nan bucketed nowhere" 1 !occupied
+
+let ulps_gen =
+  QCheck.Gen.(
+    oneof
+      [ return 0.0;
+        float_bound_inclusive 2.0;
+        map (fun (m, e) -> Float.ldexp m (e - 16)) (pair (float_bound_inclusive 2.0) (int_bound 32));
+        return Float.infinity ])
+
+let fill ulps =
+  let t = U.create () in
+  List.iter (U.record t) ulps;
+  t
+
+(* Everything [merge] reports except the float mean is exact counts
+   and a max: those must be identical under any association or order
+   of the merges.  The mean rides on a float sum, so it agrees to
+   rounding only. *)
+let fingerprint t =
+  ( U.count t,
+    U.skipped t,
+    U.exceed t,
+    Int64.bits_of_float (U.max_ulps t),
+    List.init U.nbuckets (U.bucket t) )
+
+let close a b =
+  let m1 = U.mean a and m2 = U.mean b in
+  m1 = m2 || Float.abs (m1 -. m2) <= 1e-9 *. Float.max (Float.abs m1) (Float.abs m2)
+
+let prop_merge_assoc =
+  QCheck.Test.make ~count:300 ~name:"merge is associative"
+    QCheck.(
+      triple
+        (list_of_size Gen.(int_bound 40) (make ulps_gen))
+        (list_of_size Gen.(int_bound 40) (make ulps_gen))
+        (list_of_size Gen.(int_bound 40) (make ulps_gen)))
+    (fun (a, b, c) ->
+      let ta = fill a and tb = fill b and tc = fill c in
+      let l = U.merge (U.merge ta tb) tc and r = U.merge ta (U.merge tb tc) in
+      fingerprint l = fingerprint r && close l r)
+
+let prop_merge_comm =
+  QCheck.Test.make ~count:300 ~name:"merge is commutative"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_bound 40) (make ulps_gen))
+        (list_of_size Gen.(int_bound 40) (make ulps_gen)))
+    (fun (a, b) ->
+      let ta = fill a and tb = fill b in
+      fingerprint (U.merge ta tb) = fingerprint (U.merge tb ta))
+
+let prop_merge_is_concat =
+  QCheck.Test.make ~count:300 ~name:"merge = recording the concatenated stream"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_bound 40) (make ulps_gen))
+        (list_of_size Gen.(int_bound 40) (make ulps_gen)))
+    (fun (a, b) ->
+      let merged = U.merge (fill a) (fill b) in
+      let whole = fill (a @ b) in
+      fingerprint merged = fingerprint whole)
+
+let test_merge_identity () =
+  let t = fill [ 0.5; 1.0; 3.0; Float.infinity ] in
+  U.skip t;
+  U.fail t;
+  let z = U.create () in
+  Alcotest.(check bool) "empty is a left identity" true
+    (fingerprint (U.merge z t) = fingerprint t);
+  Alcotest.(check bool) "empty is a right identity" true
+    (fingerprint (U.merge t z) = fingerprint t)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "ulp_stats"
+    [ ( "buckets",
+        [ Alcotest.test_case "boundaries at powers of two" `Quick test_bucket_boundaries;
+          Alcotest.test_case "nan counted separately" `Quick test_nan_counted_nonfinite ] );
+      ( "merge",
+        [ q prop_merge_assoc; q prop_merge_comm; q prop_merge_is_concat;
+          Alcotest.test_case "identity" `Quick test_merge_identity ] ) ]

@@ -2,6 +2,20 @@
 
 open Cmdliner
 
+(* SIGINT/SIGTERM on a long-running subcommand: drain every live
+   scheduler (running registered drain hooks, so in-flight work and
+   artifacts flush) before dying with the conventional 128+signum
+   status. *)
+let drain_on_signal () =
+  let handler signum =
+    prerr_endline "fpan_tool: signal received, draining schedulers";
+    (try Runtime.Sched.drain_all () with _ -> ());
+    exit (128 + signum)
+  in
+  List.iter
+    (fun s -> try Sys.set_signal s (Sys.Signal_handle handler) with _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
+
 let find_network name =
   match List.assoc_opt name Fpan.Networks.all with
   | Some net -> net
@@ -154,6 +168,7 @@ let fuzz_cmd =
   in
   let split_commas s = String.split_on_char ',' s |> List.filter (fun p -> p <> "") in
   let run cases seed ops tiers vec_len out =
+    drain_on_signal ();
     (* The harness must prove it can catch a broken renormalization
        before its clean bill of health means anything. *)
     (match Check.Fuzz.self_test () with
@@ -223,6 +238,7 @@ let fuzz_cmd =
    legacy Parallel.Pool row-parallel path. *)
 
 let bench_sched_run n terms workers_csv reps tile sweep obs out =
+  drain_on_signal ();
   let module B =
     (val (match terms with
          | 2 -> (module Blas.Instances.Mf2 : Blas.Numeric.BATCHED)
@@ -440,6 +456,7 @@ let bench_sched_cmd =
    trace telemetry cannot disagree. *)
 
 let trace_run workload n terms workers reps out_prefix =
+  drain_on_signal ();
   let module J = Check.Json_out in
   (* One execution of the workload: wall seconds plus the per-worker
      telemetry when a scheduler was involved. *)
@@ -590,10 +607,462 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(const trace_run $ workload_arg $ n_arg $ terms_arg $ workers_arg $ reps_arg $ out_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve / loadgen: the batched extended-precision evaluation service
+   (lib/serve) and its load generator. *)
+
+module SP = Serve.Protocol
+
+let parse_endpoint s : Serve.Server.addr =
+  if String.contains s '/' then Serve.Server.Unix_path s
+  else
+    match String.rindex_opt s ':' with
+    | Some i -> (
+        match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+        | Some port -> Serve.Server.Tcp { host = String.sub s 0 i; port }
+        | None -> Serve.Server.Unix_path s)
+    | None -> Serve.Server.Unix_path s
+
+let show_sockaddr = function
+  | Unix.ADDR_UNIX p -> "unix:" ^ p
+  | Unix.ADDR_INET (ip, port) ->
+      Printf.sprintf "tcp:%s:%d" (Unix.string_of_inet_addr ip) port
+
+let serve_run endpoint workers queue max_batch window_us =
+  let addr = parse_endpoint endpoint in
+  let stop_flag = ref false in
+  List.iter
+    (fun s -> Sys.set_signal s (Sys.Signal_handle (fun _ -> stop_flag := true)))
+    [ Sys.sigint; Sys.sigterm ];
+  Runtime.Sched.with_sched ~workers (fun sched ->
+      let srv =
+        Serve.Server.start ~sched ~addr ~queue_capacity:queue ~max_batch ~window_us ()
+      in
+      Printf.printf "fpan_tool serve: listening on %s\n"
+        (show_sockaddr (Serve.Server.bound_addr srv));
+      Printf.printf
+        "  workers %d, queue %d, max-batch %d, window %g us; SIGINT/SIGTERM drains\n%!"
+        workers queue max_batch window_us;
+      while not !stop_flag do
+        try Unix.sleepf 0.2 with Unix.Unix_error (EINTR, _, _) -> ()
+      done;
+      print_endline "fpan_tool serve: draining";
+      Serve.Server.stop srv;
+      print_endline (Check.Json_out.to_string (Serve.Server.stats_doc srv)))
+
+let serve_cmd =
+  let doc =
+    "Run the batched extended-precision evaluation server: length-prefixed JSON frames \
+     (fpan-serve/1) over a unix or TCP socket, deadline-aware micro-batching onto the \
+     work-stealing scheduler, bounded admission with explicit shed responses, and a graceful \
+     drain on SIGINT/SIGTERM that answers every accepted request before exiting."
+  in
+  let endpoint_arg =
+    Arg.(value & opt string "./fpan_serve.sock"
+         & info [ "listen"; "l" ] ~docv:"ADDR"
+             ~doc:"Socket to serve on: a unix path, or HOST:PORT for TCP (port 0 = ephemeral).")
+  in
+  let workers_arg =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"W" ~doc:"Scheduler worker count.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc:"Admission queue capacity.")
+  in
+  let max_batch_arg =
+    Arg.(value & opt int 32 & info [ "max-batch" ] ~docv:"N" ~doc:"Micro-batch size cap.")
+  in
+  let window_arg =
+    Arg.(value & opt float 200.
+         & info [ "window-us" ] ~docv:"US"
+             ~doc:"Batching window in microseconds (0 = batch-size-1 serving).")
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const serve_run $ endpoint_arg $ workers_arg $ queue_arg $ max_batch_arg $ window_arg)
+
+(* --- loadgen -------------------------------------------------------- *)
+
+(* Deterministic request mix: ops x tiers round-robin over the id
+   space, operand values a function of the id alone. *)
+let lg_request ~ops ~tiers id =
+  let op = List.nth ops (id mod List.length ops) in
+  let tier = List.nth tiers (id / List.length ops mod List.length tiers) in
+  let terms = SP.tier_terms tier in
+  let element k =
+    let v = 1.0 +. (Float.of_int ((id + k) mod 97) /. 97.0) in
+    Array.init terms (fun j -> v *. (1e-17 ** Float.of_int j))
+  in
+  let vec n k0 = Array.init n (fun k -> element (k0 + k)) in
+  let x, y =
+    match op with
+    | SP.Add | SP.Mul | SP.Div -> ([| element 0 |], [| element 1 |])
+    | SP.Sqrt | SP.Exp | SP.Log | SP.Sin -> ([| element 0 |], [||])
+    | SP.Dot -> (vec 8 0, vec 8 8)
+    | SP.Axpy -> (vec 8 0, vec 9 8)
+    | SP.Sum -> (vec 8 0, [||])
+    | SP.Poly_eval -> (vec 8 0, [| element 9 |])
+    | SP.Stats -> ([||], [||])
+  in
+  { SP.id; op; tier; deadline_ms = None; x; y }
+
+type lg_counts = {
+  mutable lg_sent : int;
+  mutable lg_ok : int;
+  mutable lg_shed : int;
+  mutable lg_err : int;
+  mutable lg_lats : float list;  (** latency, microseconds *)
+}
+
+(* Find the char right after [sub] in [s], or -1.  Payloads are tiny
+   and we control the encoder, so naive scan is fine. *)
+let lg_after s sub =
+  let n = String.length s and m = String.length sub in
+  let rec eq i j = j >= m || (s.[i + j] = sub.[j] && eq i (j + 1)) in
+  let rec go i = if i + m > n then -1 else if eq i 0 then i + m else go (i + 1) in
+  go 0
+
+(* (id, status initial) without a full JSON parse: the load generator
+   is measurement harness, so it stays off the codec it is measuring
+   (wrk-style).  Correctness of the served bytes is test_serve's job. *)
+let lg_scan payload =
+  let id = ref 0 in
+  let k = ref (lg_after payload "\"id\":") in
+  if !k >= 0 then
+    while
+      !k < String.length payload && payload.[!k] >= '0' && payload.[!k] <= '9'
+    do
+      id := (!id * 10) + (Char.code payload.[!k] - Char.code '0');
+      incr k
+    done;
+  let sp = lg_after payload "\"status\":\"" in
+  let status = if sp >= 0 && sp < String.length payload then payload.[sp] else 'e' in
+  (!id, status)
+
+(* One closed-loop client: [pipeline] requests in flight until the
+   deadline, then drain what is still outstanding.  Request frames are
+   encoded once per pipeline slot up front and resent verbatim (slot
+   ids recycle, one in flight per id); replies are scanned, not
+   parsed. *)
+let lg_client ~sockaddr ~ops ~tiers ~pipeline ~t_end ~cid =
+  let fd = Unix.socket ~cloexec:true (Unix.domain_of_sockaddr sockaddr) SOCK_STREAM 0 in
+  Unix.connect fd sockaddr;
+  let c = { lg_sent = 0; lg_ok = 0; lg_shed = 0; lg_err = 0; lg_lats = [] } in
+  let frames =
+    Array.init pipeline (fun i ->
+        let req = lg_request ~ops ~tiers ((i * 131) + (cid * 17)) in
+        let req = { req with SP.id = i + 1 } in
+        SP.frame_of_string (Obs.Json_out.to_string_compact (SP.request_to_json req)))
+  in
+  let t_send = Array.make (pipeline + 1) 0.0 in
+  let defr = SP.deframer () in
+  let rbuf = Bytes.create 65536 in
+  let out = Buffer.create 4096 in
+  let send_slot id =
+    Buffer.add_string out frames.(id - 1);
+    t_send.(id) <- Obs.Clock.now_ns ();
+    c.lg_sent <- c.lg_sent + 1
+  in
+  let flush_out () =
+    if Buffer.length out > 0 then begin
+      let s = Buffer.contents out in
+      Buffer.clear out;
+      let k = ref 0 in
+      while !k < String.length s do
+        k := !k + Unix.write_substring fd s !k (String.length s - !k)
+      done
+    end
+  in
+  let absorb ~resend payload =
+    let id, status = lg_scan payload in
+    if id >= 1 && id <= pipeline then begin
+      (match status with
+      | 'o' ->
+          c.lg_ok <- c.lg_ok + 1;
+          c.lg_lats <- ((Obs.Clock.now_ns () -. t_send.(id)) *. 1e-3) :: c.lg_lats
+      | 's' -> c.lg_shed <- c.lg_shed + 1
+      | _ -> c.lg_err <- c.lg_err + 1);
+      if resend then send_slot id
+    end
+  in
+  let outstanding () = c.lg_sent - (c.lg_ok + c.lg_shed + c.lg_err) in
+  (try
+     for id = 1 to pipeline do
+       send_slot id
+     done;
+     flush_out ();
+     while Unix.gettimeofday () < t_end do
+       match Unix.read fd rbuf 0 (Bytes.length rbuf) with
+       | 0 -> raise Exit
+       | n -> (
+           match SP.feed defr rbuf n with
+           | Ok fs ->
+               List.iter (absorb ~resend:true) fs;
+               flush_out ()
+           | Error _ -> raise Exit)
+       | exception Unix.Unix_error (EINTR, _, _) -> ()
+     done;
+     while outstanding () > 0 do
+       match Unix.read fd rbuf 0 (Bytes.length rbuf) with
+       | 0 -> raise Exit
+       | n -> (
+           match SP.feed defr rbuf n with
+           | Ok fs -> List.iter (absorb ~resend:false) fs
+           | Error _ -> raise Exit)
+       | exception Unix.Unix_error (EINTR, _, _) -> ()
+     done
+   with Exit | Unix.Unix_error _ | Failure _ -> ());
+  (try Unix.close fd with _ -> ());
+  c
+
+let lg_percentiles lats =
+  let a = Array.of_list lats in
+  Array.sort compare a;
+  let n = Array.length a in
+  let module J = Check.Json_out in
+  let pct p =
+    if n = 0 then J.Null
+    else J.Num a.(min (n - 1) (int_of_float ((p *. Float.of_int (n - 1)) +. 0.5)))
+  in
+  J.Obj
+    [ ("p50", pct 0.50); ("p90", pct 0.90); ("p99", pct 0.99);
+      ("max", if n = 0 then J.Null else J.Num a.(n - 1)) ]
+
+(* Drive one cell: [clients] closed-loop client domains against
+   [sockaddr] for [duration] seconds. *)
+let lg_drive ~sockaddr ~ops ~tiers ~clients ~pipeline ~duration =
+  let t0 = Unix.gettimeofday () in
+  let t_end = t0 +. duration in
+  let doms =
+    List.init clients (fun cid ->
+        Domain.spawn (fun () -> lg_client ~sockaddr ~ops ~tiers ~pipeline ~t_end ~cid))
+  in
+  let per_client = List.map Domain.join doms in
+  let wall = Unix.gettimeofday () -. t0 in
+  let total f = List.fold_left (fun acc c -> acc + f c) 0 per_client in
+  let lats = List.concat_map (fun c -> c.lg_lats) per_client in
+  (total (fun c -> c.lg_sent), total (fun c -> c.lg_ok), total (fun c -> c.lg_shed),
+   total (fun c -> c.lg_err), lats, wall)
+
+let loadgen_run connect workers queue duration clients_csv pipeline ops_csv tiers_csv
+    configs_csv out =
+  let module J = Check.Json_out in
+  drain_on_signal ();
+  let split s = String.split_on_char ',' s |> List.filter (fun p -> String.trim p <> "") in
+  let ops =
+    List.map
+      (fun name ->
+        match SP.op_of_name (String.trim name) with
+        | Some SP.Stats | None ->
+            Printf.eprintf "loadgen: unknown op %s\n" name;
+            exit 2
+        | Some op -> op)
+      (split ops_csv)
+  in
+  let tiers =
+    List.map
+      (fun name ->
+        match SP.tier_of_name (String.trim name) with
+        | Some t -> t
+        | None ->
+            Printf.eprintf "loadgen: unknown tier %s (mf2, mf3, mf4)\n" name;
+            exit 2)
+      (split tiers_csv)
+  in
+  let clients_list =
+    List.filter_map (fun s -> int_of_string_opt (String.trim s)) (split clients_csv)
+  in
+  let clients_list = if clients_list = [] then [ 4 ] else clients_list in
+  let configs =
+    List.map
+      (fun spec ->
+        match String.split_on_char ':' (String.trim spec) with
+        | [ b; w ] -> (
+            match (int_of_string_opt b, float_of_string_opt w) with
+            | Some b, Some w when b >= 1 && w >= 0. -> (b, w)
+            | _ ->
+                Printf.eprintf "loadgen: bad config %s (want MAXBATCH:WINDOW_US)\n" spec;
+                exit 2)
+        | _ ->
+            Printf.eprintf "loadgen: bad config %s (want MAXBATCH:WINDOW_US)\n" spec;
+            exit 2)
+      (split configs_csv)
+  in
+  let mode = match connect with None -> "inproc" | Some _ -> "connect" in
+  Printf.printf "loadgen: mode %s, %d cell(s), %.2fs each\n%!" mode
+    (List.length configs * List.length clients_list)
+    duration;
+  (* one cell = (max_batch, window) x client count *)
+  let run_cell (max_batch, window_us) clients =
+    let label = Printf.sprintf "b%d-w%g-c%d" max_batch window_us clients in
+    let drive sockaddr =
+      lg_drive ~sockaddr ~ops ~tiers ~clients ~pipeline ~duration
+    in
+    let (sent, ok, shed, errors, lats, wall), stats =
+      match connect with
+      | Some endpoint ->
+          let addr = parse_endpoint endpoint in
+          let probe = Serve.Client.connect addr in
+          let sockaddr =
+            match addr with
+            | Serve.Server.Unix_path p -> Unix.ADDR_UNIX p
+            | Serve.Server.Tcp { host; port } ->
+                let ip =
+                  try Unix.inet_addr_of_string host
+                  with _ -> (Unix.gethostbyname host).h_addr_list.(0)
+                in
+                Unix.ADDR_INET (ip, port)
+          in
+          let res = drive sockaddr in
+          let stats = Serve.Client.stats probe in
+          Serve.Client.close probe;
+          (res, stats)
+      | None ->
+          Runtime.Sched.with_sched ~workers (fun sched ->
+              let sock = Printf.sprintf "./fpan_loadgen_%d.sock" (Unix.getpid ()) in
+              let srv =
+                Serve.Server.start ~sched ~addr:(Serve.Server.Unix_path sock)
+                  ~queue_capacity:queue ~max_batch ~window_us ()
+              in
+              let res = drive (Serve.Server.bound_addr srv) in
+              let stats = Serve.Server.stats_doc srv in
+              Serve.Server.stop srv;
+              (res, stats))
+    in
+    let throughput = if wall > 0. then Float.of_int ok /. wall else 0. in
+    let shed_rate = if sent > 0 then Float.of_int shed /. Float.of_int sent else 0. in
+    Printf.printf
+      "  %-14s sent %7d  ok %7d  shed %6d  err %3d  %8.0f req/s  shed %5.1f%%\n%!"
+      label sent ok shed errors throughput (100. *. shed_rate);
+    let member key =
+      match J.member key stats with Some v -> v | None -> J.List []
+    in
+    ( label, max_batch, clients, throughput,
+      J.Obj
+        [ ("label", J.Str label);
+          ("max_batch", J.Num (Float.of_int max_batch));
+          ("window_us", J.Num window_us);
+          ("clients", J.Num (Float.of_int clients));
+          ("pipeline", J.Num (Float.of_int pipeline));
+          ("sent", J.Num (Float.of_int sent));
+          ("ok", J.Num (Float.of_int ok));
+          ("shed", J.Num (Float.of_int shed));
+          ("errors", J.Num (Float.of_int errors));
+          ("wall_s", J.Num wall);
+          ("throughput_rps", J.Num throughput);
+          ("shed_rate", J.Num shed_rate);
+          ("latency_us", lg_percentiles lats);
+          ("batch_histogram", member "batch_histogram");
+          ("sched", member "sched") ] )
+  in
+  let cells =
+    List.concat_map
+      (fun cfg -> List.map (fun cl -> run_cell cfg cl) clients_list)
+      configs
+  in
+  (* batching vs batch-size-1, at the highest offered load *)
+  let top = List.fold_left max 1 clients_list in
+  let tput_of pred =
+    List.filter_map
+      (fun (_, b, c, tput, _) -> if c = top && pred b then Some tput else None)
+      cells
+  in
+  let speedup =
+    match (tput_of (fun b -> b = 1), tput_of (fun b -> b > 1)) with
+    | base :: _, batched when batched <> [] && base > 0. ->
+        Some (List.fold_left max 0. batched /. base)
+    | _ -> None
+  in
+  (match speedup with
+  | Some s -> Printf.printf "  micro-batching speedup at %d clients: %.2fx\n" top s
+  | None -> ());
+  let json =
+    J.Obj
+      [ ("schema", J.Str "fpan-serve/1");
+        ("mode", J.Str mode);
+        ("workers", J.Num (Float.of_int workers));
+        ("queue_capacity", J.Num (Float.of_int queue));
+        ("duration_s", J.Num duration);
+        ("ops", J.List (List.map (fun o -> J.Str (SP.op_name o)) ops));
+        ("tiers", J.List (List.map (fun t -> J.Str (SP.tier_name t)) tiers));
+        ("cells", J.List (List.map (fun (_, _, _, _, doc) -> doc) cells));
+        ("batching_speedup",
+         match speedup with Some s -> J.Num s | None -> J.Null) ]
+  in
+  Obs.Schema.check ~name:out Obs.Schemas.bench_serve json;
+  J.write_file out json;
+  Printf.printf "  written to %s\n" out
+
+let loadgen_cmd =
+  let doc =
+    "Generate load against the evaluation service and write BENCH_serve.json: sweeps \
+     micro-batch configuration x offered load with closed-loop pipelined clients, reports \
+     throughput, latency percentiles, shed rates, and the server's batch-size histogram, and \
+     computes the micro-batching speedup over batch-size-1 serving.  By default each cell \
+     spins up its own in-process server; --connect drives an external one."
+  in
+  let connect_arg =
+    Arg.(value & opt (some string) None
+         & info [ "connect" ] ~docv:"ADDR"
+             ~doc:"Drive an already-running server (unix path or HOST:PORT) instead of \
+                   in-process ones.")
+  in
+  let workers_arg =
+    Arg.(value & opt int 4
+         & info [ "workers" ] ~docv:"W" ~doc:"Scheduler workers for in-process servers.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 256
+         & info [ "queue" ] ~docv:"N" ~doc:"Admission queue capacity for in-process servers.")
+  in
+  let duration_arg =
+    Arg.(value & opt float 1.5 & info [ "duration" ] ~docv:"S" ~doc:"Seconds per cell.")
+  in
+  let clients_arg =
+    Arg.(value & opt string "4"
+         & info [ "clients" ] ~docv:"N,N,..." ~doc:"Client counts to sweep.")
+  in
+  let pipeline_arg =
+    Arg.(value & opt int 32
+         & info [ "pipeline" ] ~docv:"N" ~doc:"In-flight requests per client.")
+  in
+  let ops_arg =
+    Arg.(value & opt string "add,mul,div,sqrt"
+         & info [ "ops" ] ~docv:"OPS" ~doc:"Comma-separated operation mix.")
+  in
+  let tiers_arg =
+    Arg.(value & opt string "mf2,mf4"
+         & info [ "tiers" ] ~docv:"TIERS" ~doc:"Comma-separated tier mix (mf2,mf3,mf4).")
+  in
+  let configs_arg =
+    Arg.(value & opt string "1:0,8:200,32:1000,128:3000"
+         & info [ "configs" ] ~docv:"B:W,..."
+             ~doc:"Micro-batch configurations to sweep, MAXBATCH:WINDOW_US each \
+                   (1:0 is the batch-size-1 baseline).")
+  in
+  let out_arg =
+    Arg.(value & opt string "BENCH_serve.json"
+         & info [ "out"; "o" ] ~docv:"FILE" ~doc:"JSON output path.")
+  in
+  Cmd.v (Cmd.info "loadgen" ~doc)
+    Term.(const loadgen_run $ connect_arg $ workers_arg $ queue_arg $ duration_arg
+          $ clients_arg $ pipeline_arg $ ops_arg $ tiers_arg $ configs_arg $ out_arg)
+
 let () =
   let doc = "Inspect and verify floating-point accumulation networks." in
   let info = Cmd.info "fpan_tool" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ list_cmd; show_cmd; check_cmd; check_all_cmd; check_n_cmd; dot_cmd; search_cmd; analyze_cmd; enumerate_cmd; fuzz_cmd; bench_sched_cmd; trace_cmd ]))
+  (* bare `fpan_tool` prints the unified usage instead of an error *)
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let group =
+    Cmd.group ~default info
+      [ list_cmd; show_cmd; check_cmd; check_all_cmd; check_n_cmd; dot_cmd; search_cmd;
+        analyze_cmd; enumerate_cmd; fuzz_cmd; bench_sched_cmd; trace_cmd; serve_cmd;
+        loadgen_cmd ]
+  in
+  match Cmd.eval_value group with
+  | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
+  | Error (`Parse | `Term) ->
+      (* cmdliner already printed the diagnostic (unknown command ->
+         `Parse, unknown/malformed option -> `Term); add the one-line
+         hint and use the conventional usage-error status *)
+      prerr_endline "fpan_tool: unknown or malformed option -- try 'fpan_tool --help'";
+      exit 2
+  | Error `Exn -> exit Cmd.Exit.internal_error

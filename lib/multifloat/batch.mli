@@ -50,6 +50,16 @@ module type V = sig
   val sub : dst:t -> t -> t -> unit
   val mul : dst:t -> t -> t -> unit
 
+  val map : dst:t -> (elt -> elt) -> t -> unit
+  (** [dst.(i) <- f src.(i)] in index order; [dst] may alias the
+      source.  Because the elements are independent, the result is
+      bitwise the scalar loop for any [f] — this is how scalar-only
+      operations (division, square root, the elementary functions) run
+      over planar batches. *)
+
+  val map2 : dst:t -> (elt -> elt -> elt) -> t -> t -> unit
+  (** Binary {!map}: [dst.(i) <- f a.(i) b.(i)]. *)
+
   val axpy : lo:int -> hi:int -> alpha:elt -> x:t -> y:t -> unit
   (** [y.(i) <- add (mul alpha x.(i)) y.(i)] for [lo <= i < hi]: the
       scalar AXPY update order. *)

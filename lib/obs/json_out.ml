@@ -98,6 +98,54 @@ let to_string v =
   Buffer.add_char buf '\n';
   Buffer.contents buf
 
+(* Single-line emission for wire protocols: same documents, none of
+   the indentation bytes (a serve-protocol frame shrinks by ~40%).
+   Strings skip the escape pass entirely when clean — on the serving
+   hot path nearly every string is a hex float or a bare key. *)
+let rec clean s i n =
+  i >= n
+  ||
+  match String.unsafe_get s i with
+  | '"' | '\\' -> false
+  | c when Char.code c < 0x20 -> false
+  | _ -> clean s (i + 1) n
+
+let rec emit_compact buf v =
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f -> Buffer.add_string buf (num f)
+  | Str s ->
+      Buffer.add_char buf '"';
+      if clean s 0 (String.length s) then Buffer.add_string buf s
+      else Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit_compact buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          if clean k 0 (String.length k) then Buffer.add_string buf k
+          else Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          emit_compact buf item)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string_compact v =
+  let buf = Buffer.create 512 in
+  emit_compact buf v;
+  Buffer.contents buf
+
 let write_file path v =
   let oc = open_out path in
   output_string oc (to_string v);
@@ -235,6 +283,10 @@ let parse s =
           let rec go () =
             skip_ws ();
             let k = parse_string () in
+            (* RFC 8259 leaves duplicate keys undefined; every consumer
+               here would silently last-write-win, and the serving layer
+               parses untrusted frames — reject them outright. *)
+            if List.mem_assoc k !fields then fail (Printf.sprintf "duplicate key %S" k);
             skip_ws ();
             expect ':';
             let v = parse_value () in

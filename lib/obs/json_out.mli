@@ -16,13 +16,21 @@ type t =
   | Obj of (string * t) list
 
 val to_string : t -> string
+
+val to_string_compact : t -> string
+(** Single-line emission (no indentation or newlines) for wire
+    protocols; parses back identically to {!to_string} output. *)
+
 val write_file : string -> t -> unit
 
 exception Parse_error of string
 
 val parse : string -> (t, string) result
 (** Strict parse of a complete JSON document.  [parse (to_string v)]
-    is [Ok v] whenever [v] contains no non-finite numbers. *)
+    is [Ok v] whenever [v] contains no non-finite numbers.  Trailing
+    garbage and duplicate object keys are rejected (the serving layer
+    feeds this parser untrusted frames, so last-write-wins key
+    smuggling must not survive). *)
 
 val parse_exn : string -> t
 val parse_file : string -> (t, string) result

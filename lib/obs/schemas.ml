@@ -137,6 +137,84 @@ let check_report =
       Req ("failures", List check_failure);
       Req ("results", List check_result_row) ]
 
+(* --- fpan-serve/1: wire frames, server stats, BENCH_serve.json ------ *)
+
+(* Operands and results travel as C99 hex-float component strings
+   (exact transport: Json_out numbers turn inf/nan into null). *)
+let hex_elements = List (List Str)
+
+let serve_request =
+  Obj
+    [ Req ("schema", Str_const "fpan-serve/1");
+      Req ("id", Int);
+      Req ("op", Str);
+      Opt ("tier", Str);
+      Opt ("deadline_ms", Num);
+      Opt ("x", hex_elements);
+      Opt ("y", hex_elements) ]
+
+let serve_response =
+  Obj
+    [ Req ("schema", Str_const "fpan-serve/1");
+      Req ("id", Int);
+      Req ("status", Str);
+      Opt ("result", hex_elements);
+      Opt ("batch", Int);
+      Opt ("reason", Str);
+      Opt ("error", Str);
+      Opt ("stats", Any) ]
+
+let serve_batch_histogram = List (Obj [ Req ("size", Int); Req ("count", Int) ])
+
+let serve_stats =
+  Obj
+    [ Req ("schema", Str_const "fpan-serve/1");
+      Req ("accepted", Int);
+      Req ("completed", Int);
+      Req ("shed_full", Int);
+      Req ("shed_deadline", Int);
+      Req ("shed_closed", Int);
+      Req ("errors", Int);
+      Req ("batches", Int);
+      Req ("queue_capacity", Int);
+      Req ("queue_depth", Int);
+      Req ("queue_max_depth", Int);
+      Req ("batch_histogram", serve_batch_histogram);
+      Req ("sched", List worker_row) ]
+
+let serve_cell =
+  Obj
+    [ Req ("label", Str);
+      Req ("max_batch", Int);
+      Req ("window_us", Num);
+      Req ("clients", Int);
+      Req ("pipeline", Int);
+      Req ("sent", Int);
+      Req ("ok", Int);
+      Req ("shed", Int);
+      Req ("errors", Int);
+      Req ("wall_s", Num);
+      Req ("throughput_rps", Num);
+      Req ("shed_rate", Num);
+      Req
+        ( "latency_us",
+          Obj [ Req ("p50", num_or_null); Req ("p90", num_or_null); Req ("p99", num_or_null);
+                Req ("max", num_or_null) ] );
+      Req ("batch_histogram", serve_batch_histogram);
+      Req ("sched", List worker_row) ]
+
+let bench_serve =
+  Obj
+    [ Req ("schema", Str_const "fpan-serve/1");
+      Req ("mode", Str);
+      Req ("workers", Int);
+      Req ("queue_capacity", Int);
+      Req ("duration_s", Num);
+      Req ("ops", List Str);
+      Req ("tiers", List Str);
+      Req ("cells", List serve_cell);
+      Req ("batching_speedup", num_or_null) ]
+
 (* --- TRACE_*.json (fpan-trace/1) ------------------------------------ *)
 
 let metric_row =

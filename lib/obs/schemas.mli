@@ -14,6 +14,22 @@ val bench_sched : Schema.t
 val check_report : Schema.t
 (** [CHECK_report.json], schema id [fpan-check/1]. *)
 
+val serve_request : Schema.t
+(** One request frame of the serving wire protocol, schema id
+    [fpan-serve/1].  The server validates every inbound frame against
+    this before decoding. *)
+
+val serve_response : Schema.t
+(** One response frame of the serving wire protocol. *)
+
+val serve_stats : Schema.t
+(** The server-introspection document returned by the [stats]
+    operation. *)
+
+val bench_serve : Schema.t
+(** [BENCH_serve.json], the load-generator artifact (same
+    [fpan-serve/1] family). *)
+
 val trace_summary : Schema.t
 (** [TRACE_*.json], schema id [fpan-trace/1]. *)
 

@@ -57,9 +57,12 @@ type t = {
   mutable domains : unit Domain.t array;
   active : int Atomic.t;  (* external runs in flight (0 or 1) *)
   closed : bool Atomic.t;
+  shutting_down : bool Atomic.t;  (* set before drain hooks run; makes shutdown reentrant *)
   lock : Mutex.t;
   wake : Condition.t;  (* workers sleep here between runs *)
   root_lock : Mutex.t;  (* one external run at a time *)
+  hooks_lock : Mutex.t;
+  mutable hooks : (unit -> unit) list;  (* drain hooks, run LIFO before closing *)
 }
 
 type worker_stats = {
@@ -81,6 +84,11 @@ let now () = Unix.gettimeofday ()
 let slot_key : (int * int) list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
 
 let next_sid = Atomic.make 0
+
+(* Registry of schedulers that have been created and not yet shut down,
+   so a signal handler can drain everything with one call. *)
+let live : t list ref = ref []
+let live_lock = Mutex.create ()
 
 let slot_of rt = List.assoc_opt rt.sid !(Domain.DLS.get slot_key)
 
@@ -200,12 +208,18 @@ let create ?workers () =
       domains = [||];
       active = Atomic.make 0;
       closed = Atomic.make false;
+      shutting_down = Atomic.make false;
       lock = Mutex.create ();
       wake = Condition.create ();
       root_lock = Mutex.create ();
+      hooks_lock = Mutex.create ();
+      hooks = [];
     }
   in
   rt.domains <- Array.init (n - 1) (fun i -> Domain.spawn (fun () -> worker_loop rt (i + 1)));
+  Mutex.lock live_lock;
+  live := rt :: !live;
+  Mutex.unlock live_lock;
   rt
 
 let size rt = Array.length rt.workers
@@ -391,15 +405,40 @@ let stats_json (ws : worker_stats array) =
 
 (* ------------------------------------------------------------------ *)
 
+let on_shutdown rt f =
+  Mutex.lock rt.hooks_lock;
+  rt.hooks <- f :: rt.hooks;
+  Mutex.unlock rt.hooks_lock
+
 let shutdown rt =
-  if not (Atomic.get rt.closed) then begin
+  if not (Atomic.exchange rt.shutting_down true) then begin
+    (* Drain hooks run first, while the scheduler still accepts runs, so
+       a subsystem built on this scheduler (e.g. Serve.Server) can flush
+       its in-flight work through it before the workers go away. *)
+    Mutex.lock rt.hooks_lock;
+    let hooks = rt.hooks in
+    rt.hooks <- [];
+    Mutex.unlock rt.hooks_lock;
+    List.iter (fun h -> try h () with _ -> ()) hooks;
     Atomic.set rt.closed true;
     Mutex.lock rt.lock;
     Condition.broadcast rt.wake;
     Mutex.unlock rt.lock;
     Array.iter Domain.join rt.domains;
-    rt.domains <- [||]
+    rt.domains <- [||];
+    Mutex.lock live_lock;
+    live := List.filter (fun r -> r.sid <> rt.sid) !live;
+    Mutex.unlock live_lock
   end
+
+let drain_all () =
+  let snapshot =
+    Mutex.lock live_lock;
+    let l = !live in
+    Mutex.unlock live_lock;
+    l
+  in
+  List.iter shutdown snapshot
 
 let with_sched ?workers f =
   let rt = create ?workers () in

@@ -22,8 +22,22 @@ val size : t -> int
 (** Total worker count (including the caller slot). *)
 
 val shutdown : t -> unit
-(** Stop and join the worker domains.  Idempotent.  [run] after
-    shutdown raises [Invalid_argument]. *)
+(** Stop and join the worker domains.  Idempotent (and reentrant from a
+    drain hook).  Registered {!on_shutdown} hooks run first, in LIFO
+    order, while the scheduler still accepts runs — so subsystems built
+    on the scheduler can flush their in-flight work through it.  [run]
+    after shutdown raises [Invalid_argument]. *)
+
+val on_shutdown : t -> (unit -> unit) -> unit
+(** Register a drain hook: called exactly once at the start of
+    {!shutdown}, before the workers are stopped.  Exceptions from hooks
+    are swallowed (shutdown must complete). *)
+
+val drain_all : unit -> unit
+(** {!shutdown} every live scheduler in the process (running their
+    drain hooks).  For SIGINT/SIGTERM handlers: quiesces all background
+    work so artifacts being written by drain hooks are not truncated
+    mid-write. *)
 
 val with_sched : ?workers:int -> (t -> 'a) -> 'a
 (** [create], apply, [shutdown] (also on exception). *)

@@ -1,0 +1,156 @@
+(* Bounded MPSC queue with a self-pipe doorbell.  Producers ring the
+   pipe when a push makes the queue non-empty; the consumer selects on
+   it, which is the only way to get a timed wait (Condition has no
+   timed variant).  The pipe is a doorbell, not a counter: both ends
+   are non-blocking, a full pipe on the producer side is fine (the
+   bell is already ringing), and the consumer drains whatever bytes
+   are there before re-checking.
+
+   Ringing only on the empty->nonempty transition keeps the bell
+   syscall off the steady-state push path: the consumer only ever
+   blocks after draining the queue to empty (take_now stops early only
+   when the queue is empty), so a push onto a non-empty queue can
+   never be the wake-up a sleeping consumer is waiting for.  A stale
+   byte from a push the consumer raced past just causes one spurious
+   wake. *)
+
+let depth_gauge = Obs.Metrics.gauge "serve.queue_depth"
+
+type 'a t = {
+  capacity : int;
+  lock : Mutex.t;
+  items : 'a Queue.t;
+  mutable closed : bool;
+  mutable max_depth : int;
+  bell_r : Unix.file_descr;
+  bell_w : Unix.file_descr;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Serve.Admission.create: capacity < 1";
+  let bell_r, bell_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock bell_r;
+  Unix.set_nonblock bell_w;
+  {
+    capacity;
+    lock = Mutex.create ();
+    items = Queue.create ();
+    closed = false;
+    max_depth = 0;
+    bell_r;
+    bell_w;
+  }
+
+let capacity t = t.capacity
+
+let ring t =
+  try ignore (Unix.write t.bell_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+
+let drain_bell t =
+  let buf = Bytes.create 256 in
+  let rec go () =
+    match Unix.read t.bell_r buf 0 256 with
+    | 256 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+  in
+  go ()
+
+let push t v =
+  Mutex.lock t.lock;
+  let r =
+    if t.closed then `Closed
+    else if Queue.length t.items >= t.capacity then `Full
+    else begin
+      Queue.add v t.items;
+      let d = Queue.length t.items in
+      if d > t.max_depth then t.max_depth <- d;
+      Obs.Metrics.set depth_gauge (float_of_int d);
+      if d = 1 then `Ok_ring else `Ok
+    end
+  in
+  Mutex.unlock t.lock;
+  match r with
+  | `Ok_ring ->
+      ring t;
+      `Ok
+  | (`Ok | `Full | `Closed) as r -> r
+
+let close t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Mutex.unlock t.lock;
+  ring t
+
+let is_closed t =
+  Mutex.lock t.lock;
+  let c = t.closed in
+  Mutex.unlock t.lock;
+  c
+
+let depth t =
+  Mutex.lock t.lock;
+  let d = Queue.length t.items in
+  Mutex.unlock t.lock;
+  d
+
+let max_depth t =
+  Mutex.lock t.lock;
+  let d = t.max_depth in
+  Mutex.unlock t.lock;
+  d
+
+(* Pop up to [room] items right now.  Returns them newest-last. *)
+let take_now t room =
+  Mutex.lock t.lock;
+  let out = ref [] in
+  let k = ref 0 in
+  while !k < room && not (Queue.is_empty t.items) do
+    out := Queue.pop t.items :: !out;
+    incr k
+  done;
+  if !k > 0 then Obs.Metrics.set depth_gauge (float_of_int (Queue.length t.items));
+  let closed = t.closed in
+  Mutex.unlock t.lock;
+  (List.rev !out, closed)
+
+let wait_readable t timeout_s =
+  match Unix.select [ t.bell_r ] [] [] timeout_s with
+  | [], _, _ -> ()
+  | _ -> drain_bell t
+  | exception Unix.Unix_error (EINTR, _, _) -> ()
+
+let pop_batch t ~max ~window_ns =
+  let max = if max < 1 then 1 else max in
+  let window_ns = Int64.to_float window_ns in
+  let rec fill acc got deadline_ns =
+    if got >= max then List.concat (List.rev acc)
+    else begin
+      let rem_ns = deadline_ns -. Obs.Clock.now_ns () in
+      if rem_ns <= 0.0 then List.concat (List.rev acc)
+      else begin
+        wait_readable t (rem_ns *. 1e-9);
+        let items, closed = take_now t (max - got) in
+        let got = got + List.length items in
+        let acc = if items = [] then acc else items :: acc in
+        if closed && items = [] then List.concat (List.rev acc)
+        else fill acc got deadline_ns
+      end
+    end
+  in
+  let rec first () =
+    let items, closed = take_now t max in
+    match items with
+    | [] ->
+        if closed then []
+        else begin
+          wait_readable t (-1.0);
+          first ()
+        end
+    | _ ->
+        let got = List.length items in
+        if got >= max || window_ns <= 0.0 then items
+        else fill [ items ] got (Obs.Clock.now_ns () +. window_ns)
+  in
+  first ()

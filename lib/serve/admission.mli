@@ -1,0 +1,42 @@
+(** Bounded admission queue between the server's io loop and the
+    micro-batcher.
+
+    Multi-producer (any io/accept context may push), single-consumer
+    (the batcher domain).  The queue never exceeds its capacity:
+    {!push} refuses with [`Full] instead of blocking or silently
+    dropping, so overload always turns into an explicit shed response.
+
+    The consumer side supports a timed window wait — OCaml's
+    [Condition] has no timed variant, so the queue carries a self-pipe
+    doorbell: producers ring it after every push and [pop_batch] waits
+    on it with [Unix.select], which gives both the blocking
+    wait-for-first-item and the bounded wait-to-fill-the-batch. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [Invalid_argument] unless [capacity >= 1]. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+
+val pop_batch : 'a t -> max:int -> window_ns:int64 -> 'a list
+(** Block until at least one item is available (or the queue is closed
+    and drained — then [[]]).  After the first item, keep popping up to
+    [max] items, waiting at most [window_ns] measured from the first
+    pop for stragglers.  [window_ns = 0L] or [max = 1] degenerates to
+    batch-size-1 serving. *)
+
+val close : 'a t -> unit
+(** Producers get [`Closed] from now on; the consumer drains what was
+    already admitted, then [pop_batch] returns [[]].  Idempotent. *)
+
+val is_closed : 'a t -> bool
+
+val depth : 'a t -> int
+(** Current occupancy; also mirrored to the [serve.queue_depth]
+    gauge. *)
+
+val max_depth : 'a t -> int
+(** High-water mark of {!depth} since {!create}. *)

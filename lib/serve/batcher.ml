@@ -1,0 +1,314 @@
+(* Micro-batcher domain: pop — shed expired — group by (op, tier) —
+   execute each group as one batched kernel call — scatter replies.
+
+   Bitwise discipline: every op either runs through the planar Batch
+   kernels (whose results are bitwise the scalar loop — the PR-1
+   obligation) or runs the same accumulation order as eval_one, so a
+   served response never differs from the scalar path by a single
+   bit, batched or not. *)
+
+module P = Protocol
+
+type entry = {
+  req : P.request;
+  arrival_ns : float;
+  reply : P.response -> unit;
+}
+
+type stats = {
+  batches : int;
+  completed : int;
+  shed_deadline : int;
+  errors : int;
+  histogram : (int * int) list;
+}
+
+(* --- per-tier execution --------------------------------------------- *)
+
+module Exec (M : Multifloat.Ops.S) (V : Multifloat.Batch.V with type elt = M.t) =
+struct
+  module E = Multifloat.Elementary.Make (M)
+  module Poly = Multifloat.Poly.Make (M)
+
+  let elt c = M.of_components c
+  let comps e = M.components e
+
+  (* Scalar reference path: plain scalar kernels, index order. *)
+  let eval_one (r : P.request) : float array array =
+    let x i = elt r.x.(i) in
+    let y i = elt r.y.(i) in
+    let one v = [| comps v |] in
+    match r.op with
+    | P.Add -> one (M.add (x 0) (y 0))
+    | P.Mul -> one (M.mul (x 0) (y 0))
+    | P.Div -> one (M.div (x 0) (y 0))
+    | P.Sqrt -> one (M.sqrt (x 0))
+    | P.Exp -> one (E.exp (x 0))
+    | P.Log -> one (E.log (x 0))
+    | P.Sin -> one (E.sin (x 0))
+    | P.Dot ->
+        let acc = ref M.zero in
+        for i = 0 to Array.length r.x - 1 do
+          acc := M.add !acc (M.mul (x i) (y i))
+        done;
+        one !acc
+    | P.Axpy ->
+        let alpha = y 0 in
+        Array.init (Array.length r.x) (fun i ->
+            comps (M.add (M.mul alpha (x i)) (y (i + 1))))
+    | P.Sum ->
+        let acc = ref M.zero in
+        for i = 0 to Array.length r.x - 1 do
+          acc := M.add !acc (x i)
+        done;
+        one !acc
+    | P.Poly_eval -> one (Poly.eval (Array.map elt r.x) (y 0))
+    | P.Stats -> invalid_arg "Serve.Batcher: stats is not a compute op"
+
+    (* Per-request evaluation on the batched path.  Vector ops go
+       through the planar kernels; their accumulation orders match the
+       scalar folds above by the Batch contract. *)
+  let eval_vec (r : P.request) : float array array =
+    match r.op with
+    | P.Dot ->
+        let n = Array.length r.x in
+        let vx = V.create n and vy = V.create n in
+        for i = 0 to n - 1 do
+          V.set vx i (elt r.x.(i));
+          V.set vy i (elt r.y.(i))
+        done;
+        [| comps (V.dot ~init:M.zero ~x:vx ~xoff:0 ~y:vy ~yoff:0 ~len:n) |]
+    | P.Axpy ->
+        let n = Array.length r.x in
+        let vx = V.create n and vy = V.create n in
+        for i = 0 to n - 1 do
+          V.set vx i (elt r.x.(i));
+          V.set vy i (elt r.y.(i + 1))
+        done;
+        V.axpy ~lo:0 ~hi:n ~alpha:(elt r.y.(0)) ~x:vx ~y:vy;
+        Array.init n (fun i -> comps (V.get vy i))
+    | _ -> eval_one r
+
+  (* One micro-batch of same-op same-tier requests -> one result per
+     request.  Elementwise ops make a single batched kernel call over
+     packed planes; the rest fan out per request. *)
+  let eval_batch sched (reqs : P.request array) : float array array array =
+    let n = Array.length reqs in
+    let pack proj =
+      let v = V.create n in
+      for i = 0 to n - 1 do
+        V.set v i (elt (proj reqs.(i)))
+      done;
+      v
+    in
+    let scatter dst = Array.init n (fun i -> [| comps (V.get dst i) |]) in
+    match reqs.(0).P.op with
+    | P.Add | P.Mul | P.Div ->
+        let vx = pack (fun r -> r.P.x.(0)) in
+        let vy = pack (fun r -> r.P.y.(0)) in
+        let dst = V.create n in
+        (match reqs.(0).P.op with
+        | P.Add -> V.add ~dst vx vy
+        | P.Mul -> V.mul ~dst vx vy
+        | _ -> V.map2 ~dst M.div vx vy);
+        scatter dst
+    | P.Sqrt | P.Exp | P.Log | P.Sin ->
+        let vx = pack (fun r -> r.P.x.(0)) in
+        let dst = V.create n in
+        let f =
+          match reqs.(0).P.op with
+          | P.Sqrt -> M.sqrt
+          | P.Exp -> E.exp
+          | P.Log -> E.log
+          | _ -> E.sin
+        in
+        V.map ~dst f vx;
+        scatter dst
+    | _ ->
+        let out = Array.make n [||] in
+        Runtime.Sched.parallel_for sched ~lo:0 ~hi:n (fun lo hi ->
+            for i = lo to hi - 1 do
+              out.(i) <- eval_vec reqs.(i)
+            done);
+        out
+end
+
+module X2 = Exec (Multifloat.Mf2) (Multifloat.Batch.Mf2v)
+module X3 = Exec (Multifloat.Mf3) (Multifloat.Batch.Mf3v)
+module X4 = Exec (Multifloat.Mf4) (Multifloat.Batch.Mf4v)
+
+let eval_one (r : P.request) =
+  match r.P.op with
+  | P.Stats -> Error "stats is not a compute op"
+  | _ -> (
+      try
+        Ok
+          (match r.P.tier with
+          | P.Mf2 -> X2.eval_one r
+          | P.Mf3 -> X3.eval_one r
+          | P.Mf4 -> X4.eval_one r)
+      with e -> Error (Printexc.to_string e))
+
+let eval_batch sched tier (reqs : P.request array) =
+  match tier with
+  | P.Mf2 -> X2.eval_batch sched reqs
+  | P.Mf3 -> X3.eval_batch sched reqs
+  | P.Mf4 -> X4.eval_batch sched reqs
+
+(* --- the batcher domain --------------------------------------------- *)
+
+type t = {
+  sched : Runtime.Sched.t;
+  queue : entry Admission.t;
+  max_batch : int;
+  window_ns : int64;
+  flush : unit -> unit;
+  lock : Mutex.t;
+  mutable batches : int;
+  mutable completed : int;
+  mutable shed_deadline : int;
+  mutable errors : int;
+  hist : (int, int ref) Hashtbl.t;
+  mutable domain : unit Domain.t option;
+}
+
+let batch_hist = Obs.Metrics.hist ~lo_exp:0 ~hi_exp:12 "serve.batch_size"
+let latency_hist = Obs.Metrics.hist "serve.latency_ns"
+let completed_ctr = Obs.Metrics.counter "serve.completed"
+let shed_deadline_ctr = Obs.Metrics.counter "serve.shed_deadline"
+
+let expired now (e : entry) =
+  match e.req.P.deadline_ms with
+  | None -> false
+  | Some d -> (now -. e.arrival_ns) *. 1e-6 > d
+
+(* Group by (op, tier), preserving arrival order inside each group and
+   first-appearance order across groups. *)
+let group_entries entries =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      let key = (e.req.P.op, e.req.P.tier) in
+      match Hashtbl.find_opt tbl key with
+      | Some acc -> acc := e :: !acc
+      | None ->
+          Hashtbl.add tbl key (ref [ e ]);
+          order := key :: !order)
+    entries;
+  List.rev_map (fun key -> List.rev !(Hashtbl.find tbl key)) !order
+  |> List.rev
+
+let run_group t (group : entry list) =
+  let arr = Array.of_list group in
+  let n = Array.length arr in
+  let tier = arr.(0).req.P.tier in
+  let tr = Obs.Trace.enabled () in
+  if tr then Obs.Trace.begin_span Obs.Trace.Io "serve.batch";
+  let bump_batch () =
+    Mutex.lock t.lock;
+    t.batches <- t.batches + 1;
+    (match Hashtbl.find_opt t.hist n with
+    | Some r -> incr r
+    | None -> Hashtbl.add t.hist n (ref 1));
+    Mutex.unlock t.lock;
+    Obs.Metrics.observe batch_hist (float_of_int n)
+  in
+  (* counters move before the replies go out, so a client that reacts
+     to its response instantly still sees itself in the stats *)
+  (match
+     Runtime.Sched.run t.sched (fun () ->
+         eval_batch t.sched tier (Array.map (fun e -> e.req) arr))
+   with
+  | results ->
+      Mutex.lock t.lock;
+      t.completed <- t.completed + n;
+      Mutex.unlock t.lock;
+      Obs.Metrics.add completed_ctr n;
+      bump_batch ();
+      let now = Obs.Clock.now_ns () in
+      Array.iteri
+        (fun i e ->
+          Obs.Metrics.observe latency_hist (now -. e.arrival_ns);
+          e.reply (P.Result { id = e.req.P.id; result = results.(i); batch = n }))
+        arr
+  | exception e ->
+      let msg = Printexc.to_string e in
+      Mutex.lock t.lock;
+      t.errors <- t.errors + n;
+      Mutex.unlock t.lock;
+      bump_batch ();
+      Array.iter (fun en -> en.reply (P.Failed { id = en.req.P.id; error = msg })) arr);
+  if tr then Obs.Trace.end_span_f ~arg_name:"batch" ~arg:(float_of_int n)
+
+let cycle t entries =
+  let now = Obs.Clock.now_ns () in
+  let live, late = List.partition (fun e -> not (expired now e)) entries in
+  List.iter
+    (fun e ->
+      e.reply (P.Shed { id = e.req.P.id; reason = "deadline" });
+      Obs.Metrics.incr shed_deadline_ctr)
+    late;
+  let n_late = List.length late in
+  if n_late > 0 then begin
+    Mutex.lock t.lock;
+    t.shed_deadline <- t.shed_deadline + n_late;
+    Mutex.unlock t.lock
+  end;
+  List.iter (run_group t) (group_entries live);
+  (* one flush per cycle: replies buffered per connection by the
+     server go out in a single write each *)
+  t.flush ()
+
+let rec loop t =
+  match Admission.pop_batch t.queue ~max:t.max_batch ~window_ns:t.window_ns with
+  | [] -> ()
+  | entries ->
+      cycle t entries;
+      loop t
+
+let create ~sched ~queue ~max_batch ~window_ns ?(flush = fun () -> ()) () =
+  if max_batch < 1 then invalid_arg "Serve.Batcher.create: max_batch < 1";
+  let t =
+    {
+      sched;
+      queue;
+      max_batch;
+      window_ns;
+      flush;
+      lock = Mutex.create ();
+      batches = 0;
+      completed = 0;
+      shed_deadline = 0;
+      errors = 0;
+      hist = Hashtbl.create 16;
+      domain = None;
+    }
+  in
+  t.domain <- Some (Domain.spawn (fun () -> loop t));
+  t
+
+let join t =
+  match t.domain with
+  | None -> ()
+  | Some d ->
+      Domain.join d;
+      t.domain <- None
+
+let stats t =
+  Mutex.lock t.lock;
+  let histogram =
+    Hashtbl.fold (fun size r acc -> (size, !r) :: acc) t.hist []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let s =
+    {
+      batches = t.batches;
+      completed = t.completed;
+      shed_deadline = t.shed_deadline;
+      errors = t.errors;
+      histogram;
+    }
+  in
+  Mutex.unlock t.lock;
+  s

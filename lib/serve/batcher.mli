@@ -1,0 +1,64 @@
+(** Deadline-aware micro-batcher: the consumer side of the admission
+    queue.
+
+    A dedicated domain pops up to [max_batch] requests per cycle
+    (waiting at most [window_ns] after the first to let the batch
+    fill), sheds the ones whose deadline already passed, groups the
+    rest by (op, tier), and executes each group as {e one} batched
+    planar kernel call on the shared {!Runtime.Sched} — elementwise
+    ops pack operands into {!Multifloat.Batch} planes, per-request ops
+    (dot, axpy, sum, poly-eval) fan out over the group with
+    [parallel_for].  Results scatter back through each request's reply
+    callback.
+
+    Responses are bitwise identical to the scalar path ({!eval_one})
+    for every op and tier: the packed ops ride the planar kernels'
+    bitwise-equals-scalar guarantee, and the per-request ops run the
+    same accumulation orders in both paths.
+
+    [max_batch = 1] or [window_ns = 0L] degenerates to batch-size-1
+    serving — the baseline the load generator compares against. *)
+
+type entry = {
+  req : Protocol.request;
+  arrival_ns : float;  (** {!Obs.Clock.now_ns} at admission *)
+  reply : Protocol.response -> unit;
+      (** Called exactly once, from the batcher domain. *)
+}
+
+type stats = {
+  batches : int;  (** executed micro-batches (groups) *)
+  completed : int;  (** requests answered with [Result] *)
+  shed_deadline : int;
+  errors : int;
+  histogram : (int * int) list;  (** batch size -> count, ascending *)
+}
+
+type t
+
+val create :
+  sched:Runtime.Sched.t ->
+  queue:entry Admission.t ->
+  max_batch:int ->
+  window_ns:int64 ->
+  ?flush:(unit -> unit) ->
+  unit ->
+  t
+(** Spawn the batcher domain.  It exits once [queue] is closed and
+    fully drained — every already-admitted entry gets a reply.
+    [flush] (default a no-op) runs at the end of every cycle, after
+    the cycle's replies; the server uses it to coalesce buffered
+    per-connection reply bytes into one write each. *)
+
+val join : t -> unit
+(** Wait for the batcher domain to exit (close the queue first). *)
+
+val stats : t -> stats
+(** Exact after {!join}; a racy-but-consistent snapshot before. *)
+
+(** {1 Reference execution} *)
+
+val eval_one : Protocol.request -> (float array array, string) result
+(** The scalar path: evaluate one request with the scalar MultiFloat
+    kernels, no batching, no scheduler.  Tests pin the served batched
+    responses bitwise against this. *)

@@ -1,0 +1,109 @@
+module P = Protocol
+module J = Obs.Json_out
+
+type t = {
+  fd : Unix.file_descr;
+  defr : P.deframer;
+  rbuf : Bytes.t;
+  pending : string Queue.t;  (* frames already read but not returned *)
+  mutable next_id : int;
+}
+
+let connect_sockaddr sa =
+  let domain = Unix.domain_of_sockaddr sa in
+  let fd = Unix.socket ~cloexec:true domain SOCK_STREAM 0 in
+  (try Unix.connect fd sa
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  {
+    fd;
+    defr = P.deframer ();
+    rbuf = Bytes.create 65536;
+    pending = Queue.create ();
+    next_id = 1;
+  }
+
+let connect (addr : Server.addr) =
+  match addr with
+  | Server.Unix_path path -> connect_sockaddr (Unix.ADDR_UNIX path)
+  | Server.Tcp { host; port } ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with _ -> (Unix.gethostbyname host).h_addr_list.(0)
+      in
+      connect_sockaddr (Unix.ADDR_INET (ip, port))
+
+let close t = try Unix.close t.fd with _ -> ()
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let send t req = P.write_frame t.fd (J.to_string_compact (P.request_to_json req))
+
+(* Buffered: one read can surface a whole coalesced batch of reply
+   frames, which later recv calls pop without touching the socket. *)
+let rec next_frame t =
+  match Queue.take_opt t.pending with
+  | Some payload -> payload
+  | None -> (
+      match Unix.read t.fd t.rbuf 0 (Bytes.length t.rbuf) with
+      | 0 -> failwith "Serve.Client: connection closed"
+      | n -> (
+          match P.feed t.defr t.rbuf n with
+          | Ok frames ->
+              List.iter (fun f -> Queue.add f t.pending) frames;
+              next_frame t
+          | Error e -> failwith ("Serve.Client: bad frame: " ^ e))
+      | exception Unix.Unix_error (EINTR, _, _) -> next_frame t)
+
+let recv t =
+  let payload = next_frame t in
+  match J.parse payload with
+  | Error e -> failwith ("Serve.Client: bad response json: " ^ e)
+  | Ok doc -> (
+      match P.response_of_json doc with
+      | Error e -> failwith ("Serve.Client: bad response: " ^ e)
+      | Ok resp -> resp)
+
+let call t req =
+  send t req;
+  let rec wait () =
+    let resp = recv t in
+    if P.response_id resp = req.P.id then resp else wait ()
+  in
+  wait ()
+
+let call_many t reqs =
+  List.iter (send t) reqs;
+  let wanted = List.length reqs in
+  let tbl = Hashtbl.create (2 * wanted) in
+  let got = ref 0 in
+  while !got < wanted do
+    let resp = recv t in
+    Hashtbl.replace tbl (P.response_id resp) resp;
+    incr got
+  done;
+  List.map
+    (fun (r : P.request) ->
+      match Hashtbl.find_opt tbl r.P.id with
+      | Some resp -> resp
+      | None -> failwith "Serve.Client: response id never arrived")
+    reqs
+
+let stats t =
+  let req =
+    {
+      P.id = fresh_id t;
+      op = P.Stats;
+      tier = P.Mf2;
+      deadline_ms = None;
+      x = [||];
+      y = [||];
+    }
+  in
+  match call t req with
+  | P.Stats_reply { stats; _ } -> stats
+  | _ -> failwith "Serve.Client: stats got a non-stats reply"

@@ -1,0 +1,33 @@
+(** Blocking client for the evaluation service.
+
+    One socket, one outstanding conversation per client value; not
+    thread-safe (the load generator gives each worker its own
+    client).  Responses are matched by correlation id — the server
+    replies in micro-batch completion order, not submission order. *)
+
+type t
+
+val connect : Server.addr -> t
+val connect_sockaddr : Unix.sockaddr -> t
+val close : t -> unit
+
+val fresh_id : t -> int
+(** Next unused correlation id (monotonic per client). *)
+
+val send : t -> Protocol.request -> unit
+(** Fire one request frame without waiting (for pipelining). *)
+
+val recv : t -> Protocol.response
+(** Block for the next response frame.  Raises [Failure] on EOF or a
+    malformed frame. *)
+
+val call : t -> Protocol.request -> Protocol.response
+(** {!send} then block until the response with the request's id. *)
+
+val call_many : t -> Protocol.request list -> Protocol.response list
+(** Pipeline all requests, then collect responses; returned in the
+    order of the request list (matched by id, which must be unique
+    within the call). *)
+
+val stats : t -> Obs.Json_out.t
+(** The server's {!Server.stats_doc} via the wire [stats] op. *)

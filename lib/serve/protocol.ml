@@ -1,0 +1,349 @@
+(* Wire protocol: length-prefixed JSON frames, schema fpan-serve/1.
+   Operands travel as C99 hex-float strings because they are the only
+   JSON transport exact for every double (Json_out numbers render
+   inf/nan as null).  Inbound documents are schema-validated before
+   decoding; the Json_out parser itself rejects duplicate keys and
+   trailing garbage, so nothing ambiguous reaches execution. *)
+
+module J = Obs.Json_out
+
+type tier = Mf2 | Mf3 | Mf4
+
+let tier_terms = function Mf2 -> 2 | Mf3 -> 3 | Mf4 -> 4
+let tier_name = function Mf2 -> "mf2" | Mf3 -> "mf3" | Mf4 -> "mf4"
+
+let tier_of_name = function
+  | "mf2" -> Some Mf2
+  | "mf3" -> Some Mf3
+  | "mf4" -> Some Mf4
+  | _ -> None
+
+type op = Add | Mul | Div | Sqrt | Exp | Log | Sin | Dot | Axpy | Sum | Poly_eval | Stats
+
+let op_name = function
+  | Add -> "add"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Sqrt -> "sqrt"
+  | Exp -> "exp"
+  | Log -> "log"
+  | Sin -> "sin"
+  | Dot -> "dot"
+  | Axpy -> "axpy"
+  | Sum -> "sum"
+  | Poly_eval -> "poly-eval"
+  | Stats -> "stats"
+
+let compute_ops = [ Add; Mul; Div; Sqrt; Exp; Log; Sin; Dot; Axpy; Sum; Poly_eval ]
+
+let op_of_name name =
+  List.find_opt (fun o -> op_name o = name) (Stats :: compute_ops)
+
+let arity = function
+  | Stats -> 0
+  | Sqrt | Exp | Log | Sin | Sum -> 1
+  | Add | Mul | Div | Dot | Axpy | Poly_eval -> 2
+
+type request = {
+  id : int;
+  op : op;
+  tier : tier;
+  deadline_ms : float option;
+  x : float array array;
+  y : float array array;
+}
+
+type response =
+  | Result of { id : int; result : float array array; batch : int }
+  | Shed of { id : int; reason : string }
+  | Failed of { id : int; error : string }
+  | Stats_reply of { id : int; stats : J.t }
+
+let response_id = function
+  | Result { id; _ } | Shed { id; _ } | Failed { id; _ } | Stats_reply { id; _ } -> id
+
+(* --- hex-float element transport ------------------------------------ *)
+
+(* %h prints every NaN as "nan", losing the payload (OCaml's own
+   Float.nan is 0x7ff8000000000001, while float_of_string "nan" gives
+   0x7ff8000000000000) — so NaNs carry their exact bit pattern. *)
+let float_to_wire c =
+  if Float.is_nan c then Printf.sprintf "nan:%Lx" (Int64.bits_of_float c)
+  else Printf.sprintf "%h" c
+
+let float_of_wire s =
+  if String.length s > 4 && String.sub s 0 4 = "nan:" then
+    match Int64.of_string_opt ("0x" ^ String.sub s 4 (String.length s - 4)) with
+    | Some b when Float.is_nan (Int64.float_of_bits b) -> Some (Int64.float_of_bits b)
+    | _ -> None
+  else float_of_string_opt s
+
+let element_to_json comps =
+  J.List (Array.to_list (Array.map (fun c -> J.Str (float_to_wire c)) comps))
+
+let elements_to_json els = J.List (Array.to_list (Array.map element_to_json els))
+
+let element_of_json ~terms v =
+  match J.to_list v with
+  | None -> Error "operand element is not an array"
+  | Some comps ->
+      if List.length comps <> terms then
+        Error (Printf.sprintf "operand element has %d components, tier wants %d"
+                 (List.length comps) terms)
+      else begin
+        let out = Array.make terms 0.0 in
+        let rec go i = function
+          | [] -> Ok out
+          | J.Str s :: rest -> (
+              match float_of_wire s with
+              | Some f ->
+                  out.(i) <- f;
+                  go (i + 1) rest
+              | None -> Error (Printf.sprintf "bad float component %S" s))
+          | _ -> Error "operand component is not a string"
+        in
+        go 0 comps
+      end
+
+let elements_of_json ~terms v =
+  match J.to_list v with
+  | None -> Error "operand is not an array"
+  | Some els ->
+      let n = List.length els in
+      let out = Array.make n [||] in
+      let rec go i = function
+        | [] -> Ok out
+        | e :: rest -> (
+            match element_of_json ~terms e with
+            | Ok c ->
+                out.(i) <- c;
+                go (i + 1) rest
+            | Error _ as err -> err)
+      in
+      go 0 els
+
+(* --- request -------------------------------------------------------- *)
+
+let schema_field = ("schema", J.Str "fpan-serve/1")
+
+let request_to_json r =
+  J.Obj
+    ([ schema_field;
+       ("id", J.Num (float_of_int r.id));
+       ("op", J.Str (op_name r.op));
+       ("tier", J.Str (tier_name r.tier)) ]
+    @ (match r.deadline_ms with None -> [] | Some d -> [ ("deadline_ms", J.Num d) ])
+    @ (if Array.length r.x = 0 then [] else [ ("x", elements_to_json r.x) ])
+    @ if Array.length r.y = 0 then [] else [ ("y", elements_to_json r.y) ])
+
+let int_member key doc =
+  match J.member key doc with
+  | Some (J.Num f) when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let ( let* ) = Result.bind
+
+let request_of_json doc =
+  match Obs.Schema.validate Obs.Schemas.serve_request doc with
+  | Error violations -> Error (String.concat "; " violations)
+  | Ok () ->
+      let id = Option.value ~default:0 (int_member "id" doc) in
+      let* op =
+        match J.member "op" doc with
+        | Some (J.Str name) -> (
+            match op_of_name name with
+            | Some op -> Ok op
+            | None -> Error (Printf.sprintf "unknown op %S" name))
+        | _ -> Error "missing op"
+      in
+      let* tier =
+        match J.member "tier" doc with
+        | Some (J.Str name) -> (
+            match tier_of_name name with
+            | Some t -> Ok t
+            | None -> Error (Printf.sprintf "unknown tier %S" name))
+        | None -> if op = Stats then Ok Mf2 else Error "missing tier"
+        | Some _ -> Error "tier is not a string"
+      in
+      let terms = tier_terms tier in
+      let operand key =
+        match J.member key doc with
+        | None -> Ok [||]
+        | Some v -> elements_of_json ~terms v
+      in
+      let* x = operand "x" in
+      let* y = operand "y" in
+      let deadline_ms = Option.bind (J.member "deadline_ms" doc) J.to_num in
+      let* () =
+        match op with
+        | Stats -> Ok ()
+        | _ -> (
+            let need_y = arity op = 2 in
+            match (Array.length x, Array.length y) with
+            | 0, _ -> Error (Printf.sprintf "op %s needs operand x" (op_name op))
+            | _, 0 when need_y -> Error (Printf.sprintf "op %s needs operand y" (op_name op))
+            | _, ny when (not need_y) && ny > 0 ->
+                Error (Printf.sprintf "op %s takes no operand y" (op_name op))
+            | nx, ny -> (
+                match op with
+                | Add | Mul | Div -> if nx = 1 && ny = 1 then Ok () else Error "scalar op wants 1-element operands"
+                | Sqrt | Exp | Log | Sin -> if nx = 1 then Ok () else Error "unary op wants a 1-element operand"
+                | Dot -> if nx = ny then Ok () else Error "vector operands differ in length"
+                | Axpy ->
+                    if ny = nx + 1 then Ok ()
+                    else Error "axpy wants y = alpha followed by a vector of x's length"
+                | Sum -> Ok ()
+                | Poly_eval -> if ny = 1 then Ok () else Error "poly-eval wants a 1-element point y"
+                | Stats -> Ok ()))
+      in
+      Ok { id; op; tier; deadline_ms; x; y }
+
+(* --- response ------------------------------------------------------- *)
+
+let response_to_json = function
+  | Result { id; result; batch } ->
+      J.Obj
+        [ schema_field;
+          ("id", J.Num (float_of_int id));
+          ("status", J.Str "ok");
+          ("result", elements_to_json result);
+          ("batch", J.Num (float_of_int batch)) ]
+  | Shed { id; reason } ->
+      J.Obj
+        [ schema_field;
+          ("id", J.Num (float_of_int id));
+          ("status", J.Str "shed");
+          ("reason", J.Str reason) ]
+  | Failed { id; error } ->
+      J.Obj
+        [ schema_field;
+          ("id", J.Num (float_of_int id));
+          ("status", J.Str "error");
+          ("error", J.Str error) ]
+  | Stats_reply { id; stats } ->
+      J.Obj
+        [ schema_field;
+          ("id", J.Num (float_of_int id));
+          ("status", J.Str "ok");
+          ("stats", stats) ]
+
+let response_of_json doc =
+  match Obs.Schema.validate Obs.Schemas.serve_response doc with
+  | Error violations -> Error (String.concat "; " violations)
+  | Ok () -> (
+      let id = Option.value ~default:0 (int_member "id" doc) in
+      match Option.bind (J.member "status" doc) J.to_str with
+      | Some "ok" -> (
+          match J.member "stats" doc with
+          | Some stats -> Ok (Stats_reply { id; stats })
+          | None -> (
+              match J.member "result" doc with
+              | Some v -> (
+                  (* components already validated as strings; any tier's
+                     element width is accepted on the way back *)
+                  match J.to_list v with
+                  | None -> Error "result is not an array"
+                  | Some els ->
+                      let decode el =
+                        match J.to_list el with
+                        | None -> Error "result element is not an array"
+                        | Some comps ->
+                            element_of_json ~terms:(List.length comps) el
+                      in
+                      let rec go acc = function
+                        | [] -> Ok (Array.of_list (List.rev acc))
+                        | el :: rest -> (
+                            match decode el with
+                            | Ok c -> go (c :: acc) rest
+                            | Error _ as e -> e)
+                      in
+                      let* result = go [] els in
+                      let batch = Option.value ~default:1 (int_member "batch" doc) in
+                      Ok (Result { id; result; batch }))
+              | None -> Error "ok response carries neither result nor stats"))
+      | Some "shed" ->
+          let reason =
+            Option.value ~default:"unspecified" (Option.bind (J.member "reason" doc) J.to_str)
+          in
+          Ok (Shed { id; reason })
+      | Some "error" ->
+          let error =
+            Option.value ~default:"unspecified" (Option.bind (J.member "error" doc) J.to_str)
+          in
+          Ok (Failed { id; error })
+      | _ -> Error "missing status")
+
+(* --- framing -------------------------------------------------------- *)
+
+let max_frame = 16 * 1024 * 1024
+
+let frame_of_string payload =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+let write_frame fd payload =
+  let data = frame_of_string payload in
+  let n = String.length data in
+  let pos = ref 0 in
+  while !pos < n do
+    pos := !pos + Unix.write_substring fd data !pos (n - !pos)
+  done
+
+let really_read fd buf off len =
+  let pos = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !pos < len do
+    let k = Unix.read fd buf (off + !pos) (len - !pos) in
+    if k = 0 then eof := true else pos := !pos + k
+  done;
+  !pos
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  match really_read fd hdr 0 4 with
+  | 0 -> None
+  | k when k < 4 -> failwith "Serve.Protocol: truncated frame header"
+  | _ ->
+      let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+      if len < 0 || len > max_frame then
+        failwith (Printf.sprintf "Serve.Protocol: bad frame length %d" len);
+      let body = Bytes.create len in
+      if really_read fd body 0 len < len then failwith "Serve.Protocol: truncated frame body";
+      Some (Bytes.unsafe_to_string body)
+
+(* --- incremental deframing ------------------------------------------ *)
+
+type deframer = { mutable buf : Buffer.t }
+
+let deframer () = { buf = Buffer.create 4096 }
+
+let feed d bytes len =
+  Buffer.add_subbytes d.buf bytes 0 len;
+  let data = Buffer.contents d.buf in
+  let total = String.length data in
+  let pos = ref 0 in
+  let frames = ref [] in
+  let err = ref None in
+  let continue = ref true in
+  while !continue && !err = None && total - !pos >= 4 do
+    let flen = Int32.to_int (String.get_int32_be data !pos) in
+    if flen < 0 || flen > max_frame then
+      err := Some (Printf.sprintf "bad frame length %d" flen)
+    else if total - !pos - 4 >= flen then begin
+      frames := String.sub data (!pos + 4) flen :: !frames;
+      pos := !pos + 4 + flen
+    end
+    else continue := false
+  done;
+  match !err with
+  | Some e -> Error e
+  | None ->
+      if !pos > 0 then begin
+        let rest = Buffer.create 4096 in
+        Buffer.add_substring rest data !pos (total - !pos);
+        d.buf <- rest
+      end;
+      Ok (List.rev !frames)

@@ -1,0 +1,96 @@
+(** Wire protocol of the batched evaluation service: length-prefixed
+    JSON frames, schema [fpan-serve/1].
+
+    A frame is a 4-byte big-endian payload length followed by one JSON
+    document.  Requests name an operation, a precision tier, and
+    operands; operands and results travel as C99 hexadecimal float
+    component strings (["0x1.8p+1"]) — the only JSON transport that is
+    exact for every double including the infinities, signed zero, and
+    subnormals ({!Obs.Json_out} numbers turn non-finite values into
+    [null]).  NaNs carry their exact bit pattern (["nan:7ff8..."]),
+    since ["%h"] collapses every payload to ["nan"].
+
+    The frame shapes are declared in {!Obs.Schemas.serve_request} /
+    {!Obs.Schemas.serve_response}; [request_of_json] validates inbound
+    documents against the declared schema before decoding, so a frame
+    with unknown keys, wrong types, or duplicate keys (rejected by the
+    parser itself) never reaches the execution path. *)
+
+type tier = Mf2 | Mf3 | Mf4
+
+val tier_terms : tier -> int
+val tier_name : tier -> string
+val tier_of_name : string -> tier option
+
+type op =
+  | Add | Mul | Div | Sqrt  (** binary/unary scalar arithmetic *)
+  | Exp | Log | Sin  (** unary elementary functions *)
+  | Dot  (** x · y over element vectors *)
+  | Axpy
+      (** [y.(i) <- alpha * x.(i) + y.(i)]; operand [y] carries [alpha]
+          as its first element followed by the vector, so it is one
+          element longer than [x]. *)
+  | Sum  (** index-order fold of x *)
+  | Poly_eval  (** Horner: coefficients x (low degree first) at point y *)
+  | Stats  (** server introspection; no operands *)
+
+val op_name : op -> string
+val op_of_name : string -> op option
+val compute_ops : op list
+(** Every operation except [Stats]. *)
+
+val arity : op -> int
+(** Operand vectors consumed: 0 ([Stats]), 1 ([Sqrt], [Exp], ...), 2. *)
+
+type request = {
+  id : int;  (** client-chosen correlation id, echoed in the response *)
+  op : op;
+  tier : tier;
+  deadline_ms : float option;  (** serving budget from arrival; shed after *)
+  x : float array array;  (** elements x components *)
+  y : float array array;
+}
+
+type response =
+  | Result of { id : int; result : float array array; batch : int }
+      (** [batch] is the size of the micro-batch the request executed in. *)
+  | Shed of { id : int; reason : string }
+      (** Explicit refusal: ["queue_full"], ["deadline"], or ["closed"]. *)
+  | Failed of { id : int; error : string }
+  | Stats_reply of { id : int; stats : Obs.Json_out.t }
+
+val response_id : response -> int
+
+(** {1 JSON encoding} *)
+
+val request_to_json : request -> Obs.Json_out.t
+val request_of_json : Obs.Json_out.t -> (request, string) result
+val response_to_json : response -> Obs.Json_out.t
+val response_of_json : Obs.Json_out.t -> (response, string) result
+
+(** {1 Framing} *)
+
+val max_frame : int
+(** Refuse frames above this payload size (16 MiB). *)
+
+val frame_of_string : string -> string
+(** Prefix with the 4-byte big-endian length. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one complete frame (retrying partial writes). *)
+
+val read_frame : Unix.file_descr -> string option
+(** Blocking read of one complete frame; [None] on orderly EOF at a
+    frame boundary.  Raises [Failure] on truncation or an oversized
+    length prefix. *)
+
+(** {1 Incremental deframing} (for the server's event loop) *)
+
+type deframer
+
+val deframer : unit -> deframer
+
+val feed : deframer -> bytes -> int -> (string list, string) result
+(** Append [len] bytes just read into the deframer's buffer and return
+    the complete frames now available, in arrival order.  [Error] on a
+    malformed length prefix (connection should be dropped). *)

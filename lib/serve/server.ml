@@ -1,0 +1,354 @@
+(* Accept loop + admission + drain orchestration.  The io domain owns
+   the listener, the connection list, and all reads; replies are
+   written from both the io domain (sheds, errors, stats) and the
+   batcher domain (results), serialized per connection by a write
+   mutex.  Stop order is what makes the drain lossless: close the
+   admission queue first (late frames get explicit "closed" sheds
+   while the io loop keeps serving), join the batcher (every accepted
+   request answered), and only then tear down the sockets. *)
+
+module P = Protocol
+module J = Obs.Json_out
+
+type addr = Unix_path of string | Tcp of { host : string; port : int }
+
+type conn = {
+  fd : Unix.file_descr;
+  defr : P.deframer;
+  wlock : Mutex.t;
+  out : Buffer.t;  (* pending reply bytes; guarded by wlock *)
+  mutable dirty : bool;  (* on the server's pending list; guarded by pending_lock *)
+  mutable alive : bool;
+}
+
+type t = {
+  sched : Runtime.Sched.t;
+  queue : Batcher.entry Admission.t;
+  batcher : Batcher.t;
+  listen_fd : Unix.file_descr;
+  bound : Unix.sockaddr;
+  unlink_on_close : string option;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  lock : Mutex.t;
+  pending_lock : Mutex.t;
+  mutable pending : conn list;  (* conns with buffered batch replies *)
+  mutable conns : conn list;  (* io domain only *)
+  mutable accepted : int;
+  mutable shed_full : int;
+  mutable shed_closed : int;
+  mutable decode_errors : int;
+  stopping : bool Atomic.t;
+  io_exit : bool Atomic.t;
+  mutable io_domain : unit Domain.t option;
+}
+
+let accepted_ctr = Obs.Metrics.counter "serve.accepted"
+let shed_full_ctr = Obs.Metrics.counter "serve.shed_full"
+let shed_closed_ctr = Obs.Metrics.counter "serve.shed_closed"
+
+let ring t =
+  try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EBADF), _, _) -> ()
+
+(* Conn fds are non-blocking (they are select'ed for reads), so a
+   write into a full socket buffer raises EAGAIN; wait for writability
+   rather than killing the connection, and give up only on a client
+   that stays wedged for seconds. *)
+let write_all fd s =
+  let n = String.length s in
+  let k = ref 0 in
+  while !k < n do
+    match Unix.write_substring fd s !k (n - !k) with
+    | w -> k := !k + w
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> (
+        match Unix.select [] [ fd ] [] 5.0 with
+        | [], [], [] -> failwith "write stalled"
+        | _ -> ()
+        | exception Unix.Unix_error (EINTR, _, _) -> ())
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+  done
+
+(* wlock held *)
+let flush_locked conn =
+  if conn.alive && Buffer.length conn.out > 0 then begin
+    let s = Buffer.contents conn.out in
+    Buffer.clear conn.out;
+    try write_all conn.fd s with _ -> conn.alive <- false
+  end
+
+(* Write-through: io-domain replies (sheds, errors, stats) go out
+   immediately, plus whatever batch output was still buffered. *)
+let send conn resp =
+  Mutex.lock conn.wlock;
+  if conn.alive then begin
+    Buffer.add_string conn.out (P.frame_of_string (J.to_string_compact (P.response_to_json resp)));
+    flush_locked conn
+  end;
+  Mutex.unlock conn.wlock
+
+(* Batch replies buffer up per connection and flush once per batcher
+   cycle — one write syscall (and one reader wake-up) per connection
+   per micro-batch instead of per response. *)
+let enqueue t conn resp =
+  Mutex.lock conn.wlock;
+  if conn.alive then
+    Buffer.add_string conn.out (P.frame_of_string (J.to_string_compact (P.response_to_json resp)));
+  Mutex.unlock conn.wlock;
+  Mutex.lock t.pending_lock;
+  if not conn.dirty then begin
+    conn.dirty <- true;
+    t.pending <- conn :: t.pending
+  end;
+  Mutex.unlock t.pending_lock
+
+let flush_pending t =
+  Mutex.lock t.pending_lock;
+  let cs = t.pending in
+  t.pending <- [];
+  List.iter (fun c -> c.dirty <- false) cs;
+  Mutex.unlock t.pending_lock;
+  List.iter
+    (fun c ->
+      Mutex.lock c.wlock;
+      flush_locked c;
+      Mutex.unlock c.wlock)
+    cs
+
+let close_conn conn =
+  Mutex.lock conn.wlock;
+  if conn.alive then begin
+    conn.alive <- false;
+    Buffer.clear conn.out;
+    try Unix.close conn.fd with _ -> ()
+  end;
+  Mutex.unlock conn.wlock
+
+(* --- introspection -------------------------------------------------- *)
+
+let stats_doc t =
+  let b = Batcher.stats t.batcher in
+  Mutex.lock t.lock;
+  let accepted = t.accepted in
+  let shed_full = t.shed_full in
+  let shed_closed = t.shed_closed in
+  let decode_errors = t.decode_errors in
+  Mutex.unlock t.lock;
+  let num n = J.Num (float_of_int n) in
+  J.Obj
+    [ ("schema", J.Str "fpan-serve/1");
+      ("accepted", num accepted);
+      ("completed", num b.Batcher.completed);
+      ("shed_full", num shed_full);
+      ("shed_deadline", num b.Batcher.shed_deadline);
+      ("shed_closed", num shed_closed);
+      ("errors", num (decode_errors + b.Batcher.errors));
+      ("batches", num b.Batcher.batches);
+      ("queue_capacity", num (Admission.capacity t.queue));
+      ("queue_depth", num (Admission.depth t.queue));
+      ("queue_max_depth", num (Admission.max_depth t.queue));
+      ( "batch_histogram",
+        J.List
+          (List.map
+             (fun (size, count) -> J.Obj [ ("size", num size); ("count", num count) ])
+             b.Batcher.histogram) );
+      ("sched", Runtime.Sched.stats_json (Runtime.Sched.stats t.sched)) ]
+
+(* --- request path (io domain) --------------------------------------- *)
+
+let best_effort_id doc =
+  match Option.bind (J.member "id" doc) J.to_num with
+  | Some f when Float.is_integer f -> int_of_float f
+  | _ -> 0
+
+let bump t f =
+  Mutex.lock t.lock;
+  f t;
+  Mutex.unlock t.lock
+
+let handle_frame t conn payload =
+  let tr = Obs.Trace.enabled () in
+  if tr then Obs.Trace.begin_span Obs.Trace.Io "serve.request";
+  (match J.parse payload with
+  | Error e ->
+      bump t (fun t -> t.decode_errors <- t.decode_errors + 1);
+      send conn (P.Failed { id = 0; error = "bad json: " ^ e })
+  | Ok doc -> (
+      match P.request_of_json doc with
+      | Error e ->
+          bump t (fun t -> t.decode_errors <- t.decode_errors + 1);
+          send conn (P.Failed { id = best_effort_id doc; error = e })
+      | Ok req when req.P.op = P.Stats ->
+          send conn (P.Stats_reply { id = req.P.id; stats = stats_doc t })
+      | Ok req -> (
+          let entry =
+            {
+              Batcher.req;
+              arrival_ns = Obs.Clock.now_ns ();
+              reply = (fun resp -> enqueue t conn resp);
+            }
+          in
+          match Admission.push t.queue entry with
+          | `Ok ->
+              bump t (fun t -> t.accepted <- t.accepted + 1);
+              Obs.Metrics.incr accepted_ctr
+          | `Full ->
+              bump t (fun t -> t.shed_full <- t.shed_full + 1);
+              Obs.Metrics.incr shed_full_ctr;
+              send conn (P.Shed { id = req.P.id; reason = "queue_full" })
+          | `Closed ->
+              bump t (fun t -> t.shed_closed <- t.shed_closed + 1);
+              Obs.Metrics.incr shed_closed_ctr;
+              send conn (P.Shed { id = req.P.id; reason = "closed" }))));
+  if tr then Obs.Trace.end_span ()
+
+let read_conn t conn buf =
+  match Unix.read conn.fd buf 0 (Bytes.length buf) with
+  | 0 -> close_conn conn
+  | n -> (
+      match P.feed conn.defr buf n with
+      | Ok frames -> List.iter (handle_frame t conn) frames
+      | Error _ -> close_conn conn)
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> close_conn conn
+
+let accept_all t =
+  let rec go () =
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        t.conns <-
+          { fd; defr = P.deframer (); wlock = Mutex.create ();
+            out = Buffer.create 4096; dirty = false; alive = true }
+          :: t.conns;
+        go ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+let drain_wake t =
+  let b = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.wake_r b 0 64 with
+    | 64 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+  in
+  go ()
+
+let io_loop t =
+  let buf = Bytes.create 65536 in
+  while not (Atomic.get t.io_exit) do
+    t.conns <- List.filter (fun c -> c.alive) t.conns;
+    let rds =
+      t.wake_r
+      :: (if Atomic.get t.stopping then [] else [ t.listen_fd ])
+      @ List.map (fun c -> c.fd) t.conns
+    in
+    match Unix.select rds [] [] 1.0 with
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | rd, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd = t.wake_r then drain_wake t
+            else if fd = t.listen_fd then accept_all t
+            else
+              match List.find_opt (fun c -> c.fd = fd) t.conns with
+              | Some conn when conn.alive -> read_conn t conn buf
+              | _ -> ())
+          rd
+  done;
+  List.iter close_conn t.conns;
+  t.conns <- [];
+  (try Unix.close t.listen_fd with _ -> ());
+  match t.unlink_on_close with
+  | Some path -> ( try Unix.unlink path with _ -> ())
+  | None -> ()
+
+(* --- lifecycle ------------------------------------------------------ *)
+
+let bind_listen addr =
+  match addr with
+  | Unix_path path ->
+      (try Unix.unlink path with _ -> ());
+      let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+      Unix.bind fd (ADDR_UNIX path);
+      Unix.listen fd 64;
+      (fd, Unix.getsockname fd, Some path)
+  | Tcp { host; port } ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with _ -> (Unix.gethostbyname host).h_addr_list.(0)
+      in
+      let fd = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+      Unix.setsockopt fd SO_REUSEADDR true;
+      Unix.bind fd (ADDR_INET (ip, port));
+      Unix.listen fd 64;
+      (fd, Unix.getsockname fd, None)
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (* 1. refuse new admissions: late frames get explicit "closed"
+          sheds while the io loop keeps reading and replying *)
+    Admission.close t.queue;
+    ring t;
+    (* 2. every accepted request is answered before the batcher exits *)
+    Batcher.join t.batcher;
+    (* 3. tear the sockets down *)
+    Atomic.set t.io_exit true;
+    ring t;
+    (match t.io_domain with
+    | Some d ->
+        Domain.join d;
+        t.io_domain <- None
+    | None -> ());
+    (try Unix.close t.wake_r with _ -> ());
+    try Unix.close t.wake_w with _ -> ()
+  end
+
+let start ~sched ~addr ?(queue_capacity = 64) ?(max_batch = 32) ?(window_us = 200.)
+    () =
+  let listen_fd, bound, unlink_on_close = bind_listen addr in
+  Unix.set_nonblock listen_fd;
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let queue = Admission.create ~capacity:queue_capacity in
+  let window_ns = Int64.of_float (window_us *. 1e3) in
+  let t_ref = ref None in
+  let flush () = match !t_ref with Some t -> flush_pending t | None -> () in
+  let batcher = Batcher.create ~sched ~queue ~max_batch ~window_ns ~flush () in
+  let t =
+    {
+      sched;
+      queue;
+      batcher;
+      listen_fd;
+      bound;
+      unlink_on_close;
+      wake_r;
+      wake_w;
+      lock = Mutex.create ();
+      pending_lock = Mutex.create ();
+      pending = [];
+      conns = [];
+      accepted = 0;
+      shed_full = 0;
+      shed_closed = 0;
+      decode_errors = 0;
+      stopping = Atomic.make false;
+      io_exit = Atomic.make false;
+      io_domain = None;
+    }
+  in
+  (* the batcher can only have replies to flush once the io domain
+     (spawned below) admits requests, so the knot ties safely here *)
+  t_ref := Some t;
+  t.io_domain <- Some (Domain.spawn (fun () -> io_loop t));
+  (* a scheduler drain (Sched.shutdown / drain_all, e.g. from a signal
+     handler) stops the server first, while runs are still accepted *)
+  Runtime.Sched.on_shutdown sched (fun () -> stop t);
+  t
+
+let bound_addr t = t.bound

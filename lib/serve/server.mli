@@ -1,0 +1,53 @@
+(** The batched evaluation server: accept loop, admission control,
+    micro-batched execution, graceful drain.
+
+    Two domains per server: an io domain running a [select]-based
+    event loop (accept, incremental deframing, decode, admission,
+    immediate replies for sheds / errors / [stats]), and a
+    {!Batcher} domain executing admitted requests on the caller's
+    {!Runtime.Sched}.
+
+    Overload is always explicit: a request that does not fit the
+    bounded admission queue is answered [Shed "queue_full"]; one
+    arriving after {!stop} began is answered [Shed "closed"]; one
+    whose deadline lapsed in the queue is answered [Shed "deadline"].
+    Nothing is silently dropped.
+
+    {!start} registers a {!Runtime.Sched.on_shutdown} drain hook, so
+    [Sched.shutdown] / [Sched.drain_all] (e.g. from a signal handler)
+    gracefully stops the server first: the admission queue closes, the
+    batcher finishes every already-accepted request — zero accepted
+    requests are lost — and only then do the worker domains stop. *)
+
+type addr =
+  | Unix_path of string  (** unix-domain stream socket; file is unlinked first *)
+  | Tcp of { host : string; port : int }  (** [port = 0] picks a free port *)
+
+type t
+
+val start :
+  sched:Runtime.Sched.t ->
+  addr:addr ->
+  ?queue_capacity:int ->
+  ?max_batch:int ->
+  ?window_us:float ->
+  unit ->
+  t
+(** Bind, listen, and spawn the io and batcher domains.  Defaults:
+    [queue_capacity = 64], [max_batch = 32], [window_us = 200.].
+    [max_batch = 1] or [window_us = 0.] serves batch-size-1. *)
+
+val bound_addr : t -> Unix.sockaddr
+(** The actual bound address (resolves [Tcp { port = 0; _ }]). *)
+
+val stop : t -> unit
+(** Graceful drain: close admission, finish every accepted request,
+    answer late arrivals [Shed "closed"], then close the listener and
+    all connections.  Idempotent; also runs via the scheduler's
+    shutdown hook. *)
+
+val stats_doc : t -> Obs.Json_out.t
+(** Server introspection per {!Obs.Schemas.serve_stats}: admission and
+    shed counters, queue depth / high-water mark, batch-size
+    histogram, and the scheduler's worker telemetry.  Also what the
+    wire [stats] operation returns. *)

@@ -26,6 +26,58 @@ let test_bench_figs () =
 let test_bench_sched () =
   validate_file "BENCH_sched.json" Obs.Schemas.bench_sched (artifact "BENCH_sched.json")
 
+let test_bench_serve () =
+  validate_file "BENCH_serve.json" Obs.Schemas.bench_serve (artifact "BENCH_serve.json")
+
+(* Wire documents of the serving layer validate against their declared
+   schemas in both directions: what the encoder emits passes, and the
+   parse -> validate -> decode pipeline reproduces the request. *)
+let test_serve_wire_schemas () =
+  let module P = Serve.Protocol in
+  let req =
+    {
+      P.id = 7;
+      op = P.Dot;
+      tier = P.Mf2;
+      deadline_ms = Some 12.5;
+      x = [| [| 1.5; 1e-18 |]; [| -0.25; 0.0 |] |];
+      y = [| [| 3.0; 0.0 |]; [| Float.max_float; 1e292 |] |];
+    }
+  in
+  let doc = J.parse_exn (J.to_string_compact (P.request_to_json req)) in
+  S.check ~name:"serve request" Obs.Schemas.serve_request doc;
+  (match P.request_of_json doc with
+  | Error e -> Alcotest.fail ("request did not round-trip: " ^ e)
+  | Ok r -> Alcotest.(check bool) "request round-trips bitwise" true (r = req));
+  List.iter
+    (fun resp ->
+      S.check ~name:"serve response" Obs.Schemas.serve_response
+        (J.parse_exn (J.to_string_compact (P.response_to_json resp))))
+    [ P.Result { id = 7; result = [| [| 4.5; 0.0 |] |]; batch = 3 };
+      P.Shed { id = 8; reason = "queue_full" };
+      P.Failed { id = 9; error = "boom" } ]
+
+(* RFC 8259 leaves duplicate object keys undefined; the parser rejects
+   them outright so last-write-wins smuggling can never reach the
+   schema validator (which sees an assoc list and checks the first
+   binding only). *)
+let test_duplicate_keys_rejected () =
+  let rejects s =
+    match J.parse s with
+    | Error _ -> true
+    | Ok _ -> false
+  in
+  Alcotest.(check bool) "top-level dup" true (rejects {|{"a":1,"a":2}|});
+  Alcotest.(check bool) "nested dup" true (rejects {|{"x":{"k":true,"k":false}}|});
+  Alcotest.(check bool) "dup inside array element" true
+    (rejects {|[1,{"id":1,"id":2}]|});
+  Alcotest.(check bool) "same key different depths ok" true
+    (not (rejects {|{"a":{"a":1},"b":[{"a":2}]}|}));
+  (* the serving layer depends on this: a frame smuggling a second
+     "op" must die in the parser, before dispatch *)
+  Alcotest.(check bool) "dup op in a request frame" true
+    (rejects {|{"schema":"fpan-serve/1","id":1,"op":"add","op":"div"}|})
+
 let test_trace_artifacts () =
   validate_file "TRACE_gemm.json" Obs.Schemas.trace_summary (artifact "TRACE_gemm.json");
   validate_file "TRACE_gemm_chrome.json" Obs.Schemas.chrome_trace
@@ -97,7 +149,11 @@ let () =
     [ ( "artifacts",
         [ Alcotest.test_case "BENCH_fig9/10/11.json" `Quick test_bench_figs;
           Alcotest.test_case "BENCH_sched.json" `Quick test_bench_sched;
+          Alcotest.test_case "BENCH_serve.json" `Quick test_bench_serve;
           Alcotest.test_case "TRACE_gemm(_chrome).json" `Quick test_trace_artifacts;
           Alcotest.test_case "CHECK report (in-process)" `Quick test_check_report;
           Alcotest.test_case "TRACE summary (in-process)" `Quick test_trace_summary ] );
-      ("validator", [ Alcotest.test_case "rejections" `Quick test_validator_rejects ]) ]
+      ( "validator",
+        [ Alcotest.test_case "rejections" `Quick test_validator_rejects;
+          Alcotest.test_case "serve wire documents" `Quick test_serve_wire_schemas;
+          Alcotest.test_case "duplicate keys rejected" `Quick test_duplicate_keys_rejected ] ) ]

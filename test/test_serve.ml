@@ -1,0 +1,507 @@
+(* The serving layer's contract: wire codec exactness (hex-float
+   transport of NaN / infinities / signed zero / subnormals), deframer
+   reassembly under arbitrary fragmentation, bitwise equality of served
+   batched responses against the scalar path for every op x tier over
+   Check.Corpus adversarial operands, the admission bound with explicit
+   shed responses, deadline sheds, and the zero-loss graceful drain. *)
+
+module P = Serve.Protocol
+module J = Obs.Json_out
+
+let bits = Int64.bits_of_float
+
+let check_elements msg (a : float array array) (b : float array array) =
+  Alcotest.(check int) (msg ^ ": element count") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i ea ->
+      let eb = b.(i) in
+      Alcotest.(check int) (msg ^ ": component count") (Array.length ea) (Array.length eb);
+      Array.iteri
+        (fun j c ->
+          Alcotest.(check int64)
+            (Printf.sprintf "%s: element %d component %d" msg i j)
+            (bits c) (bits eb.(j)))
+        ea)
+    a
+
+(* --- codec ----------------------------------------------------------- *)
+
+let specials =
+  [| Float.nan; Float.infinity; Float.neg_infinity; -0.0; 0.0; 4.9e-324;
+     -4.9e-324; Float.max_float; Float.min_float; 1.0; -1.5 |]
+
+let test_request_roundtrip () =
+  let reqs =
+    [ { P.id = 7; op = P.Add; tier = P.Mf2; deadline_ms = Some 12.5;
+        x = [| [| 1.0; 4.9e-324 |] |]; y = [| [| Float.nan; -0.0 |] |] };
+      { P.id = 8; op = P.Dot; tier = P.Mf3; deadline_ms = None;
+        x = [| [| Float.infinity; 0.0; -0.0 |]; [| 1.0; 1e-300; 4.9e-324 |] |];
+        y = [| [| -1.0; 2.0; 3.0 |]; [| Float.neg_infinity; 0.5; -0.25 |] |] };
+      { P.id = 9; op = P.Sqrt; tier = P.Mf4; deadline_ms = None;
+        x = [| [| 2.0; 1e-17; 1e-34; 4.9e-324 |] |]; y = [||] } ]
+  in
+  List.iter
+    (fun r ->
+      let doc = J.parse_exn (J.to_string (P.request_to_json r)) in
+      match P.request_of_json doc with
+      | Error e -> Alcotest.fail ("request did not round-trip: " ^ e)
+      | Ok r' ->
+          Alcotest.(check int) "id" r.P.id r'.P.id;
+          Alcotest.(check string) "op" (P.op_name r.P.op) (P.op_name r'.P.op);
+          Alcotest.(check string) "tier" (P.tier_name r.P.tier) (P.tier_name r'.P.tier);
+          check_elements "x" r.P.x r'.P.x;
+          check_elements "y" r.P.y r'.P.y)
+    reqs;
+  (* every special double survives the hex transport bitwise *)
+  let x = Array.map (fun f -> [| f; 0.0 |]) specials in
+  let r = { P.id = 1; op = P.Sum; tier = P.Mf2; deadline_ms = None; x; y = [||] } in
+  match P.request_of_json (J.parse_exn (J.to_string (P.request_to_json r))) with
+  | Error e -> Alcotest.fail e
+  | Ok r' -> check_elements "specials" x r'.P.x
+
+let test_response_roundtrip () =
+  let resps =
+    [ P.Result { id = 3; result = Array.map (fun f -> [| f; -0.0 |]) specials; batch = 17 };
+      P.Shed { id = 4; reason = "queue_full" };
+      P.Failed { id = 5; error = "no such op" } ]
+  in
+  List.iter
+    (fun resp ->
+      match P.response_of_json (J.parse_exn (J.to_string (P.response_to_json resp))) with
+      | Error e -> Alcotest.fail e
+      | Ok got -> (
+          Alcotest.(check int) "id" (P.response_id resp) (P.response_id got);
+          match (resp, got) with
+          | P.Result a, P.Result b ->
+              check_elements "result" a.result b.result;
+              Alcotest.(check int) "batch" a.batch b.batch
+          | P.Shed a, P.Shed b -> Alcotest.(check string) "reason" a.reason b.reason
+          | P.Failed a, P.Failed b -> Alcotest.(check string) "error" a.error b.error
+          | _ -> Alcotest.fail "response kind changed in flight"))
+    resps
+
+let test_request_validation () =
+  let reject msg json =
+    match P.request_of_json (J.parse_exn json) with
+    | Ok _ -> Alcotest.fail (msg ^ ": accepted")
+    | Error _ -> ()
+  in
+  reject "unknown op"
+    {|{"schema":"fpan-serve/1","id":1,"op":"cbrt","tier":"mf2","x":[["0x1p+0","0x0p+0"]]}|};
+  reject "unknown tier"
+    {|{"schema":"fpan-serve/1","id":1,"op":"add","tier":"mf9","x":[["0x1p+0"]]}|};
+  reject "wrong component count"
+    {|{"schema":"fpan-serve/1","id":1,"op":"sqrt","tier":"mf3","x":[["0x1p+0","0x0p+0"]]}|};
+  reject "missing y"
+    {|{"schema":"fpan-serve/1","id":1,"op":"mul","tier":"mf2","x":[["0x1p+0","0x0p+0"]]}|};
+  reject "unknown key"
+    {|{"schema":"fpan-serve/1","id":1,"op":"stats","junk":true}|};
+  reject "bad schema" {|{"schema":"fpan-serve/2","id":1,"op":"stats"}|};
+  reject "axpy length mismatch"
+    {|{"schema":"fpan-serve/1","id":1,"op":"axpy","tier":"mf2","x":[["0x1p+0","0x0p+0"]],"y":[["0x1p+0","0x0p+0"]]}|}
+
+let test_deframer_fragmentation () =
+  let payloads = [ "alpha"; ""; String.make 5000 'x'; "{\"last\":1}" ] in
+  let stream = String.concat "" (List.map P.frame_of_string payloads) in
+  (* every chunk size reassembles the same frames *)
+  List.iter
+    (fun chunk ->
+      let d = P.deframer () in
+      let got = ref [] in
+      let pos = ref 0 in
+      let n = String.length stream in
+      while !pos < n do
+        let len = min chunk (n - !pos) in
+        let b = Bytes.of_string (String.sub stream !pos len) in
+        (match P.feed d b len with
+        | Ok frames -> got := !got @ frames
+        | Error e -> Alcotest.fail e);
+        pos := !pos + len
+      done;
+      Alcotest.(check (list string))
+        (Printf.sprintf "chunk=%d" chunk)
+        payloads !got)
+    [ 1; 2; 3; 4; 5; 7; 4096; String.length stream ];
+  (* oversized length prefix is refused *)
+  let d = P.deframer () in
+  let evil = Bytes.create 4 in
+  Bytes.set_int32_be evil 0 (Int32.of_int (P.max_frame + 1));
+  match P.feed d evil 4 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized frame accepted"
+
+(* --- server fixture -------------------------------------------------- *)
+
+let sock_counter = ref 0
+
+let fresh_sock () =
+  incr sock_counter;
+  Printf.sprintf "serve_test_%d_%d.sock" (Unix.getpid ()) !sock_counter
+
+let with_server ?queue_capacity ?max_batch ?window_us f =
+  let path = fresh_sock () in
+  Runtime.Sched.with_sched ~workers:2 (fun sched ->
+      let srv =
+        Serve.Server.start ~sched ~addr:(Serve.Server.Unix_path path) ?queue_capacity
+          ?max_batch ?window_us ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Serve.Server.stop srv)
+        (fun () -> f srv (Serve.Server.Unix_path path)))
+
+let mk_req ?deadline_ms ~id ~op ~tier ~x ~y () =
+  { P.id; op; tier; deadline_ms; x; y }
+
+let stats_int doc k =
+  match Option.bind (J.member k doc) J.to_num with
+  | Some f -> int_of_float f
+  | None -> Alcotest.fail ("stats missing " ^ k)
+
+(* --- bitwise server vs scalar over the adversarial corpus ------------ *)
+
+let corpus_operands ~terms n =
+  let rng = Random.State.make [| 0x5e7e; terms |] in
+  Array.init n (fun i ->
+      let c = Check.Corpus.scalar_case rng ~terms i in
+      (c.Check.Corpus.x, c.Check.Corpus.y))
+
+(* Requests for one (op, tier), ids from [first_id]; returns them with
+   the next free id. *)
+let requests_for_op ~tier ~op ~first_id =
+  let terms = P.tier_terms tier in
+  let ops = corpus_operands ~terms 24 in
+  let reqs =
+    match op with
+    | P.Add | P.Mul | P.Div ->
+        Array.to_list
+          (Array.mapi
+             (fun i (x, y) ->
+               mk_req ~id:(first_id + i) ~op ~tier ~x:[| x |] ~y:[| y |] ())
+             ops)
+    | P.Sqrt | P.Exp | P.Log | P.Sin ->
+        Array.to_list
+          (Array.mapi
+             (fun i (x, _) -> mk_req ~id:(first_id + i) ~op ~tier ~x:[| x |] ~y:[||] ())
+             ops)
+    | P.Dot ->
+        let xs = Array.map fst ops and ys = Array.map snd ops in
+        [ mk_req ~id:first_id ~op ~tier ~x:xs ~y:ys () ]
+    | P.Axpy ->
+        let xs = Array.map fst ops in
+        let ys = Array.append [| fst ops.(0) |] (Array.map snd ops) in
+        [ mk_req ~id:first_id ~op ~tier ~x:xs ~y:ys () ]
+    | P.Sum -> [ mk_req ~id:first_id ~op ~tier ~x:(Array.map fst ops) ~y:[||] () ]
+    | P.Poly_eval ->
+        [ mk_req ~id:first_id ~op ~tier
+            ~x:(Array.sub (Array.map fst ops) 0 8)
+            ~y:[| snd ops.(1) |] () ]
+    | P.Stats -> []
+  in
+  (reqs, first_id + List.length reqs)
+
+let test_bitwise_vs_scalar () =
+  with_server ~queue_capacity:512 ~max_batch:64 ~window_us:2000. (fun _srv addr ->
+      let cl = Serve.Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close cl)
+        (fun () ->
+          List.iter
+            (fun tier ->
+              let next = ref 1 in
+              let reqs =
+                List.concat_map
+                  (fun op ->
+                    let rs, nid = requests_for_op ~tier ~op ~first_id:!next in
+                    next := nid;
+                    rs)
+                  P.compute_ops
+              in
+              let resps = Serve.Client.call_many cl reqs in
+              List.iter2
+                (fun (req : P.request) resp ->
+                  let label =
+                    Printf.sprintf "%s/%s id=%d" (P.tier_name tier)
+                      (P.op_name req.P.op) req.P.id
+                  in
+                  match resp with
+                  | P.Result { result; batch; _ } -> (
+                      Alcotest.(check bool) (label ^ ": batch >= 1") true (batch >= 1);
+                      match Serve.Batcher.eval_one req with
+                      | Ok expect -> check_elements label expect result
+                      | Error e -> Alcotest.fail (label ^ ": scalar path failed: " ^ e))
+                  | P.Shed { reason; _ } -> Alcotest.fail (label ^ ": shed " ^ reason)
+                  | P.Failed { error; _ } -> Alcotest.fail (label ^ ": " ^ error)
+                  | P.Stats_reply _ -> Alcotest.fail (label ^ ": stats?"))
+                reqs resps)
+            [ P.Mf2; P.Mf3; P.Mf4 ]))
+
+(* Batching actually happened and still matched the scalar path: a
+   pipelined burst of adds must land in micro-batches larger than 1
+   (window 50 ms, far beyond the burst's arrival spread). *)
+let test_batches_form () =
+  with_server ~queue_capacity:512 ~max_batch:128 ~window_us:50_000. (fun _srv addr ->
+      let cl = Serve.Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close cl)
+        (fun () ->
+          let reqs =
+            List.init 64 (fun i ->
+                mk_req ~id:(i + 1) ~op:P.Add ~tier:P.Mf2
+                  ~x:[| [| float_of_int i; 1e-20 |] |]
+                  ~y:[| [| 1.0; -1e-21 |] |] ())
+          in
+          let resps = Serve.Client.call_many cl reqs in
+          let max_batch_seen =
+            List.fold_left
+              (fun acc r ->
+                match r with P.Result { batch; _ } -> max acc batch | _ -> acc)
+              0 resps
+          in
+          Alcotest.(check bool) "micro-batches formed" true (max_batch_seen > 1)))
+
+(* --- admission bound and explicit sheds ------------------------------ *)
+
+let poison_req ~id ~degree =
+  (* one long-running mf4 poly-eval holds the batcher busy *)
+  let coeff i = [| 1.0 +. float_of_int i; 1e-17; 1e-34; 1e-51 |] in
+  mk_req ~id ~op:P.Poly_eval ~tier:P.Mf4
+    ~x:(Array.init degree coeff)
+    ~y:[| [| 0.9999999; 1e-18; 1e-35; 1e-52 |] |]
+    ()
+
+let test_admission_bound () =
+  let cap = 4 in
+  with_server ~queue_capacity:cap ~max_batch:1 ~window_us:0. (fun srv addr ->
+      let slow = Serve.Client.connect addr in
+      let flood = Serve.Client.connect addr in
+      Fun.protect
+        ~finally:(fun () ->
+          Serve.Client.close slow;
+          Serve.Client.close flood)
+        (fun () ->
+          (* fill the batcher (1 executing) and the whole queue (cap) *)
+          let n_poison = cap + 1 in
+          let poisons =
+            List.init n_poison (fun i -> poison_req ~id:(i + 1) ~degree:20_000)
+          in
+          List.iter (Serve.Client.send slow) poisons;
+          (* give the io loop time to ingest the poisons *)
+          Unix.sleepf 0.05;
+          let n_flood = 40 in
+          let floods =
+            List.init n_flood (fun i ->
+                mk_req ~id:(i + 100) ~op:P.Add ~tier:P.Mf2
+                  ~x:[| [| 1.0; 0.0 |] |] ~y:[| [| 2.0; 0.0 |] |] ())
+          in
+          let flood_resps = Serve.Client.call_many flood floods in
+          let shed_full =
+            List.length
+              (List.filter
+                 (function P.Shed { reason = "queue_full"; _ } -> true | _ -> false)
+                 flood_resps)
+          in
+          (* every flooded request was answered, none silently dropped *)
+          Alcotest.(check int) "flood responses" n_flood (List.length flood_resps);
+          Alcotest.(check bool) "overload produced explicit sheds" true (shed_full > 0);
+          List.iter
+            (function
+              | P.Result _ | P.Shed { reason = "queue_full"; _ } -> ()
+              | P.Shed { reason; _ } -> Alcotest.fail ("unexpected shed: " ^ reason)
+              | P.Failed { error; _ } -> Alcotest.fail error
+              | P.Stats_reply _ -> Alcotest.fail "stats?")
+            flood_resps;
+          (* the poisons are all answered: served, or refused explicitly *)
+          List.iter
+            (fun _ ->
+              match Serve.Client.recv slow with
+              | P.Result _ | P.Shed { reason = "queue_full"; _ } -> ()
+              | P.Shed { reason; _ } -> Alcotest.fail ("poison shed: " ^ reason)
+              | P.Failed { error; _ } -> Alcotest.fail ("poison failed: " ^ error)
+              | P.Stats_reply _ -> Alcotest.fail "stats?")
+            poisons;
+          (* the bound held: depth never exceeded the capacity *)
+          let doc = Serve.Server.stats_doc srv in
+          (match Obs.Schema.validate Obs.Schemas.serve_stats doc with
+          | Ok () -> ()
+          | Error vs -> Alcotest.fail (String.concat "; " vs));
+          Alcotest.(check bool) "max depth within bound" true
+            (stats_int doc "queue_max_depth" <= cap);
+          Alcotest.(check bool) "sheds counted" true
+            (stats_int doc "shed_full" >= shed_full)))
+
+let test_deadline_shed () =
+  with_server ~queue_capacity:16 ~max_batch:8 ~window_us:5_000. (fun _srv addr ->
+      let cl = Serve.Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close cl)
+        (fun () ->
+          let req =
+            mk_req ~deadline_ms:0.0 ~id:1 ~op:P.Add ~tier:P.Mf2
+              ~x:[| [| 1.0; 0.0 |] |] ~y:[| [| 2.0; 0.0 |] |] ()
+          in
+          match Serve.Client.call cl req with
+          | P.Shed { reason = "deadline"; _ } -> ()
+          | P.Shed { reason; _ } -> Alcotest.fail ("wrong reason: " ^ reason)
+          | P.Result _ -> Alcotest.fail "expired deadline was served"
+          | P.Failed { error; _ } -> Alcotest.fail error
+          | P.Stats_reply _ -> Alcotest.fail "stats?"))
+
+(* --- bad input on the wire ------------------------------------------- *)
+
+let test_wire_errors () =
+  with_server (fun _srv addr ->
+      let send_raw payload =
+        let fd =
+          match addr with
+          | Serve.Server.Unix_path p ->
+              let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+              Unix.connect fd (ADDR_UNIX p);
+              fd
+          | _ -> Alcotest.fail "unix fixture expected"
+        in
+        P.write_frame fd payload;
+        let resp = P.read_frame fd in
+        Unix.close fd;
+        resp
+      in
+      (* duplicate keys are rejected by the parser, as a Failed reply *)
+      (match send_raw {|{"schema":"fpan-serve/1","id":3,"op":"stats","op":"add"}|} with
+      | Some payload -> (
+          match P.response_of_json (J.parse_exn payload) with
+          | Ok (P.Failed _) -> ()
+          | Ok _ -> Alcotest.fail "duplicate-key frame was not an error"
+          | Error e -> Alcotest.fail e)
+      | None -> Alcotest.fail "no reply to duplicate-key frame");
+      (* unknown op: Failed with the offending id echoed *)
+      match send_raw {|{"schema":"fpan-serve/1","id":42,"op":"cbrt","tier":"mf2"}|} with
+      | Some payload -> (
+          match P.response_of_json (J.parse_exn payload) with
+          | Ok (P.Failed { id; _ }) -> Alcotest.(check int) "id echoed" 42 id
+          | Ok _ -> Alcotest.fail "unknown op accepted"
+          | Error e -> Alcotest.fail e)
+      | None -> Alcotest.fail "no reply to unknown-op frame")
+
+(* --- stats over the wire --------------------------------------------- *)
+
+let test_wire_stats () =
+  with_server (fun _srv addr ->
+      let cl = Serve.Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close cl)
+        (fun () ->
+          let req =
+            mk_req ~id:1 ~op:P.Add ~tier:P.Mf3
+              ~x:[| [| 1.0; 1e-20; 1e-40 |] |] ~y:[| [| 2.0; 0.0; 0.0 |] |] ()
+          in
+          (match Serve.Client.call cl req with
+          | P.Result _ -> ()
+          | _ -> Alcotest.fail "warm-up request failed");
+          let doc = Serve.Client.stats cl in
+          (match Obs.Schema.validate Obs.Schemas.serve_stats doc with
+          | Ok () -> ()
+          | Error vs -> Alcotest.fail (String.concat "; " vs));
+          Alcotest.(check bool) "the warm-up was served" true
+            (stats_int doc "completed" >= 1)))
+
+(* --- graceful drain loses nothing ------------------------------------ *)
+
+let test_graceful_drain () =
+  with_server ~queue_capacity:256 ~max_batch:32 ~window_us:5_000. (fun srv addr ->
+      let cl = Serve.Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close cl)
+        (fun () ->
+          let n = 100 in
+          let reqs =
+            List.init n (fun i ->
+                mk_req ~id:(i + 1) ~op:P.Mul ~tier:P.Mf2
+                  ~x:[| [| float_of_int (i + 1); 1e-18 |] |]
+                  ~y:[| [| 3.0; -1e-19 |] |] ())
+          in
+          List.iter (Serve.Client.send cl) reqs;
+          (* let the io loop ingest the burst, then pull the rug *)
+          Unix.sleepf 0.05;
+          Serve.Server.stop srv;
+          let resps = ref [] in
+          (try
+             for _ = 1 to n do
+               resps := Serve.Client.recv cl :: !resps
+             done
+           with Failure _ -> ());
+          let n_result =
+            List.length
+              (List.filter (function P.Result _ -> true | _ -> false) !resps)
+          in
+          let n_closed =
+            List.length
+              (List.filter
+                 (function P.Shed { reason = "closed"; _ } -> true | _ -> false)
+                 !resps)
+          in
+          (* every frame got an answer: served or explicitly refused *)
+          Alcotest.(check int) "all requests answered" n (List.length !resps);
+          Alcotest.(check int) "answers partition into served + closed" n
+            (n_result + n_closed);
+          (* zero accepted requests were lost *)
+          let doc = Serve.Server.stats_doc srv in
+          Alcotest.(check int) "completed = accepted" (stats_int doc "accepted")
+            (stats_int doc "completed");
+          Alcotest.(check int) "served = accepted" (stats_int doc "accepted") n_result;
+          (* the listener is down: connecting now fails *)
+          match Serve.Client.connect addr with
+          | exception Unix.Unix_error _ -> ()
+          | cl2 ->
+              Serve.Client.close cl2;
+              Alcotest.fail "listener still accepting after stop"))
+
+(* Sched.drain_all (the signal-handler path) also drains the server:
+   the on_shutdown hook runs before the workers stop. *)
+let test_drain_all_hook () =
+  let path = fresh_sock () in
+  let sched = Runtime.Sched.create ~workers:2 () in
+  let srv =
+    Serve.Server.start ~sched ~addr:(Serve.Server.Unix_path path) ~max_batch:4
+      ~window_us:1000. ()
+  in
+  let cl = Serve.Client.connect (Serve.Server.Unix_path path) in
+  let n = 20 in
+  let reqs =
+    List.init n (fun i ->
+        mk_req ~id:(i + 1) ~op:P.Add ~tier:P.Mf4
+          ~x:[| [| 1.0; 1e-17; 1e-34; 1e-51 |] |]
+          ~y:[| [| float_of_int i; 0.0; 0.0; 0.0 |] |] ())
+  in
+  List.iter (Serve.Client.send cl) reqs;
+  Unix.sleepf 0.05;
+  Runtime.Sched.drain_all ();
+  let resps = ref [] in
+  (try
+     for _ = 1 to n do
+       resps := Serve.Client.recv cl :: !resps
+     done
+   with Failure _ -> ());
+  Serve.Client.close cl;
+  Alcotest.(check int) "all answered through drain_all" n (List.length !resps);
+  let doc = Serve.Server.stats_doc srv in
+  Alcotest.(check int) "completed = accepted" (stats_int doc "accepted")
+    (stats_int doc "completed")
+
+let () =
+  Alcotest.run "serve"
+    [ ( "protocol",
+        [ Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
+          Alcotest.test_case "response round-trip" `Quick test_response_roundtrip;
+          Alcotest.test_case "request validation" `Quick test_request_validation;
+          Alcotest.test_case "deframer fragmentation" `Quick test_deframer_fragmentation ] );
+      ( "bitwise",
+        [ Alcotest.test_case "server vs scalar, all ops x tiers" `Quick
+            test_bitwise_vs_scalar;
+          Alcotest.test_case "micro-batches form" `Quick test_batches_form ] );
+      ( "admission",
+        [ Alcotest.test_case "bound holds, sheds explicit" `Quick test_admission_bound;
+          Alcotest.test_case "deadline shed" `Quick test_deadline_shed;
+          Alcotest.test_case "wire errors" `Quick test_wire_errors;
+          Alcotest.test_case "wire stats" `Quick test_wire_stats ] );
+      ( "drain",
+        [ Alcotest.test_case "graceful drain zero loss" `Quick test_graceful_drain;
+          Alcotest.test_case "drain_all runs the hook" `Quick test_drain_all_hook ] ) ]

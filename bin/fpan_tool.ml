@@ -1017,8 +1017,11 @@ let loadgen_cmd =
     Arg.(value & opt float 1.5 & info [ "duration" ] ~docv:"S" ~doc:"Seconds per cell.")
   in
   let clients_arg =
-    Arg.(value & opt string "4"
-         & info [ "clients" ] ~docv:"N,N,..." ~doc:"Client counts to sweep.")
+    Arg.(value & opt string "4,8"
+         & info [ "clients" ] ~docv:"N,N,..."
+             ~doc:
+               "Client counts to sweep; the batching-speedup headline is computed at the \
+                highest count.")
   in
   let pipeline_arg =
     Arg.(value & opt int 32

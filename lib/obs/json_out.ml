@@ -280,13 +280,32 @@ let parse s =
         end
         else begin
           let fields = ref [] in
+          (* RFC 8259 leaves duplicate keys undefined; every consumer
+             here would silently last-write-win, and the serving layer
+             parses untrusted frames — reject them outright.  Small
+             objects (the common case on the request path) use a linear
+             scan; past a handful of keys the seen set spills into a
+             table so a many-key adversarial frame stays O(n) instead
+             of the O(n^2) assoc-list scan it could otherwise exploit. *)
+          let nfields = ref 0 in
+          let seen = ref None in
+          let dup k =
+            match !seen with
+            | Some h -> Hashtbl.mem h k
+            | None ->
+                if !nfields < 8 then List.mem_assoc k !fields
+                else begin
+                  let h = Hashtbl.create 32 in
+                  List.iter (fun (k', _) -> Hashtbl.replace h k' ()) !fields;
+                  seen := Some h;
+                  Hashtbl.mem h k
+                end
+          in
           let rec go () =
             skip_ws ();
             let k = parse_string () in
-            (* RFC 8259 leaves duplicate keys undefined; every consumer
-               here would silently last-write-win, and the serving layer
-               parses untrusted frames — reject them outright. *)
-            if List.mem_assoc k !fields then fail (Printf.sprintf "duplicate key %S" k);
+            if dup k then fail (Printf.sprintf "duplicate key %S" k);
+            (match !seen with Some h -> Hashtbl.add h k () | None -> incr nfields);
             skip_ws ();
             expect ':';
             let v = parse_value () in

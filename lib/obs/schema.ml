@@ -32,10 +32,33 @@ let rec describe = function
   | Obj _ -> "object"
   | One_of ts -> String.concat " | " (List.map describe ts)
 
+(* The path is carried as a reversed segment list and rendered only
+   when a violation is reported: the serving layer validates every
+   inbound frame, so the success path must not allocate path strings
+   node by node. *)
+type seg = Skey of string | Sidx of int
+
+let render_path rev =
+  match rev with
+  | [] -> "$"
+  | _ ->
+      let b = Buffer.create 32 in
+      List.iter
+        (function
+          | Skey k ->
+              Buffer.add_char b '.';
+              Buffer.add_string b k
+          | Sidx i ->
+              Buffer.add_char b '[';
+              Buffer.add_string b (string_of_int i);
+              Buffer.add_char b ']')
+        (List.rev rev);
+      Buffer.contents b
+
 let validate spec json =
   let errs = ref [] in
-  let err path msg = errs := Printf.sprintf "%s: %s" (if path = "" then "$" else path) msg :: !errs in
-  let rec go path spec (json : Json_out.t) =
+  let err rev msg = errs := Printf.sprintf "%s: %s" (render_path rev) msg :: !errs in
+  let rec go rev spec (json : Json_out.t) =
     match (spec, json) with
     | Any, _ -> ()
     | Null, Json_out.Null -> ()
@@ -44,9 +67,9 @@ let validate spec json =
     | Int, Json_out.Num f when Float.is_integer f -> ()
     | Str, Json_out.Str _ -> ()
     | Str_const want, Json_out.Str got ->
-        if got <> want then err path (Printf.sprintf "expected %S, got %S" want got)
+        if got <> want then err rev (Printf.sprintf "expected %S, got %S" want got)
     | List elt, Json_out.List items ->
-        List.iteri (fun i item -> go (Printf.sprintf "%s[%d]" path i) elt item) items
+        List.iteri (fun i item -> go (Sidx i :: rev) elt item) items
     | Obj fields, Json_out.Obj kvs ->
         List.iter
           (fun field ->
@@ -54,30 +77,32 @@ let validate spec json =
               match field with Req (k, s) -> (k, s, true) | Opt (k, s) -> (k, s, false)
             in
             match List.assoc_opt key kvs with
-            | Some v -> go (path ^ "." ^ key) spec v
-            | None -> if required then err path (Printf.sprintf "missing required key %S" key))
+            | Some v -> go (Skey key :: rev) spec v
+            | None -> if required then err rev (Printf.sprintf "missing required key %S" key))
           fields;
         (* unknown keys are schema drift too: catch additions that the
            declared schema does not know about *)
-        let known =
-          List.map (function Req (k, _) | Opt (k, _) -> k) fields
-        in
         List.iter
           (fun (k, _) ->
-            if not (List.mem k known) then err path (Printf.sprintf "unexpected key %S" k))
+            if
+              not
+                (List.exists
+                   (function Req (k', _) | Opt (k', _) -> k' = k)
+                   fields)
+            then err rev (Printf.sprintf "unexpected key %S" k))
           kvs
     | One_of specs, v ->
         let ok =
           List.exists
             (fun s ->
               let saved = !errs in
-              go path s v;
+              go rev s v;
               let passed = !errs == saved in
               errs := saved;
               passed)
             specs
         in
-        if not ok then err path (Printf.sprintf "matches none of: %s" (describe spec))
+        if not ok then err rev (Printf.sprintf "matches none of: %s" (describe spec))
     | _, v ->
         let got =
           match v with
@@ -88,9 +113,9 @@ let validate spec json =
           | Json_out.List _ -> "array"
           | Json_out.Obj _ -> "object"
         in
-        err path (Printf.sprintf "expected %s, got %s" (describe spec) got)
+        err rev (Printf.sprintf "expected %s, got %s" (describe spec) got)
   in
-  go "" spec json;
+  go [] spec json;
   match List.rev !errs with [] -> Ok () | es -> Error es
 
 let check ~name spec json =

@@ -10,6 +10,7 @@ type t = {
 }
 
 let connect_sockaddr sa =
+  P.ignore_sigpipe ();
   let domain = Unix.domain_of_sockaddr sa in
   let fd = Unix.socket ~cloexec:true domain SOCK_STREAM 0 in
   (try Unix.connect fd sa

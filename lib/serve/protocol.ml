@@ -275,6 +275,14 @@ let response_of_json doc =
 
 (* --- framing -------------------------------------------------------- *)
 
+(* Both ends write into sockets the peer may have abruptly closed; the
+   default SIGPIPE disposition would kill the whole process instead of
+   letting the write raise Unix_error(EPIPE,...), which the callers
+   handle by dropping the connection. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
 let max_frame = 16 * 1024 * 1024
 
 let frame_of_string payload =
@@ -316,34 +324,51 @@ let read_frame fd =
 
 (* --- incremental deframing ------------------------------------------ *)
 
-type deframer = { mutable buf : Buffer.t }
+(* A flat byte region with a read cursor: each feed blits only the new
+   chunk and extracts frames in place, so receiving a near-max frame in
+   small reads costs O(frame), not O(frame^2) as re-buffering the whole
+   backlog on every call would.  The region is compacted (remainder
+   shifted to offset 0) only right before it must grow, which keeps the
+   shift amortized O(1) per byte. *)
+type deframer = {
+  mutable data : Bytes.t;
+  mutable start : int;  (* offset of the first unconsumed byte *)
+  mutable len : int;  (* unconsumed bytes from [start] *)
+}
 
-let deframer () = { buf = Buffer.create 4096 }
+let deframer () = { data = Bytes.create 4096; start = 0; len = 0 }
 
 let feed d bytes len =
-  Buffer.add_subbytes d.buf bytes 0 len;
-  let data = Buffer.contents d.buf in
-  let total = String.length data in
-  let pos = ref 0 in
+  if d.start + d.len + len > Bytes.length d.data then begin
+    if d.start > 0 then begin
+      Bytes.blit d.data d.start d.data 0 d.len;
+      d.start <- 0
+    end;
+    if d.len + len > Bytes.length d.data then begin
+      let cap = ref (Bytes.length d.data) in
+      while !cap < d.len + len do
+        cap := !cap * 2
+      done;
+      let grown = Bytes.create !cap in
+      Bytes.blit d.data 0 grown 0 d.len;
+      d.data <- grown
+    end
+  end;
+  Bytes.blit bytes 0 d.data (d.start + d.len) len;
+  d.len <- d.len + len;
   let frames = ref [] in
   let err = ref None in
   let continue = ref true in
-  while !continue && !err = None && total - !pos >= 4 do
-    let flen = Int32.to_int (String.get_int32_be data !pos) in
+  while !continue && !err = None && d.len >= 4 do
+    let flen = Int32.to_int (Bytes.get_int32_be d.data d.start) in
     if flen < 0 || flen > max_frame then
       err := Some (Printf.sprintf "bad frame length %d" flen)
-    else if total - !pos - 4 >= flen then begin
-      frames := String.sub data (!pos + 4) flen :: !frames;
-      pos := !pos + 4 + flen
+    else if d.len - 4 >= flen then begin
+      frames := Bytes.sub_string d.data (d.start + 4) flen :: !frames;
+      d.start <- d.start + 4 + flen;
+      d.len <- d.len - 4 - flen
     end
     else continue := false
   done;
-  match !err with
-  | Some e -> Error e
-  | None ->
-      if !pos > 0 then begin
-        let rest = Buffer.create 4096 in
-        Buffer.add_substring rest data !pos (total - !pos);
-        d.buf <- rest
-      end;
-      Ok (List.rev !frames)
+  if d.len = 0 then d.start <- 0;
+  match !err with Some e -> Error e | None -> Ok (List.rev !frames)

@@ -70,6 +70,13 @@ val response_of_json : Obs.Json_out.t -> (response, string) result
 
 (** {1 Framing} *)
 
+val ignore_sigpipe : unit -> unit
+(** Set SIGPIPE to be ignored process-wide so a write into a socket the
+    peer abruptly closed raises [Unix_error (EPIPE, ...)] — handled by
+    dropping the connection — instead of killing the whole process.
+    Called by {!Server.start} and {!Client.connect}; a no-op on
+    platforms without the signal. *)
+
 val max_frame : int
 (** Refuse frames above this payload size (16 MiB). *)
 

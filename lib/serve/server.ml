@@ -18,7 +18,8 @@ type conn = {
   wlock : Mutex.t;
   out : Buffer.t;  (* pending reply bytes; guarded by wlock *)
   mutable dirty : bool;  (* on the server's pending list; guarded by pending_lock *)
-  mutable alive : bool;
+  mutable alive : bool;  (* writers may still buffer/flush; guarded by wlock *)
+  mutable closed : bool;  (* fd released, exactly once; guarded by wlock *)
 }
 
 type t = {
@@ -69,7 +70,10 @@ let write_all fd s =
     | exception Unix.Unix_error (EINTR, _, _) -> ()
   done
 
-(* wlock held *)
+(* wlock held.  On failure only mark the conn dead (and drop its
+   buffered output); the fd itself is closed by the io domain when it
+   sweeps dead conns, so closes happen on one domain and never race a
+   concurrent select/read on the same descriptor. *)
 let flush_locked conn =
   if conn.alive && Buffer.length conn.out > 0 then begin
     let s = Buffer.contents conn.out in
@@ -115,11 +119,15 @@ let flush_pending t =
       Mutex.unlock c.wlock)
     cs
 
+(* io domain only (read path, dead-conn sweep, loop teardown), so a
+   conn's fd is released exactly once and never while another domain
+   could still be select'ing or reading it. *)
 let close_conn conn =
   Mutex.lock conn.wlock;
-  if conn.alive then begin
-    conn.alive <- false;
-    Buffer.clear conn.out;
+  conn.alive <- false;
+  Buffer.clear conn.out;
+  if not conn.closed then begin
+    conn.closed <- true;
     try Unix.close conn.fd with _ -> ()
   end;
   Mutex.unlock conn.wlock
@@ -212,15 +220,23 @@ let read_conn t conn buf =
   | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
   | exception Unix.Unix_error _ -> close_conn conn
 
+(* Stay comfortably under FD_SETSIZE (1024): past the cap, select
+   would start failing with EINVAL for every caller, so refusing the
+   excess connection immediately is the service-preserving choice. *)
+let max_conns = 960
+
 let accept_all t =
   let rec go () =
     match Unix.accept ~cloexec:true t.listen_fd with
     | fd, _ ->
-        Unix.set_nonblock fd;
-        t.conns <-
-          { fd; defr = P.deframer (); wlock = Mutex.create ();
-            out = Buffer.create 4096; dirty = false; alive = true }
-          :: t.conns;
+        if List.length t.conns >= max_conns then (try Unix.close fd with _ -> ())
+        else begin
+          Unix.set_nonblock fd;
+          t.conns <-
+            { fd; defr = P.deframer (); wlock = Mutex.create ();
+              out = Buffer.create 4096; dirty = false; alive = true; closed = false }
+            :: t.conns
+        end;
         go ()
     | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
     | exception Unix.Unix_error _ -> ()
@@ -240,7 +256,11 @@ let drain_wake t =
 let io_loop t =
   let buf = Bytes.create 65536 in
   while not (Atomic.get t.io_exit) do
-    t.conns <- List.filter (fun c -> c.alive) t.conns;
+    (* sweep conns whose flush failed on the batcher domain: their fds
+       were left open so the close (here) can't race a select on them *)
+    let dead, live = List.partition (fun c -> not c.alive) t.conns in
+    List.iter close_conn dead;
+    t.conns <- live;
     let rds =
       t.wake_r
       :: (if Atomic.get t.stopping then [] else [ t.listen_fd ])
@@ -248,6 +268,24 @@ let io_loop t =
     in
     match Unix.select rds [] [] 1.0 with
     | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ ->
+        (* EBADF/EINVAL etc. poison every subsequent select; shedding
+           one connection beats an unresponsive-forever io domain.
+           Drop any conn whose fd fails fstat, and if none does, the
+           newest conn, so the loop always makes progress. *)
+        let bad, ok =
+          List.partition
+            (fun c -> match Unix.fstat c.fd with _ -> false | exception _ -> true)
+            t.conns
+        in
+        (match (bad, ok) with
+        | [], newest :: rest ->
+            close_conn newest;
+            t.conns <- rest
+        | [], [] -> Unix.sleepf 0.05  (* listener/wake fd at fault; don't spin *)
+        | _ ->
+            List.iter close_conn bad;
+            t.conns <- ok)
     | rd, _, _ ->
         List.iter
           (fun fd ->
@@ -309,6 +347,8 @@ let stop t =
 
 let start ~sched ~addr ?(queue_capacity = 64) ?(max_batch = 32) ?(window_us = 200.)
     () =
+  (* one abruptly-closed client must not SIGPIPE-kill the service *)
+  P.ignore_sigpipe ();
   let listen_fd, bound, unlink_on_close = bind_listen addr in
   Unix.set_nonblock listen_fd;
   let wake_r, wake_w = Unix.pipe ~cloexec:true () in

@@ -130,6 +130,27 @@ let test_deframer_fragmentation () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "oversized frame accepted"
 
+(* A near-1-MiB frame arriving in 64 KiB reads, with a small frame
+   straddling the tail: exercises the deframer's buffer growth,
+   compaction, and cursor-reset paths. *)
+let test_deframer_large_frame () =
+  let big = String.init (1 lsl 20) (fun i -> Char.chr (i land 0xff)) in
+  let payloads = [ big; "tail" ] in
+  let stream = String.concat "" (List.map P.frame_of_string payloads) in
+  let d = P.deframer () in
+  let got = ref [] in
+  let pos = ref 0 in
+  let n = String.length stream in
+  while !pos < n do
+    let len = min 65536 (n - !pos) in
+    let b = Bytes.of_string (String.sub stream !pos len) in
+    (match P.feed d b len with
+    | Ok frames -> got := !got @ frames
+    | Error e -> Alcotest.fail e);
+    pos := !pos + len
+  done;
+  Alcotest.(check (list string)) "large frame reassembles" payloads !got
+
 (* --- server fixture -------------------------------------------------- *)
 
 let sock_counter = ref 0
@@ -381,6 +402,34 @@ let test_wire_errors () =
           | Error e -> Alcotest.fail e)
       | None -> Alcotest.fail "no reply to unknown-op frame")
 
+(* One client vanishing with unread replies pending must not take the
+   service down: SIGPIPE is ignored, so the failed reply write just
+   marks the conn dead and the io domain sweeps (and closes) it. *)
+let test_abrupt_disconnect () =
+  with_server ~queue_capacity:256 ~max_batch:8 ~window_us:500. (fun _srv addr ->
+      let rude = Serve.Client.connect addr in
+      let reqs =
+        List.init 64 (fun i ->
+            mk_req ~id:(i + 1) ~op:P.Add ~tier:P.Mf2
+              ~x:[| [| float_of_int i; 0.0 |] |] ~y:[| [| 1.0; 0.0 |] |] ())
+      in
+      List.iter (Serve.Client.send rude) reqs;
+      (* hang up without reading a single reply *)
+      Serve.Client.close rude;
+      Unix.sleepf 0.1;
+      (* the server survived and still serves fresh clients *)
+      let cl = Serve.Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close cl)
+        (fun () ->
+          let req =
+            mk_req ~id:1 ~op:P.Mul ~tier:P.Mf2 ~x:[| [| 3.0; 0.0 |] |]
+              ~y:[| [| 7.0; 0.0 |] |] ()
+          in
+          match Serve.Client.call cl req with
+          | P.Result _ -> ()
+          | _ -> Alcotest.fail "server unhealthy after abrupt disconnect"))
+
 (* --- stats over the wire --------------------------------------------- *)
 
 let test_wire_stats () =
@@ -492,7 +541,8 @@ let () =
         [ Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
           Alcotest.test_case "response round-trip" `Quick test_response_roundtrip;
           Alcotest.test_case "request validation" `Quick test_request_validation;
-          Alcotest.test_case "deframer fragmentation" `Quick test_deframer_fragmentation ] );
+          Alcotest.test_case "deframer fragmentation" `Quick test_deframer_fragmentation;
+          Alcotest.test_case "deframer large frame" `Quick test_deframer_large_frame ] );
       ( "bitwise",
         [ Alcotest.test_case "server vs scalar, all ops x tiers" `Quick
             test_bitwise_vs_scalar;
@@ -501,6 +551,7 @@ let () =
         [ Alcotest.test_case "bound holds, sheds explicit" `Quick test_admission_bound;
           Alcotest.test_case "deadline shed" `Quick test_deadline_shed;
           Alcotest.test_case "wire errors" `Quick test_wire_errors;
+          Alcotest.test_case "abrupt disconnect survived" `Quick test_abrupt_disconnect;
           Alcotest.test_case "wire stats" `Quick test_wire_stats ] );
       ( "drain",
         [ Alcotest.test_case "graceful drain zero loss" `Quick test_graceful_drain;

@@ -56,6 +56,18 @@ module type VEC = sig
   val dot : init:elt -> x:t -> xoff:int -> y:t -> yoff:int -> len:int -> elt
   (** Index-order fold [acc <- add acc (mul x.(xoff+i) y.(yoff+i))]. *)
 
+  val sum : init:elt -> x:t -> xoff:int -> len:int -> elt
+  (** Index-order fold [acc <- add acc x.(xoff+i)]. *)
+
+  val dot_sub : b:elt -> x:t -> xoff:int -> y:t -> yoff:int -> len:int -> elt
+  (** Fused [sub b (dot ~init:zero ...)] — the GEMV-residual row —
+      bitwise equal to the unfused composition. *)
+
+  val axpy_dot : lo:int -> hi:int -> alpha:elt -> x:t -> y:t -> w:t -> init:elt -> elt
+  (** Fused [axpy] + [dot ~x:y ~y:w] over [lo <= i < hi]; updates [y]
+      in place and returns the fold from [init] — bitwise equal to the
+      two-pass composition. *)
+
   val transpose : m:int -> n:int -> src:t -> dst:t -> unit
   (** Plane-wise matrix transpose of an [m*n] row-major [src] into a
       distinct [dst] (the panel-packing primitive: matrix columns

@@ -1,0 +1,4 @@
+(* Regenerates lib/multifloat/batch.ml on stdout.  Wired into
+   lib/multifloat/dune as a drift rule: `dune runtest` diffs the
+   committed file against this output, `dune promote` accepts it. *)
+let () = print_string (Fpan_ir.Codegen.batch_ml ())

@@ -252,19 +252,21 @@ module Refine (M : Multifloat.Ops.S) = struct
     (!x, { iterations = !iters; final_residual_norm = !best; converged })
 end
 
-(* Same refinement scheme, but the extended-precision matrix and
-   solution live in a planar (structure-of-arrays) vector and the
-   residual rows are planar dot products.  The per-element arithmetic
-   and accumulation order match [Refine] exactly, so the returned
-   solution and stats are bitwise identical — only the layout (and the
-   allocation profile of the residual, the refinement hot loop)
-   changes. *)
+(* Same refinement scheme, but the extended-precision matrix,
+   solution, right-hand side and residual all live in planar
+   (structure-of-arrays) vectors, and each residual row is the FUSED
+   [dot_sub] wire program (lib/fpan_ir): the b - <row, x> subtraction
+   is staged behind the dot accumulator, so the refinement hot loop is
+   one pass over the planes with no boxed intermediates.  The fused
+   program's gate sequence is the unfused composition's by
+   construction, so the returned solution and stats are bitwise
+   identical to [Refine] — only the layout and the allocation profile
+   change. *)
 module Refine_batched
     (M : Multifloat.Ops.S)
     (V : Multifloat.Batch.V with type elt = M.t) =
 struct
   module R = Refine (M)
-  module L = Make (M)
 
   type stats = R.stats = {
     iterations : int;
@@ -274,53 +276,62 @@ struct
 
   module E = Runtime.Engine.Make (M) (V)
 
+  (* Same fold order as [Make.norm_inf], directly over the planes. *)
+  let norm_inf_v v =
+    let acc = ref M.zero in
+    for i = 0 to V.length v - 1 do
+      acc := M.max !acc (M.abs (V.get v i))
+    done;
+    M.to_float !acc
+
   let solve ?rt ~n ~a ~b ?(max_iter = 50) () =
     let tr = Obs.Trace.enabled () in
     if tr then Obs.Trace.begin_span Obs.Trace.Eft "refine.solve";
     let lu = R.factor_double n a in
     let am = V.of_array (Array.map M.of_float a) in
+    let bv = V.of_array b in
     let xv = V.of_array (Array.map M.of_float (R.solve_double n lu (Array.map M.to_float b))) in
-    (* With a scheduler the residual's matrix-vector product runs on
-       the runtime engine (row-parallel); each row is the same planar
-       dot from M.zero, so the refinement trajectory stays bitwise
-       identical to the sequential path at any worker count. *)
-    let axv = match rt with None -> None | Some _ -> Some (V.create n) in
-    let resid_norm () =
-      let r =
-        match (rt, axv) with
-        | Some rt, Some yv ->
-            E.gemv rt ~m:n ~n ~a:am ~x:xv ~y:yv ();
-            Array.init n (fun i -> M.sub b.(i) (V.get yv i))
-        | _ ->
-            Array.init n (fun i ->
-                M.sub b.(i) (V.dot ~init:M.zero ~x:am ~xoff:(i * n) ~y:xv ~yoff:0 ~len:n))
-      in
-      (r, M.to_float (L.norm_inf r))
+    (* Two residual buffers: the best-so-far residual feeds the next
+       correction solve, so a candidate must not clobber it.  With a
+       scheduler the fused residual runs row-parallel on the runtime
+       engine; each row is the same fused dot_sub pass, so the
+       refinement trajectory stays bitwise identical to the sequential
+       path at any worker count. *)
+    let rbest = ref (V.create n) and rtry = ref (V.create n) in
+    let resid_norm dst =
+      (match rt with
+      | Some rt -> E.gemv_residual rt ~m:n ~n ~a:am ~x:xv ~b:bv ~r:dst ()
+      | None ->
+          for i = 0 to n - 1 do
+            V.set dst i (V.dot_sub ~b:(V.get bv i) ~x:am ~xoff:(i * n) ~y:xv ~yoff:0 ~len:n)
+          done);
+      norm_inf_v dst
     in
-    let r, rn = resid_norm () in
-    let r = ref r and best = ref rn in
+    let best = ref (resid_norm !rbest) in
     let iters = ref 0 in
     let stalled = ref false in
     let target () =
-      let xn = M.to_float (L.norm_inf (V.to_array xv)) in
+      let xn = norm_inf_v xv in
       Float.max xn 1e-300 *. Float.ldexp 1.0 (-(M.precision_bits + 2))
     in
     while (not !stalled) && !iters < max_iter && !best > target () do
       incr iters;
       if tr then Obs.Trace.begin_span Obs.Trace.Eft "refine.iter";
-      let d = R.solve_double n lu (Array.map M.to_float !r) in
+      let d = R.solve_double n lu (V.to_floats !rbest) in
       Array.iteri (fun i di -> V.set xv i (M.add_float (V.get xv i) di)) d;
-      let r', rn' = resid_norm () in
+      let rn' = resid_norm !rtry in
       if rn' < !best then begin
         best := rn';
-        r := r'
+        let t = !rbest in
+        rbest := !rtry;
+        rtry := t
       end
       else stalled := true;
       (* each iteration span carries the residual norm it achieved *)
       if tr then Obs.Trace.end_span_f ~arg_name:"residual" ~arg:rn'
     done;
     let x = V.to_array xv in
-    let xnorm = M.to_float (L.norm_inf x) in
+    let xnorm = norm_inf_v xv in
     let converged =
       !best = 0.0 || (xnorm > 0.0 && !best /. xnorm < Float.ldexp 1.0 (-(M.precision_bits - 15)))
     in

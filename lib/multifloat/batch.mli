@@ -3,10 +3,15 @@
     An n-element 2/3/4-term vector is [terms] parallel unboxed
     [floatarray]s, one per expansion component, instead of an array of
     boxed component records.  The batched operations run the
-    hand-inlined branch-free FPAN wire sequences of {!Mf2}/{!Mf3}/{!Mf4}
+    branch-free FPAN wire sequences of {!Mf2}/{!Mf3}/{!Mf4}
     element-wise over the planes with no per-element heap allocation;
     gate and operand order match the scalar kernels exactly, so batched
     results are {e bitwise equal} to scalar loops over element arrays.
+
+    The implementation (batch.ml) is GENERATED from the FPAN wire
+    programs by [lib/fpan_ir] ([gen/gen_batch.ml]); a drift rule in
+    this directory's dune file diffs the committed file against a
+    fresh regeneration on every [dune runtest].
 
     This is the OCaml stand-in for the paper's cross-element
     autovectorization (Section 5): branch-freedom makes the element
@@ -72,6 +77,25 @@ module type V = sig
   (** Index-order fold [acc <- add acc (mul x.(xoff+i) y.(yoff+i))]
       starting from [init]: the scalar DOT/GEMV accumulation order. *)
 
+  val sum : init:elt -> x:t -> xoff:int -> len:int -> elt
+  (** Index-order fold [acc <- add acc x.(xoff+i)] starting from
+      [init]: the scalar SUM accumulation order. *)
+
+  val dot_sub : b:elt -> x:t -> xoff:int -> y:t -> yoff:int -> len:int -> elt
+  (** [sub b (dot ~init:zero ~x ~xoff ~y ~yoff ~len)] with the final
+      subtraction staged behind the dot accumulator: one fused pass
+      over the planes computing a GEMV-residual row with no boxed
+      intermediate.  Bitwise equal to the unfused composition (the
+      scalar [sub] is the add network on negated components, which is
+      exactly the staged tail). *)
+
+  val axpy_dot : lo:int -> hi:int -> alpha:elt -> x:t -> y:t -> w:t -> init:elt -> elt
+  (** Fused [axpy] + [dot]: stores [y.(i) <- add (mul alpha x.(i))
+      y.(i)] and folds [acc <- add acc (mul y.(i) w.(i))] in the same
+      pass over the planes, for [lo <= i < hi]; returns the fold
+      started from [init].  Bitwise equal to [axpy] followed by
+      [dot ~x:y ~y:w] over the same range. *)
+
   val transpose : m:int -> n:int -> src:t -> dst:t -> unit
   (** [dst.(j*m+i) <- src.(i*n+j)] viewing [src] as an [m*n] row-major
       matrix: the plane-wise matrix transpose, blocked for cache (the
@@ -107,6 +131,6 @@ end
 
 module Of_scalar (K : SCALAR) : V with type elt = K.t
 (** Planar storage with element-at-a-time scalar arithmetic: same
-    layout and accumulation orders as the hand-inlined vectors, for
+    layout and accumulation orders as the generated vectors, for
     types without a specialized batch kernel (e.g. the emulated-float32
     GPU types). *)

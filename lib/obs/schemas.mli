@@ -30,6 +30,10 @@ val bench_serve : Schema.t
 (** [BENCH_serve.json], the load-generator artifact (same
     [fpan-serve/1] family). *)
 
+val bench_fuse : Schema.t
+(** [BENCH_fuse.json], the cross-op fusion ablation, schema id
+    [fpan-bench-fuse/1]. *)
+
 val trace_summary : Schema.t
 (** [TRACE_*.json], schema id [fpan-trace/1]. *)
 

@@ -63,6 +63,37 @@ struct
         done;
         one !acc
     | P.Poly_eval -> one (Poly.eval (Array.map elt r.x) (y 0))
+    | P.Program -> (
+        (* op-by-op scalar composition: the unfused reference the fused
+           planar chains below are pinned against *)
+        match r.prog with
+        | [ "sum" ] ->
+            let acc = ref M.zero in
+            for i = 0 to Array.length r.x - 1 do
+              acc := M.add !acc (x i)
+            done;
+            one !acc
+        | [ "mul"; "sum" ] ->
+            let n = Array.length r.x in
+            let t = Array.init n (fun i -> M.mul (x i) (y i)) in
+            let acc = ref M.zero in
+            for i = 0 to n - 1 do
+              acc := M.add !acc t.(i)
+            done;
+            one !acc
+        | [ "axpy"; "dot" ] ->
+            let n = Array.length r.x in
+            let alpha = y 0 in
+            let z i = elt r.z.(i) in
+            let ynew = Array.init n (fun i -> M.add (M.mul alpha (x i)) (y (i + 1))) in
+            let acc = ref M.zero in
+            for i = 0 to n - 1 do
+              acc := M.add !acc (M.mul ynew.(i) (z i))
+            done;
+            Array.append [| comps !acc |] (Array.map comps ynew)
+        | chain ->
+            invalid_arg
+              (Printf.sprintf "Serve.Batcher: unsupported program %S" (P.program_name chain)))
     | P.Stats -> invalid_arg "Serve.Batcher: stats is not a compute op"
 
     (* Per-request evaluation on the batched path.  Vector ops go
@@ -87,6 +118,37 @@ struct
         done;
         V.axpy ~lo:0 ~hi:n ~alpha:(elt r.y.(0)) ~x:vx ~y:vy;
         Array.init n (fun i -> comps (V.get vy i))
+    | P.Program -> (
+        (* each chain runs as ONE fused wire-program kernel; the fused
+           gate sequence is the op-by-op composition's by construction,
+           so results match eval_one bitwise *)
+        match r.prog with
+        | [ "sum" ] ->
+            let n = Array.length r.x in
+            let vx = V.create n in
+            for i = 0 to n - 1 do
+              V.set vx i (elt r.x.(i))
+            done;
+            [| comps (V.sum ~init:M.zero ~x:vx ~xoff:0 ~len:n) |]
+        | [ "mul"; "sum" ] ->
+            let n = Array.length r.x in
+            let vx = V.create n and vy = V.create n in
+            for i = 0 to n - 1 do
+              V.set vx i (elt r.x.(i));
+              V.set vy i (elt r.y.(i))
+            done;
+            [| comps (V.dot ~init:M.zero ~x:vx ~xoff:0 ~y:vy ~yoff:0 ~len:n) |]
+        | [ "axpy"; "dot" ] ->
+            let n = Array.length r.x in
+            let vx = V.create n and vy = V.create n and vz = V.create n in
+            for i = 0 to n - 1 do
+              V.set vx i (elt r.x.(i));
+              V.set vy i (elt r.y.(i + 1));
+              V.set vz i (elt r.z.(i))
+            done;
+            let acc = V.axpy_dot ~lo:0 ~hi:n ~alpha:(elt r.y.(0)) ~x:vx ~y:vy ~w:vz ~init:M.zero in
+            Array.append [| comps acc |] (Array.init n (fun i -> comps (V.get vy i)))
+        | _ -> eval_one r)
     | _ -> eval_one r
 
   (* One micro-batch of same-op same-tier requests -> one result per

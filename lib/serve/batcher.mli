@@ -7,9 +7,10 @@
     rest by (op, tier), and executes each group as {e one} batched
     planar kernel call on the shared {!Runtime.Sched} — elementwise
     ops pack operands into {!Multifloat.Batch} planes, per-request ops
-    (dot, axpy, sum, poly-eval) fan out over the group with
-    [parallel_for].  Results scatter back through each request's reply
-    callback.
+    (dot, axpy, sum, poly-eval, program) fan out over the group with
+    [parallel_for]; a [program] request's fused chain runs as one
+    single-pass wire-program kernel.  Results scatter back through each
+    request's reply callback.
 
     Responses are bitwise identical to the scalar path ({!eval_one})
     for every op and tier: the packed ops ride the planar kernels'

@@ -101,8 +101,10 @@ let stats t =
       op = P.Stats;
       tier = P.Mf2;
       deadline_ms = None;
+      prog = [];
       x = [||];
       y = [||];
+      z = [||];
     }
   in
   match call t req with

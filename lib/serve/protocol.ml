@@ -18,7 +18,7 @@ let tier_of_name = function
   | "mf4" -> Some Mf4
   | _ -> None
 
-type op = Add | Mul | Div | Sqrt | Exp | Log | Sin | Dot | Axpy | Sum | Poly_eval | Stats
+type op = Add | Mul | Div | Sqrt | Exp | Log | Sin | Dot | Axpy | Sum | Poly_eval | Program | Stats
 
 let op_name = function
   | Add -> "add"
@@ -32,9 +32,10 @@ let op_name = function
   | Axpy -> "axpy"
   | Sum -> "sum"
   | Poly_eval -> "poly-eval"
+  | Program -> "program"
   | Stats -> "stats"
 
-let compute_ops = [ Add; Mul; Div; Sqrt; Exp; Log; Sin; Dot; Axpy; Sum; Poly_eval ]
+let compute_ops = [ Add; Mul; Div; Sqrt; Exp; Log; Sin; Dot; Axpy; Sum; Poly_eval; Program ]
 
 let op_of_name name =
   List.find_opt (fun o -> op_name o = name) (Stats :: compute_ops)
@@ -42,15 +43,26 @@ let op_of_name name =
 let arity = function
   | Stats -> 0
   | Sqrt | Exp | Log | Sin | Sum -> 1
-  | Add | Mul | Div | Dot | Axpy | Poly_eval -> 2
+  | Add | Mul | Div | Dot | Axpy | Poly_eval | Program -> 2
+
+(* The fused multi-op chains a [Program] request may name: each is a
+   Fuse.chain whose single-pass kernel is bitwise the op-by-op
+   composition.  ["mul"; "sum"] is elementwise mul then sum (the
+   unfused spelling of DOT); ["axpy"; "dot"] updates y in place and
+   dots it against z; ["sum"] is the plain fold (a 1-gate program). *)
+let programs = [ [ "sum" ]; [ "mul"; "sum" ]; [ "axpy"; "dot" ] ]
+
+let program_name chain = String.concat ";" chain
 
 type request = {
   id : int;
   op : op;
   tier : tier;
   deadline_ms : float option;
+  prog : string list;
   x : float array array;
   y : float array array;
+  z : float array array;
 }
 
 type response =
@@ -133,8 +145,11 @@ let request_to_json r =
        ("op", J.Str (op_name r.op));
        ("tier", J.Str (tier_name r.tier)) ]
     @ (match r.deadline_ms with None -> [] | Some d -> [ ("deadline_ms", J.Num d) ])
+    @ (if r.prog = [] then []
+       else [ ("prog", J.List (List.map (fun s -> J.Str s) r.prog)) ])
     @ (if Array.length r.x = 0 then [] else [ ("x", elements_to_json r.x) ])
-    @ if Array.length r.y = 0 then [] else [ ("y", elements_to_json r.y) ])
+    @ (if Array.length r.y = 0 then [] else [ ("y", elements_to_json r.y) ])
+    @ if Array.length r.z = 0 then [] else [ ("z", elements_to_json r.z) ])
 
 let int_member key doc =
   match J.member key doc with
@@ -173,10 +188,56 @@ let request_of_json doc =
       in
       let* x = operand "x" in
       let* y = operand "y" in
+      let* z = operand "z" in
+      let* prog =
+        match J.member "prog" doc with
+        | None -> Ok []
+        | Some v -> (
+            match J.to_list v with
+            | None -> Error "prog is not an array"
+            | Some steps ->
+                let rec go acc = function
+                  | [] -> Ok (List.rev acc)
+                  | J.Str s :: rest -> go (s :: acc) rest
+                  | _ -> Error "prog step is not a string"
+                in
+                go [] steps)
+      in
       let deadline_ms = Option.bind (J.member "deadline_ms" doc) J.to_num in
+      let* () =
+        if op <> Program && prog <> [] then
+          Error (Printf.sprintf "op %s takes no prog" (op_name op))
+        else if op <> Program && Array.length z > 0 then
+          Error (Printf.sprintf "op %s takes no operand z" (op_name op))
+        else Ok ()
+      in
       let* () =
         match op with
         | Stats -> Ok ()
+        | Program -> (
+            let nx = Array.length x and ny = Array.length y and nz = Array.length z in
+            match prog with
+            | [] -> Error "op program needs prog"
+            | [ "sum" ] ->
+                if nx = 0 then Error "op program needs operand x"
+                else if ny > 0 || nz > 0 then Error "program sum takes only operand x"
+                else Ok ()
+            | [ "mul"; "sum" ] ->
+                if nx = 0 then Error "op program needs operand x"
+                else if nx <> ny then Error "vector operands differ in length"
+                else if nz > 0 then Error "program mul;sum takes no operand z"
+                else Ok ()
+            | [ "axpy"; "dot" ] ->
+                if nx = 0 then Error "op program needs operand x"
+                else if ny <> nx + 1 then
+                  Error "program axpy;dot wants y = alpha followed by a vector of x's length"
+                else if nz <> nx then
+                  Error "program axpy;dot wants z of x's length"
+                else Ok ()
+            | chain ->
+                Error
+                  (Printf.sprintf "unsupported program %S (supported: %s)" (program_name chain)
+                     (String.concat ", " (List.map program_name programs))))
         | _ -> (
             let need_y = arity op = 2 in
             match (Array.length x, Array.length y) with
@@ -194,9 +255,9 @@ let request_of_json doc =
                     else Error "axpy wants y = alpha followed by a vector of x's length"
                 | Sum -> Ok ()
                 | Poly_eval -> if ny = 1 then Ok () else Error "poly-eval wants a 1-element point y"
-                | Stats -> Ok ()))
+                | Program | Stats -> Ok ()))
       in
-      Ok { id; op; tier; deadline_ms; x; y }
+      Ok { id; op; tier; deadline_ms; prog; x; y; z }
 
 (* --- response ------------------------------------------------------- *)
 

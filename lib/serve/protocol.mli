@@ -32,6 +32,15 @@ type op =
           element longer than [x]. *)
   | Sum  (** index-order fold of x *)
   | Poly_eval  (** Horner: coefficients x (low degree first) at point y *)
+  | Program
+      (** A fused multi-op chain named by [prog] (one of {!programs}),
+          executed as a single-pass wire program — bitwise the op-by-op
+          composition.  [["mul"; "sum"]] takes x and y (same length)
+          and returns the scalar sum of the products; [["axpy"; "dot"]]
+          takes x, y = alpha followed by a vector of x's length, and z
+          of x's length, returning the dot of the updated y against z
+          followed by the updated y itself; [["sum"]] is the plain
+          fold of x. *)
   | Stats  (** server introspection; no operands *)
 
 val op_name : op -> string
@@ -42,13 +51,21 @@ val compute_ops : op list
 val arity : op -> int
 (** Operand vectors consumed: 0 ([Stats]), 1 ([Sqrt], [Exp], ...), 2. *)
 
+val programs : string list list
+(** The fused chains a [Program] request may name. *)
+
+val program_name : string list -> string
+(** Display name of a chain: steps joined with [";"]. *)
+
 type request = {
   id : int;  (** client-chosen correlation id, echoed in the response *)
   op : op;
   tier : tier;
   deadline_ms : float option;  (** serving budget from arrival; shed after *)
+  prog : string list;  (** fused chain for [Program]; empty otherwise *)
   x : float array array;  (** elements x components *)
   y : float array array;
+  z : float array array;  (** third operand of [["axpy"; "dot"]]; empty otherwise *)
 }
 
 type response =

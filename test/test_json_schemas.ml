@@ -29,6 +29,9 @@ let test_bench_sched () =
 let test_bench_serve () =
   validate_file "BENCH_serve.json" Obs.Schemas.bench_serve (artifact "BENCH_serve.json")
 
+let test_bench_fuse () =
+  validate_file "BENCH_fuse.json" Obs.Schemas.bench_fuse (artifact "BENCH_fuse.json")
+
 (* Wire documents of the serving layer validate against their declared
    schemas in both directions: what the encoder emits passes, and the
    parse -> validate -> decode pipeline reproduces the request. *)
@@ -40,15 +43,32 @@ let test_serve_wire_schemas () =
       op = P.Dot;
       tier = P.Mf2;
       deadline_ms = Some 12.5;
+      prog = [];
       x = [| [| 1.5; 1e-18 |]; [| -0.25; 0.0 |] |];
       y = [| [| 3.0; 0.0 |]; [| Float.max_float; 1e292 |] |];
+      z = [||];
     }
   in
-  let doc = J.parse_exn (J.to_string_compact (P.request_to_json req)) in
-  S.check ~name:"serve request" Obs.Schemas.serve_request doc;
-  (match P.request_of_json doc with
-  | Error e -> Alcotest.fail ("request did not round-trip: " ^ e)
-  | Ok r -> Alcotest.(check bool) "request round-trips bitwise" true (r = req));
+  let prog_req =
+    {
+      P.id = 8;
+      op = P.Program;
+      tier = P.Mf2;
+      deadline_ms = None;
+      prog = [ "axpy"; "dot" ];
+      x = [| [| 1.5; 1e-18 |] |];
+      y = [| [| 2.0; 0.0 |]; [| -0.25; 0.0 |] |];
+      z = [| [| 3.0; 0.0 |] |];
+    }
+  in
+  List.iter
+    (fun req ->
+      let doc = J.parse_exn (J.to_string_compact (P.request_to_json req)) in
+      S.check ~name:"serve request" Obs.Schemas.serve_request doc;
+      match P.request_of_json doc with
+      | Error e -> Alcotest.fail ("request did not round-trip: " ^ e)
+      | Ok r -> Alcotest.(check bool) "request round-trips bitwise" true (r = req))
+    [ req; prog_req ];
   List.iter
     (fun resp ->
       S.check ~name:"serve response" Obs.Schemas.serve_response
@@ -150,6 +170,7 @@ let () =
         [ Alcotest.test_case "BENCH_fig9/10/11.json" `Quick test_bench_figs;
           Alcotest.test_case "BENCH_sched.json" `Quick test_bench_sched;
           Alcotest.test_case "BENCH_serve.json" `Quick test_bench_serve;
+          Alcotest.test_case "BENCH_fuse.json" `Quick test_bench_fuse;
           Alcotest.test_case "TRACE_gemm(_chrome).json" `Quick test_trace_artifacts;
           Alcotest.test_case "CHECK report (in-process)" `Quick test_check_report;
           Alcotest.test_case "TRACE summary (in-process)" `Quick test_trace_summary ] );

@@ -32,13 +32,18 @@ let specials =
 
 let test_request_roundtrip () =
   let reqs =
-    [ { P.id = 7; op = P.Add; tier = P.Mf2; deadline_ms = Some 12.5;
-        x = [| [| 1.0; 4.9e-324 |] |]; y = [| [| Float.nan; -0.0 |] |] };
-      { P.id = 8; op = P.Dot; tier = P.Mf3; deadline_ms = None;
+    [ { P.id = 7; op = P.Add; tier = P.Mf2; deadline_ms = Some 12.5; prog = [];
+        x = [| [| 1.0; 4.9e-324 |] |]; y = [| [| Float.nan; -0.0 |] |]; z = [||] };
+      { P.id = 8; op = P.Dot; tier = P.Mf3; deadline_ms = None; prog = [];
         x = [| [| Float.infinity; 0.0; -0.0 |]; [| 1.0; 1e-300; 4.9e-324 |] |];
-        y = [| [| -1.0; 2.0; 3.0 |]; [| Float.neg_infinity; 0.5; -0.25 |] |] };
-      { P.id = 9; op = P.Sqrt; tier = P.Mf4; deadline_ms = None;
-        x = [| [| 2.0; 1e-17; 1e-34; 4.9e-324 |] |]; y = [||] } ]
+        y = [| [| -1.0; 2.0; 3.0 |]; [| Float.neg_infinity; 0.5; -0.25 |] |]; z = [||] };
+      { P.id = 9; op = P.Sqrt; tier = P.Mf4; deadline_ms = None; prog = [];
+        x = [| [| 2.0; 1e-17; 1e-34; 4.9e-324 |] |]; y = [||]; z = [||] };
+      { P.id = 10; op = P.Program; tier = P.Mf2; deadline_ms = None;
+        prog = [ "axpy"; "dot" ];
+        x = [| [| 1.0; 4.9e-324 |] |];
+        y = [| [| 2.0; -0.0 |]; [| 0.5; 1e-300 |] |];
+        z = [| [| Float.nan; 3.0 |] |] } ]
   in
   List.iter
     (fun r ->
@@ -49,12 +54,16 @@ let test_request_roundtrip () =
           Alcotest.(check int) "id" r.P.id r'.P.id;
           Alcotest.(check string) "op" (P.op_name r.P.op) (P.op_name r'.P.op);
           Alcotest.(check string) "tier" (P.tier_name r.P.tier) (P.tier_name r'.P.tier);
+          Alcotest.(check (list string)) "prog" r.P.prog r'.P.prog;
           check_elements "x" r.P.x r'.P.x;
-          check_elements "y" r.P.y r'.P.y)
+          check_elements "y" r.P.y r'.P.y;
+          check_elements "z" r.P.z r'.P.z)
     reqs;
   (* every special double survives the hex transport bitwise *)
   let x = Array.map (fun f -> [| f; 0.0 |]) specials in
-  let r = { P.id = 1; op = P.Sum; tier = P.Mf2; deadline_ms = None; x; y = [||] } in
+  let r =
+    { P.id = 1; op = P.Sum; tier = P.Mf2; deadline_ms = None; prog = []; x; y = [||]; z = [||] }
+  in
   match P.request_of_json (J.parse_exn (J.to_string (P.request_to_json r))) with
   | Error e -> Alcotest.fail e
   | Ok r' -> check_elements "specials" x r'.P.x
@@ -98,7 +107,17 @@ let test_request_validation () =
     {|{"schema":"fpan-serve/1","id":1,"op":"stats","junk":true}|};
   reject "bad schema" {|{"schema":"fpan-serve/2","id":1,"op":"stats"}|};
   reject "axpy length mismatch"
-    {|{"schema":"fpan-serve/1","id":1,"op":"axpy","tier":"mf2","x":[["0x1p+0","0x0p+0"]],"y":[["0x1p+0","0x0p+0"]]}|}
+    {|{"schema":"fpan-serve/1","id":1,"op":"axpy","tier":"mf2","x":[["0x1p+0","0x0p+0"]],"y":[["0x1p+0","0x0p+0"]]}|};
+  reject "unknown program chain"
+    {|{"schema":"fpan-serve/1","id":1,"op":"program","tier":"mf2","prog":["dot","sum"],"x":[["0x1p+0","0x0p+0"]]}|};
+  reject "program without prog"
+    {|{"schema":"fpan-serve/1","id":1,"op":"program","tier":"mf2","x":[["0x1p+0","0x0p+0"]]}|};
+  reject "prog on a plain op"
+    {|{"schema":"fpan-serve/1","id":1,"op":"sum","tier":"mf2","prog":["sum"],"x":[["0x1p+0","0x0p+0"]]}|};
+  reject "z on a plain op"
+    {|{"schema":"fpan-serve/1","id":1,"op":"sum","tier":"mf2","x":[["0x1p+0","0x0p+0"]],"z":[["0x1p+0","0x0p+0"]]}|};
+  reject "program axpy;dot missing z"
+    {|{"schema":"fpan-serve/1","id":1,"op":"program","tier":"mf2","prog":["axpy","dot"],"x":[["0x1p+0","0x0p+0"]],"y":[["0x1p+0","0x0p+0"],["0x1p+1","0x0p+0"]]}|}
 
 let test_deframer_fragmentation () =
   let payloads = [ "alpha"; ""; String.make 5000 'x'; "{\"last\":1}" ] in
@@ -170,8 +189,8 @@ let with_server ?queue_capacity ?max_batch ?window_us f =
         ~finally:(fun () -> Serve.Server.stop srv)
         (fun () -> f srv (Serve.Server.Unix_path path)))
 
-let mk_req ?deadline_ms ~id ~op ~tier ~x ~y () =
-  { P.id; op; tier; deadline_ms; x; y }
+let mk_req ?deadline_ms ?(prog = []) ?(z = [||]) ~id ~op ~tier ~x ~y () =
+  { P.id; op; tier; deadline_ms; prog; x; y; z }
 
 let stats_int doc k =
   match Option.bind (J.member k doc) J.to_num with
@@ -216,6 +235,14 @@ let requests_for_op ~tier ~op ~first_id =
         [ mk_req ~id:first_id ~op ~tier
             ~x:(Array.sub (Array.map fst ops) 0 8)
             ~y:[| snd ops.(1) |] () ]
+    | P.Program ->
+        (* one request per fused chain, over the same corpus operands *)
+        let xs = Array.map fst ops and ys = Array.map snd ops in
+        [ mk_req ~id:first_id ~op ~tier ~prog:[ "sum" ] ~x:xs ~y:[||] ();
+          mk_req ~id:(first_id + 1) ~op ~tier ~prog:[ "mul"; "sum" ] ~x:xs ~y:ys ();
+          mk_req ~id:(first_id + 2) ~op ~tier ~prog:[ "axpy"; "dot" ] ~x:xs
+            ~y:(Array.append [| fst ops.(0) |] ys)
+            ~z:xs () ]
     | P.Stats -> []
   in
   (reqs, first_id + List.length reqs)

@@ -628,27 +628,56 @@ let show_sockaddr = function
   | Unix.ADDR_INET (ip, port) ->
       Printf.sprintf "tcp:%s:%d" (Unix.string_of_inet_addr ip) port
 
-let serve_run endpoint workers queue max_batch window_us =
+let serve_run endpoint workers queue max_batch window_us shards cache max_conns =
   let addr = parse_endpoint endpoint in
   let stop_flag = ref false in
   List.iter
     (fun s -> Sys.set_signal s (Sys.Signal_handle (fun _ -> stop_flag := true)))
     [ Sys.sigint; Sys.sigterm ];
-  Runtime.Sched.with_sched ~workers (fun sched ->
-      let srv =
-        Serve.Server.start ~sched ~addr ~queue_capacity:queue ~max_batch ~window_us ()
-      in
-      Printf.printf "fpan_tool serve: listening on %s\n"
-        (show_sockaddr (Serve.Server.bound_addr srv));
-      Printf.printf
-        "  workers %d, queue %d, max-batch %d, window %g us; SIGINT/SIGTERM drains\n%!"
-        workers queue max_batch window_us;
-      while not !stop_flag do
-        try Unix.sleepf 0.2 with Unix.Unix_error (EINTR, _, _) -> ()
-      done;
-      print_endline "fpan_tool serve: draining";
-      Serve.Server.stop srv;
-      print_endline (Check.Json_out.to_string (Serve.Server.stats_doc srv)))
+  let wait () =
+    while not !stop_flag do
+      try Unix.sleepf 0.2 with Unix.Unix_error (EINTR, _, _) -> ()
+    done
+  in
+  if shards >= 1 then begin
+    (* sharded: this (parent) process stays domain-free — the shards
+       are forked first and each builds its own scheduler *)
+    let t =
+      Serve.Shard.start ~addr ~shards ~sched_workers:workers ~queue_capacity:queue
+        ~max_batch ~window_us ~cache_capacity:cache ~max_conns ()
+    in
+    Printf.printf "fpan_tool serve: listening on %s, %d shard(s) %s\n"
+      (show_sockaddr (Serve.Shard.bound_addr t))
+      shards
+      (String.concat "," (List.map string_of_int (Serve.Shard.pids t)));
+    Printf.printf
+      "  workers %d/shard, queue %d, max-batch %d, window %g us, cache %d; \
+       SIGINT/SIGTERM drains\n%!"
+      workers queue max_batch window_us cache;
+    wait ();
+    print_endline "fpan_tool serve: draining";
+    Serve.Shard.stop t;
+    let s = Serve.Shard.stats t in
+    Printf.printf "dispatched %s, restarts %d, refused %d\n"
+      (String.concat "," (Array.to_list (Array.map string_of_int s.Serve.Shard.dispatched)))
+      s.Serve.Shard.restarts s.Serve.Shard.refused
+  end
+  else
+    Runtime.Sched.with_sched ~workers (fun sched ->
+        let srv =
+          Serve.Server.start ~sched ~addr ~queue_capacity:queue ~max_batch ~window_us
+            ~cache_capacity:cache ~max_conns ()
+        in
+        Printf.printf "fpan_tool serve: listening on %s\n"
+          (show_sockaddr (Serve.Server.bound_addr srv));
+        Printf.printf
+          "  workers %d, queue %d, max-batch %d, window %g us, cache %d; \
+           SIGINT/SIGTERM drains\n%!"
+          workers queue max_batch window_us cache;
+        wait ();
+        print_endline "fpan_tool serve: draining";
+        Serve.Server.stop srv;
+        print_endline (Check.Json_out.to_string (Serve.Server.stats_doc srv)))
 
 let serve_cmd =
   let doc =
@@ -676,8 +705,27 @@ let serve_cmd =
          & info [ "window-us" ] ~docv:"US"
              ~doc:"Batching window in microseconds (0 = batch-size-1 serving).")
   in
+  let shards_arg =
+    Arg.(value & opt int 0
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Fork N server processes behind a connection distributor \
+                   (0 = single-process).  Each shard runs its own scheduler and \
+                   cache; dead shards are detected and restarted.")
+  in
+  let cache_arg =
+    Arg.(value & opt int 0
+         & info [ "cache" ] ~docv:"N"
+             ~doc:"Memoizing LRU capacity for repeated scalar requests \
+                   (0 = off).  Hits are bitwise-identical to misses.")
+  in
+  let max_conns_arg =
+    Arg.(value & opt int 16384
+         & info [ "max-conns" ] ~docv:"N"
+             ~doc:"Concurrent connection cap (per shard when sharded).")
+  in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const serve_run $ endpoint_arg $ workers_arg $ queue_arg $ max_batch_arg $ window_arg)
+    Term.(const serve_run $ endpoint_arg $ workers_arg $ queue_arg $ max_batch_arg
+          $ window_arg $ shards_arg $ cache_arg $ max_conns_arg)
 
 (* --- loadgen -------------------------------------------------------- *)
 
@@ -743,81 +791,176 @@ let lg_scan payload =
   let status = if sp >= 0 && sp < String.length payload then payload.[sp] else 'e' in
   (!id, status)
 
-(* One closed-loop client: [pipeline] requests in flight until the
-   deadline, then drain what is still outstanding.  Request frames are
-   encoded once per pipeline slot up front and resent verbatim (slot
-   ids recycle, one in flight per id); replies are scanned, not
-   parsed. *)
-let lg_client ~sockaddr ~ops ~tiers ~pipeline ~t_end ~cid =
+(* One multiplexed closed-loop connection: [pipeline] requests in
+   flight until the deadline, then drain what is still outstanding.
+   Request frames are encoded once per pipeline slot up front and
+   resent verbatim (slot ids recycle, one in flight per id); replies
+   are scanned, not parsed.  Thousands of these ride on a handful of
+   poll-based driver threads — a domain per connection stops scaling
+   around a hundred. *)
+type lg_conn = {
+  lc_fd : Unix.file_descr;
+  lc_frames : string array;
+  lc_tsend : float array;
+  lc_defr : SP.deframer;
+  lc_counts : lg_counts;
+  mutable lc_pend : string;  (* bytes not yet accepted by the kernel *)
+  mutable lc_wreg : bool;  (* write interest currently registered *)
+  mutable lc_alive : bool;
+}
+
+let lg_conn_make ~sockaddr ~ops ~tiers ~pipeline ~cid =
   let fd = Unix.socket ~cloexec:true (Unix.domain_of_sockaddr sockaddr) SOCK_STREAM 0 in
-  Unix.connect fd sockaddr;
-  let c = { lg_sent = 0; lg_ok = 0; lg_shed = 0; lg_err = 0; lg_lats = [] } in
-  let frames =
-    Array.init pipeline (fun i ->
-        let req = lg_request ~ops ~tiers ((i * 131) + (cid * 17)) in
-        let req = { req with SP.id = i + 1 } in
-        SP.frame_of_string (Obs.Json_out.to_string_compact (SP.request_to_json req)))
+  let rec connect tries =
+    try Unix.connect fd sockaddr
+    with Unix.Unix_error ((ECONNREFUSED | EAGAIN | EINTR), _, _) when tries < 50 ->
+      (* backlog overflow under a connection storm: back off and retry *)
+      Unix.sleepf 0.01;
+      connect (tries + 1)
   in
-  let t_send = Array.make (pipeline + 1) 0.0 in
-  let defr = SP.deframer () in
-  let rbuf = Bytes.create 65536 in
-  let out = Buffer.create 4096 in
-  let send_slot id =
-    Buffer.add_string out frames.(id - 1);
-    t_send.(id) <- Obs.Clock.now_ns ();
-    c.lg_sent <- c.lg_sent + 1
-  in
-  let flush_out () =
-    if Buffer.length out > 0 then begin
-      let s = Buffer.contents out in
-      Buffer.clear out;
-      let k = ref 0 in
-      while !k < String.length s do
-        k := !k + Unix.write_substring fd s !k (String.length s - !k)
-      done
+  connect 0;
+  Unix.set_nonblock fd;
+  {
+    lc_fd = fd;
+    lc_frames =
+      Array.init pipeline (fun i ->
+          let req = lg_request ~ops ~tiers ((i * 131) + (cid * 17)) in
+          let req = { req with SP.id = i + 1 } in
+          SP.frame_of_string (Obs.Json_out.to_string_compact (SP.request_to_json req)));
+    lc_tsend = Array.make (pipeline + 1) 0.0;
+    lc_defr = SP.deframer ();
+    lc_counts = { lg_sent = 0; lg_ok = 0; lg_shed = 0; lg_err = 0; lg_lats = [] };
+    lc_pend = "";
+    lc_wreg = false;
+    lc_alive = true;
+  }
+
+let lg_outstanding cn =
+  let c = cn.lc_counts in
+  c.lg_sent - (c.lg_ok + c.lg_shed + c.lg_err)
+
+(* One driver thread: [nconns] connections multiplexed over a poll
+   set.  Write interest is registered only while a connection has
+   kernel-refused bytes pending, so the steady-state poll watches
+   reads alone. *)
+let lg_driver ~sockaddr ~ops ~tiers ~pipeline ~t_end ~cid0 ~nconns =
+  let rd = Serve.Readiness.create () in
+  let conns = Hashtbl.create (2 * nconns) in
+  let made = ref [] in
+  (try
+     for i = 0 to nconns - 1 do
+       let cn = lg_conn_make ~sockaddr ~ops ~tiers ~pipeline ~cid:(cid0 + i) in
+       Hashtbl.replace conns (Obj.magic cn.lc_fd : int) cn;
+       Serve.Readiness.add rd cn.lc_fd ~read:true ~write:false;
+       made := cn :: !made
+     done
+   with Unix.Unix_error ((EMFILE | ENFILE), _, _) -> ());
+  let made = List.rev !made in
+  let drop cn =
+    if cn.lc_alive then begin
+      cn.lc_alive <- false;
+      Serve.Readiness.remove rd cn.lc_fd;
+      Hashtbl.remove conns (Obj.magic cn.lc_fd : int);
+      try Unix.close cn.lc_fd with _ -> ()
     end
   in
-  let absorb ~resend payload =
+  let flush cn =
+    if cn.lc_alive && String.length cn.lc_pend > 0 then begin
+      let s = cn.lc_pend in
+      let n = String.length s in
+      let k = ref 0 in
+      let stalled = ref false in
+      (try
+         while !k < n && not !stalled do
+           match Unix.write_substring cn.lc_fd s !k (n - !k) with
+           | w -> k := !k + w
+           | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> stalled := true
+           | exception Unix.Unix_error (EINTR, _, _) -> ()
+         done
+       with Unix.Unix_error _ -> drop cn);
+      if cn.lc_alive then begin
+        cn.lc_pend <- (if !k >= n then "" else String.sub s !k (n - !k));
+        let want_w = String.length cn.lc_pend > 0 in
+        if want_w <> cn.lc_wreg then begin
+          Serve.Readiness.modify rd cn.lc_fd ~read:true ~write:want_w;
+          cn.lc_wreg <- want_w
+        end
+      end
+    end
+  in
+  let send_slot cn id =
+    cn.lc_pend <- cn.lc_pend ^ cn.lc_frames.(id - 1);
+    cn.lc_tsend.(id) <- Obs.Clock.now_ns ();
+    cn.lc_counts.lg_sent <- cn.lc_counts.lg_sent + 1
+  in
+  let absorb cn ~resend payload =
     let id, status = lg_scan payload in
     if id >= 1 && id <= pipeline then begin
+      let c = cn.lc_counts in
       (match status with
       | 'o' ->
           c.lg_ok <- c.lg_ok + 1;
-          c.lg_lats <- ((Obs.Clock.now_ns () -. t_send.(id)) *. 1e-3) :: c.lg_lats
+          c.lg_lats <- ((Obs.Clock.now_ns () -. cn.lc_tsend.(id)) *. 1e-3) :: c.lg_lats
       | 's' -> c.lg_shed <- c.lg_shed + 1
       | _ -> c.lg_err <- c.lg_err + 1);
-      if resend then send_slot id
+      if resend then send_slot cn id
     end
   in
-  let outstanding () = c.lg_sent - (c.lg_ok + c.lg_shed + c.lg_err) in
-  (try
-     for id = 1 to pipeline do
-       send_slot id
-     done;
-     flush_out ();
-     while Unix.gettimeofday () < t_end do
-       match Unix.read fd rbuf 0 (Bytes.length rbuf) with
-       | 0 -> raise Exit
-       | n -> (
-           match SP.feed defr rbuf n with
-           | Ok fs ->
-               List.iter (absorb ~resend:true) fs;
-               flush_out ()
-           | Error _ -> raise Exit)
-       | exception Unix.Unix_error (EINTR, _, _) -> ()
-     done;
-     while outstanding () > 0 do
-       match Unix.read fd rbuf 0 (Bytes.length rbuf) with
-       | 0 -> raise Exit
-       | n -> (
-           match SP.feed defr rbuf n with
-           | Ok fs -> List.iter (absorb ~resend:false) fs
-           | Error _ -> raise Exit)
-       | exception Unix.Unix_error (EINTR, _, _) -> ()
-     done
-   with Exit | Unix.Unix_error _ | Failure _ -> ());
-  (try Unix.close fd with _ -> ());
-  c
+  let rbuf = Bytes.create 65536 in
+  let read_conn cn ~resend =
+    let continue = ref true in
+    while !continue && cn.lc_alive do
+      match Unix.read cn.lc_fd rbuf 0 (Bytes.length rbuf) with
+      | 0 -> drop cn
+      | n -> (
+          match SP.feed cn.lc_defr rbuf n with
+          | Ok fs ->
+              List.iter (absorb cn ~resend) fs;
+              flush cn
+          | Error _ -> drop cn)
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> continue := false
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ -> drop cn
+    done
+  in
+  List.iter
+    (fun cn ->
+      for id = 1 to pipeline do
+        send_slot cn id
+      done;
+      flush cn)
+    made;
+  let step ~resend =
+    match Serve.Readiness.wait rd ~timeout_ms:100 with
+    | [] -> ()
+    | evs ->
+        List.iter
+          (fun (e : Serve.Readiness.event) ->
+            match Hashtbl.find_opt conns (Obj.magic e.Serve.Readiness.fd : int) with
+            | None -> ()
+            | Some cn ->
+                if e.Serve.Readiness.error then drop cn
+                else begin
+                  if e.Serve.Readiness.writable then flush cn;
+                  if cn.lc_alive && (e.Serve.Readiness.readable || e.Serve.Readiness.hangup) then
+                    read_conn cn ~resend
+                end)
+          evs
+  in
+  while Unix.gettimeofday () < t_end do
+    step ~resend:true
+  done;
+  (* drain: stop re-offering load, collect what is still in flight *)
+  let t_drain = t_end +. 5.0 in
+  let rec outstanding = function
+    | [] -> false
+    | cn :: rest -> (cn.lc_alive && lg_outstanding cn > 0) || outstanding rest
+  in
+  while outstanding made && Unix.gettimeofday () < t_drain do
+    step ~resend:false
+  done;
+  List.iter drop made;
+  List.map (fun cn -> cn.lc_counts) made
 
 let lg_percentiles lats =
   let a = Array.of_list lats in
@@ -829,27 +972,80 @@ let lg_percentiles lats =
     else J.Num a.(min (n - 1) (int_of_float ((p *. Float.of_int (n - 1)) +. 0.5)))
   in
   J.Obj
-    [ ("p50", pct 0.50); ("p90", pct 0.90); ("p99", pct 0.99);
+    [ ("p50", pct 0.50); ("p90", pct 0.90); ("p95", pct 0.95); ("p99", pct 0.99);
       ("max", if n = 0 then J.Null else J.Num a.(n - 1)) ]
 
-(* Drive one cell: [clients] closed-loop client domains against
-   [sockaddr] for [duration] seconds. *)
-let lg_drive ~sockaddr ~ops ~tiers ~clients ~pipeline ~duration =
+(* Drive one cell: [conns] closed-loop connections against [sockaddr]
+   for [duration] seconds, multiplexed over up to 16 driver threads. *)
+let lg_drive ~sockaddr ~ops ~tiers ~conns ~pipeline ~duration =
   let t0 = Unix.gettimeofday () in
   let t_end = t0 +. duration in
-  let doms =
-    List.init clients (fun cid ->
-        Domain.spawn (fun () -> lg_client ~sockaddr ~ops ~tiers ~pipeline ~t_end ~cid))
+  let nthreads = max 1 (min 16 ((conns + 255) / 256)) in
+  let base = conns / nthreads and extra = conns mod nthreads in
+  let chunks =
+    List.init nthreads (fun i ->
+        let n = base + if i < extra then 1 else 0 in
+        let cid0 = (i * base) + min i extra in
+        (cid0, n))
   in
-  let per_client = List.map Domain.join doms in
+  let results = Array.make nthreads [] in
+  let threads =
+    List.mapi
+      (fun i (cid0, n) ->
+        Thread.create
+          (fun () ->
+            results.(i) <- lg_driver ~sockaddr ~ops ~tiers ~pipeline ~t_end ~cid0 ~nconns:n)
+          ())
+      chunks
+  in
+  List.iter Thread.join threads;
+  let per_conn = List.concat (Array.to_list results) in
   let wall = Unix.gettimeofday () -. t0 in
-  let total f = List.fold_left (fun acc c -> acc + f c) 0 per_client in
-  let lats = List.concat_map (fun c -> c.lg_lats) per_client in
+  let total f = List.fold_left (fun acc c -> acc + f c) 0 per_conn in
+  let lats = List.concat_map (fun c -> c.lg_lats) per_conn in
   (total (fun c -> c.lg_sent), total (fun c -> c.lg_ok), total (fun c -> c.lg_shed),
    total (fun c -> c.lg_err), lats, wall)
 
-let loadgen_run connect workers queue duration clients_csv pipeline ops_csv tiers_csv
-    configs_csv out =
+(* The bitwise canary: a hard gate, not a statistic.  Every response
+   the service hands back — from any shard, cached or not — must be
+   bit-for-bit what the single-process scalar path computes.  Each
+   request goes twice so a cache-enabled server answers the repeat
+   from the LRU; a mismatch anywhere fails the whole loadgen run. *)
+let lg_canary ~sockaddr ~ops ~tiers ~pipeline =
+  let addr =
+    match sockaddr with
+    | Unix.ADDR_UNIX p -> Serve.Server.Unix_path p
+    | Unix.ADDR_INET (ip, port) ->
+        Serve.Server.Tcp { host = Unix.string_of_inet_addr ip; port }
+  in
+  let cl = Serve.Client.connect addr in
+  let checked = ref 0 in
+  let mismatches = ref 0 in
+  let bits_equal a b =
+    Array.length a = Array.length b
+    && Array.for_all2
+         (fun ea eb ->
+           Array.length ea = Array.length eb
+           && Array.for_all2
+                (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+                ea eb)
+         a b
+  in
+  for i = 0 to (2 * pipeline) - 1 do
+    (* i and i + pipeline build the same request: the second pass hits
+       the cache when one is configured *)
+    let req = lg_request ~ops ~tiers (i mod pipeline * 131) in
+    let req = { req with SP.id = i + 1 } in
+    incr checked;
+    match (Serve.Client.call cl req, Serve.Batcher.eval_one req) with
+    | SP.Result { result; _ }, Ok expect when bits_equal result expect -> ()
+    | _ -> incr mismatches
+  done;
+  Serve.Client.close cl;
+  (!checked, !mismatches)
+
+let loadgen_run connect workers queue duration conns_csv pipeline ops_csv tiers_csv
+    configs_csv shards_csv cache out =
   let module J = Check.Json_out in
   drain_on_signal ();
   let split s = String.split_on_char ',' s |> List.filter (fun p -> String.trim p <> "") in
@@ -873,10 +1069,14 @@ let loadgen_run connect workers queue duration clients_csv pipeline ops_csv tier
             exit 2)
       (split tiers_csv)
   in
-  let clients_list =
-    List.filter_map (fun s -> int_of_string_opt (String.trim s)) (split clients_csv)
+  let conns_list =
+    List.filter_map (fun s -> int_of_string_opt (String.trim s)) (split conns_csv)
   in
-  let clients_list = if clients_list = [] then [ 4 ] else clients_list in
+  let conns_list = if conns_list = [] then [ 8 ] else conns_list in
+  let shard_counts =
+    List.filter_map (fun s -> int_of_string_opt (String.trim s)) (split shards_csv)
+  in
+  let shard_counts = if shard_counts = [] then [ 0 ] else shard_counts in
   let configs =
     List.map
       (fun spec ->
@@ -894,14 +1094,45 @@ let loadgen_run connect workers queue duration clients_csv pipeline ops_csv tier
   in
   let mode = match connect with None -> "inproc" | Some _ -> "connect" in
   Printf.printf "loadgen: mode %s, %d cell(s), %.2fs each\n%!" mode
-    (List.length configs * List.length clients_list)
+    (List.length configs * List.length shard_counts * List.length conns_list)
     duration;
-  (* one cell = (max_batch, window) x client count *)
-  let run_cell (max_batch, window_us) clients =
-    let label = Printf.sprintf "b%d-w%g-c%d" max_batch window_us clients in
-    let drive sockaddr =
-      lg_drive ~sockaddr ~ops ~tiers ~clients ~pipeline ~duration
-    in
+  (* Every sharded fleet forks up front: Unix.fork is illegal once any
+     single-process cell has spawned a scheduler domain in this
+     process, so the forking all happens while we are still clean. *)
+  let fleets =
+    if connect <> None then []
+    else
+      List.concat_map
+        (fun (b, w) ->
+          List.filter_map
+            (fun s ->
+              if s < 1 then None
+              else begin
+                let sock =
+                  Printf.sprintf "./fpan_loadgen_%d_b%d_w%g_s%d.sock" (Unix.getpid ())
+                    b w s
+                in
+                let t =
+                  Serve.Shard.start ~addr:(Serve.Server.Unix_path sock) ~shards:s
+                    ~sched_workers:workers ~queue_capacity:queue ~max_batch:b
+                    ~window_us:w ~cache_capacity:cache ()
+                in
+                Some ((b, w, s), t)
+              end)
+            shard_counts)
+        configs
+  in
+  let canary_checked = ref 0 in
+  let canary_bad = ref 0 in
+  let canary sockaddr =
+    let checked, bad = lg_canary ~sockaddr ~ops ~tiers ~pipeline in
+    canary_checked := !canary_checked + checked;
+    canary_bad := !canary_bad + bad
+  in
+  (* one cell = (max_batch, window) x shard count x connection count *)
+  let run_cell (max_batch, window_us) nshards conns =
+    let label = Printf.sprintf "b%d-w%g-s%d-c%d" max_batch window_us nshards conns in
+    let drive sockaddr = lg_drive ~sockaddr ~ops ~tiers ~conns ~pipeline ~duration in
     let (sent, ok, shed, errors, lats, wall), stats =
       match connect with
       | Some endpoint ->
@@ -918,6 +1149,24 @@ let loadgen_run connect workers queue duration clients_csv pipeline ops_csv tier
                 Unix.ADDR_INET (ip, port)
           in
           let res = drive sockaddr in
+          canary sockaddr;
+          let stats = Serve.Client.stats probe in
+          Serve.Client.close probe;
+          (res, stats)
+      | None when nshards >= 1 ->
+          let t = List.assoc (max_batch, window_us, nshards) fleets in
+          let sockaddr = Serve.Shard.bound_addr t in
+          let res = drive sockaddr in
+          canary sockaddr;
+          (* the stats probe reaches one shard — representative, not
+             fleet-aggregated *)
+          let probe =
+            Serve.Client.connect
+              (match sockaddr with
+              | Unix.ADDR_UNIX p -> Serve.Server.Unix_path p
+              | Unix.ADDR_INET (ip, port) ->
+                  Serve.Server.Tcp { host = Unix.string_of_inet_addr ip; port })
+          in
           let stats = Serve.Client.stats probe in
           Serve.Client.close probe;
           (res, stats)
@@ -926,9 +1175,10 @@ let loadgen_run connect workers queue duration clients_csv pipeline ops_csv tier
               let sock = Printf.sprintf "./fpan_loadgen_%d.sock" (Unix.getpid ()) in
               let srv =
                 Serve.Server.start ~sched ~addr:(Serve.Server.Unix_path sock)
-                  ~queue_capacity:queue ~max_batch ~window_us ()
+                  ~queue_capacity:queue ~max_batch ~window_us ~cache_capacity:cache ()
               in
               let res = drive (Serve.Server.bound_addr srv) in
+              canary (Serve.Server.bound_addr srv);
               let stats = Serve.Server.stats_doc srv in
               Serve.Server.stop srv;
               (res, stats))
@@ -936,17 +1186,18 @@ let loadgen_run connect workers queue duration clients_csv pipeline ops_csv tier
     let throughput = if wall > 0. then Float.of_int ok /. wall else 0. in
     let shed_rate = if sent > 0 then Float.of_int shed /. Float.of_int sent else 0. in
     Printf.printf
-      "  %-14s sent %7d  ok %7d  shed %6d  err %3d  %8.0f req/s  shed %5.1f%%\n%!"
+      "  %-18s sent %7d  ok %7d  shed %6d  err %3d  %8.0f req/s  shed %5.1f%%\n%!"
       label sent ok shed errors throughput (100. *. shed_rate);
     let member key =
       match J.member key stats with Some v -> v | None -> J.List []
     in
-    ( label, max_batch, clients, throughput,
+    ( label, max_batch, nshards, conns, throughput,
       J.Obj
         [ ("label", J.Str label);
           ("max_batch", J.Num (Float.of_int max_batch));
           ("window_us", J.Num window_us);
-          ("clients", J.Num (Float.of_int clients));
+          ("shards", J.Num (Float.of_int nshards));
+          ("conns", J.Num (Float.of_int conns));
           ("pipeline", J.Num (Float.of_int pipeline));
           ("sent", J.Num (Float.of_int sent));
           ("ok", J.Num (Float.of_int ok));
@@ -961,14 +1212,21 @@ let loadgen_run connect workers queue duration clients_csv pipeline ops_csv tier
   in
   let cells =
     List.concat_map
-      (fun cfg -> List.map (fun cl -> run_cell cfg cl) clients_list)
+      (fun cfg ->
+        List.concat_map
+          (fun s -> List.map (fun c -> run_cell cfg s c) conns_list)
+          shard_counts)
       configs
   in
-  (* batching vs batch-size-1, at the highest offered load *)
-  let top = List.fold_left max 1 clients_list in
+  List.iter (fun (_, t) -> Serve.Shard.stop t) fleets;
+  (* batching vs batch-size-1, at the highest offered load in the
+     first swept topology *)
+  let top = List.fold_left max 1 conns_list in
+  let s0 = List.hd shard_counts in
   let tput_of pred =
     List.filter_map
-      (fun (_, b, c, tput, _) -> if c = top && pred b then Some tput else None)
+      (fun (_, b, s, c, tput, _) ->
+        if c = top && s = s0 && pred b then Some tput else None)
       cells
   in
   let speedup =
@@ -978,18 +1236,44 @@ let loadgen_run connect workers queue duration clients_csv pipeline ops_csv tier
     | _ -> None
   in
   (match speedup with
-  | Some s -> Printf.printf "  micro-batching speedup at %d clients: %.2fx\n" top s
+  | Some s -> Printf.printf "  micro-batching speedup at %d conns: %.2fx\n" top s
   | None -> ());
+  (* the connection- and shard-scaling curve: one point per cell *)
+  let scaling =
+    List.map
+      (fun (label, _, s, c, tput, _) ->
+        J.Obj
+          [ ("label", J.Str label);
+            ("shards", J.Num (Float.of_int s));
+            ("conns", J.Num (Float.of_int c));
+            ("throughput_rps", J.Num tput) ])
+      cells
+  in
+  if !canary_bad > 0 then begin
+    Printf.eprintf
+      "loadgen: BITWISE CANARY FAILED: %d of %d responses differ from the \
+       single-process scalar path\n"
+      !canary_bad !canary_checked;
+    exit 3
+  end;
+  Printf.printf "  bitwise canary: %d/%d responses exact\n" !canary_checked
+    !canary_checked;
   let json =
     J.Obj
-      [ ("schema", J.Str "fpan-serve/1");
+      [ ("schema", J.Str "fpan-serve/2");
         ("mode", J.Str mode);
         ("workers", J.Num (Float.of_int workers));
         ("queue_capacity", J.Num (Float.of_int queue));
+        ("cache_capacity", J.Num (Float.of_int cache));
         ("duration_s", J.Num duration);
         ("ops", J.List (List.map (fun o -> J.Str (SP.op_name o)) ops));
         ("tiers", J.List (List.map (fun t -> J.Str (SP.tier_name t)) tiers));
-        ("cells", J.List (List.map (fun (_, _, _, _, doc) -> doc) cells));
+        ("cells", J.List (List.map (fun (_, _, _, _, _, doc) -> doc) cells));
+        ("scaling", J.List scaling);
+        ( "canary",
+          J.Obj
+            [ ("checked", J.Num (Float.of_int !canary_checked));
+              ("mismatches", J.Num (Float.of_int !canary_bad)) ] );
         ("batching_speedup",
          match speedup with Some s -> J.Num s | None -> J.Null) ]
   in
@@ -1022,12 +1306,13 @@ let loadgen_cmd =
   let duration_arg =
     Arg.(value & opt float 1.5 & info [ "duration" ] ~docv:"S" ~doc:"Seconds per cell.")
   in
-  let clients_arg =
+  let conns_arg =
     Arg.(value & opt string "4,8"
-         & info [ "clients" ] ~docv:"N,N,..."
+         & info [ "conns"; "clients" ] ~docv:"N,N,..."
              ~doc:
-               "Client counts to sweep; the batching-speedup headline is computed at the \
-                highest count.")
+               "Concurrent connection counts to sweep (thousands are fine: connections \
+                are multiplexed over poll-based driver threads); the batching-speedup \
+                headline is computed at the highest count.")
   in
   let pipeline_arg =
     Arg.(value & opt int 32
@@ -1047,13 +1332,28 @@ let loadgen_cmd =
              ~doc:"Micro-batch configurations to sweep, MAXBATCH:WINDOW_US each \
                    (1:0 is the batch-size-1 baseline).")
   in
+  let shards_arg =
+    Arg.(value & opt string "0"
+         & info [ "shards" ] ~docv:"N,N,..."
+             ~doc:
+               "Shard counts to sweep for in-process servers (0 = single-process; \
+                each count >= 1 forks that many server processes behind a \
+                distributor).  The scaling curve in the output has one point per \
+                (shards, conns) cell.")
+  in
+  let cache_arg =
+    Arg.(value & opt int 0
+         & info [ "cache" ] ~docv:"N"
+             ~doc:"Memoizing LRU capacity for in-process servers (0 = off).")
+  in
   let out_arg =
     Arg.(value & opt string "BENCH_serve.json"
          & info [ "out"; "o" ] ~docv:"FILE" ~doc:"JSON output path.")
   in
   Cmd.v (Cmd.info "loadgen" ~doc)
     Term.(const loadgen_run $ connect_arg $ workers_arg $ queue_arg $ duration_arg
-          $ clients_arg $ pipeline_arg $ ops_arg $ tiers_arg $ configs_arg $ out_arg)
+          $ conns_arg $ pipeline_arg $ ops_arg $ tiers_arg $ configs_arg $ shards_arg
+          $ cache_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fuse: the cross-op fusion ablation.  --dump prints the fused wire

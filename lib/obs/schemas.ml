@@ -168,10 +168,27 @@ let serve_response =
 
 let serve_batch_histogram = List (Obj [ Req ("size", Int); Req ("count", Int) ])
 
+(* Stats and bench documents moved to fpan-serve/2 with the sharded /
+   cached serving layer: readiness backend + connection counters + the
+   response-cache block on stats; shard sweeps, the scaling curve, the
+   bitwise canary, and p95 on the bench.  The wire request/response
+   frames above stay fpan-serve/1 — the protocol itself is unchanged. *)
+let serve_cache_stats =
+  Obj
+    [ Req ("capacity", Int);
+      Req ("hits", Int);
+      Req ("misses", Int);
+      Req ("size", Int);
+      Req ("evictions", Int) ]
+
 let serve_stats =
   Obj
-    [ Req ("schema", Str_const "fpan-serve/1");
+    [ Req ("schema", Str_const "fpan-serve/2");
+      Req ("backend", Str);
       Req ("accepted", Int);
+      Req ("adopted_conns", Int);
+      Req ("open_conns", Int);
+      Req ("refused_conns", Int);
       Req ("completed", Int);
       Req ("shed_full", Int);
       Req ("shed_deadline", Int);
@@ -181,6 +198,7 @@ let serve_stats =
       Req ("queue_capacity", Int);
       Req ("queue_depth", Int);
       Req ("queue_max_depth", Int);
+      Req ("cache", serve_cache_stats);
       Req ("batch_histogram", serve_batch_histogram);
       Req ("sched", List worker_row) ]
 
@@ -189,7 +207,8 @@ let serve_cell =
     [ Req ("label", Str);
       Req ("max_batch", Int);
       Req ("window_us", Num);
-      Req ("clients", Int);
+      Req ("shards", Int);
+      Req ("conns", Int);
       Req ("pipeline", Int);
       Req ("sent", Int);
       Req ("ok", Int);
@@ -200,21 +219,32 @@ let serve_cell =
       Req ("shed_rate", Num);
       Req
         ( "latency_us",
-          Obj [ Req ("p50", num_or_null); Req ("p90", num_or_null); Req ("p99", num_or_null);
+          Obj [ Req ("p50", num_or_null); Req ("p90", num_or_null);
+                Req ("p95", num_or_null); Req ("p99", num_or_null);
                 Req ("max", num_or_null) ] );
       Req ("batch_histogram", serve_batch_histogram);
       Req ("sched", List worker_row) ]
 
+let serve_scaling_point =
+  Obj
+    [ Req ("label", Str);
+      Req ("shards", Int);
+      Req ("conns", Int);
+      Req ("throughput_rps", Num) ]
+
 let bench_serve =
   Obj
-    [ Req ("schema", Str_const "fpan-serve/1");
+    [ Req ("schema", Str_const "fpan-serve/2");
       Req ("mode", Str);
       Req ("workers", Int);
       Req ("queue_capacity", Int);
+      Req ("cache_capacity", Int);
       Req ("duration_s", Num);
       Req ("ops", List Str);
       Req ("tiers", List Str);
       Req ("cells", List serve_cell);
+      Req ("scaling", List serve_scaling_point);
+      Req ("canary", Obj [ Req ("checked", Int); Req ("mismatches", Int) ]);
       Req ("batching_speedup", num_or_null) ]
 
 (* --- BENCH_fuse.json (fpan-bench-fuse/1) ---------------------------- *)

@@ -1,6 +1,6 @@
 (* Bounded MPSC queue with a self-pipe doorbell.  Producers ring the
-   pipe when a push makes the queue non-empty; the consumer selects on
-   it, which is the only way to get a timed wait (Condition has no
+   pipe when a push makes the queue non-empty; the consumer polls it,
+   which is the only way to get a timed wait (Condition has no
    timed variant).  The pipe is a doorbell, not a counter: both ends
    are non-blocking, a full pipe on the producer side is fine (the
    bell is already ringing), and the consumer drains whatever bytes
@@ -116,10 +116,10 @@ let take_now t room =
   (List.rev !out, closed)
 
 let wait_readable t timeout_s =
-  match Unix.select [ t.bell_r ] [] [] timeout_s with
-  | [], _, _ -> ()
-  | _ -> drain_bell t
-  | exception Unix.Unix_error (EINTR, _, _) -> ()
+  let timeout_ms =
+    if timeout_s < 0.0 then -1 else int_of_float (Float.ceil (timeout_s *. 1e3))
+  in
+  if Readiness.wait_readable t.bell_r ~timeout_ms then drain_bell t
 
 let pop_batch t ~max ~window_ns =
   let max = if max < 1 then 1 else max in

@@ -1,0 +1,172 @@
+(* Bounded LRU: Hashtbl + intrusive doubly-linked list, O(1) find /
+   add / evict, one mutex (contention is two tiny critical sections
+   per request; the io domain and the batcher's reply path are the
+   only writers). *)
+
+module P = Protocol
+
+type node = {
+  key : string;
+  mutable value : float array array;
+  mutable prev : node option;  (* toward MRU *)
+  mutable next : node option;  (* toward LRU *)
+}
+
+type t = {
+  cap : int;
+  lock : Mutex.t;
+  tbl : (string, node) Hashtbl.t;
+  mutable mru : node option;
+  mutable lru : node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = { hits : int; misses : int; size : int; evictions : int }
+
+let hit_ctr = Obs.Metrics.counter "serve.cache_hit"
+let miss_ctr = Obs.Metrics.counter "serve.cache_miss"
+
+let create ~capacity =
+  {
+    cap = capacity;
+    lock = Mutex.create ();
+    tbl = Hashtbl.create (max 16 capacity);
+    mru = None;
+    lru = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let disabled = create ~capacity:0
+
+let capacity t = t.cap
+
+(* --- list surgery (lock held) --------------------------------------- *)
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.mru <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.lru <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_mru t n =
+  n.next <- t.mru;
+  n.prev <- None;
+  (match t.mru with Some m -> m.prev <- Some n | None -> t.lru <- Some n);
+  t.mru <- Some n
+
+(* --- keying --------------------------------------------------------- *)
+
+(* Total operand elements worth hashing: the scalar ops have 1-2, and
+   a short Sum/Dot still beats re-running an mf4 kernel.  Past this,
+   key construction itself starts costing like the arithmetic. *)
+let max_key_elements = 8
+
+let cacheable_op = function
+  | P.Add | P.Mul | P.Div | P.Sqrt | P.Exp | P.Log | P.Sin -> true
+  | P.Dot | P.Axpy | P.Sum | P.Poly_eval | P.Program -> true
+  | P.Stats -> false
+
+let key_of_request (r : P.request) =
+  if
+    (not (cacheable_op r.P.op))
+    || r.P.deadline_ms <> None
+    || Array.length r.P.x + Array.length r.P.y + Array.length r.P.z
+       > max_key_elements
+  then None
+  else begin
+    let b = Buffer.create 96 in
+    Buffer.add_string b (P.op_name r.P.op);
+    Buffer.add_char b '/';
+    Buffer.add_string b (P.tier_name r.P.tier);
+    List.iter
+      (fun step ->
+        Buffer.add_char b ';';
+        Buffer.add_string b step)
+      r.P.prog;
+    let operand tag els =
+      Buffer.add_char b tag;
+      Array.iter
+        (fun comps ->
+          Buffer.add_char b '[';
+          Array.iter
+            (fun c ->
+              Buffer.add_string b (P.float_to_wire c);
+              Buffer.add_char b ',')
+            comps)
+        els
+    in
+    operand '|' r.P.x;
+    operand '|' r.P.y;
+    operand '|' r.P.z;
+    Some (Buffer.contents b)
+  end
+
+(* --- operations ------------------------------------------------------ *)
+
+let find t key =
+  if t.cap < 1 then None
+  else begin
+    Mutex.lock t.lock;
+    let r =
+      match Hashtbl.find_opt t.tbl key with
+      | Some n ->
+          unlink t n;
+          push_mru t n;
+          t.hits <- t.hits + 1;
+          Some n.value
+      | None ->
+          t.misses <- t.misses + 1;
+          None
+    in
+    Mutex.unlock t.lock;
+    (match r with
+    | Some _ -> Obs.Metrics.incr hit_ctr
+    | None -> Obs.Metrics.incr miss_ctr);
+    r
+  end
+
+let add t key value =
+  if t.cap >= 1 then begin
+    Mutex.lock t.lock;
+    (match Hashtbl.find_opt t.tbl key with
+    | Some n ->
+        (* racing misses on the same key both insert; keep one node *)
+        n.value <- value;
+        unlink t n;
+        push_mru t n
+    | None ->
+        if Hashtbl.length t.tbl >= t.cap then (
+          match t.lru with
+          | Some victim ->
+              unlink t victim;
+              Hashtbl.remove t.tbl victim.key;
+              t.evictions <- t.evictions + 1
+          | None -> ());
+        let n = { key; value; prev = None; next = None } in
+        Hashtbl.replace t.tbl key n;
+        push_mru t n);
+    Mutex.unlock t.lock
+  end
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    { hits = t.hits; misses = t.misses; size = Hashtbl.length t.tbl;
+      evictions = t.evictions }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let fold_lru f t init =
+  Mutex.lock t.lock;
+  let rec go acc = function
+    | None -> acc
+    | Some n -> go (f n.key acc) n.prev
+  in
+  let r = go init t.lru in
+  Mutex.unlock t.lock;
+  r

@@ -1,0 +1,50 @@
+(** Memoizing hot-path cache for repeated scalar requests.
+
+    A bounded LRU keyed on the request's exact identity: operation,
+    tier, program chain, and every operand component rendered through
+    {!Protocol.float_to_wire} — one key string per distinct bit
+    pattern, so [0.0] vs [-0.0], subnormals, and NaN payloads never
+    collapse onto each other.  The cached value is the full result
+    component array; replaying it re-encodes through the same
+    deterministic emitter, so a hit is bitwise-identical to the miss
+    that populated it {e by construction}.
+
+    Only cheap-to-key requests are memoized: the scalar arithmetic and
+    elementary ops ([add mul div sqrt exp log sin]) — transcendentals
+    are exactly where repeated-operand traffic pays — plus any other
+    request whose total operand element count stays under a small
+    bound.  Vector requests with large operands are not worth hashing.
+
+    Thread-safe (one mutex; all operations are O(1)).  Hits and misses
+    are exported as [serve.cache_hit] / [serve.cache_miss] metrics and
+    through {!stats}. *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity < 1] is {!disabled} (every lookup misses, nothing is
+    stored). *)
+
+val disabled : t
+
+val capacity : t -> int
+
+type stats = { hits : int; misses : int; size : int; evictions : int }
+
+val stats : t -> stats
+
+val key_of_request : Protocol.request -> string option
+(** [None] when the request is not cacheable (stats, vector ops with
+    large operands, or any request carrying a deadline — a deadline
+    makes the reply timing-dependent, so it must travel the queue). *)
+
+val find : t -> string -> float array array option
+(** LRU touch on hit.  Counts a hit or a miss. *)
+
+val add : t -> string -> float array array -> unit
+(** Insert (or refresh) a binding, evicting the least-recently-used
+    entry when at capacity. *)
+
+val fold_lru : (string -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over the keys, least-recently-used first (tests pin the
+    eviction order through this). *)

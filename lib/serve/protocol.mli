@@ -78,6 +78,15 @@ type response =
 
 val response_id : response -> int
 
+val float_to_wire : float -> string
+(** The exact hex-float transport encoding of one component
+    (["0x1.8p+1"], ["nan:7ff8000000000001"], ["-0x0p+0"], ...).  One
+    string per double bit pattern — also what the response cache keys
+    operands on, so distinct NaN payloads and [0.0] vs [-0.0] never
+    collapse. *)
+
+val float_of_wire : string -> float option
+
 (** {1 JSON encoding} *)
 
 val request_to_json : request -> Obs.Json_out.t

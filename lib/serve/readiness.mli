@@ -1,0 +1,69 @@
+(** Readiness abstraction for the serving layer's event loops.
+
+    A small capability interface over the platform's readiness
+    primitive.  The default backend is [poll(2)] (via a C stub that
+    releases the runtime lock while sleeping), which has no
+    [FD_SETSIZE] ceiling: descriptors with values far above 1024
+    register and wait like any other, so one server process can hold
+    thousands of connections.  A [Unix.select] backend is kept for
+    comparison and as the portability fallback — it inherits select's
+    hard cap and {!add} raises [Invalid_argument] past it, which is
+    exactly the bug class the poll backend exists to remove.
+
+    The registration set is edge-agnostic level-triggered dispatch:
+    {!wait} reports every registered descriptor currently ready, and
+    the caller is expected to read/write until [EAGAIN] (the server's
+    loops do), so a spurious or coalesced wakeup is always harmless. *)
+
+type t
+
+type backend = Poll | Select
+
+val create : ?backend:backend -> unit -> t
+(** Default backend: [Poll], unless [FPAN_READINESS=select] is set in
+    the environment (observability escape hatch, used by tests to pin
+    a backend). *)
+
+val backend : t -> backend
+val backend_name : t -> string
+
+type event = {
+  fd : Unix.file_descr;
+  readable : bool;
+  writable : bool;
+  hangup : bool;  (** peer hung up ([POLLHUP]); treat as readable EOF *)
+  error : bool;  (** [POLLERR]/[POLLNVAL]; drop the descriptor *)
+}
+
+val add : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+(** Register a descriptor.  [Invalid_argument] if already registered,
+    or (select backend only) if the descriptor value is at or above
+    the select ceiling. *)
+
+val modify : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+(** Change the interest set of a registered descriptor.
+    [Invalid_argument] if not registered. *)
+
+val remove : t -> Unix.file_descr -> unit
+(** Deregister.  Unknown descriptors are ignored (removing a conn that
+    was already swept must be idempotent). *)
+
+val mem : t -> Unix.file_descr -> bool
+val registered : t -> int
+
+val wait : t -> timeout_ms:int -> event list
+(** Block until at least one registered descriptor is ready, the
+    timeout lapses ([[]]), or a signal arrives ([[]] on [EINTR] —
+    callers loop).  [timeout_ms < 0] waits forever.  Events for
+    descriptors removed since the last wait are never reported. *)
+
+(** {1 Single-descriptor helpers} (no registration set) *)
+
+val poll1 : Unix.file_descr -> read:bool -> write:bool -> timeout_ms:int -> event option
+(** One-shot readiness wait on one descriptor; [None] on timeout or
+    [EINTR].  Works on descriptors above the select ceiling — the
+    serving layer uses it everywhere it previously leaned on
+    single-descriptor [Unix.select] (write-stall waits, doorbells). *)
+
+val wait_readable : Unix.file_descr -> timeout_ms:int -> bool
+val wait_writable : Unix.file_descr -> timeout_ms:int -> bool

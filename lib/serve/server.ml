@@ -1,16 +1,30 @@
 (* Accept loop + admission + drain orchestration.  The io domain owns
-   the listener, the connection list, and all reads; replies are
-   written from both the io domain (sheds, errors, stats) and the
-   batcher domain (results), serialized per connection by a write
-   mutex.  Stop order is what makes the drain lossless: close the
-   admission queue first (late frames get explicit "closed" sheds
+   the readiness set, the connection table, and all reads; replies are
+   written from both the io domain (sheds, errors, stats, cache hits)
+   and the batcher domain (results), serialized per connection by a
+   write mutex.  Stop order is what makes the drain lossless: close
+   the admission queue first (late frames get explicit "closed" sheds
    while the io loop keeps serving), join the batcher (every accepted
-   request answered), and only then tear down the sockets. *)
+   request answered), and only then tear down the sockets.
+
+   The event loop runs on {!Readiness} (poll(2) by default): no
+   FD_SETSIZE ceiling, O(1) per-event connection lookup through a
+   table keyed by descriptor, and O(deaths) — not O(conns) — sweeping
+   of connections whose reply write failed on the batcher domain.
+
+   A server is fed from one of two sources: a listening socket it
+   owns, or an adoption channel — a unix-domain socket over which a
+   parent distributor passes already-accepted connection fds
+   (SCM_RIGHTS; see {!Shard}).  Channel EOF is the drain signal. *)
 
 module P = Protocol
 module J = Obs.Json_out
 
 type addr = Unix_path of string | Tcp of { host : string; port : int }
+
+type source =
+  | Listener of { fd : Unix.file_descr; bound : Unix.sockaddr; unlink : string option }
+  | Adopt of { chan : Unix.file_descr; on_drain : unit -> unit }
 
 type conn = {
   fd : Unix.file_descr;
@@ -26,54 +40,60 @@ type t = {
   sched : Runtime.Sched.t;
   queue : Batcher.entry Admission.t;
   batcher : Batcher.t;
-  listen_fd : Unix.file_descr;
-  bound : Unix.sockaddr;
-  unlink_on_close : string option;
+  cache : Cache.t;
+  source : source;
+  max_conns : int;
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
   lock : Mutex.t;
   pending_lock : Mutex.t;
   mutable pending : conn list;  (* conns with buffered batch replies *)
-  mutable conns : conn list;  (* io domain only *)
+  mutable dying : conn list;  (* flush failed off-io-domain; io closes them *)
+  conns : (int, conn) Hashtbl.t;  (* io domain only *)
+  conn_count : int Atomic.t;
   mutable accepted : int;
+  mutable adopted : int;
+  mutable refused_conns : int;
   mutable shed_full : int;
   mutable shed_closed : int;
   mutable decode_errors : int;
+  mutable draining : bool;  (* io domain: adoption channel hit EOF *)
   stopping : bool Atomic.t;
   io_exit : bool Atomic.t;
   mutable io_domain : unit Domain.t option;
+  mutable backend_name : string;  (* io domain writes once at startup *)
 }
 
 let accepted_ctr = Obs.Metrics.counter "serve.accepted"
 let shed_full_ctr = Obs.Metrics.counter "serve.shed_full"
 let shed_closed_ctr = Obs.Metrics.counter "serve.shed_closed"
 
+let fd_key : Unix.file_descr -> int = Obj.magic
+
 let ring t =
   try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
   with Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EBADF), _, _) -> ()
 
-(* Conn fds are non-blocking (they are select'ed for reads), so a
-   write into a full socket buffer raises EAGAIN; wait for writability
-   rather than killing the connection, and give up only on a client
-   that stays wedged for seconds. *)
+(* Conn fds are non-blocking, so a write into a full socket buffer
+   raises EAGAIN; wait for writability (poll — the descriptor value
+   may be far beyond select's ceiling) rather than killing the
+   connection, and give up only on a client that stays wedged for
+   seconds. *)
 let write_all fd s =
   let n = String.length s in
   let k = ref 0 in
   while !k < n do
     match Unix.write_substring fd s !k (n - !k) with
     | w -> k := !k + w
-    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> (
-        match Unix.select [] [ fd ] [] 5.0 with
-        | [], [], [] -> failwith "write stalled"
-        | _ -> ()
-        | exception Unix.Unix_error (EINTR, _, _) -> ())
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+        if not (Readiness.wait_writable fd ~timeout_ms:5000) then
+          failwith "write stalled"
     | exception Unix.Unix_error (EINTR, _, _) -> ()
   done
 
 (* wlock held.  On failure only mark the conn dead (and drop its
-   buffered output); the fd itself is closed by the io domain when it
-   sweeps dead conns, so closes happen on one domain and never race a
-   concurrent select/read on the same descriptor. *)
+   buffered output); the fd itself is closed by the io domain, so
+   closes happen on one domain and never race the readiness set. *)
 let flush_locked conn =
   if conn.alive && Buffer.length conn.out > 0 then begin
     let s = Buffer.contents conn.out in
@@ -81,30 +101,46 @@ let flush_locked conn =
     try write_all conn.fd s with _ -> conn.alive <- false
   end
 
-(* Write-through: io-domain replies (sheds, errors, stats) go out
-   immediately, plus whatever batch output was still buffered. *)
-let send conn resp =
+(* A writer off the io domain noticed the conn died: queue it for the
+   io domain to close (O(deaths), not a full-table sweep) and ring. *)
+let report_dead t conn =
+  Mutex.lock t.pending_lock;
+  t.dying <- conn :: t.dying;
+  Mutex.unlock t.pending_lock;
+  ring t
+
+(* Write-through: io-domain replies (sheds, errors, stats, cache hits)
+   go out immediately, plus whatever batch output was still buffered. *)
+let send t conn resp =
   Mutex.lock conn.wlock;
-  if conn.alive then begin
-    Buffer.add_string conn.out (P.frame_of_string (J.to_string_compact (P.response_to_json resp)));
-    flush_locked conn
-  end;
-  Mutex.unlock conn.wlock
+  let died =
+    if conn.alive then begin
+      Buffer.add_string conn.out (P.frame_of_string (J.to_string_compact (P.response_to_json resp)));
+      flush_locked conn;
+      not conn.alive
+    end
+    else false
+  in
+  Mutex.unlock conn.wlock;
+  if died then report_dead t conn
 
 (* Batch replies buffer up per connection and flush once per batcher
    cycle — one write syscall (and one reader wake-up) per connection
    per micro-batch instead of per response. *)
 let enqueue t conn resp =
   Mutex.lock conn.wlock;
-  if conn.alive then
+  let alive = conn.alive in
+  if alive then
     Buffer.add_string conn.out (P.frame_of_string (J.to_string_compact (P.response_to_json resp)));
   Mutex.unlock conn.wlock;
-  Mutex.lock t.pending_lock;
-  if not conn.dirty then begin
-    conn.dirty <- true;
-    t.pending <- conn :: t.pending
-  end;
-  Mutex.unlock t.pending_lock
+  if alive then begin
+    Mutex.lock t.pending_lock;
+    if not conn.dirty then begin
+      conn.dirty <- true;
+      t.pending <- conn :: t.pending
+    end;
+    Mutex.unlock t.pending_lock
+  end
 
 let flush_pending t =
   Mutex.lock t.pending_lock;
@@ -115,13 +151,19 @@ let flush_pending t =
   List.iter
     (fun c ->
       Mutex.lock c.wlock;
+      let was_alive = c.alive in
       flush_locked c;
-      Mutex.unlock c.wlock)
+      (* only a death *during this flush* goes on the dying list: a
+         conn the io domain already closed must not be re-reported —
+         by then its fd number may belong to a new connection *)
+      let died = was_alive && not c.alive in
+      Mutex.unlock c.wlock;
+      if died then report_dead t c)
     cs
 
-(* io domain only (read path, dead-conn sweep, loop teardown), so a
+(* io domain only (read path, dying-conn sweep, loop teardown), so a
    conn's fd is released exactly once and never while another domain
-   could still be select'ing or reading it. *)
+   could still be polling or reading it. *)
 let close_conn conn =
   Mutex.lock conn.wlock;
   conn.alive <- false;
@@ -136,16 +178,23 @@ let close_conn conn =
 
 let stats_doc t =
   let b = Batcher.stats t.batcher in
+  let c = Cache.stats t.cache in
   Mutex.lock t.lock;
   let accepted = t.accepted in
+  let adopted = t.adopted in
+  let refused_conns = t.refused_conns in
   let shed_full = t.shed_full in
   let shed_closed = t.shed_closed in
   let decode_errors = t.decode_errors in
   Mutex.unlock t.lock;
   let num n = J.Num (float_of_int n) in
   J.Obj
-    [ ("schema", J.Str "fpan-serve/1");
+    [ ("schema", J.Str "fpan-serve/2");
+      ("backend", J.Str t.backend_name);
       ("accepted", num accepted);
+      ("adopted_conns", num adopted);
+      ("open_conns", num (Atomic.get t.conn_count));
+      ("refused_conns", num refused_conns);
       ("completed", num b.Batcher.completed);
       ("shed_full", num shed_full);
       ("shed_deadline", num b.Batcher.shed_deadline);
@@ -155,6 +204,13 @@ let stats_doc t =
       ("queue_capacity", num (Admission.capacity t.queue));
       ("queue_depth", num (Admission.depth t.queue));
       ("queue_max_depth", num (Admission.max_depth t.queue));
+      ( "cache",
+        J.Obj
+          [ ("capacity", num (Cache.capacity t.cache));
+            ("hits", num c.Cache.hits);
+            ("misses", num c.Cache.misses);
+            ("size", num c.Cache.size);
+            ("evictions", num c.Cache.evictions) ] );
       ( "batch_histogram",
         J.List
           (List.map
@@ -174,72 +230,159 @@ let bump t f =
   f t;
   Mutex.unlock t.lock
 
+let admit t conn (req : P.request) cache_key =
+  let reply =
+    match cache_key with
+    | None -> fun resp -> enqueue t conn resp
+    | Some key ->
+        (* populate on the way out; the stored components re-encode
+           through the same emitter, so a later hit is bitwise this
+           response *)
+        fun resp ->
+          (match resp with
+          | P.Result { result; _ } -> Cache.add t.cache key result
+          | _ -> ());
+          enqueue t conn resp
+  in
+  let entry = { Batcher.req; arrival_ns = Obs.Clock.now_ns (); reply } in
+  match Admission.push t.queue entry with
+  | `Ok ->
+      bump t (fun t -> t.accepted <- t.accepted + 1);
+      Obs.Metrics.incr accepted_ctr
+  | `Full ->
+      bump t (fun t -> t.shed_full <- t.shed_full + 1);
+      Obs.Metrics.incr shed_full_ctr;
+      send t conn (P.Shed { id = req.P.id; reason = "queue_full" })
+  | `Closed ->
+      bump t (fun t -> t.shed_closed <- t.shed_closed + 1);
+      Obs.Metrics.incr shed_closed_ctr;
+      send t conn (P.Shed { id = req.P.id; reason = "closed" })
+
 let handle_frame t conn payload =
   let tr = Obs.Trace.enabled () in
   if tr then Obs.Trace.begin_span Obs.Trace.Io "serve.request";
   (match J.parse payload with
   | Error e ->
       bump t (fun t -> t.decode_errors <- t.decode_errors + 1);
-      send conn (P.Failed { id = 0; error = "bad json: " ^ e })
+      send t conn (P.Failed { id = 0; error = "bad json: " ^ e })
   | Ok doc -> (
       match P.request_of_json doc with
       | Error e ->
           bump t (fun t -> t.decode_errors <- t.decode_errors + 1);
-          send conn (P.Failed { id = best_effort_id doc; error = e })
+          send t conn (P.Failed { id = best_effort_id doc; error = e })
       | Ok req when req.P.op = P.Stats ->
-          send conn (P.Stats_reply { id = req.P.id; stats = stats_doc t })
+          send t conn (P.Stats_reply { id = req.P.id; stats = stats_doc t })
       | Ok req -> (
-          let entry =
-            {
-              Batcher.req;
-              arrival_ns = Obs.Clock.now_ns ();
-              reply = (fun resp -> enqueue t conn resp);
-            }
-          in
-          match Admission.push t.queue entry with
-          | `Ok ->
-              bump t (fun t -> t.accepted <- t.accepted + 1);
-              Obs.Metrics.incr accepted_ctr
-          | `Full ->
-              bump t (fun t -> t.shed_full <- t.shed_full + 1);
-              Obs.Metrics.incr shed_full_ctr;
-              send conn (P.Shed { id = req.P.id; reason = "queue_full" })
-          | `Closed ->
-              bump t (fun t -> t.shed_closed <- t.shed_closed + 1);
-              Obs.Metrics.incr shed_closed_ctr;
-              send conn (P.Shed { id = req.P.id; reason = "closed" }))));
+          (* hot path: repeated scalar operands answer straight from
+             the LRU on the io domain, skipping queue and batcher *)
+          match
+            if Cache.capacity t.cache >= 1 then Cache.key_of_request req else None
+          with
+          | Some key as cache_key -> (
+              match Cache.find t.cache key with
+              | Some result ->
+                  send t conn (P.Result { id = req.P.id; result; batch = 1 })
+              | None -> admit t conn req cache_key)
+          | None -> admit t conn req None)));
   if tr then Obs.Trace.end_span ()
 
-let read_conn t conn buf =
+(* --- connection lifecycle (io domain) -------------------------------- *)
+
+let install_conn t rd fd =
+  Unix.set_nonblock fd;
+  let conn =
+    { fd; defr = P.deframer (); wlock = Mutex.create ();
+      out = Buffer.create 4096; dirty = false; alive = true; closed = false }
+  in
+  Hashtbl.replace t.conns (fd_key fd) conn;
+  Atomic.incr t.conn_count;
+  Readiness.add rd fd ~read:true ~write:false
+
+let drop_conn t rd conn =
+  (* identity check, not just key equality: once this conn's fd is
+     closed the kernel reuses the number for the next accept, so a
+     stale drop (e.g. a dying-list entry for a conn the read path
+     already closed) must not evict the NEW connection living under
+     the same key *)
+  (match Hashtbl.find_opt t.conns (fd_key conn.fd) with
+  | Some c when c == conn ->
+      Hashtbl.remove t.conns (fd_key conn.fd);
+      Atomic.decr t.conn_count;
+      Readiness.remove rd conn.fd
+  | _ -> ());
+  close_conn conn
+
+let read_conn t rd conn buf =
   match Unix.read conn.fd buf 0 (Bytes.length buf) with
-  | 0 -> close_conn conn
+  | 0 -> drop_conn t rd conn
   | n -> (
       match P.feed conn.defr buf n with
       | Ok frames -> List.iter (handle_frame t conn) frames
-      | Error _ -> close_conn conn)
+      | Error _ -> drop_conn t rd conn)
   | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
-  | exception Unix.Unix_error _ -> close_conn conn
+  | exception Unix.Unix_error _ -> drop_conn t rd conn
 
-(* Stay comfortably under FD_SETSIZE (1024): past the cap, select
-   would start failing with EINVAL for every caller, so refusing the
-   excess connection immediately is the service-preserving choice. *)
-let max_conns = 960
-
-let accept_all t =
+let accept_all t rd listen_fd =
   let rec go () =
-    match Unix.accept ~cloexec:true t.listen_fd with
+    match Unix.accept ~cloexec:true listen_fd with
     | fd, _ ->
-        if List.length t.conns >= max_conns then (try Unix.close fd with _ -> ())
-        else begin
-          Unix.set_nonblock fd;
-          t.conns <-
-            { fd; defr = P.deframer (); wlock = Mutex.create ();
-              out = Buffer.create 4096; dirty = false; alive = true; closed = false }
-            :: t.conns
-        end;
+        if Atomic.get t.conn_count >= t.max_conns then begin
+          bump t (fun t -> t.refused_conns <- t.refused_conns + 1);
+          (try Unix.close fd with _ -> ())
+        end
+        else install_conn t rd fd;
         go ()
     | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error ((EMFILE | ENFILE), _, _) ->
+        (* out of descriptors: the pending connection stays in the
+           backlog; don't spin on a permanently-ready listener *)
+        bump t (fun t -> t.refused_conns <- t.refused_conns + 1);
+        Unix.sleepf 0.05
     | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+external recv_fd_stub : Unix.file_descr -> int * int = "caml_fpan_recv_fd"
+
+let adopt_all t rd chan on_drain =
+  let rec go () =
+    match recv_fd_stub chan with
+    | -1, _ ->
+        (* distributor closed the channel: drain *)
+        if not t.draining then begin
+          t.draining <- true;
+          Readiness.remove rd chan;
+          on_drain ()
+        end
+    | byte, fd when byte = Char.code 'c' && fd >= 0 ->
+        let fd : Unix.file_descr = Obj.magic fd in
+        if Atomic.get t.conn_count >= t.max_conns then begin
+          bump t (fun t -> t.refused_conns <- t.refused_conns + 1);
+          try Unix.close fd with _ -> ()
+        end
+        else begin
+          install_conn t rd fd;
+          bump t (fun t -> t.adopted <- t.adopted + 1)
+        end;
+        go ()
+    | byte, fd when byte = Char.code 'q' ->
+        if fd >= 0 then (try Unix.close (Obj.magic fd : Unix.file_descr) with _ -> ());
+        if not t.draining then begin
+          t.draining <- true;
+          Readiness.remove rd chan;
+          on_drain ()
+        end
+    | _, fd ->
+        (* unknown control byte: drop any attached fd, keep going *)
+        if fd >= 0 then (try Unix.close (Obj.magic fd : Unix.file_descr) with _ -> ());
+        go ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ ->
+        if not t.draining then begin
+          t.draining <- true;
+          Readiness.remove rd chan;
+          on_drain ()
+        end
   in
   go ()
 
@@ -253,56 +396,62 @@ let drain_wake t =
   in
   go ()
 
+let sweep_dying t rd =
+  Mutex.lock t.pending_lock;
+  let dead = t.dying in
+  t.dying <- [];
+  Mutex.unlock t.pending_lock;
+  List.iter (fun c -> drop_conn t rd c) dead
+
 let io_loop t =
+  let rd = Readiness.create () in
+  t.backend_name <- Readiness.backend_name rd;
   let buf = Bytes.create 65536 in
+  Readiness.add rd t.wake_r ~read:true ~write:false;
+  (match t.source with
+  | Listener { fd; _ } -> Readiness.add rd fd ~read:true ~write:false
+  | Adopt { chan; _ } -> Readiness.add rd chan ~read:true ~write:false);
+  let source_fd =
+    match t.source with Listener { fd; _ } -> fd | Adopt { chan; _ } -> chan
+  in
   while not (Atomic.get t.io_exit) do
-    (* sweep conns whose flush failed on the batcher domain: their fds
-       were left open so the close (here) can't race a select on them *)
-    let dead, live = List.partition (fun c -> not c.alive) t.conns in
-    List.iter close_conn dead;
-    t.conns <- live;
-    let rds =
-      t.wake_r
-      :: (if Atomic.get t.stopping then [] else [ t.listen_fd ])
-      @ List.map (fun c -> c.fd) t.conns
-    in
-    match Unix.select rds [] [] 1.0 with
-    | exception Unix.Unix_error (EINTR, _, _) -> ()
-    | exception Unix.Unix_error _ ->
-        (* EBADF/EINVAL etc. poison every subsequent select; shedding
-           one connection beats an unresponsive-forever io domain.
-           Drop any conn whose fd fails fstat, and if none does, the
-           newest conn, so the loop always makes progress. *)
-        let bad, ok =
-          List.partition
-            (fun c -> match Unix.fstat c.fd with _ -> false | exception _ -> true)
-            t.conns
-        in
-        (match (bad, ok) with
-        | [], newest :: rest ->
-            close_conn newest;
-            t.conns <- rest
-        | [], [] -> Unix.sleepf 0.05  (* listener/wake fd at fault; don't spin *)
-        | _ ->
-            List.iter close_conn bad;
-            t.conns <- ok)
-    | rd, _, _ ->
+    (* close conns whose flush failed on the batcher domain: their fds
+       were left open so the close (here) can't race the poll set *)
+    sweep_dying t rd;
+    (* once stopping, new work is refused at admission ("closed"
+       sheds), but the listener stays registered so late frames still
+       get explicit answers; a 1 s cap bounds the shutdown latency *)
+    (match Readiness.wait rd ~timeout_ms:1000 with
+    | [] -> ()
+    | evs ->
         List.iter
-          (fun fd ->
-            if fd = t.wake_r then drain_wake t
-            else if fd = t.listen_fd then accept_all t
+          (fun (e : Readiness.event) ->
+            if e.Readiness.fd = t.wake_r then drain_wake t
+            else if e.Readiness.fd = source_fd then (
+              match t.source with
+              | Listener { fd; _ } ->
+                  if not (Atomic.get t.stopping) then accept_all t rd fd
+              | Adopt { chan; on_drain } -> adopt_all t rd chan on_drain)
             else
-              match List.find_opt (fun c -> c.fd = fd) t.conns with
-              | Some conn when conn.alive -> read_conn t conn buf
-              | _ -> ())
-          rd
+              match Hashtbl.find_opt t.conns (fd_key e.Readiness.fd) with
+              | Some conn when conn.alive ->
+                  if e.Readiness.error then drop_conn t rd conn
+                  else if e.Readiness.readable || e.Readiness.hangup then
+                    read_conn t rd conn buf
+              | Some conn -> drop_conn t rd conn
+              | None -> ())
+          evs)
   done;
-  List.iter close_conn t.conns;
-  t.conns <- [];
-  (try Unix.close t.listen_fd with _ -> ());
-  match t.unlink_on_close with
-  | Some path -> ( try Unix.unlink path with _ -> ())
-  | None -> ()
+  Hashtbl.iter (fun _ conn -> close_conn conn) t.conns;
+  Hashtbl.reset t.conns;
+  Atomic.set t.conn_count 0;
+  (match t.source with
+  | Listener { fd; unlink; _ } -> (
+      (try Unix.close fd with _ -> ());
+      match unlink with
+      | Some path -> ( try Unix.unlink path with _ -> ())
+      | None -> ())
+  | Adopt { chan; _ } -> ( try Unix.close chan with _ -> ()))
 
 (* --- lifecycle ------------------------------------------------------ *)
 
@@ -312,7 +461,7 @@ let bind_listen addr =
       (try Unix.unlink path with _ -> ());
       let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
       Unix.bind fd (ADDR_UNIX path);
-      Unix.listen fd 64;
+      Unix.listen fd 1024;
       (fd, Unix.getsockname fd, Some path)
   | Tcp { host; port } ->
       let ip =
@@ -322,7 +471,7 @@ let bind_listen addr =
       let fd = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
       Unix.setsockopt fd SO_REUSEADDR true;
       Unix.bind fd (ADDR_INET (ip, port));
-      Unix.listen fd 64;
+      Unix.listen fd 1024;
       (fd, Unix.getsockname fd, None)
 
 let stop t =
@@ -345,12 +494,10 @@ let stop t =
     try Unix.close t.wake_w with _ -> ()
   end
 
-let start ~sched ~addr ?(queue_capacity = 64) ?(max_batch = 32) ?(window_us = 200.)
-    () =
+let make ~sched ~source ?(queue_capacity = 64) ?(max_batch = 32) ?(window_us = 200.)
+    ?(cache_capacity = 0) ?(max_conns = 16384) () =
   (* one abruptly-closed client must not SIGPIPE-kill the service *)
   P.ignore_sigpipe ();
-  let listen_fd, bound, unlink_on_close = bind_listen addr in
-  Unix.set_nonblock listen_fd;
   let wake_r, wake_w = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock wake_r;
   Unix.set_nonblock wake_w;
@@ -364,22 +511,29 @@ let start ~sched ~addr ?(queue_capacity = 64) ?(max_batch = 32) ?(window_us = 20
       sched;
       queue;
       batcher;
-      listen_fd;
-      bound;
-      unlink_on_close;
+      cache = (if cache_capacity >= 1 then Cache.create ~capacity:cache_capacity
+               else Cache.disabled);
+      source;
+      max_conns;
       wake_r;
       wake_w;
       lock = Mutex.create ();
       pending_lock = Mutex.create ();
       pending = [];
-      conns = [];
+      dying = [];
+      conns = Hashtbl.create 256;
+      conn_count = Atomic.make 0;
       accepted = 0;
+      adopted = 0;
+      refused_conns = 0;
       shed_full = 0;
       shed_closed = 0;
       decode_errors = 0;
+      draining = false;
       stopping = Atomic.make false;
       io_exit = Atomic.make false;
       io_domain = None;
+      backend_name = "poll";
     }
   in
   (* the batcher can only have replies to flush once the io domain
@@ -391,4 +545,23 @@ let start ~sched ~addr ?(queue_capacity = 64) ?(max_batch = 32) ?(window_us = 20
   Runtime.Sched.on_shutdown sched (fun () -> stop t);
   t
 
-let bound_addr t = t.bound
+let start ~sched ~addr ?queue_capacity ?max_batch ?window_us ?cache_capacity
+    ?max_conns () =
+  let fd, bound, unlink = bind_listen addr in
+  Unix.set_nonblock fd;
+  make ~sched ~source:(Listener { fd; bound; unlink }) ?queue_capacity ?max_batch
+    ?window_us ?cache_capacity ?max_conns ()
+
+let start_adopted ~sched ~chan ?(on_drain = fun () -> ()) ?queue_capacity ?max_batch
+    ?window_us ?cache_capacity ?max_conns () =
+  Unix.set_nonblock chan;
+  make ~sched ~source:(Adopt { chan; on_drain }) ?queue_capacity ?max_batch ?window_us
+    ?cache_capacity ?max_conns ()
+
+let bound_addr t =
+  match t.source with
+  | Listener { bound; _ } -> bound
+  | Adopt _ -> invalid_arg "Serve.Server.bound_addr: adopted server has no listener"
+
+let cache_stats t = Cache.stats t.cache
+let open_conns t = Atomic.get t.conn_count

@@ -1,0 +1,241 @@
+(* The response cache's two contracts.  Correctness: a cached response
+   is bitwise the uncached one, for arbitrary operand bit patterns —
+   NaN payloads, signed zero, subnormals, infinities — across every
+   scalar op and tier (qcheck drives a real server twice per request
+   and compares both replies against the scalar path).  Mechanics: the
+   LRU is bounded, evicts least-recently-used first, and keys on exact
+   bit patterns so lookalike operands never collide. *)
+
+module P = Serve.Protocol
+module C = Serve.Cache
+
+let bits = Int64.bits_of_float
+
+(* --- keying exactness ------------------------------------------------ *)
+
+let mk ?deadline_ms ?(op = P.Add) ?(tier = P.Mf2) ?(prog = []) ?(z = [||]) x y =
+  { P.id = 1; op; tier; deadline_ms; prog; x; y; z }
+
+let key_exn r =
+  match C.key_of_request r with
+  | Some k -> k
+  | None -> Alcotest.fail "request unexpectedly uncacheable"
+
+let test_keying () =
+  let base = mk [| [| 1.0; 0.0 |] |] [| [| 2.0; 0.0 |] |] in
+  (* the keys that must differ: same printed value, different bits *)
+  let neg_zero = mk [| [| 1.0; -0.0 |] |] [| [| 2.0; 0.0 |] |] in
+  Alcotest.(check bool) "0.0 vs -0.0 distinct" false
+    (String.equal (key_exn base) (key_exn neg_zero));
+  let nan1 = Int64.float_of_bits 0x7ff8000000000001L in
+  let nan2 = Int64.float_of_bits 0x7ff8000000000002L in
+  let k1 = key_exn (mk [| [| nan1; 0.0 |] |] [| [| 2.0; 0.0 |] |]) in
+  let k2 = key_exn (mk [| [| nan2; 0.0 |] |] [| [| 2.0; 0.0 |] |]) in
+  Alcotest.(check bool) "NaN payloads distinct" false (String.equal k1 k2);
+  let sub1 = mk [| [| 4.9e-324; 0.0 |] |] [| [| 2.0; 0.0 |] |] in
+  let sub2 = mk [| [| 9.9e-324; 0.0 |] |] [| [| 2.0; 0.0 |] |] in
+  Alcotest.(check bool) "subnormals distinct" false
+    (String.equal (key_exn sub1) (key_exn sub2));
+  (* op / tier / program chain are part of the identity *)
+  Alcotest.(check bool) "ops distinct" false
+    (String.equal (key_exn base) (key_exn (mk ~op:P.Mul [| [| 1.0; 0.0 |] |] [| [| 2.0; 0.0 |] |])));
+  Alcotest.(check bool) "tiers distinct" false
+    (String.equal
+       (key_exn (mk ~op:P.Sqrt [| [| 1.0; 0.0 |] |] [||]))
+       (key_exn (mk ~op:P.Sqrt ~tier:P.Mf3 [| [| 1.0; 0.0; 0.0 |] |] [||])));
+  (* the uncacheable shapes *)
+  Alcotest.(check bool) "deadline is uncacheable" true
+    (C.key_of_request (mk ~deadline_ms:5.0 [| [| 1.0; 0.0 |] |] [| [| 2.0; 0.0 |] |])
+     = None);
+  Alcotest.(check bool) "stats is uncacheable" true
+    (C.key_of_request
+       { P.id = 1; op = P.Stats; tier = P.Mf2; deadline_ms = None; prog = [];
+         x = [||]; y = [||]; z = [||] }
+     = None);
+  let big = Array.init 9 (fun i -> [| float_of_int i; 0.0 |]) in
+  Alcotest.(check bool) "large vector operand is uncacheable" true
+    (C.key_of_request (mk ~op:P.Sum big [||]) = None)
+
+(* --- LRU mechanics ---------------------------------------------------- *)
+
+let v f = [| [| f |] |]
+
+let lru_keys c = List.rev (C.fold_lru (fun k acc -> k :: acc) c [])
+
+let test_eviction_order () =
+  let c = C.create ~capacity:3 in
+  C.add c "a" (v 1.0);
+  C.add c "b" (v 2.0);
+  C.add c "c" (v 3.0);
+  Alcotest.(check (list string)) "LRU-first after fills" [ "a"; "b"; "c" ]
+    (lru_keys c);
+  (* touching "a" moves it to MRU, so "b" becomes the victim *)
+  (match C.find c "a" with
+  | Some r -> Alcotest.(check int64) "touched value intact" (bits 1.0) (bits r.(0).(0))
+  | None -> Alcotest.fail "resident key missed");
+  C.add c "d" (v 4.0);
+  Alcotest.(check (list string)) "b evicted, not a" [ "c"; "a"; "d" ] (lru_keys c);
+  Alcotest.(check bool) "evicted key misses" true (C.find c "b" = None);
+  let s = C.stats c in
+  Alcotest.(check int) "size at capacity" 3 s.C.size;
+  Alcotest.(check int) "one eviction" 1 s.C.evictions;
+  (* re-adding an existing key refreshes in place: no eviction *)
+  C.add c "c" (v 30.0);
+  Alcotest.(check int) "refresh does not grow" 3 (C.stats c).C.size;
+  Alcotest.(check int) "refresh does not evict" 1 (C.stats c).C.evictions;
+  (match C.find c "c" with
+  | Some r -> Alcotest.(check int64) "refreshed value" (bits 30.0) (bits r.(0).(0))
+  | None -> Alcotest.fail "refreshed key missed");
+  Alcotest.(check (list string)) "refresh moved to MRU" [ "a"; "d"; "c" ] (lru_keys c)
+
+let test_capacity_bound () =
+  (* arbitrary add/find interleavings never grow past capacity, and
+     the list view always agrees with the table size *)
+  let prop ops =
+    let c = C.create ~capacity:4 in
+    List.iter
+      (fun (k, is_add) ->
+        let key = "k" ^ string_of_int (k mod 10) in
+        if is_add then C.add c key (v (float_of_int k)) else ignore (C.find c key);
+        let s = C.stats c in
+        if s.C.size > 4 then failwith "capacity exceeded";
+        if List.length (lru_keys c) <> s.C.size then failwith "list/table disagree")
+      ops;
+    true
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:200 ~name:"bounded LRU"
+       QCheck.(list (pair small_nat bool))
+       prop)
+
+let test_disabled () =
+  let c = C.create ~capacity:0 in
+  C.add c "a" (v 1.0);
+  Alcotest.(check bool) "disabled never stores" true (C.find c "a" = None);
+  let s = C.stats c in
+  Alcotest.(check int) "disabled size" 0 s.C.size;
+  Alcotest.(check int) "disabled hits" 0 s.C.hits
+
+(* --- cached = uncached, bitwise, through a real server ---------------- *)
+
+let sock_counter = ref 0
+
+let fresh_sock () =
+  incr sock_counter;
+  Printf.sprintf "serve_cache_%d_%d.sock" (Unix.getpid ()) !sock_counter
+
+let scalar_ops = [| P.Add; P.Mul; P.Div; P.Sqrt; P.Exp; P.Log; P.Sin |]
+let all_tiers = [| P.Mf2; P.Mf3; P.Mf4 |]
+
+let special_bits =
+  [ 0x7ff8000000000001L;  (* NaN, low payload bit *)
+    0xfff8000000000042L;  (* negative NaN, payload 0x42 *)
+    Int64.bits_of_float Float.nan;
+    Int64.bits_of_float Float.infinity;
+    Int64.bits_of_float Float.neg_infinity;
+    0x8000000000000000L;  (* -0.0 *)
+    0x0000000000000000L;
+    0x0000000000000001L;  (* smallest subnormal *)
+    0x8000000000000001L;
+    Int64.bits_of_float Float.max_float;
+    Int64.bits_of_float Float.min_float;
+    Int64.bits_of_float 1.0 ]
+
+let gen_bits64 =
+  (* two 32-bit halves: every double bit pattern is reachable *)
+  QCheck.Gen.(
+    map2
+      (fun hi lo ->
+        Int64.logor
+          (Int64.shift_left (Int64.of_int hi) 32)
+          (Int64.of_int lo))
+      (int_bound 0xffffffff) (int_bound 0xffffffff))
+
+let gen_component =
+  QCheck.Gen.(
+    map Int64.float_of_bits
+      (frequency [ (2, oneofl special_bits); (3, gen_bits64) ]))
+
+let gen_request =
+  QCheck.Gen.(
+    int_range 0 (Array.length scalar_ops - 1) >>= fun oi ->
+    int_range 0 (Array.length all_tiers - 1) >>= fun ti ->
+    let op = scalar_ops.(oi) and tier = all_tiers.(ti) in
+    let terms = P.tier_terms tier in
+    let element = array_size (return terms) gen_component in
+    element >>= fun e1 ->
+    element >>= fun e2 ->
+    let binary = match op with P.Add | P.Mul | P.Div -> true | _ -> false in
+    return
+      { P.id = 1; op; tier; deadline_ms = None; prog = [];
+        x = [| e1 |]; y = (if binary then [| e2 |] else [||]); z = [||] })
+
+let arb_request =
+  QCheck.make
+    ~print:(fun r -> Obs.Json_out.to_string_compact (P.request_to_json r))
+    gen_request
+
+let elements_bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun ea eb ->
+         Array.length ea = Array.length eb
+         && Array.for_all2 (fun x y -> Int64.equal (bits x) (bits y)) ea eb)
+       a b
+
+let test_cached_bitwise () =
+  let path = fresh_sock () in
+  Runtime.Sched.with_sched ~workers:2 (fun sched ->
+      let srv =
+        Serve.Server.start ~sched ~addr:(Serve.Server.Unix_path path)
+          ~queue_capacity:64 ~max_batch:8 ~window_us:100. ~cache_capacity:1024 ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Serve.Server.stop srv)
+        (fun () ->
+          let cl = Serve.Client.connect (Serve.Server.Unix_path path) in
+          Fun.protect
+            ~finally:(fun () -> Serve.Client.close cl)
+            (fun () ->
+              let prop req =
+                let expect =
+                  match Serve.Batcher.eval_one req with
+                  | Ok r -> r
+                  | Error e -> failwith ("scalar path refused: " ^ e)
+                in
+                let once tag =
+                  match Serve.Client.call cl req with
+                  | P.Result { result; _ } ->
+                      if not (elements_bits_equal result expect) then
+                        failwith (tag ^ " response differs from scalar path");
+                      result
+                  | _ -> failwith (tag ^ " response not a result")
+                in
+                (* the first call populates; the second answers from
+                   the LRU — both must be bit-for-bit the scalar path *)
+                let cold = once "cold" in
+                let warm = once "warm" in
+                if not (elements_bits_equal cold warm) then
+                  failwith "hit differs from miss";
+                true
+              in
+              QCheck.Test.check_exn
+                (QCheck.Test.make ~count:120 ~name:"cached = uncached, bitwise"
+                   arb_request prop);
+              (* the warm calls really did come from the cache *)
+              let s = Serve.Server.cache_stats srv in
+              Alcotest.(check bool)
+                (Printf.sprintf "cache hits recorded (%d)" s.C.hits)
+                true (s.C.hits > 0))))
+
+let () =
+  Alcotest.run "serve_cache"
+    [ ( "keying",
+        [ Alcotest.test_case "exact bit-pattern identity" `Quick test_keying ] );
+      ( "lru",
+        [ Alcotest.test_case "eviction order" `Quick test_eviction_order;
+          Alcotest.test_case "capacity bound" `Quick test_capacity_bound;
+          Alcotest.test_case "disabled cache" `Quick test_disabled ] );
+      ( "bitwise",
+        [ Alcotest.test_case "cached = uncached over arbitrary bits" `Quick
+            test_cached_bitwise ] ) ]

@@ -730,11 +730,24 @@ let serve_cmd =
 (* --- loadgen -------------------------------------------------------- *)
 
 (* Deterministic request mix: ops x tiers round-robin over the id
-   space, operand values a function of the id alone. *)
-let lg_request ~ops ~tiers id =
+   space, operand values a function of the id alone.  With [slas] the
+   tier axis is replaced by an accuracy-budget axis: requests carry an
+   SLA exponent q (round-robin over the list) and 2-component operands,
+   so every ladder starts at mf2 and the escalation mix is the swept
+   variable. *)
+let lg_request ?(slas = []) ~ops ~tiers id =
   let op = List.nth ops (id mod List.length ops) in
-  let tier = List.nth tiers (id / List.length ops mod List.length tiers) in
-  let terms = SP.tier_terms tier in
+  let sla =
+    match slas with
+    | [] -> None
+    | qs -> Some (List.nth qs (id / List.length ops mod List.length qs))
+  in
+  let tier =
+    match sla with
+    | Some _ -> SP.Mf2
+    | None -> List.nth tiers (id / List.length ops mod List.length tiers)
+  in
+  let terms = match sla with Some _ -> 2 | None -> SP.tier_terms tier in
   let element k =
     let v = 1.0 +. (Float.of_int ((id + k) mod 97) /. 97.0) in
     Array.init terms (fun j -> v *. (1e-17 ** Float.of_int j))
@@ -756,7 +769,7 @@ let lg_request ~ops ~tiers id =
         | p -> (p, vec 8 0, vec 9 8, vec 8 17))
     | SP.Stats -> ([], [||], [||], [||])
   in
-  { SP.id; op; tier; deadline_ms = None; prog; x; y; z }
+  { SP.id; op; tier; sla; deadline_ms = None; prog; x; y; z }
 
 type lg_counts = {
   mutable lg_sent : int;
@@ -809,7 +822,7 @@ type lg_conn = {
   mutable lc_alive : bool;
 }
 
-let lg_conn_make ~sockaddr ~ops ~tiers ~pipeline ~cid =
+let lg_conn_make ~sockaddr ~slas ~ops ~tiers ~pipeline ~cid =
   let fd = Unix.socket ~cloexec:true (Unix.domain_of_sockaddr sockaddr) SOCK_STREAM 0 in
   let rec connect tries =
     try Unix.connect fd sockaddr
@@ -824,7 +837,7 @@ let lg_conn_make ~sockaddr ~ops ~tiers ~pipeline ~cid =
     lc_fd = fd;
     lc_frames =
       Array.init pipeline (fun i ->
-          let req = lg_request ~ops ~tiers ((i * 131) + (cid * 17)) in
+          let req = lg_request ~slas ~ops ~tiers ((i * 131) + (cid * 17)) in
           let req = { req with SP.id = i + 1 } in
           SP.frame_of_string (Obs.Json_out.to_string_compact (SP.request_to_json req)));
     lc_tsend = Array.make (pipeline + 1) 0.0;
@@ -843,13 +856,13 @@ let lg_outstanding cn =
    set.  Write interest is registered only while a connection has
    kernel-refused bytes pending, so the steady-state poll watches
    reads alone. *)
-let lg_driver ~sockaddr ~ops ~tiers ~pipeline ~t_end ~cid0 ~nconns =
+let lg_driver ~sockaddr ~slas ~ops ~tiers ~pipeline ~t_end ~cid0 ~nconns =
   let rd = Serve.Readiness.create () in
   let conns = Hashtbl.create (2 * nconns) in
   let made = ref [] in
   (try
      for i = 0 to nconns - 1 do
-       let cn = lg_conn_make ~sockaddr ~ops ~tiers ~pipeline ~cid:(cid0 + i) in
+       let cn = lg_conn_make ~sockaddr ~slas ~ops ~tiers ~pipeline ~cid:(cid0 + i) in
        Hashtbl.replace conns (Obj.magic cn.lc_fd : int) cn;
        Serve.Readiness.add rd cn.lc_fd ~read:true ~write:false;
        made := cn :: !made
@@ -977,7 +990,7 @@ let lg_percentiles lats =
 
 (* Drive one cell: [conns] closed-loop connections against [sockaddr]
    for [duration] seconds, multiplexed over up to 16 driver threads. *)
-let lg_drive ~sockaddr ~ops ~tiers ~conns ~pipeline ~duration =
+let lg_drive ~sockaddr ~slas ~ops ~tiers ~conns ~pipeline ~duration =
   let t0 = Unix.gettimeofday () in
   let t_end = t0 +. duration in
   let nthreads = max 1 (min 16 ((conns + 255) / 256)) in
@@ -994,7 +1007,8 @@ let lg_drive ~sockaddr ~ops ~tiers ~conns ~pipeline ~duration =
       (fun i (cid0, n) ->
         Thread.create
           (fun () ->
-            results.(i) <- lg_driver ~sockaddr ~ops ~tiers ~pipeline ~t_end ~cid0 ~nconns:n)
+            results.(i) <-
+              lg_driver ~sockaddr ~slas ~ops ~tiers ~pipeline ~t_end ~cid0 ~nconns:n)
           ())
       chunks
   in
@@ -1011,7 +1025,7 @@ let lg_drive ~sockaddr ~ops ~tiers ~conns ~pipeline ~duration =
    bit-for-bit what the single-process scalar path computes.  Each
    request goes twice so a cache-enabled server answers the repeat
    from the LRU; a mismatch anywhere fails the whole loadgen run. *)
-let lg_canary ~sockaddr ~ops ~tiers ~pipeline =
+let lg_canary ~sockaddr ~slas ~ops ~tiers ~pipeline =
   let addr =
     match sockaddr with
     | Unix.ADDR_UNIX p -> Serve.Server.Unix_path p
@@ -1034,21 +1048,41 @@ let lg_canary ~sockaddr ~ops ~tiers ~pipeline =
   for i = 0 to (2 * pipeline) - 1 do
     (* i and i + pipeline build the same request: the second pass hits
        the cache when one is configured *)
-    let req = lg_request ~ops ~tiers (i mod pipeline * 131) in
+    let req = lg_request ~slas ~ops ~tiers (i mod pipeline * 131) in
     let req = { req with SP.id = i + 1 } in
     incr checked;
     match (Serve.Client.call cl req, Serve.Batcher.eval_one req) with
-    | SP.Result { result; _ }, Ok expect when bits_equal result expect -> ()
+    | SP.Result { result; chosen; _ }, Ok expect when bits_equal result expect -> (
+        (* an SLA response settled at a MultiFloat rung must also be
+           bitwise what a direct fixed-tier request at the chosen tier
+           computes (the bigfloat fallback has no fixed-tier twin) *)
+        match (req.SP.sla, chosen) with
+        | Some _, Some ("mf2" | "mf3" | "mf4" as tname) -> (
+            let terms = if tname = "mf2" then 2 else if tname = "mf3" then 3 else 4 in
+            match Serve.Batcher.eval_one (Serve.Batcher.pad_request ~terms req) with
+            | Ok twin when bits_equal result twin -> ()
+            | _ -> incr mismatches)
+        | _ -> ())
     | _ -> incr mismatches
   done;
   Serve.Client.close cl;
   (!checked, !mismatches)
 
 let loadgen_run connect workers queue duration conns_csv pipeline ops_csv tiers_csv
-    configs_csv shards_csv cache out =
+    slas_csv configs_csv shards_csv cache out =
   let module J = Check.Json_out in
   drain_on_signal ();
   let split s = String.split_on_char ',' s |> List.filter (fun p -> String.trim p <> "") in
+  let slas =
+    List.map
+      (fun s ->
+        match int_of_string_opt (String.trim s) with
+        | Some q when q >= 1 && q <= 200 -> q
+        | _ ->
+            Printf.eprintf "loadgen: bad sla exponent %s (want 1..200)\n" s;
+            exit 2)
+      (split slas_csv)
+  in
   let ops =
     List.map
       (fun name ->
@@ -1056,7 +1090,18 @@ let loadgen_run connect workers queue duration conns_csv pipeline ops_csv tiers_
         | Some SP.Stats | None ->
             Printf.eprintf "loadgen: unknown op %s\n" name;
             exit 2
-        | Some op -> op)
+        | Some op ->
+            if
+              slas <> []
+              && op <> SP.Program
+              && not (List.mem (SP.op_name op) Adaptive.Sla.supported_wire_ops)
+            then begin
+              Printf.eprintf
+                "loadgen: op %s cannot carry an sla (certifiable ops: %s)\n" name
+                (String.concat ", " Adaptive.Sla.supported_wire_ops);
+              exit 2
+            end;
+            op)
       (split ops_csv)
   in
   let tiers =
@@ -1125,14 +1170,16 @@ let loadgen_run connect workers queue duration conns_csv pipeline ops_csv tiers_
   let canary_checked = ref 0 in
   let canary_bad = ref 0 in
   let canary sockaddr =
-    let checked, bad = lg_canary ~sockaddr ~ops ~tiers ~pipeline in
+    let checked, bad = lg_canary ~sockaddr ~slas ~ops ~tiers ~pipeline in
     canary_checked := !canary_checked + checked;
     canary_bad := !canary_bad + bad
   in
   (* one cell = (max_batch, window) x shard count x connection count *)
   let run_cell (max_batch, window_us) nshards conns =
     let label = Printf.sprintf "b%d-w%g-s%d-c%d" max_batch window_us nshards conns in
-    let drive sockaddr = lg_drive ~sockaddr ~ops ~tiers ~conns ~pipeline ~duration in
+    let drive sockaddr =
+      lg_drive ~sockaddr ~slas ~ops ~tiers ~conns ~pipeline ~duration
+    in
     let (sent, ok, shed, errors, lats, wall), stats =
       match connect with
       | Some endpoint ->
@@ -1260,7 +1307,7 @@ let loadgen_run connect workers queue duration conns_csv pipeline ops_csv tiers_
     !canary_checked;
   let json =
     J.Obj
-      [ ("schema", J.Str "fpan-serve/2");
+      [ ("schema", J.Str "fpan-serve/3");
         ("mode", J.Str mode);
         ("workers", J.Num (Float.of_int workers));
         ("queue_capacity", J.Num (Float.of_int queue));
@@ -1268,6 +1315,7 @@ let loadgen_run connect workers queue duration conns_csv pipeline ops_csv tiers_
         ("duration_s", J.Num duration);
         ("ops", J.List (List.map (fun o -> J.Str (SP.op_name o)) ops));
         ("tiers", J.List (List.map (fun t -> J.Str (SP.tier_name t)) tiers));
+        ("slas", J.List (List.map (fun q -> J.Num (Float.of_int q)) slas));
         ("cells", J.List (List.map (fun (_, _, _, _, _, doc) -> doc) cells));
         ("scaling", J.List scaling);
         ( "canary",
@@ -1326,6 +1374,16 @@ let loadgen_cmd =
     Arg.(value & opt string "mf2,mf4"
          & info [ "tiers" ] ~docv:"TIERS" ~doc:"Comma-separated tier mix (mf2,mf3,mf4).")
   in
+  let slas_arg =
+    Arg.(value & opt string ""
+         & info [ "sla" ] ~docv:"Q,Q,..."
+             ~doc:
+               "Accuracy-SLA sweep: requests carry an error budget of 2^-Q \
+                (round-robin over the list) instead of a fixed tier, and the server \
+                escalates mf2 -> mf3 -> mf4 -> bigfloat until the certified bound \
+                meets each budget.  Only the certifiable ops qualify.  Empty (the \
+                default) keeps fixed-tier requests.")
+  in
   let configs_arg =
     Arg.(value & opt string "1:0,8:200,32:1000,128:3000"
          & info [ "configs" ] ~docv:"B:W,..."
@@ -1352,8 +1410,247 @@ let loadgen_cmd =
   in
   Cmd.v (Cmd.info "loadgen" ~doc)
     Term.(const loadgen_run $ connect_arg $ workers_arg $ queue_arg $ duration_arg
-          $ conns_arg $ pipeline_arg $ ops_arg $ tiers_arg $ configs_arg $ shards_arg
-          $ cache_arg $ out_arg)
+          $ conns_arg $ pipeline_arg $ ops_arg $ tiers_arg $ slas_arg $ configs_arg
+          $ shards_arg $ cache_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* adaptive: compute-path benchmark + fuzz gate of SLA-driven tier
+   escalation.  Times the escalation engine (lib/adaptive) on a
+   mixed-SLA workload against always-mf4 evaluation of the same
+   requests, records the escalation histogram, runs the Sla_fuzz
+   obligations (containment / monotonicity / bitwise identity), and
+   merges the "adaptive" block into the BENCH_serve.json that loadgen
+   writes. *)
+
+module AD = Adaptive
+
+let ad_op_of_name name =
+  match AD.Sla.of_wire ~op:(String.trim name) ~prog:[] with
+  | Some op -> op
+  | None -> (
+      (* allow the fused chains by their program spelling *)
+      match AD.Sla.of_wire ~op:"program" ~prog:(String.split_on_char ';' (String.trim name)) with
+      | Some op -> op
+      | None ->
+          Printf.eprintf "adaptive: op %s is not sla-certifiable (certifiable: %s)\n" name
+            (String.concat ", " AD.Sla.supported_wire_ops);
+          exit 2)
+
+(* Deterministic mixed-SLA workload: ops x budgets round-robin,
+   2-component operands so every ladder starts at mf2 and the budget
+   alone decides how far each request climbs. *)
+let ad_workload ~cases ~n ~ops ~slas ~seed =
+  let rng = Random.State.make [| 0xada; seed |] in
+  Array.init cases (fun i ->
+      let op = List.nth ops (i mod List.length ops) in
+      let q = List.nth slas (i / List.length ops mod List.length slas) in
+      let element ?(pos = false) () =
+        let v = Fpan.Gen.expansion rng ~n:2 ~e0_min:(-8) ~e0_max:8 () in
+        if pos && v.(0) < 0.0 then Array.map Float.neg v else v
+      in
+      let vec len = Array.init len (fun _ -> element ()) in
+      let x, y, z =
+        match op with
+        | AD.Sla.Add | AD.Sla.Mul | AD.Sla.Div -> ([| element () |], [| element () |], [||])
+        | AD.Sla.Sqrt -> ([| element ~pos:true () |], [||], [||])
+        | AD.Sla.Sum | AD.Sla.Chain [ "sum" ] -> (vec n, [||], [||])
+        | AD.Sla.Dot | AD.Sla.Chain [ "mul"; "sum" ] -> (vec n, vec n, [||])
+        | AD.Sla.Axpy -> (vec n, vec (n + 1), [||])
+        | AD.Sla.Chain _ -> (vec n, vec (n + 1), vec n)
+      in
+      (op, q, { AD.Sla.x; y; z }))
+
+let ad_best_of reps f =
+  ignore (f ());
+  let best = ref infinity in
+  for _ = 1 to Stdlib.max 1 reps do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let adaptive_run cases n ops_csv slas_csv reps fuzz_cases seed out =
+  let module J = Check.Json_out in
+  let split s = String.split_on_char ',' s |> List.filter (fun p -> String.trim p <> "") in
+  let ops = List.map ad_op_of_name (split ops_csv) in
+  let slas =
+    List.map
+      (fun s ->
+        match int_of_string_opt (String.trim s) with
+        | Some q when q >= AD.Sla.q_min && q <= AD.Sla.q_max -> q
+        | _ ->
+            Printf.eprintf "adaptive: bad sla exponent %s (want %d..%d)\n" s AD.Sla.q_min
+              AD.Sla.q_max;
+            exit 2)
+      (split slas_csv)
+  in
+  if ops = [] || slas = [] then begin
+    Printf.eprintf "adaptive: need at least one op and one sla exponent\n";
+    exit 2
+  end;
+  let work = ad_workload ~cases ~n ~ops ~slas ~seed in
+  (* one recorded pass: escalation histogram + per-(op,q) mix *)
+  let histo = Hashtbl.create 4 in
+  let mix = Hashtbl.create 16 in
+  let escalations = ref 0 in
+  Array.iter
+    (fun (op, q, inp) ->
+      match AD.Escalate.run ~q ~op inp with
+      | Error e ->
+          Printf.eprintf "adaptive: escalation failed on a generated case: %s\n" e;
+          exit 3
+      | Ok o ->
+          escalations := !escalations + o.AD.Escalate.escalations;
+          let bump tbl key =
+            match Hashtbl.find_opt tbl key with
+            | Some r -> incr r
+            | None -> Hashtbl.add tbl key (ref 1)
+          in
+          bump histo o.AD.Escalate.chosen;
+          bump mix (AD.Sla.op_name op, q))
+    work;
+  (* timed passes: the SLA-driven path vs always-mf4 over the same
+     workload.  Both sides widen the narrow client operands themselves
+     (Sla.pad, exact), exactly as the respective service paths do: the
+     comparison is "serve these requests adaptively" vs "serve these
+     requests at the top tier". *)
+  let sla_wall =
+    ad_best_of reps (fun () ->
+        Array.iter
+          (fun (op, q, inp) -> ignore (AD.Escalate.run ~q ~op inp))
+          work)
+  in
+  let mf4_wall =
+    ad_best_of reps (fun () ->
+        Array.iter
+          (fun (op, _, inp) -> ignore (AD.Eval.eval ~terms:4 op (AD.Sla.pad ~terms:4 inp)))
+          work)
+  in
+  let sla_rps = if sla_wall > 0. then Float.of_int cases /. sla_wall else 0. in
+  let mf4_rps = if mf4_wall > 0. then Float.of_int cases /. mf4_wall else 0. in
+  let speedup = if sla_wall > 0. then mf4_wall /. sla_wall else 0. in
+  let tier_order = [ "mf2"; "mf3"; "mf4"; "bigfloat" ] in
+  Printf.printf "adaptive: %d cases, %d escalations\n" cases !escalations;
+  List.iter
+    (fun t ->
+      match Hashtbl.find_opt histo t with
+      | Some r -> Printf.printf "  chosen %-9s %6d\n" t !r
+      | None -> ())
+    tier_order;
+  Printf.printf "  sla-driven %8.0f req/s   always-mf4 %8.0f req/s   speedup %.2fx\n" sla_rps
+    mf4_rps speedup;
+  (* the fuzz gate: containment, monotonicity, bitwise identity *)
+  let fz = Check.Sla_fuzz.run ~cases:fuzz_cases ~seed () in
+  Printf.printf
+    "  fuzz: %d cases, %d containment violations, %d monotonicity violations, %d bitwise \
+     mismatches\n"
+    fz.Check.Sla_fuzz.cases fz.Check.Sla_fuzz.containment_violations
+    fz.Check.Sla_fuzz.monotonicity_violations fz.Check.Sla_fuzz.bitwise_mismatches;
+  if not (Check.Sla_fuzz.passed fz) then begin
+    Printf.eprintf "adaptive: FUZZ GATE FAILED (seed %d replays it)\n" seed;
+    exit 3
+  end;
+  let block =
+    J.Obj
+      [ ("cases", J.Num (Float.of_int cases));
+        ("n", J.Num (Float.of_int n));
+        ( "mix",
+          J.List
+            (Hashtbl.fold
+               (fun (op, q) r acc -> ((op, q), !r) :: acc)
+               mix []
+             |> List.sort compare
+             |> List.map (fun ((op, q), count) ->
+                    J.Obj
+                      [ ("op", J.Str op);
+                        ("q", J.Num (Float.of_int q));
+                        ("count", J.Num (Float.of_int count)) ])) );
+        ( "escalation_histogram",
+          J.List
+            (List.filter_map
+               (fun t ->
+                 Option.map
+                   (fun r ->
+                     J.Obj
+                       [ ("chosen", J.Str t); ("count", J.Num (Float.of_int !r)) ])
+                   (Hashtbl.find_opt histo t))
+               tier_order) );
+        ("escalations", J.Num (Float.of_int !escalations));
+        ("sla_throughput_rps", J.Num sla_rps);
+        ("mf4_throughput_rps", J.Num mf4_rps);
+        ("speedup_vs_mf4", J.Num speedup);
+        ( "fuzz",
+          J.Obj
+            [ ("cases", J.Num (Float.of_int fz.Check.Sla_fuzz.cases));
+              ( "containment_violations",
+                J.Num (Float.of_int fz.Check.Sla_fuzz.containment_violations) );
+              ( "monotonicity_violations",
+                J.Num (Float.of_int fz.Check.Sla_fuzz.monotonicity_violations) );
+              ( "bitwise_mismatches",
+                J.Num (Float.of_int fz.Check.Sla_fuzz.bitwise_mismatches) ) ] ) ]
+  in
+  (* merge into the loadgen artifact, keeping every other field *)
+  let doc =
+    match J.parse_file out with
+    | Ok (J.Obj fields) ->
+        J.Obj (List.filter (fun (k, _) -> k <> "adaptive") fields @ [ ("adaptive", block) ])
+    | Ok _ | Error _ ->
+        Printf.eprintf
+          "adaptive: %s missing or unreadable -- run `fpan_tool loadgen` first to create it\n"
+          out;
+        exit 2
+  in
+  Obs.Schema.check ~name:out Obs.Schemas.bench_serve doc;
+  J.write_file out doc;
+  Printf.printf "  merged adaptive block into %s\n" out
+
+let adaptive_cmd =
+  let doc =
+    "Benchmark and fuzz SLA-driven adaptive-precision evaluation: times the escalation \
+     engine (cheapest certified tier first, mf2 -> mf3 -> mf4 -> bigfloat) on a mixed-SLA \
+     workload against always-mf4 evaluation of the same requests, records the escalation \
+     histogram, runs the certification fuzz gate (certified bounds must contain the true \
+     error, escalation must be monotone in the budget, results must match the fixed-tier \
+     path bitwise), and merges the results into the BENCH_serve.json written by loadgen."
+  in
+  let cases_arg =
+    Arg.(value & opt int 4096 & info [ "cases" ] ~docv:"N" ~doc:"Workload size per timed pass.")
+  in
+  let n_arg =
+    Arg.(value & opt int 32
+         & info [ "n" ] ~docv:"LEN" ~doc:"Vector length for the reduction ops (sum, dot, axpy, chains).")
+  in
+  let ops_arg =
+    Arg.(value & opt string "add,mul,dot,sum"
+         & info [ "ops" ] ~docv:"OPS"
+             ~doc:"Comma-separated certifiable op mix (fused chains by their program \
+                   spelling, e.g. mul;sum).")
+  in
+  let slas_arg =
+    Arg.(value & opt string "20,60,100,140,180"
+         & info [ "sla" ] ~docv:"Q,Q,..."
+             ~doc:"Error budgets 2^-Q to round-robin over the workload.")
+  in
+  let reps_arg =
+    Arg.(value & opt int 5 & info [ "reps" ] ~docv:"R" ~doc:"Timed repetitions (best-of).")
+  in
+  let fuzz_arg =
+    Arg.(value & opt int 5000
+         & info [ "fuzz-cases" ] ~docv:"N" ~doc:"Cases for the certification fuzz gate.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Deterministic workload seed.")
+  in
+  let out_arg =
+    Arg.(value & opt string "BENCH_serve.json"
+         & info [ "out"; "o" ] ~docv:"FILE"
+             ~doc:"Loadgen artifact to merge the adaptive block into.")
+  in
+  Cmd.v (Cmd.info "adaptive" ~doc)
+    Term.(const adaptive_run $ cases_arg $ n_arg $ ops_arg $ slas_arg $ reps_arg
+          $ fuzz_arg $ seed_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fuse: the cross-op fusion ablation.  --dump prints the fused wire
@@ -1642,7 +1939,7 @@ let () =
     Cmd.group ~default info
       [ list_cmd; show_cmd; check_cmd; check_all_cmd; check_n_cmd; dot_cmd; search_cmd;
         analyze_cmd; enumerate_cmd; fuzz_cmd; bench_sched_cmd; fuse_cmd; trace_cmd; serve_cmd;
-        loadgen_cmd ]
+        loadgen_cmd; adaptive_cmd ]
   in
   match Cmd.eval_value group with
   | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0

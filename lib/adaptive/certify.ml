@@ -1,0 +1,198 @@
+(* Hybrid accuracy certification.
+
+   Two certificates, tried in cost order:
+
+   - The STATIC bound costs a handful of double ops: C_op * 2^-q_tier *
+     scale, where q_tier is the tier's verified accuracy exponent
+     (Kernel.error_exp), scale is a deterministic magnitude proxy
+     computed in doubles, and C_op a generous per-op safety constant.
+     It certifies the common case without touching bignums, which is
+     what keeps SLA-driven serving faster than always-mf4.
+
+   - The BALL bound runs only when the static bound misses the
+     threshold AND the tier is the last MultiFloat rung: re-evaluate
+     the operation in Arb ball arithmetic at tier precision + 60 guard
+     bits and measure the distance from the returned expansion to the
+     ball, all under directed rounding.  It is an enclosure of the
+     true error whatever the tier kernels did.  At the cheaper rungs a
+     ball is never worth its bignum cost: the measured distance is
+     dominated by the rung's own rounding error (~2^-q_tier * scale),
+     so whenever the static certificate misses by more than its small
+     constant factor the ball would miss too — escalating one rung
+     costs far less than finding that out.  At mf4 the alternative is
+     the 400-bit bigfloat fallback, which dwarfs a ball, so there the
+     gamble pays.
+
+   Both certificates depend only on (op, tier, operands, result) — not
+   on q — so the escalation decision is monotone in the SLA by
+   construction: the threshold scale * 2^-q shrinks as q grows while
+   the per-tier bounds stay put. *)
+
+module B = Bigfloat
+module Arb = Baselines.Arb
+
+let q_of_terms = function
+  | 2 -> Multifloat.Mf2.error_exp
+  | 3 -> Multifloat.Mf3.error_exp
+  | 4 -> Multifloat.Mf4.error_exp
+  | n -> invalid_arg (Printf.sprintf "Adaptive.Certify.q_of_terms: %d" n)
+
+let prec_of_terms = function
+  | 2 -> Multifloat.Mf2.precision_bits
+  | 3 -> Multifloat.Mf3.precision_bits
+  | 4 -> Multifloat.Mf4.precision_bits
+  | n -> invalid_arg (Printf.sprintf "Adaptive.Certify.prec_of_terms: %d" n)
+
+(* Guard bits on top of the tier precision so the ball's own rounding
+   noise sits far below the error being measured. *)
+let ball_guard = 60
+
+(* --- magnitude scale ------------------------------------------------- *)
+
+let sum_abs (e : float array) = Array.fold_left (fun a c -> a +. Float.abs c) 0.0 e
+let sum_rows f rows = Array.fold_left (fun a e -> a +. f e) 0.0 rows
+
+(* Lower bound on |value of e| computable in doubles: head magnitude
+   minus the tail's magnitude sum, halved to absorb the rounding of
+   this very computation.  Nonpositive means "not provably away from
+   zero" — the caller degrades to an infinite scale (and so an
+   infinite, still-sound threshold and bound). *)
+let abs_lower (e : float array) =
+  let hd = Float.abs e.(0) in
+  let tl = ref 0.0 in
+  for i = 1 to Array.length e - 1 do
+    tl := !tl +. Float.abs e.(i)
+  done;
+  0.5 *. (hd -. !tl)
+
+let scale op (inp : Sla.inputs) =
+  match op with
+  | Sla.Add -> sum_rows sum_abs inp.x +. sum_rows sum_abs inp.y
+  | Sla.Mul -> sum_abs inp.x.(0) *. sum_abs inp.y.(0)
+  | Sla.Div ->
+      let num = sum_abs inp.x.(0) in
+      let lo = abs_lower inp.y.(0) in
+      if lo > 0.0 then num /. lo else Float.infinity
+  | Sla.Sqrt -> Float.sqrt (sum_abs inp.x.(0))
+  | Sla.Sum | Sla.Chain [ "sum" ] -> sum_rows sum_abs inp.x
+  | Sla.Dot | Sla.Chain [ "mul"; "sum" ] ->
+      let s = ref 0.0 in
+      for i = 0 to Array.length inp.x - 1 do
+        s := !s +. (sum_abs inp.x.(i) *. sum_abs inp.y.(i))
+      done;
+      !s
+  | Sla.Axpy ->
+      let a = sum_abs inp.y.(0) in
+      let m = ref 0.0 in
+      for i = 0 to Array.length inp.x - 1 do
+        let s = (a *. sum_abs inp.x.(i)) +. sum_abs inp.y.(i + 1) in
+        if s > !m then m := s
+      done;
+      !m
+  | Sla.Chain [ "axpy"; "dot" ] ->
+      (* the result carries both the dot accumulator and the updated
+         vector rows, so the scale must cover both *)
+      let a = sum_abs inp.y.(0) in
+      let acc = ref 0.0 and m = ref 0.0 in
+      for i = 0 to Array.length inp.x - 1 do
+        let s = (a *. sum_abs inp.x.(i)) +. sum_abs inp.y.(i + 1) in
+        if s > !m then m := s;
+        acc := !acc +. (s *. sum_abs inp.z.(i))
+      done;
+      Float.max !acc !m
+  | Sla.Chain c ->
+      invalid_arg
+        (Printf.sprintf "Adaptive.Certify.scale: unsupported chain %S" (String.concat ";" c))
+
+let threshold ~q ~scale = Float.ldexp scale (-q)
+
+(* --- static certificate ---------------------------------------------- *)
+
+let static_c op ~n =
+  match op with
+  | Sla.Add | Sla.Mul -> 2.0
+  | Sla.Div | Sla.Sqrt -> 16.0
+  | Sla.Sum | Sla.Dot | Sla.Chain [ "sum" ] | Sla.Chain [ "mul"; "sum" ] -> 8.0 *. n
+  | Sla.Axpy -> 8.0
+  | Sla.Chain _ -> 32.0 *. n
+
+let static_bound_scaled op ~n ~terms ~scale =
+  static_c op ~n:(float_of_int n) *. Float.ldexp scale (-q_of_terms terms)
+
+let static_bound op ~terms (inp : Sla.inputs) =
+  static_bound_scaled op
+    ~n:(max 1 (Array.length inp.x))
+    ~terms ~scale:(scale op inp)
+
+(* --- ball certificate ------------------------------------------------ *)
+
+(* Upper bound, in the Upward direction throughout, of the distance
+   between [res] (an expansion the tier kernels returned) and the ball
+   [b] enclosing the exact value: |value(res) - mid| + ulp slack for
+   converting res + rad.  The final [Float.succ] absorbs the correctly
+   rounded (possibly downward) Bigfloat.to_float. *)
+let err_row_up ~prec (b : Arb.t) (res : float array) =
+  let r = B.of_expansion ~prec res in
+  let d1 = B.sub_mode B.Upward r (Arb.mid b) in
+  let d2 = B.sub_mode B.Upward (Arb.mid b) r in
+  let d = if B.compare d1 d2 >= 0 then d1 else d2 in
+  let total = B.add_mode B.Upward (B.add_mode B.Upward d (B.ulp_bound r)) (Arb.rad b) in
+  let f = B.to_float total in
+  if Float.is_nan f then Float.infinity else Float.succ (Float.abs f)
+
+let max_rows f n =
+  let m = ref 0.0 in
+  for i = 0 to n - 1 do
+    m := Float.max !m (f i)  (* f never yields nan: err_row_up maps it to inf *)
+  done;
+  !m
+
+let ball_bound op ~prec (inp : Sla.inputs) (result : float array array) =
+  let bx i = Arb.of_expansion ~prec inp.x.(i) in
+  let by i = Arb.of_expansion ~prec inp.y.(i) in
+  let bz i = Arb.of_expansion ~prec inp.z.(i) in
+  let n = Array.length inp.x in
+  match op with
+  | Sla.Add -> err_row_up ~prec (Arb.add (bx 0) (by 0)) result.(0)
+  | Sla.Mul -> err_row_up ~prec (Arb.mul (bx 0) (by 0)) result.(0)
+  | Sla.Div -> err_row_up ~prec (Arb.div (bx 0) (by 0)) result.(0)
+  | Sla.Sqrt -> err_row_up ~prec (Arb.sqrt (bx 0)) result.(0)
+  | Sla.Sum | Sla.Chain [ "sum" ] ->
+      err_row_up ~prec (Arb.Vec.sum ~prec (Array.init n bx)) result.(0)
+  | Sla.Dot | Sla.Chain [ "mul"; "sum" ] ->
+      err_row_up ~prec (Arb.Vec.dot ~prec (Array.init n bx) (Array.init n by)) result.(0)
+  | Sla.Axpy ->
+      let rows =
+        Arb.Vec.axpy ~alpha:(by 0) ~x:(Array.init n bx)
+          ~y:(Array.init n (fun i -> by (i + 1)))
+      in
+      max_rows (fun i -> err_row_up ~prec rows.(i) result.(i)) n
+  | Sla.Chain [ "axpy"; "dot" ] ->
+      let acc, ynew =
+        Arb.Vec.axpy_dot ~prec ~alpha:(by 0) ~x:(Array.init n bx)
+          ~y:(Array.init n (fun i -> by (i + 1)))
+          ~z:(Array.init n bz)
+      in
+      Float.max
+        (err_row_up ~prec acc result.(0))
+        (max_rows (fun i -> err_row_up ~prec ynew.(i) result.(i + 1)) n)
+  | Sla.Chain c ->
+      invalid_arg
+        (Printf.sprintf "Adaptive.Certify.ball_bound: unsupported chain %S"
+           (String.concat ";" c))
+
+(* --- the certification decision -------------------------------------- *)
+
+let certify_scaled op ~terms ~q ~scale:sc (inp : Sla.inputs) (result : float array array) =
+  let thr = threshold ~q ~scale:sc in
+  let sb = static_bound_scaled op ~n:(max 1 (Array.length inp.x)) ~terms ~scale:sc in
+  if sb <= thr then (sb, true)
+  else if terms < Sla.max_terms then (sb, false)
+  else begin
+    let bb = ball_bound op ~prec:(prec_of_terms terms + ball_guard) inp result in
+    let b = if Float.is_nan sb then bb else Float.min sb bb in
+    (b, b <= thr)
+  end
+
+let certify op ~terms ~q (inp : Sla.inputs) result =
+  certify_scaled op ~terms ~q ~scale:(scale op inp) inp result

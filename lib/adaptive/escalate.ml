@@ -1,0 +1,120 @@
+(* The escalation engine: pick the cheapest rung whose static
+   certificate meets the SLA threshold (computable from the operands
+   alone, before any evaluation), evaluate there, and fall through
+   mf4's ball certificate to the bigfloat rung only when no static
+   certificate exists — mf2 -> mf3 -> mf4 -> bigfloat.
+
+   The returned result at the finally-chosen tier is exactly what the
+   tier evaluator produced for the zero-padded operands, so it is
+   bitwise identical to a direct fixed-tier request.  The bigfloat
+   fallback is the only rung with different numerics: one evaluation at
+   400 bits, rounded back to a 4-term expansion (Eq. 6), with its own
+   ball certificate. *)
+
+module B = Bigfloat
+
+type outcome = {
+  result : float array array;
+  bound : float;
+  chosen : string;  (* "mf2" | "mf3" | "mf4" | "bigfloat" *)
+  escalations : int;  (* rungs climbed past the starting tier *)
+}
+
+(* 400 bits leaves ~185 guard bits over the 4-term expansion's 215, so
+   the fallback's certificate is dominated by the final Eq. 6 rounding
+   and meets any q <= q_max for a finite scale. *)
+let big_prec = 400
+
+let bigfloat_eval op (inp : Sla.inputs) : float array array =
+  let bf e = B.of_expansion ~prec:big_prec e in
+  let out v = [| B.to_expansion ~n:Sla.max_terms v |] in
+  let x i = bf inp.x.(i) in
+  let y i = bf inp.y.(i) in
+  match op with
+  | Sla.Add -> out (B.add (x 0) (y 0))
+  | Sla.Mul -> out (B.mul (x 0) (y 0))
+  | Sla.Div -> out (B.div (x 0) (y 0))
+  | Sla.Sqrt -> out (B.sqrt (x 0))
+  | Sla.Sum | Sla.Chain [ "sum" ] ->
+      let acc = ref (B.make_zero ~prec:big_prec) in
+      for i = 0 to Array.length inp.x - 1 do
+        acc := B.add !acc (x i)
+      done;
+      out !acc
+  | Sla.Dot | Sla.Chain [ "mul"; "sum" ] ->
+      let acc = ref (B.make_zero ~prec:big_prec) in
+      for i = 0 to Array.length inp.x - 1 do
+        acc := B.add !acc (B.mul (x i) (y i))
+      done;
+      out !acc
+  | Sla.Axpy ->
+      let alpha = y 0 in
+      Array.init (Array.length inp.x) (fun i ->
+          B.to_expansion ~n:Sla.max_terms (B.add (B.mul alpha (x i)) (y (i + 1))))
+  | Sla.Chain [ "axpy"; "dot" ] ->
+      let n = Array.length inp.x in
+      let alpha = y 0 in
+      let z i = bf inp.z.(i) in
+      let ynew = Array.init n (fun i -> B.add (B.mul alpha (x i)) (y (i + 1))) in
+      let acc = ref (B.make_zero ~prec:big_prec) in
+      for i = 0 to n - 1 do
+        acc := B.add !acc (B.mul ynew.(i) (z i))
+      done;
+      Array.append
+        [| B.to_expansion ~n:Sla.max_terms !acc |]
+        (Array.map (B.to_expansion ~n:Sla.max_terms) ynew)
+  | Sla.Chain c ->
+      invalid_arg
+        (Printf.sprintf "Adaptive.Escalate: unsupported chain %S" (String.concat ";" c))
+
+let bigfloat_outcome op (inp : Sla.inputs) ~escalations =
+  let result = bigfloat_eval op inp in
+  let bound = Certify.ball_bound op ~prec:(big_prec + Certify.ball_guard) inp result in
+  { result; bound; chosen = "bigfloat"; escalations }
+
+let run ?eval ~q ~op (inputs : Sla.inputs) =
+  let eval = Option.value eval ~default:(fun ~terms inp -> Eval.eval ~terms op inp) in
+  if q < Sla.q_min || q > Sla.q_max then
+    Error (Printf.sprintf "sla %d out of range [%d, %d]" q Sla.q_min Sla.q_max)
+  else if not (Sla.finite inputs) then Error "sla requires finite operand components"
+  else
+    match Sla.width inputs with
+    | None -> Error "sla requires uniform operand element width"
+    | Some w when w > Sla.max_terms ->
+        Error (Printf.sprintf "operand width %d exceeds the widest tier" w)
+    | Some w ->
+        let start = Sla.start_terms ~width:w in
+        let sc = Certify.scale op inputs in
+        let thr = Certify.threshold ~q ~scale:sc in
+        let n = max 1 (Array.length inputs.x) in
+        (* the static certificate depends only on the operands, so the
+           ladder jumps straight to its cheapest admissible rung
+           instead of evaluating (and discarding) the rungs below —
+           this is what keeps a mixed-SLA workload cheaper than
+           always-mf4 serving *)
+        let rec pick terms =
+          if terms > Sla.max_terms then None
+          else if Certify.static_bound_scaled op ~n ~terms ~scale:sc <= thr then
+            Some terms
+          else pick (terms + 1)
+        in
+        (match pick start with
+        | Some terms ->
+            let result = eval ~terms (Sla.pad ~terms inputs) in
+            Ok
+              { result;
+                bound = Certify.static_bound_scaled op ~n ~terms ~scale:sc;
+                chosen = Sla.tier_name_of_terms terms;
+                escalations = terms - start }
+        | None ->
+            (* no rung certifies statically: the last MultiFloat rung
+               may still pass under its ball certificate before the
+               bigfloat fallback *)
+            let terms = Sla.max_terms in
+            let result = eval ~terms (Sla.pad ~terms inputs) in
+            let bound, met = Certify.certify_scaled op ~terms ~q ~scale:sc inputs result in
+            if met then
+              Ok
+                { result; bound; chosen = Sla.tier_name_of_terms terms;
+                  escalations = terms - start }
+            else Ok (bigfloat_outcome op inputs ~escalations:(terms - start + 1)))

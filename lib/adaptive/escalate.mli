@@ -1,0 +1,36 @@
+(** The escalation engine: jump to the cheapest rung whose static
+    certificate ({!Certify.static_bound}, computable from the operands
+    alone) meets the SLA threshold, evaluate only there, and fall
+    through mf4's ball certificate to the bigfloat fallback when no
+    rung certifies statically — mf2 → mf3 → mf4 → bigfloat. *)
+
+type outcome = {
+  result : float array array;
+      (** At a tier rung: exactly the tier evaluator's output for the
+          zero-padded operands — bitwise identical to a direct
+          fixed-tier request.  At the bigfloat rung: each value rounded
+          to a 4-term expansion (Eq. 6). *)
+  bound : float;  (** Certified absolute error enclosure of [result]. *)
+  chosen : string;  (** ["mf2"] | ["mf3"] | ["mf4"] | ["bigfloat"]. *)
+  escalations : int;  (** Rungs climbed past the starting tier. *)
+}
+
+val big_prec : int
+(** Working precision of the bigfloat fallback (400 bits). *)
+
+val bigfloat_eval : Sla.op -> Sla.inputs -> float array array
+
+val bigfloat_outcome : Sla.op -> Sla.inputs -> escalations:int -> outcome
+(** The final rung packaged as an outcome: ball-certified at
+    [big_prec] + guard bits, [chosen = "bigfloat"]. *)
+
+val run :
+  ?eval:(terms:int -> Sla.inputs -> float array array) ->
+  q:int ->
+  op:Sla.op ->
+  Sla.inputs ->
+  (outcome, string) result
+(** Run the ladder for an SLA of [2^-q].  [eval] defaults to
+    {!Eval.eval}; the serving layer passes its own (bitwise-identical)
+    batched evaluator.  Errors on out-of-range [q], non-finite or
+    non-uniform operands. *)

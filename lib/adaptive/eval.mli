@@ -1,0 +1,8 @@
+(** Canonical scalar tier evaluator for the certifiable ops — the same
+    accumulation orders as the serving layer's scalar reference path,
+    so results are bitwise what a fixed-tier request would return
+    (fpan_tool's adaptive fuzz gate pins the equivalence). *)
+
+val eval : terms:int -> Sla.op -> Sla.inputs -> float array array
+(** Evaluate at the tier with [terms] components.  The operands must
+    already be padded to [terms]-wide elements ({!Sla.pad}). *)

@@ -1,0 +1,62 @@
+(** Vocabulary of the adaptive-precision subsystem.
+
+    An SLA is an absolute-error budget in units of [2^-q]: the server
+    must return a result whose certified absolute error is at most
+    [Certify.scale * 2^-q].  Only the certifiable core operations
+    qualify; the transcendentals and poly-eval carry no per-op error
+    theorem and cannot be requested under an SLA. *)
+
+type op =
+  | Add
+  | Mul
+  | Div
+  | Sqrt
+  | Sum
+  | Dot
+  | Axpy
+  | Chain of string list
+      (** One of the fused wire-program chains: [["sum"]],
+          [["mul"; "sum"]], or [["axpy"; "dot"]]. *)
+
+type inputs = {
+  x : float array array;
+  y : float array array;
+  z : float array array;
+}
+
+val q_min : int
+val q_max : int
+(** Accepted SLA range: [1..200].  200 keeps the bigfloat fallback
+    (whose 4-term output carries ~2^-210 relative error) able to meet
+    every admissible budget. *)
+
+val chains : string list list
+val op_name : op -> string
+
+val of_wire : op:string -> prog:string list -> op option
+(** Map a wire op name (+ program chain) to an SLA op; [None] for the
+    uncertifiable ops. *)
+
+val supported_wire_ops : string list
+
+val width : inputs -> int option
+(** Uniform element width across all operands, or [None] when elements
+    disagree (or there are none). *)
+
+val finite : inputs -> bool
+
+val min_terms : int
+val max_terms : int
+
+val start_terms : width:int -> int
+(** First rung of the escalation ladder: the cheapest tier that holds
+    the operands without truncation. *)
+
+val tier_name_of_terms : int -> string
+
+val pad_element : terms:int -> float array -> float array
+(** Exact widening by zero components; raises on an attempt to narrow. *)
+
+val pad : terms:int -> inputs -> inputs
+(** Returns the inputs unchanged (no copy) when every element already
+    has [terms] components. *)

@@ -75,6 +75,38 @@ let sqrt a =
     { mid = m; rad = r_add (Bigfloat.round_to ~prec:rad_prec prop) (mid_err m) }
   end
 
+let of_expansion ~prec comps =
+  let m = Bigfloat.of_expansion ~prec comps in
+  if Bigfloat.is_zero m && Array.for_all (fun c -> c = 0.0) comps then
+    { mid = m; rad = zero_rad ~prec }
+  else { mid = m; rad = mid_err m }
+
+(* Vectorized ball evaluation: the enclosure twins of the fused planar
+   wire-program chains the serve layer runs (sum, mul;sum = dot,
+   axpy;dot).  Each is a plain fold over ball ops — the fold order is
+   irrelevant to the enclosure invariant, so these certify the planar
+   kernels' results no matter how the FPAN staged the gates. *)
+module Vec = struct
+  let ball_zero ~prec = { mid = Bigfloat.make_zero ~prec; rad = zero_rad ~prec }
+
+  let sum ~prec (x : t array) =
+    Array.fold_left add (ball_zero ~prec) x
+
+  let dot ~prec (x : t array) (y : t array) =
+    let acc = ref (ball_zero ~prec) in
+    for i = 0 to Array.length x - 1 do
+      acc := add !acc (mul x.(i) y.(i))
+    done;
+    !acc
+
+  let axpy ~alpha ~(x : t array) ~(y : t array) =
+    Array.init (Array.length x) (fun i -> add (mul alpha x.(i)) y.(i))
+
+  let axpy_dot ~prec ~alpha ~(x : t array) ~(y : t array) ~(z : t array) =
+    let ynew = axpy ~alpha ~x ~y in
+    (dot ~prec ynew z, ynew)
+end
+
 let contains b x =
   let d = Bigfloat.abs (Bigfloat.sub (Bigfloat.round_to ~prec:(Bigfloat.prec b.mid + 30) b.mid) x) in
   Bigfloat.compare d (Bigfloat.round_to ~prec:(Bigfloat.prec b.mid + 30) b.rad) <= 0

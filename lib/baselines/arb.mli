@@ -21,6 +21,13 @@ val of_float : prec:int -> float -> t
 val of_string : prec:int -> string -> t
 (** Ball enclosing the decimal (radius one ulp of the parse). *)
 
+val of_expansion : prec:int -> float array -> t
+(** Ball enclosing the exact sum of the expansion's components (the
+    value an FPAN element denotes).  The radius is one ulp of the
+    midpoint — an enclosure whether or not [prec] sufficed for the
+    conversion to be exact — and collapses to 0 for the all-zero
+    expansion. *)
+
 val make : mid:Bigfloat.t -> rad:Bigfloat.t -> t
 val mid : t -> Bigfloat.t
 val rad : t -> Bigfloat.t
@@ -32,6 +39,20 @@ val div : t -> t -> t
 
 val sqrt : t -> t
 val neg : t -> t
+
+(** Vectorized ball evaluation — the enclosure twins of the planar
+    wire-program chains the serve layer batches ([sum], [mul;sum] =
+    dot, [axpy;dot]).  Fold order does not matter for enclosure, so
+    these certify the planar kernels' results regardless of how the
+    FPAN staged the gates. *)
+module Vec : sig
+  val sum : prec:int -> t array -> t
+  val dot : prec:int -> t array -> t array -> t
+  val axpy : alpha:t -> x:t array -> y:t array -> t array
+  val axpy_dot :
+    prec:int -> alpha:t -> x:t array -> y:t array -> z:t array -> t * t array
+  (** Returns [(dot (alpha*x + y) z, alpha*x + y)]. *)
+end
 
 val contains_float : t -> float -> bool
 val contains : t -> Bigfloat.t -> bool

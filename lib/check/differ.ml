@@ -20,12 +20,14 @@ type kind =
   | Nonfinite_result
   | Overlapping_output
   | Batch_mismatch
+  | Containment_violated
 
 let kind_name = function
   | Bound_exceeded -> "bound-exceeded"
   | Nonfinite_result -> "nonfinite-result"
   | Overlapping_output -> "overlapping-output"
   | Batch_mismatch -> "batch-mismatch"
+  | Containment_violated -> "containment-violated"
 
 type finding = {
   impl : string;
@@ -153,6 +155,43 @@ let gated_failure impl op ~shape ~q ~len inputs =
         else None
       end
 
+(* The containment obligation of a ball-arithmetic row: the exact
+   result must lie inside the returned ball.  The oracle distance is a
+   float ratio accurate to ~2^-50 relative, so the radius gets a hair
+   of multiplicative slack to keep the check sound. *)
+let ball_abs_distance op ~shape inputs (mid : float array) =
+  match (op, shape) with
+  | Corpus.Add, Sc2 -> Some (Oracle.add_abs ~x:inputs.(0) ~y:inputs.(1) ~got:mid)
+  | Corpus.Sub, Sc2 -> Some (Oracle.sub_abs ~x:inputs.(0) ~y:inputs.(1) ~got:mid)
+  | Corpus.Mul, Sc2 -> Some (Oracle.mul_abs ~x:inputs.(0) ~y:inputs.(1) ~got:mid)
+  | Corpus.Dot, Vdot ->
+      let n = Array.length inputs / 2 in
+      Some (Oracle.dot_abs ~x:(Array.sub inputs 0 n) ~y:(Array.sub inputs n n) ~got:mid)
+  | _ -> None
+
+let containment_failure impl op ~shape inputs =
+  match impl.Impls.ball with
+  | None -> None
+  | Some surface -> (
+      match (try surface op inputs with _ -> None) with
+      | None -> None
+      | Some b -> (
+          if not (Array.for_all Float.is_finite b.Impls.b_mid) then
+            if b.Impls.b_rad = Float.infinity then None
+            else Some (Containment_violated, b.Impls.b_mid, Float.infinity)
+          else
+            match ball_abs_distance op ~shape inputs b.Impls.b_mid with
+            | None -> None
+            | Some dist ->
+                if dist <= b.Impls.b_rad *. (1. +. 1e-9) +. Float.ldexp 1.0 (-1070)
+                then None
+                else
+                  Some
+                    ( Containment_violated,
+                      b.Impls.b_mid,
+                      (if b.Impls.b_rad > 0.0 then dist /. b.Impls.b_rad
+                       else Float.infinity) )))
+
 let batch_mismatch impl ref_impl op ~shape inputs =
   let ra = run impl op ~shape inputs and rb = run ref_impl op ~shape inputs in
   match (ra, rb) with
@@ -170,7 +209,9 @@ let still_fails impl ~ref_impl op ~shape ~q ~len inputs =
   (match ref_impl with
   | Some r -> batch_mismatch impl r op ~shape inputs <> None
   | None -> false)
-  || (valid_gated_inputs op ~shape inputs && gated_failure impl op ~shape ~q ~len inputs <> None)
+  || (valid_gated_inputs op ~shape inputs
+      && (gated_failure impl op ~shape ~q ~len inputs <> None
+          || containment_failure impl op ~shape inputs <> None))
 
 let emit sink impl op ~cls ~shape ~q ~len ~ref_impl (kind, got, ulps) inputs =
   let finding = { impl = impl.Impls.name; op; cls; kind; inputs; got; ulps } in
@@ -225,6 +266,15 @@ let drive sink ~impls ~q ~op ~cls ~shape ~len (inputs : float array array) =
             end
           end)
     results;
+  (* Containment obligations: ball-arithmetic rows must enclose the
+     exact result (specials abstain along with the oracle). *)
+  if oracle_on then
+    List.iter
+      (fun impl ->
+        match containment_failure impl op ~shape inputs with
+        | None -> ()
+        | Some failure -> emit sink impl op ~cls ~shape ~q ~len ~ref_impl:None failure inputs)
+      impls;
   (* Bitwise obligations: each batch implementation against its twin. *)
   List.iter
     (fun (impl, res) ->

@@ -11,6 +11,9 @@ type kind =
   | Nonfinite_result    (** NaN/Inf (or an exception) on finite gated inputs *)
   | Overlapping_output  (** result expansion violates nonoverlap *)
   | Batch_mismatch      (** planar path differs bitwise from its scalar twin *)
+  | Containment_violated
+      (** a ball-arithmetic row's certified radius fails to enclose the
+          exact result *)
 
 val kind_name : kind -> string
 

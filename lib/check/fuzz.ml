@@ -145,7 +145,8 @@ let sloppy_mutant =
   let wrap c = { Baselines.Qd_dd.hi = c.(0); lo = c.(1) } in
   { Impls.name = "mutant-sloppy-dd"; terms = 2; gated = true; bitref = None;
     add = Some (fun x y -> Baselines.Qd_dd.components (Baselines.Qd_dd.sloppy_add (wrap x) (wrap y)));
-    sub = None; mul = None; div = None; sqrt_ = None; dot = None; axpy = None; gemv = None }
+    sub = None; mul = None; div = None; sqrt_ = None; dot = None; axpy = None; gemv = None;
+    ball = None }
 
 let self_test () =
   let q = Impls.q_of_terms 2 in

@@ -15,6 +15,12 @@
 
 type vec = float array array
 
+(* A ball-arithmetic enclosure: midpoint as an expansion plus a
+   certified absolute radius.  Rows carrying a ball surface are under
+   the *containment* obligation — the exact result must lie within
+   [b_rad] of [b_mid] — instead of the ulp gate. *)
+type ball = { b_mid : float array; b_rad : float }
+
 type t = {
   name : string;
   terms : int;
@@ -29,6 +35,9 @@ type t = {
   dot : (vec -> vec -> float array) option;
   axpy : (alpha:float array -> x:vec -> y:vec -> vec) option;
   gemv : (m:int -> n:int -> a:vec -> x:vec -> vec) option;
+  ball : (Corpus.op -> vec -> ball option) option;
+      (* operands in the differ's flat shape for the op; [None] for ops
+         the ball surface does not enclose *)
 }
 
 let q_of_terms = function
@@ -58,7 +67,7 @@ module Lift (A : ARITH) = struct
   let vout = Array.map A.to_expansion
 
   let impl ~name ~terms ~gated =
-    { name; terms; gated; bitref = None;
+    { name; terms; gated; bitref = None; ball = None;
       add = Some (lift2 A.add);
       sub = Some (lift2 A.sub);
       mul = Some (lift2 A.mul);
@@ -100,7 +109,7 @@ struct
     N.to_expansion (V.get dst 0)
 
   let impl ~name ~terms ~bitref =
-    { name; terms; gated = true; bitref = Some bitref;
+    { name; terms; gated = true; bitref = Some bitref; ball = None;
       add = Some (lift2 V.add);
       sub = Some (lift2 V.sub);
       mul = Some (lift2 V.mul);
@@ -206,6 +215,49 @@ struct
   let sqrt_opt = Some P.sqrt
 end
 
+(* Arb ball arithmetic: the enclosure twin of each tier, audited under
+   the containment obligation (the exact result must lie inside the
+   returned ball) rather than the ulp gate.  The midpoint is exported
+   at terms+1 components — lossless for the working precision — and
+   the radius absorbs both the ball's own radius and the midpoint's
+   export rounding (one ulp step of slack). *)
+module ArbBall (T : sig
+  val terms : int
+end) =
+struct
+  module A = Baselines.Arb
+
+  let prec = 53 * T.terms
+
+  let wrap = A.of_expansion ~prec
+
+  let ball_of (b : A.t) =
+    let rad = Float.abs (Bigfloat.to_float b.A.rad) in
+    let rad = if Float.is_nan rad then Float.infinity else Float.succ rad in
+    Some { b_mid = Bigfloat.to_expansion ~n:(T.terms + 1) b.A.mid; b_rad = rad }
+
+  let surface op (inputs : vec) =
+    match op with
+    | Corpus.Add -> ball_of (A.add (wrap inputs.(0)) (wrap inputs.(1)))
+    | Corpus.Sub -> ball_of (A.sub (wrap inputs.(0)) (wrap inputs.(1)))
+    | Corpus.Mul -> ball_of (A.mul (wrap inputs.(0)) (wrap inputs.(1)))
+    | Corpus.Dot ->
+        let n = Array.length inputs / 2 in
+        let x = Array.map wrap (Array.sub inputs 0 n) in
+        let y = Array.map wrap (Array.sub inputs n n) in
+        ball_of (A.Vec.dot ~prec x y)
+    | _ -> None
+
+  let impl ~name =
+    { name; terms = T.terms; gated = false; bitref = None;
+      add = None; sub = None; mul = None; div = None; sqrt_ = None;
+      dot = None; axpy = None; gemv = None; ball = Some surface }
+end
+
+module Arb106 = ArbBall (struct let terms = 2 end)
+module Arb159 = ArbBall (struct let terms = 3 end)
+module Arb212 = ArbBall (struct let terms = 4 end)
+
 module QddS = Lift (QddA)
 module QqdS = Lift (QqdA)
 module Campary2S = Lift (CamparyA (Blas.Instances.Campary2))
@@ -224,15 +276,18 @@ module Fpu208S =
 let all =
   [ Mf2S.impl ~name:"mf2" ~terms:2 ~gated:true;
     Mf2B.impl ~name:"mf2-batch" ~terms:2 ~bitref:"mf2";
+    Arb106.impl ~name:"arb106";
     QddS.impl ~name:"qd-dd" ~terms:2 ~gated:false;
     Campary2S.impl ~name:"campary2" ~terms:2 ~gated:false;
     Fpu103S.impl ~name:"fpu103" ~terms:2 ~gated:false;
     Mf3S.impl ~name:"mf3" ~terms:3 ~gated:true;
     Mf3B.impl ~name:"mf3-batch" ~terms:3 ~bitref:"mf3";
+    Arb159.impl ~name:"arb159";
     Campary3S.impl ~name:"campary3" ~terms:3 ~gated:false;
     Fpu156S.impl ~name:"fpu156" ~terms:3 ~gated:false;
     Mf4S.impl ~name:"mf4" ~terms:4 ~gated:true;
     Mf4B.impl ~name:"mf4-batch" ~terms:4 ~bitref:"mf4";
+    Arb212.impl ~name:"arb212";
     QqdS.impl ~name:"qd-qd" ~terms:4 ~gated:false;
     Campary4S.impl ~name:"campary4" ~terms:4 ~gated:false;
     Fpu208S.impl ~name:"fpu208" ~terms:4 ~gated:false

@@ -12,6 +12,13 @@
 
 type vec = float array array
 
+(** A ball-arithmetic enclosure: midpoint expansion plus a certified
+    absolute radius.  Rows exporting a [ball] surface (the Arb twins
+    arb106/arb159/arb212) carry a {e containment} obligation — the
+    exact result must lie within [b_rad] of [b_mid] — checked by the
+    differ against the exact oracle. *)
+type ball = { b_mid : float array; b_rad : float }
+
 type t = {
   name : string;
   terms : int;
@@ -25,6 +32,7 @@ type t = {
   dot : (vec -> vec -> float array) option;
   axpy : (alpha:float array -> x:vec -> y:vec -> vec) option;
   gemv : (m:int -> n:int -> a:vec -> x:vec -> vec) option;
+  ball : (Corpus.op -> vec -> ball option) option;
 }
 
 val q_of_terms : int -> int

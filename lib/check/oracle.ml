@@ -42,6 +42,16 @@ let add_err ~x ~y ~got = err_vs ~reference:(Exact.sum (value x) (value y)) ~got
 let sub_err ~x ~y ~got = err_vs ~reference:(Exact.sum (value x) (Exact.neg (value y))) ~got
 let mul_err ~x ~y ~got = err_vs ~reference:(Exact.mul (value x) (value y)) ~got
 
+(* Absolute distances |reference - got| (same ~2^-50-relative float
+   approximation as the ratios): the yardstick for the ball-arithmetic
+   containment obligation, whose certified radius is absolute. *)
+
+let abs_vs ~reference ~got = approx_abs (Exact.sum reference (Exact.neg (value got)))
+
+let add_abs ~x ~y ~got = abs_vs ~reference:(Exact.sum (value x) (value y)) ~got
+let sub_abs ~x ~y ~got = abs_vs ~reference:(Exact.sum (value x) (Exact.neg (value y))) ~got
+let mul_abs ~x ~y ~got = abs_vs ~reference:(Exact.mul (value x) (value y)) ~got
+
 let div_err ~x ~y ~got =
   let residual = Exact.sum (Exact.mul (value got) (value y)) (Exact.neg (value x)) in
   ratio ~num:(approx_abs residual) ~den:(approx_abs (value x))
@@ -72,6 +82,10 @@ let dot_err ~x ~y ~got =
   let reference, mag = dot_refs ~x ~y in
   let diff = Exact.sum reference (Exact.neg (value got)) in
   ratio ~num:(approx_abs diff) ~den:(approx_abs mag)
+
+let dot_abs ~x ~y ~got =
+  let reference, _ = dot_refs ~x ~y in
+  abs_vs ~reference ~got
 
 let axpy_elt_refs ~alpha ~x ~y =
   let p = Exact.mul (value alpha) (value x) in

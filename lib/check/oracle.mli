@@ -34,3 +34,14 @@ val axpy_err :
 val gemv_err :
   m:int -> n:int -> a:float array array -> x:float array array -> got:float array array -> float
 (** Max rowwise error ([a] is the row-major [m*n] element array). *)
+
+(** {1 Absolute distances}
+
+    [|reference - got|] as a float, accurate to ~2^-50 relative: the
+    yardstick for ball-arithmetic containment, whose certified radius
+    is an absolute error. *)
+
+val add_abs : x:float array -> y:float array -> got:float array -> float
+val sub_abs : x:float array -> y:float array -> got:float array -> float
+val mul_abs : x:float array -> y:float array -> got:float array -> float
+val dot_abs : x:float array array -> y:float array array -> got:float array -> float

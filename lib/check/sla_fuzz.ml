@@ -1,0 +1,106 @@
+(* Fuzz campaign for the adaptive-precision escalation engine
+   (lib/adaptive): random certifiable ops, operand widths, and SLA
+   exponents, three obligations per case —
+
+   - containment: a high-precision ball enclosure of the true absolute
+     error must sit within the certified bound the engine returned
+     (the oracle precision leaves ~2^-1150 of slack against bounds
+     that are never tighter than ~2^-460, so a flagged case is a real
+     certification bug, not oracle noise);
+   - monotonicity: raising q (shrinking the budget) must never choose
+     a *cheaper* tier — both certificates are q-independent, so the
+     chosen rung is non-decreasing in q by construction, and this
+     pins it;
+   - bitwise identity: an outcome settled at a MultiFloat rung must
+     equal the direct fixed-tier evaluation of the zero-padded
+     operands bit for bit.
+
+   Deterministic in (seed, cases): CI failures replay locally. *)
+
+module Sla = Adaptive.Sla
+
+type report = {
+  cases : int;
+  containment_violations : int;
+  monotonicity_violations : int;
+  bitwise_mismatches : int;
+  errors : int;
+}
+
+let passed r =
+  r.containment_violations = 0 && r.monotonicity_violations = 0
+  && r.bitwise_mismatches = 0 && r.errors = 0
+
+(* Far above the bigfloat fallback's certification precision (460
+   bits), so the oracle's own enclosure error is negligible against
+   every bound the engine can return. *)
+let oracle_prec = 1200
+
+let tier_rank = function "mf2" -> 0 | "mf3" -> 1 | "mf4" -> 2 | _ -> 3
+
+let terms_of_tier = function "mf2" -> Some 2 | "mf3" -> Some 3 | "mf4" -> Some 4 | _ -> None
+
+let bits_eq_rows a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun ea eb ->
+         Array.length ea = Array.length eb
+         && Array.for_all2
+              (fun u v -> Int64.equal (Int64.bits_of_float u) (Int64.bits_of_float v))
+              ea eb)
+       a b
+
+let all_ops =
+  [ Sla.Add; Sla.Mul; Sla.Div; Sla.Sqrt; Sla.Sum; Sla.Dot; Sla.Axpy;
+    Sla.Chain [ "sum" ]; Sla.Chain [ "mul"; "sum" ]; Sla.Chain [ "axpy"; "dot" ] ]
+
+let gen_case rng ~width i =
+  let op = List.nth all_ops (i mod List.length all_ops) in
+  let element ?(pos = false) () =
+    let v = Fpan.Gen.expansion rng ~n:width ~e0_min:(-20) ~e0_max:20 () in
+    if pos && v.(0) < 0.0 then Array.map Float.neg v else v
+  in
+  let vec n = Array.init n (fun _ -> element ()) in
+  let n = 2 + Random.State.int rng 5 in
+  let x, y, z =
+    match op with
+    | Sla.Add | Sla.Mul | Sla.Div -> ([| element () |], [| element () |], [||])
+    | Sla.Sqrt -> ([| element ~pos:true () |], [||], [||])
+    | Sla.Sum | Sla.Chain [ "sum" ] -> (vec n, [||], [||])
+    | Sla.Dot | Sla.Chain [ "mul"; "sum" ] -> (vec n, vec n, [||])
+    | Sla.Axpy -> (vec n, vec (n + 1), [||])  (* y.(0) is alpha *)
+    | Sla.Chain _ -> (vec n, vec (n + 1), vec n)
+  in
+  (op, { Sla.x; y; z })
+
+let run ?(cases = 2000) ?(seed = 42) () =
+  let rng = Random.State.make [| 0x51a; seed |] in
+  let cont = ref 0 and mono = ref 0 and bits = ref 0 and errs = ref 0 in
+  for i = 0 to cases - 1 do
+    let width = 1 + Random.State.int rng Sla.max_terms in
+    let op, inp = gen_case rng ~width i in
+    let q1 = Sla.q_min + Random.State.int rng (Sla.q_max - Sla.q_min + 1) in
+    let q2 = Stdlib.min Sla.q_max (q1 + 1 + Random.State.int rng 60) in
+    match Adaptive.Escalate.run ~q:q1 ~op inp with
+    | Error _ -> incr errs
+    | Ok o1 -> (
+        let true_err_up =
+          Adaptive.Certify.ball_bound op ~prec:oracle_prec inp
+            o1.Adaptive.Escalate.result
+        in
+        if not (true_err_up <= o1.Adaptive.Escalate.bound) then incr cont;
+        (match terms_of_tier o1.Adaptive.Escalate.chosen with
+        | Some terms ->
+            let direct = Adaptive.Eval.eval ~terms op (Sla.pad ~terms inp) in
+            if not (bits_eq_rows direct o1.Adaptive.Escalate.result) then incr bits
+        | None -> ());
+        match Adaptive.Escalate.run ~q:q2 ~op inp with
+        | Error _ -> incr errs
+        | Ok o2 ->
+            if
+              tier_rank o2.Adaptive.Escalate.chosen
+              < tier_rank o1.Adaptive.Escalate.chosen
+            then incr mono)
+  done;
+  { cases; containment_violations = !cont; monotonicity_violations = !mono;
+    bitwise_mismatches = !bits; errors = !errs }

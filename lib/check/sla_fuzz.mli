@@ -1,0 +1,23 @@
+(** Fuzz gate for the adaptive-precision escalation engine
+    ({!Adaptive.Escalate}): random certifiable ops, operand widths and
+    SLA exponents; per case the certified bound must contain the true
+    error (high-precision ball oracle), escalation must be monotone in
+    [q], and MultiFloat-rung outcomes must be bitwise identical to the
+    direct fixed-tier evaluation of the padded operands.
+
+    Deterministic in [(seed, cases)]. *)
+
+type report = {
+  cases : int;
+  containment_violations : int;
+      (** certified bound failed to contain the true error *)
+  monotonicity_violations : int;
+      (** a larger q chose a cheaper tier than a smaller q *)
+  bitwise_mismatches : int;
+      (** outcome differed from the fixed-tier twin evaluation *)
+  errors : int;  (** {!Adaptive.Escalate.run} rejected a generated case *)
+}
+
+val passed : report -> bool
+
+val run : ?cases:int -> ?seed:int -> unit -> report

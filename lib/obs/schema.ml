@@ -12,6 +12,7 @@ type t =
   | Int  (* a number with an integral value *)
   | Str
   | Str_const of string
+  | Str_enum of string list  (* one of a closed set of strings *)
   | List of t  (* homogeneous array *)
   | Obj of field list
   | One_of of t list
@@ -28,6 +29,7 @@ let rec describe = function
   | Int -> "integer"
   | Str -> "string"
   | Str_const s -> Printf.sprintf "%S" s
+  | Str_enum ss -> String.concat " | " (List.map (Printf.sprintf "%S") ss)
   | List _ -> "array"
   | Obj _ -> "object"
   | One_of ts -> String.concat " | " (List.map describe ts)
@@ -68,6 +70,12 @@ let validate spec json =
     | Str, Json_out.Str _ -> ()
     | Str_const want, Json_out.Str got ->
         if got <> want then err rev (Printf.sprintf "expected %S, got %S" want got)
+    | Str_enum wants, Json_out.Str got ->
+        if not (List.mem got wants) then
+          err rev
+            (Printf.sprintf "expected one of %s, got %S"
+               (String.concat ", " (List.map (Printf.sprintf "%S") wants))
+               got)
     | List elt, Json_out.List items ->
         List.iteri (fun i item -> go (Sidx i :: rev) elt item) items
     | Obj fields, Json_out.Obj kvs ->

@@ -12,6 +12,7 @@ type t =
   | Int  (** a number with an integral value *)
   | Str
   | Str_const of string
+  | Str_enum of string list  (** one of a closed set of strings *)
   | List of t  (** homogeneous array *)
   | Obj of field list
   | One_of of t list

@@ -143,12 +143,19 @@ let check_report =
    (exact transport: Json_out numbers turn inf/nan into null). *)
 let hex_elements = List (List Str)
 
+(* Wire frames accept both generations: fpan-serve/1 is the fixed-tier
+   protocol, fpan-serve/2 adds the adaptive-precision fields — an [sla]
+   exponent instead of a tier on requests, and the chosen tier plus the
+   certified error bound (hex-float string) on results. *)
+let serve_schema_versions = Str_enum [ "fpan-serve/1"; "fpan-serve/2" ]
+
 let serve_request =
   Obj
-    [ Req ("schema", Str_const "fpan-serve/1");
+    [ Req ("schema", serve_schema_versions);
       Req ("id", Int);
       Req ("op", Str);
       Opt ("tier", Str);
+      Opt ("sla", Int);
       Opt ("deadline_ms", Num);
       Opt ("prog", List Str);
       Opt ("x", hex_elements);
@@ -157,11 +164,13 @@ let serve_request =
 
 let serve_response =
   Obj
-    [ Req ("schema", Str_const "fpan-serve/1");
+    [ Req ("schema", serve_schema_versions);
       Req ("id", Int);
       Req ("status", Str);
       Opt ("result", hex_elements);
       Opt ("batch", Int);
+      Opt ("chosen", Str_enum [ "mf2"; "mf3"; "mf4"; "bigfloat" ]);
+      Opt ("bound", Str);
       Opt ("reason", Str);
       Opt ("error", Str);
       Opt ("stats", Any) ]
@@ -169,21 +178,32 @@ let serve_response =
 let serve_batch_histogram = List (Obj [ Req ("size", Int); Req ("count", Int) ])
 
 (* Stats and bench documents moved to fpan-serve/2 with the sharded /
-   cached serving layer: readiness backend + connection counters + the
-   response-cache block on stats; shard sweeps, the scaling curve, the
-   bitwise canary, and p95 on the bench.  The wire request/response
-   frames above stay fpan-serve/1 — the protocol itself is unchanged. *)
+   cached serving layer, and to fpan-serve/3 with adaptive-precision
+   serving: per-kind cache counters, the SLA escalation block on stats,
+   and the adaptive bench block on BENCH_serve.json. *)
 let serve_cache_stats =
   Obj
     [ Req ("capacity", Int);
       Req ("hits", Int);
       Req ("misses", Int);
       Req ("size", Int);
-      Req ("evictions", Int) ]
+      Req ("evictions", Int);
+      Req
+        ( "by_kind",
+          List (Obj [ Req ("kind", Str); Req ("hits", Int); Req ("misses", Int) ]) ) ]
+
+let serve_escalation_histogram =
+  List (Obj [ Req ("chosen", Str); Req ("count", Int) ])
+
+let serve_sla_stats =
+  Obj
+    [ Req ("requests", Int);
+      Req ("escalations", Int);
+      Req ("chosen", serve_escalation_histogram) ]
 
 let serve_stats =
   Obj
-    [ Req ("schema", Str_const "fpan-serve/2");
+    [ Req ("schema", Str_const "fpan-serve/3");
       Req ("backend", Str);
       Req ("accepted", Int);
       Req ("adopted_conns", Int);
@@ -199,6 +219,7 @@ let serve_stats =
       Req ("queue_depth", Int);
       Req ("queue_max_depth", Int);
       Req ("cache", serve_cache_stats);
+      Req ("sla", serve_sla_stats);
       Req ("batch_histogram", serve_batch_histogram);
       Req ("sched", List worker_row) ]
 
@@ -232,9 +253,32 @@ let serve_scaling_point =
       Req ("conns", Int);
       Req ("throughput_rps", Num) ]
 
+(* The adaptive block: compute-path throughput of SLA-driven serving
+   against always-mf4 at equal delivered accuracy, the escalation
+   histogram over the mixed-SLA workload, and the fuzz gate counters
+   (containment against the exact oracle, monotonicity in q, bitwise
+   identity with the fixed-tier path). *)
+let serve_adaptive_block =
+  Obj
+    [ Req ("cases", Int);
+      Req ("n", Int);
+      Req ("mix", List (Obj [ Req ("op", Str); Req ("q", Int); Req ("count", Int) ]));
+      Req ("escalation_histogram", serve_escalation_histogram);
+      Req ("escalations", Int);
+      Req ("sla_throughput_rps", Num);
+      Req ("mf4_throughput_rps", Num);
+      Req ("speedup_vs_mf4", Num);
+      Req
+        ( "fuzz",
+          Obj
+            [ Req ("cases", Int);
+              Req ("containment_violations", Int);
+              Req ("monotonicity_violations", Int);
+              Req ("bitwise_mismatches", Int) ] ) ]
+
 let bench_serve =
   Obj
-    [ Req ("schema", Str_const "fpan-serve/2");
+    [ Req ("schema", Str_const "fpan-serve/3");
       Req ("mode", Str);
       Req ("workers", Int);
       Req ("queue_capacity", Int);
@@ -242,10 +286,12 @@ let bench_serve =
       Req ("duration_s", Num);
       Req ("ops", List Str);
       Req ("tiers", List Str);
+      Opt ("slas", List Int);
       Req ("cells", List serve_cell);
       Req ("scaling", List serve_scaling_point);
       Req ("canary", Obj [ Req ("checked", Int); Req ("mismatches", Int) ]);
-      Req ("batching_speedup", num_or_null) ]
+      Req ("batching_speedup", num_or_null);
+      Opt ("adaptive", serve_adaptive_block) ]
 
 (* --- BENCH_fuse.json (fpan-bench-fuse/1) ---------------------------- *)
 

@@ -16,8 +16,9 @@ val check_report : Schema.t
 
 val serve_request : Schema.t
 (** One request frame of the serving wire protocol, schema id
-    [fpan-serve/1].  The server validates every inbound frame against
-    this before decoding. *)
+    [fpan-serve/1] (fixed tier) or [fpan-serve/2] (adaptive: [sla]
+    exponent instead of a tier).  The server validates every inbound
+    frame against this before decoding. *)
 
 val serve_response : Schema.t
 (** One response frame of the serving wire protocol. *)

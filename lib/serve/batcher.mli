@@ -4,13 +4,19 @@
     A dedicated domain pops up to [max_batch] requests per cycle
     (waiting at most [window_ns] after the first to let the batch
     fill), sheds the ones whose deadline already passed, groups the
-    rest by (op, tier), and executes each group as {e one} batched
-    planar kernel call on the shared {!Runtime.Sched} — elementwise
-    ops pack operands into {!Multifloat.Batch} planes, per-request ops
-    (dot, axpy, sum, poly-eval, program) fan out over the group with
-    [parallel_for]; a [program] request's fused chain runs as one
-    single-pass wire-program kernel.  Results scatter back through each
-    request's reply callback.
+    rest by (op, tier, sla?), and executes each group as {e one}
+    batched planar kernel call on the shared {!Runtime.Sched} —
+    elementwise ops pack operands into {!Multifloat.Batch} planes,
+    per-request ops (dot, axpy, sum, poly-eval, program) fan out over
+    the group with [parallel_for]; a [program] request's fused chain
+    runs as one single-pass wire-program kernel.  Results scatter back
+    through each request's reply callback.
+
+    SLA requests form escalation cohorts per (op, starting tier): the
+    whole pending subset is batch-evaluated per tier, each element
+    certified against its own budget ({!Adaptive.Certify.certify}),
+    and only the failing subset — a per-element escalation mask —
+    climbs to the next rung (bigfloat fallback last).
 
     Responses are bitwise identical to the scalar path ({!eval_one})
     for every op and tier: the packed ops ride the planar kernels'
@@ -33,6 +39,11 @@ type stats = {
   shed_deadline : int;
   errors : int;
   histogram : (int * int) list;  (** batch size -> count, ascending *)
+  sla_requests : int;  (** requests that carried an accuracy SLA *)
+  sla_escalations : int;  (** total ladder rungs climbed past starting tiers *)
+  sla_chosen : (string * int) list;
+      (** escalation histogram: finally-chosen tier -> count, in ladder
+          order mf2, mf3, mf4, bigfloat *)
 }
 
 type t
@@ -62,4 +73,17 @@ val stats : t -> stats
 val eval_one : Protocol.request -> (float array array, string) result
 (** The scalar path: evaluate one request with the scalar MultiFloat
     kernels, no batching, no scheduler.  Tests pin the served batched
-    responses bitwise against this. *)
+    responses bitwise against this.  For SLA requests this runs the
+    full escalation ladder ({!eval_adaptive}) and returns its result. *)
+
+val eval_adaptive : Protocol.request -> (Adaptive.Escalate.outcome, string) result
+(** Scalar escalation reference for an SLA request: each ladder rung
+    evaluated by that tier's own scalar kernels.  The served cohort
+    path makes the same certification decisions over the same
+    (bitwise-identical) batched results, so its responses match this
+    outcome exactly. *)
+
+val pad_request : terms:int -> Protocol.request -> Protocol.request
+(** The fixed-tier twin of an SLA request at one ladder rung: operands
+    zero-padded (exact) to the rung's width, the sla dropped — the
+    request whose direct evaluation the SLA path matches bitwise. *)

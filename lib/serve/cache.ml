@@ -5,9 +5,18 @@
 
 module P = Protocol
 
+(* The cached value carries everything the reply needs: for SLA
+   requests the chosen tier and certified bound replay along with the
+   result, so a hit is byte-identical to the miss that populated it. *)
+type value = {
+  result : float array array;
+  chosen : string option;
+  bound : float option;
+}
+
 type node = {
   key : string;
-  mutable value : float array array;
+  mutable value : value;
   mutable prev : node option;  (* toward MRU *)
   mutable next : node option;  (* toward LRU *)
 }
@@ -21,9 +30,18 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  by_kind : (string, int ref * int ref) Hashtbl.t;  (* kind -> (hits, misses) *)
 }
 
-type stats = { hits : int; misses : int; size : int; evictions : int }
+type kind_stats = { kind : string; k_hits : int; k_misses : int }
+
+type stats = {
+  hits : int;
+  misses : int;
+  size : int;
+  evictions : int;
+  by_kind : kind_stats list;
+}
 
 let hit_ctr = Obs.Metrics.counter "serve.cache_hit"
 let miss_ctr = Obs.Metrics.counter "serve.cache_miss"
@@ -38,6 +56,7 @@ let create ~capacity =
     hits = 0;
     misses = 0;
     evictions = 0;
+    by_kind = Hashtbl.create 16;
   }
 
 let disabled = create ~capacity:0
@@ -70,6 +89,13 @@ let cacheable_op = function
   | P.Dot | P.Axpy | P.Sum | P.Poly_eval | P.Program -> true
   | P.Stats -> false
 
+(* The stats kind a request's traffic is attributed to; SLA-keyed
+   entries are distinguishable from fixed-tier ones per op. *)
+let kind_of_request (r : P.request) =
+  match r.P.sla with
+  | None -> P.op_name r.P.op
+  | Some _ -> "sla:" ^ P.op_name r.P.op
+
 let key_of_request (r : P.request) =
   if
     (not (cacheable_op r.P.op))
@@ -82,6 +108,14 @@ let key_of_request (r : P.request) =
     Buffer.add_string b (P.op_name r.P.op);
     Buffer.add_char b '/';
     Buffer.add_string b (P.tier_name r.P.tier);
+    (* the SLA class is part of the identity: a loose-bound entry must
+       never answer a tighter-bound request (and the operands below are
+       the unpadded wire operands, so tier alone cannot disambiguate) *)
+    (match r.P.sla with
+    | None -> ()
+    | Some q ->
+        Buffer.add_string b "/sla";
+        Buffer.add_string b (string_of_int q));
     List.iter
       (fun step ->
         Buffer.add_char b ';';
@@ -107,19 +141,30 @@ let key_of_request (r : P.request) =
 
 (* --- operations ------------------------------------------------------ *)
 
-let find t key =
+let kind_cell (t : t) kind =
+  match Hashtbl.find_opt t.by_kind kind with
+  | Some cell -> cell
+  | None ->
+      let cell = (ref 0, ref 0) in
+      Hashtbl.add t.by_kind kind cell;
+      cell
+
+let find ?(kind = "other") t key =
   if t.cap < 1 then None
   else begin
     Mutex.lock t.lock;
+    let kh, km = kind_cell t kind in
     let r =
       match Hashtbl.find_opt t.tbl key with
       | Some n ->
           unlink t n;
           push_mru t n;
           t.hits <- t.hits + 1;
+          incr kh;
           Some n.value
       | None ->
           t.misses <- t.misses + 1;
+          incr km;
           None
     in
     Mutex.unlock t.lock;
@@ -154,9 +199,15 @@ let add t key value =
 
 let stats t =
   Mutex.lock t.lock;
+  let by_kind =
+    Hashtbl.fold
+      (fun kind (kh, km) acc -> { kind; k_hits = !kh; k_misses = !km } :: acc)
+      t.by_kind []
+    |> List.sort (fun a b -> compare a.kind b.kind)
+  in
   let s =
     { hits = t.hits; misses = t.misses; size = Hashtbl.length t.tbl;
-      evictions = t.evictions }
+      evictions = t.evictions; by_kind }
   in
   Mutex.unlock t.lock;
   s

@@ -29,19 +29,41 @@ val disabled : t
 
 val capacity : t -> int
 
-type stats = { hits : int; misses : int; size : int; evictions : int }
+type value = {
+  result : float array array;
+  chosen : string option;
+      (** SLA entries: the tier that met the budget, replayed on hits. *)
+  bound : float option;  (** SLA entries: the certified error bound. *)
+}
+
+type kind_stats = { kind : string; k_hits : int; k_misses : int }
+
+type stats = {
+  hits : int;
+  misses : int;
+  size : int;
+  evictions : int;
+  by_kind : kind_stats list;  (** per-request-kind counters, sorted by kind *)
+}
 
 val stats : t -> stats
+
+val kind_of_request : Protocol.request -> string
+(** The stats kind a request's lookups are attributed to: the op name,
+    prefixed with ["sla:"] for SLA requests. *)
 
 val key_of_request : Protocol.request -> string option
 (** [None] when the request is not cacheable (stats, vector ops with
     large operands, or any request carrying a deadline — a deadline
-    makes the reply timing-dependent, so it must travel the queue). *)
+    makes the reply timing-dependent, so it must travel the queue).
+    For SLA requests the key includes the SLA exponent, so a
+    loose-bound entry never answers a tighter-bound request. *)
 
-val find : t -> string -> float array array option
-(** LRU touch on hit.  Counts a hit or a miss. *)
+val find : ?kind:string -> t -> string -> value option
+(** LRU touch on hit.  Counts a hit or a miss, both globally and under
+    [kind] (default ["other"]). *)
 
-val add : t -> string -> float array array -> unit
+val add : t -> string -> value -> unit
 (** Insert (or refresh) a binding, evicting the least-recently-used
     entry when at capacity. *)
 

@@ -100,6 +100,7 @@ let stats t =
       P.id = fresh_id t;
       op = P.Stats;
       tier = P.Mf2;
+      sla = None;
       deadline_ms = None;
       prog = [];
       x = [||];

@@ -58,6 +58,9 @@ type request = {
   id : int;
   op : op;
   tier : tier;
+      (* for SLA requests: the derived starting tier of the escalation
+         ladder (the cheapest tier holding the operands untruncated) *)
+  sla : int option;  (* accuracy SLA exponent q: absolute error <= scale * 2^-q *)
   deadline_ms : float option;
   prog : string list;
   x : float array array;
@@ -66,7 +69,13 @@ type request = {
 }
 
 type response =
-  | Result of { id : int; result : float array array; batch : int }
+  | Result of {
+      id : int;
+      result : float array array;
+      batch : int;
+      chosen : string option;  (* SLA requests: the tier that met the budget *)
+      bound : float option;  (* SLA requests: certified absolute error bound *)
+    }
   | Shed of { id : int; reason : string }
   | Failed of { id : int; error : string }
   | Stats_reply of { id : int; stats : J.t }
@@ -134,16 +143,43 @@ let elements_of_json ~terms v =
       in
       go 0 els
 
+(* flexible-width decode for SLA operands: each element at its own
+   observed width; uniformity and the 1..4 range are checked by the
+   request validator *)
+let elements_of_json_flex v =
+  match J.to_list v with
+  | None -> Error "operand is not an array"
+  | Some els ->
+      let out = Array.make (List.length els) [||] in
+      let rec go i = function
+        | [] -> Ok out
+        | e :: rest -> (
+            match J.to_list e with
+            | None -> Error "operand element is not an array"
+            | Some comps -> (
+                match element_of_json ~terms:(List.length comps) e with
+                | Ok c ->
+                    out.(i) <- c;
+                    go (i + 1) rest
+                | Error _ as err -> err))
+      in
+      go 0 els
+
 (* --- request -------------------------------------------------------- *)
 
+(* fpan-serve/1 is the fixed-tier protocol; frames carrying the
+   adaptive-precision fields (sla / chosen / bound) are fpan-serve/2 *)
 let schema_field = ("schema", J.Str "fpan-serve/1")
+let schema_field_v2 = ("schema", J.Str "fpan-serve/2")
 
 let request_to_json r =
   J.Obj
-    ([ schema_field;
+    ([ (if r.sla = None then schema_field else schema_field_v2);
        ("id", J.Num (float_of_int r.id));
-       ("op", J.Str (op_name r.op));
-       ("tier", J.Str (tier_name r.tier)) ]
+       ("op", J.Str (op_name r.op)) ]
+    @ (match r.sla with
+      | None -> [ ("tier", J.Str (tier_name r.tier)) ]
+      | Some q -> [ ("sla", J.Num (float_of_int q)) ])
     @ (match r.deadline_ms with None -> [] | Some d -> [ ("deadline_ms", J.Num d) ])
     @ (if r.prog = [] then []
        else [ ("prog", J.List (List.map (fun s -> J.Str s) r.prog)) ])
@@ -171,24 +207,31 @@ let request_of_json doc =
             | None -> Error (Printf.sprintf "unknown op %S" name))
         | _ -> Error "missing op"
       in
-      let* tier =
-        match J.member "tier" doc with
-        | Some (J.Str name) -> (
+      let sla = int_member "sla" doc in
+      let* tier_opt =
+        match (J.member "tier" doc, sla) with
+        | Some _, Some _ -> Error "sla and tier are mutually exclusive"
+        | Some (J.Str name), None -> (
             match tier_of_name name with
-            | Some t -> Ok t
+            | Some t -> Ok (Some t)
             | None -> Error (Printf.sprintf "unknown tier %S" name))
-        | None -> if op = Stats then Ok Mf2 else Error "missing tier"
-        | Some _ -> Error "tier is not a string"
+        | Some _, None -> Error "tier is not a string"
+        | None, Some _ -> Ok None
+        | None, None -> if op = Stats then Ok (Some Mf2) else Error "missing tier"
       in
-      let terms = tier_terms tier in
-      let operand key =
+      let operand decode key =
         match J.member key doc with
         | None -> Ok [||]
-        | Some v -> elements_of_json ~terms v
+        | Some v -> decode v
       in
-      let* x = operand "x" in
-      let* y = operand "y" in
-      let* z = operand "z" in
+      let decode =
+        match tier_opt with
+        | Some tier -> elements_of_json ~terms:(tier_terms tier)
+        | None -> elements_of_json_flex
+      in
+      let* x = operand decode "x" in
+      let* y = operand decode "y" in
+      let* z = operand decode "z" in
       let* prog =
         match J.member "prog" doc with
         | None -> Ok []
@@ -257,18 +300,48 @@ let request_of_json doc =
                 | Poly_eval -> if ny = 1 then Ok () else Error "poly-eval wants a 1-element point y"
                 | Program | Stats -> Ok ()))
       in
-      Ok { id; op; tier; deadline_ms; prog; x; y; z }
+      let* tier =
+        match (tier_opt, sla) with
+        | Some t, _ -> Ok t
+        | None, None -> assert false
+        | None, Some q ->
+            (* an SLA stands in for the tier: validate the budget, the
+               op's certifiability, and the operand shape, then start
+               the ladder at the cheapest tier holding the operands *)
+            if q < Adaptive.Sla.q_min || q > Adaptive.Sla.q_max then
+              Error
+                (Printf.sprintf "sla %d out of range [%d, %d]" q Adaptive.Sla.q_min
+                   Adaptive.Sla.q_max)
+            else if Adaptive.Sla.of_wire ~op:(op_name op) ~prog = None then
+              Error
+                (Printf.sprintf "op %s cannot carry an sla (certifiable ops: %s)"
+                   (op_name op)
+                   (String.concat ", " Adaptive.Sla.supported_wire_ops))
+            else if not (Adaptive.Sla.finite { Adaptive.Sla.x; y; z }) then
+              Error "sla requires finite operand components"
+            else (
+              match Adaptive.Sla.width { Adaptive.Sla.x; y; z } with
+              | Some w when w <= Adaptive.Sla.max_terms -> (
+                  match Adaptive.Sla.start_terms ~width:w with
+                  | 2 -> Ok Mf2
+                  | 3 -> Ok Mf3
+                  | _ -> Ok Mf4)
+              | _ -> Error "sla operands must have a uniform element width of 1..4 components")
+      in
+      Ok { id; op; tier; sla; deadline_ms; prog; x; y; z }
 
 (* --- response ------------------------------------------------------- *)
 
 let response_to_json = function
-  | Result { id; result; batch } ->
+  | Result { id; result; batch; chosen; bound } ->
       J.Obj
-        [ schema_field;
-          ("id", J.Num (float_of_int id));
-          ("status", J.Str "ok");
-          ("result", elements_to_json result);
-          ("batch", J.Num (float_of_int batch)) ]
+        ([ (if chosen = None && bound = None then schema_field else schema_field_v2);
+           ("id", J.Num (float_of_int id));
+           ("status", J.Str "ok");
+           ("result", elements_to_json result);
+           ("batch", J.Num (float_of_int batch)) ]
+        @ (match chosen with None -> [] | Some c -> [ ("chosen", J.Str c) ])
+        @ match bound with None -> [] | Some b -> [ ("bound", J.Str (float_to_wire b)) ])
   | Shed { id; reason } ->
       J.Obj
         [ schema_field;
@@ -320,7 +393,16 @@ let response_of_json doc =
                       in
                       let* result = go [] els in
                       let batch = Option.value ~default:1 (int_member "batch" doc) in
-                      Ok (Result { id; result; batch }))
+                      let chosen = Option.bind (J.member "chosen" doc) J.to_str in
+                      let* bound =
+                        match Option.bind (J.member "bound" doc) J.to_str with
+                        | None -> Ok None
+                        | Some s -> (
+                            match float_of_wire s with
+                            | Some b -> Ok (Some b)
+                            | None -> Error (Printf.sprintf "bad bound %S" s))
+                      in
+                      Ok (Result { id; result; batch; chosen; bound }))
               | None -> Error "ok response carries neither result nor stats"))
       | Some "shed" ->
           let reason =

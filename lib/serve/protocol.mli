@@ -1,5 +1,7 @@
 (** Wire protocol of the batched evaluation service: length-prefixed
-    JSON frames, schema [fpan-serve/1].
+    JSON frames, schema [fpan-serve/1] — or [fpan-serve/2] for frames
+    carrying the adaptive-precision fields ([sla] on requests,
+    [chosen] / [bound] on results).
 
     A frame is a 4-byte big-endian payload length followed by one JSON
     document.  Requests name an operation, a precision tier, and
@@ -61,6 +63,15 @@ type request = {
   id : int;  (** client-chosen correlation id, echoed in the response *)
   op : op;
   tier : tier;
+      (** For SLA requests (decoded from an [fpan-serve/2] frame that
+          carries [sla] instead of [tier]): the derived starting tier
+          of the escalation ladder — the cheapest tier holding the
+          operands without truncation. *)
+  sla : int option;
+      (** Accuracy SLA exponent [q]: the certified absolute error of
+          the response must be at most [Certify.scale * 2^-q].  Only
+          the certifiable ops qualify ({!Adaptive.Sla.of_wire});
+          mutually exclusive with an explicit wire [tier]. *)
   deadline_ms : float option;  (** serving budget from arrival; shed after *)
   prog : string list;  (** fused chain for [Program]; empty otherwise *)
   x : float array array;  (** elements x components *)
@@ -69,7 +80,16 @@ type request = {
 }
 
 type response =
-  | Result of { id : int; result : float array array; batch : int }
+  | Result of {
+      id : int;
+      result : float array array;
+      batch : int;
+      chosen : string option;
+          (** SLA requests: the rung that met the budget — ["mf2"],
+              ["mf3"], ["mf4"], or ["bigfloat"]. *)
+      bound : float option;
+          (** SLA requests: the certified absolute error bound. *)
+    }
       (** [batch] is the size of the micro-batch the request executed in. *)
   | Shed of { id : int; reason : string }
       (** Explicit refusal: ["queue_full"], ["deadline"], or ["closed"]. *)

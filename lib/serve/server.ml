@@ -189,7 +189,7 @@ let stats_doc t =
   Mutex.unlock t.lock;
   let num n = J.Num (float_of_int n) in
   J.Obj
-    [ ("schema", J.Str "fpan-serve/2");
+    [ ("schema", J.Str "fpan-serve/3");
       ("backend", J.Str t.backend_name);
       ("accepted", num accepted);
       ("adopted_conns", num adopted);
@@ -210,7 +210,26 @@ let stats_doc t =
             ("hits", num c.Cache.hits);
             ("misses", num c.Cache.misses);
             ("size", num c.Cache.size);
-            ("evictions", num c.Cache.evictions) ] );
+            ("evictions", num c.Cache.evictions);
+            ( "by_kind",
+              J.List
+                (List.map
+                   (fun (k : Cache.kind_stats) ->
+                     J.Obj
+                       [ ("kind", J.Str k.Cache.kind);
+                         ("hits", num k.Cache.k_hits);
+                         ("misses", num k.Cache.k_misses) ])
+                   c.Cache.by_kind) ) ] );
+      ( "sla",
+        J.Obj
+          [ ("requests", num b.Batcher.sla_requests);
+            ("escalations", num b.Batcher.sla_escalations);
+            ( "chosen",
+              J.List
+                (List.map
+                   (fun (tier, count) ->
+                     J.Obj [ ("chosen", J.Str tier); ("count", num count) ])
+                   b.Batcher.sla_chosen) ) ] );
       ( "batch_histogram",
         J.List
           (List.map
@@ -240,7 +259,8 @@ let admit t conn (req : P.request) cache_key =
            response *)
         fun resp ->
           (match resp with
-          | P.Result { result; _ } -> Cache.add t.cache key result
+          | P.Result { result; chosen; bound; _ } ->
+              Cache.add t.cache key { Cache.result; chosen; bound }
           | _ -> ());
           enqueue t conn resp
   in
@@ -279,9 +299,10 @@ let handle_frame t conn payload =
             if Cache.capacity t.cache >= 1 then Cache.key_of_request req else None
           with
           | Some key as cache_key -> (
-              match Cache.find t.cache key with
-              | Some result ->
-                  send t conn (P.Result { id = req.P.id; result; batch = 1 })
+              match Cache.find ~kind:(Cache.kind_of_request req) t.cache key with
+              | Some { Cache.result; chosen; bound } ->
+                  send t conn
+                    (P.Result { id = req.P.id; result; batch = 1; chosen; bound })
               | None -> admit t conn req cache_key)
           | None -> admit t conn req None)));
   if tr then Obs.Trace.end_span ()

@@ -42,6 +42,7 @@ let test_serve_wire_schemas () =
       P.id = 7;
       op = P.Dot;
       tier = P.Mf2;
+      sla = None;
       deadline_ms = Some 12.5;
       prog = [];
       x = [| [| 1.5; 1e-18 |]; [| -0.25; 0.0 |] |];
@@ -54,6 +55,7 @@ let test_serve_wire_schemas () =
       P.id = 8;
       op = P.Program;
       tier = P.Mf2;
+      sla = None;
       deadline_ms = None;
       prog = [ "axpy"; "dot" ];
       x = [| [| 1.5; 1e-18 |] |];
@@ -73,7 +75,11 @@ let test_serve_wire_schemas () =
     (fun resp ->
       S.check ~name:"serve response" Obs.Schemas.serve_response
         (J.parse_exn (J.to_string_compact (P.response_to_json resp))))
-    [ P.Result { id = 7; result = [| [| 4.5; 0.0 |] |]; batch = 3 };
+    [ P.Result
+        { id = 7; result = [| [| 4.5; 0.0 |] |]; batch = 3; chosen = None; bound = None };
+      P.Result
+        { id = 10; result = [| [| 4.5; 0.0 |] |]; batch = 1; chosen = Some "mf3";
+          bound = Some 2.5e-40 };
       P.Shed { id = 8; reason = "queue_full" };
       P.Failed { id = 9; error = "boom" } ]
 

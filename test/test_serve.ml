@@ -32,18 +32,21 @@ let specials =
 
 let test_request_roundtrip () =
   let reqs =
-    [ { P.id = 7; op = P.Add; tier = P.Mf2; deadline_ms = Some 12.5; prog = [];
+    [ { P.id = 7; op = P.Add; tier = P.Mf2; sla = None; deadline_ms = Some 12.5; prog = [];
         x = [| [| 1.0; 4.9e-324 |] |]; y = [| [| Float.nan; -0.0 |] |]; z = [||] };
-      { P.id = 8; op = P.Dot; tier = P.Mf3; deadline_ms = None; prog = [];
+      { P.id = 8; op = P.Dot; tier = P.Mf3; sla = None; deadline_ms = None; prog = [];
         x = [| [| Float.infinity; 0.0; -0.0 |]; [| 1.0; 1e-300; 4.9e-324 |] |];
         y = [| [| -1.0; 2.0; 3.0 |]; [| Float.neg_infinity; 0.5; -0.25 |] |]; z = [||] };
-      { P.id = 9; op = P.Sqrt; tier = P.Mf4; deadline_ms = None; prog = [];
+      { P.id = 9; op = P.Sqrt; tier = P.Mf4; sla = None; deadline_ms = None; prog = [];
         x = [| [| 2.0; 1e-17; 1e-34; 4.9e-324 |] |]; y = [||]; z = [||] };
-      { P.id = 10; op = P.Program; tier = P.Mf2; deadline_ms = None;
+      { P.id = 10; op = P.Program; tier = P.Mf2; sla = None; deadline_ms = None;
         prog = [ "axpy"; "dot" ];
         x = [| [| 1.0; 4.9e-324 |] |];
         y = [| [| 2.0; -0.0 |]; [| 0.5; 1e-300 |] |];
-        z = [| [| Float.nan; 3.0 |] |] } ]
+        z = [| [| Float.nan; 3.0 |] |] };
+      (* an sla request: v2 frame, tier derived from the operand width *)
+      { P.id = 11; op = P.Mul; tier = P.Mf2; sla = Some 80; deadline_ms = None; prog = [];
+        x = [| [| 1.5; 4.9e-324 |] |]; y = [| [| 0.75; -0.0 |] |]; z = [||] } ]
   in
   List.iter
     (fun r ->
@@ -54,6 +57,7 @@ let test_request_roundtrip () =
           Alcotest.(check int) "id" r.P.id r'.P.id;
           Alcotest.(check string) "op" (P.op_name r.P.op) (P.op_name r'.P.op);
           Alcotest.(check string) "tier" (P.tier_name r.P.tier) (P.tier_name r'.P.tier);
+          Alcotest.(check (option int)) "sla" r.P.sla r'.P.sla;
           Alcotest.(check (list string)) "prog" r.P.prog r'.P.prog;
           check_elements "x" r.P.x r'.P.x;
           check_elements "y" r.P.y r'.P.y;
@@ -62,7 +66,8 @@ let test_request_roundtrip () =
   (* every special double survives the hex transport bitwise *)
   let x = Array.map (fun f -> [| f; 0.0 |]) specials in
   let r =
-    { P.id = 1; op = P.Sum; tier = P.Mf2; deadline_ms = None; prog = []; x; y = [||]; z = [||] }
+    { P.id = 1; op = P.Sum; tier = P.Mf2; sla = None; deadline_ms = None; prog = []; x;
+      y = [||]; z = [||] }
   in
   match P.request_of_json (J.parse_exn (J.to_string (P.request_to_json r))) with
   | Error e -> Alcotest.fail e
@@ -70,7 +75,13 @@ let test_request_roundtrip () =
 
 let test_response_roundtrip () =
   let resps =
-    [ P.Result { id = 3; result = Array.map (fun f -> [| f; -0.0 |]) specials; batch = 17 };
+    [ P.Result
+        { id = 3; result = Array.map (fun f -> [| f; -0.0 |]) specials; batch = 17;
+          chosen = None; bound = None };
+      (* an sla response: chosen tier + certified bound ride the frame *)
+      P.Result
+        { id = 6; result = [| [| 1.5; 4.9e-324 |] |]; batch = 1; chosen = Some "mf2";
+          bound = Some 1.25e-30 };
       P.Shed { id = 4; reason = "queue_full" };
       P.Failed { id = 5; error = "no such op" } ]
   in
@@ -83,7 +94,13 @@ let test_response_roundtrip () =
           match (resp, got) with
           | P.Result a, P.Result b ->
               check_elements "result" a.result b.result;
-              Alcotest.(check int) "batch" a.batch b.batch
+              Alcotest.(check int) "batch" a.batch b.batch;
+              Alcotest.(check (option string)) "chosen" a.chosen b.chosen;
+              Alcotest.(check bool) "bound bitwise" true
+                (match (a.bound, b.bound) with
+                | None, None -> true
+                | Some u, Some v -> Int64.equal (bits u) (bits v)
+                | _ -> false)
           | P.Shed a, P.Shed b -> Alcotest.(check string) "reason" a.reason b.reason
           | P.Failed a, P.Failed b -> Alcotest.(check string) "error" a.error b.error
           | _ -> Alcotest.fail "response kind changed in flight"))
@@ -105,7 +122,17 @@ let test_request_validation () =
     {|{"schema":"fpan-serve/1","id":1,"op":"mul","tier":"mf2","x":[["0x1p+0","0x0p+0"]]}|};
   reject "unknown key"
     {|{"schema":"fpan-serve/1","id":1,"op":"stats","junk":true}|};
-  reject "bad schema" {|{"schema":"fpan-serve/2","id":1,"op":"stats"}|};
+  reject "bad schema" {|{"schema":"fpan-serve/9","id":1,"op":"stats"}|};
+  reject "sla and tier together"
+    {|{"schema":"fpan-serve/2","id":1,"op":"add","tier":"mf2","sla":80,"x":[["0x1p+0","0x0p+0"]],"y":[["0x1p+0","0x0p+0"]]}|};
+  reject "sla on an uncertifiable op"
+    {|{"schema":"fpan-serve/2","id":1,"op":"exp","sla":80,"x":[["0x1p+0","0x0p+0"]]}|};
+  reject "sla out of range"
+    {|{"schema":"fpan-serve/2","id":1,"op":"add","sla":500,"x":[["0x1p+0","0x0p+0"]],"y":[["0x1p+0","0x0p+0"]]}|};
+  reject "sla with non-uniform operand widths"
+    {|{"schema":"fpan-serve/2","id":1,"op":"add","sla":80,"x":[["0x1p+0","0x0p+0"]],"y":[["0x1p+0"]]}|};
+  reject "sla with non-finite operands"
+    {|{"schema":"fpan-serve/2","id":1,"op":"add","sla":80,"x":[["inf"]],"y":[["0x1p+0"]]}|};
   reject "axpy length mismatch"
     {|{"schema":"fpan-serve/1","id":1,"op":"axpy","tier":"mf2","x":[["0x1p+0","0x0p+0"]],"y":[["0x1p+0","0x0p+0"]]}|};
   reject "unknown program chain"
@@ -172,11 +199,27 @@ let test_deframer_large_frame () =
 
 (* --- server fixture -------------------------------------------------- *)
 
+let sock_dir =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fpan_serve_%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o700 with Unix.Unix_error (EEXIST, _, _) -> ());
+  at_exit (fun () ->
+      (try
+         Array.iter
+           (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+           (Sys.readdir dir)
+       with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  dir
+
 let sock_counter = ref 0
 
 let fresh_sock () =
   incr sock_counter;
-  Printf.sprintf "serve_test_%d_%d.sock" (Unix.getpid ()) !sock_counter
+  Filename.concat sock_dir
+    (Printf.sprintf "serve_test_%d_%d.sock" (Unix.getpid ()) !sock_counter)
 
 let with_server ?queue_capacity ?max_batch ?window_us f =
   let path = fresh_sock () in
@@ -189,8 +232,8 @@ let with_server ?queue_capacity ?max_batch ?window_us f =
         ~finally:(fun () -> Serve.Server.stop srv)
         (fun () -> f srv (Serve.Server.Unix_path path)))
 
-let mk_req ?deadline_ms ?(prog = []) ?(z = [||]) ~id ~op ~tier ~x ~y () =
-  { P.id; op; tier; deadline_ms; prog; x; y; z }
+let mk_req ?sla ?deadline_ms ?(prog = []) ?(z = [||]) ~id ~op ~tier ~x ~y () =
+  { P.id; op; tier; sla; deadline_ms; prog; x; y; z }
 
 let stats_int doc k =
   match Option.bind (J.member k doc) J.to_num with
@@ -306,6 +349,107 @@ let test_batches_form () =
               0 resps
           in
           Alcotest.(check bool) "micro-batches formed" true (max_batch_seen > 1)))
+
+(* --- adaptive SLA requests through the server ------------------------ *)
+
+let sla_requests () =
+  (* mixed ops and budgets over width-2 operands (the ladder starts at
+     mf2 for all of them, so the budget alone drives escalation) *)
+  let e i k =
+    let v = 1.0 +. (float_of_int ((17 * i) + k) /. 64.0) in
+    [| v; v *. 1e-18 |]
+  in
+  let next = ref 0 in
+  let fresh () = incr next; !next in
+  List.concat_map
+    (fun q ->
+      [ mk_req ~sla:q ~id:(fresh ()) ~op:P.Add ~tier:P.Mf2 ~x:[| e 1 0 |]
+          ~y:[| e 2 1 |] ();
+        mk_req ~sla:q ~id:(fresh ()) ~op:P.Mul ~tier:P.Mf2 ~x:[| e 3 0 |]
+          ~y:[| e 4 1 |] ();
+        mk_req ~sla:q ~id:(fresh ()) ~op:P.Div ~tier:P.Mf2 ~x:[| e 5 0 |]
+          ~y:[| e 6 1 |] ();
+        mk_req ~sla:q ~id:(fresh ()) ~op:P.Dot ~tier:P.Mf2
+          ~x:(Array.init 4 (fun i -> e i 0))
+          ~y:(Array.init 4 (fun i -> e i 1))
+          ();
+        mk_req ~sla:q ~id:(fresh ()) ~op:P.Sum ~tier:P.Mf2
+          ~x:(Array.init 5 (fun i -> e i 2))
+          ~y:[||] () ])
+    [ 20; 60; 100; 140; 180 ]
+
+let test_sla_end_to_end () =
+  with_server ~queue_capacity:256 ~max_batch:32 ~window_us:1000. (fun srv addr ->
+      let cl = Serve.Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close cl)
+        (fun () ->
+          let reqs = sla_requests () in
+          let resps = Serve.Client.call_many cl reqs in
+          List.iter2
+            (fun (req : P.request) resp ->
+              let q = Option.get req.P.sla in
+              let label = Printf.sprintf "%s/sla=%d id=%d" (P.op_name req.P.op) q req.P.id in
+              match resp with
+              | P.Result { result; chosen; bound; _ } -> (
+                  let chosen =
+                    match chosen with
+                    | Some c -> c
+                    | None -> Alcotest.fail (label ^ ": no chosen tier on the reply")
+                  in
+                  let bound =
+                    match bound with
+                    | Some b -> b
+                    | None -> Alcotest.fail (label ^ ": no certified bound on the reply")
+                  in
+                  (* the certificate honours the SLA threshold *)
+                  (match
+                     Adaptive.Sla.of_wire ~op:(P.op_name req.P.op) ~prog:req.P.prog
+                   with
+                  | None -> Alcotest.fail (label ^ ": op not certifiable?")
+                  | Some op ->
+                      let inp =
+                        { Adaptive.Sla.x = req.P.x; y = req.P.y; z = req.P.z }
+                      in
+                      let scale = Adaptive.Certify.scale op inp in
+                      Alcotest.(check bool) (label ^ ": bound within threshold") true
+                        (bound <= Adaptive.Certify.threshold ~q ~scale));
+                  (* the served answer is bitwise the scalar ladder's, and —
+                     on a MultiFloat rung — the direct fixed-tier answer *)
+                  (match Serve.Batcher.eval_adaptive req with
+                  | Ok o ->
+                      check_elements label o.Adaptive.Escalate.result result;
+                      Alcotest.(check string) (label ^ ": chosen matches scalar ladder")
+                        o.Adaptive.Escalate.chosen chosen
+                  | Error e -> Alcotest.fail (label ^ ": scalar ladder failed: " ^ e));
+                  match chosen with
+                  | "mf2" | "mf3" | "mf4" -> (
+                      let terms =
+                        match chosen with "mf2" -> 2 | "mf3" -> 3 | _ -> 4
+                      in
+                      match
+                        Serve.Batcher.eval_one (Serve.Batcher.pad_request ~terms req)
+                      with
+                      | Ok twin -> check_elements (label ^ ": fixed-tier twin") twin result
+                      | Error e -> Alcotest.fail (label ^ ": twin failed: " ^ e))
+                  | "bigfloat" -> ()
+                  | t -> Alcotest.fail (label ^ ": unknown tier " ^ t))
+              | P.Shed { reason; _ } -> Alcotest.fail (label ^ ": shed " ^ reason)
+              | P.Failed { error; _ } -> Alcotest.fail (label ^ ": " ^ error)
+              | P.Stats_reply _ -> Alcotest.fail (label ^ ": stats?"))
+            reqs resps;
+          (* the stats document saw the SLA traffic *)
+          let doc = Serve.Server.stats_doc srv in
+          (match Obs.Schema.validate Obs.Schemas.serve_stats doc with
+          | Ok () -> ()
+          | Error vs -> Alcotest.fail (String.concat "; " vs));
+          match J.member "sla" doc with
+          | Some sla_doc ->
+              Alcotest.(check int) "sla requests counted" (List.length reqs)
+                (stats_int sla_doc "requests");
+              Alcotest.(check bool) "escalations counted" true
+                (stats_int sla_doc "escalations" >= 0)
+          | None -> Alcotest.fail "stats missing the sla block"))
 
 (* --- admission bound and explicit sheds ------------------------------ *)
 
@@ -574,6 +718,8 @@ let () =
         [ Alcotest.test_case "server vs scalar, all ops x tiers" `Quick
             test_bitwise_vs_scalar;
           Alcotest.test_case "micro-batches form" `Quick test_batches_form ] );
+      ( "sla",
+        [ Alcotest.test_case "escalation end to end" `Quick test_sla_end_to_end ] );
       ( "admission",
         [ Alcotest.test_case "bound holds, sheds explicit" `Quick test_admission_bound;
           Alcotest.test_case "deadline shed" `Quick test_deadline_shed;

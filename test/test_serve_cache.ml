@@ -13,8 +13,8 @@ let bits = Int64.bits_of_float
 
 (* --- keying exactness ------------------------------------------------ *)
 
-let mk ?deadline_ms ?(op = P.Add) ?(tier = P.Mf2) ?(prog = []) ?(z = [||]) x y =
-  { P.id = 1; op; tier; deadline_ms; prog; x; y; z }
+let mk ?sla ?deadline_ms ?(op = P.Add) ?(tier = P.Mf2) ?(prog = []) ?(z = [||]) x y =
+  { P.id = 1; op; tier; sla; deadline_ms; prog; x; y; z }
 
 let key_exn r =
   match C.key_of_request r with
@@ -44,12 +44,22 @@ let test_keying () =
        (key_exn (mk ~op:P.Sqrt [| [| 1.0; 0.0 |] |] [||]))
        (key_exn (mk ~op:P.Sqrt ~tier:P.Mf3 [| [| 1.0; 0.0; 0.0 |] |] [||])));
   (* the uncacheable shapes *)
+  (* the SLA exponent is part of the identity: a loose-bound entry must
+     never answer a tighter-bound request, and an SLA request must never
+     collide with the fixed-tier request carrying the same operands *)
+  let sla80 = mk ~sla:80 [| [| 1.0; 0.0 |] |] [| [| 2.0; 0.0 |] |] in
+  let sla120 = mk ~sla:120 [| [| 1.0; 0.0 |] |] [| [| 2.0; 0.0 |] |] in
+  Alcotest.(check bool) "sla exponents distinct" false
+    (String.equal (key_exn sla80) (key_exn sla120));
+  Alcotest.(check bool) "sla vs fixed-tier distinct" false
+    (String.equal (key_exn sla80) (key_exn base));
+  (* the uncacheable shapes *)
   Alcotest.(check bool) "deadline is uncacheable" true
     (C.key_of_request (mk ~deadline_ms:5.0 [| [| 1.0; 0.0 |] |] [| [| 2.0; 0.0 |] |])
      = None);
   Alcotest.(check bool) "stats is uncacheable" true
     (C.key_of_request
-       { P.id = 1; op = P.Stats; tier = P.Mf2; deadline_ms = None; prog = [];
+       { P.id = 1; op = P.Stats; tier = P.Mf2; sla = None; deadline_ms = None; prog = [];
          x = [||]; y = [||]; z = [||] }
      = None);
   let big = Array.init 9 (fun i -> [| float_of_int i; 0.0 |]) in
@@ -58,7 +68,7 @@ let test_keying () =
 
 (* --- LRU mechanics ---------------------------------------------------- *)
 
-let v f = [| [| f |] |]
+let v f = { C.result = [| [| f |] |]; chosen = None; bound = None }
 
 let lru_keys c = List.rev (C.fold_lru (fun k acc -> k :: acc) c [])
 
@@ -71,7 +81,9 @@ let test_eviction_order () =
     (lru_keys c);
   (* touching "a" moves it to MRU, so "b" becomes the victim *)
   (match C.find c "a" with
-  | Some r -> Alcotest.(check int64) "touched value intact" (bits 1.0) (bits r.(0).(0))
+  | Some r ->
+      Alcotest.(check int64) "touched value intact" (bits 1.0)
+        (bits r.C.result.(0).(0))
   | None -> Alcotest.fail "resident key missed");
   C.add c "d" (v 4.0);
   Alcotest.(check (list string)) "b evicted, not a" [ "c"; "a"; "d" ] (lru_keys c);
@@ -84,7 +96,8 @@ let test_eviction_order () =
   Alcotest.(check int) "refresh does not grow" 3 (C.stats c).C.size;
   Alcotest.(check int) "refresh does not evict" 1 (C.stats c).C.evictions;
   (match C.find c "c" with
-  | Some r -> Alcotest.(check int64) "refreshed value" (bits 30.0) (bits r.(0).(0))
+  | Some r ->
+      Alcotest.(check int64) "refreshed value" (bits 30.0) (bits r.C.result.(0).(0))
   | None -> Alcotest.fail "refreshed key missed");
   Alcotest.(check (list string)) "refresh moved to MRU" [ "a"; "d"; "c" ] (lru_keys c)
 
@@ -116,13 +129,65 @@ let test_disabled () =
   Alcotest.(check int) "disabled size" 0 s.C.size;
   Alcotest.(check int) "disabled hits" 0 s.C.hits
 
+let test_kind_counters () =
+  (* hits and misses are attributed to the kind the caller names, and
+     the stats view keeps the per-kind split consistent with the
+     global counters *)
+  let c = C.create ~capacity:8 in
+  ignore (C.find ~kind:"add" c "k1");
+  C.add c "k1" (v 1.0);
+  ignore (C.find ~kind:"add" c "k1");
+  ignore (C.find ~kind:"add" c "k1");
+  ignore (C.find ~kind:"sla:add" c "k2");
+  C.add c "k2" (v 2.0);
+  ignore (C.find ~kind:"sla:add" c "k2");
+  ignore (C.find c "k3") (* default kind: "other" *);
+  let s = C.stats c in
+  Alcotest.(check int) "global hits" 3 s.C.hits;
+  Alcotest.(check int) "global misses" 3 s.C.misses;
+  let by k =
+    match List.find_opt (fun (ks : C.kind_stats) -> ks.C.kind = k) s.C.by_kind with
+    | Some ks -> (ks.C.k_hits, ks.C.k_misses)
+    | None -> Alcotest.fail (Printf.sprintf "kind %s missing from stats" k)
+  in
+  Alcotest.(check (pair int int)) "add split" (2, 1) (by "add");
+  Alcotest.(check (pair int int)) "sla:add split" (1, 1) (by "sla:add");
+  Alcotest.(check (pair int int)) "other split" (0, 1) (by "other");
+  let total_h = List.fold_left (fun a (k : C.kind_stats) -> a + k.C.k_hits) 0 s.C.by_kind in
+  let total_m =
+    List.fold_left (fun a (k : C.kind_stats) -> a + k.C.k_misses) 0 s.C.by_kind
+  in
+  Alcotest.(check int) "kinds sum to global hits" s.C.hits total_h;
+  Alcotest.(check int) "kinds sum to global misses" s.C.misses total_m;
+  (* kind attribution names: op name, "sla:"-prefixed for SLA requests *)
+  Alcotest.(check string) "fixed-tier kind" "add"
+    (C.kind_of_request (mk [| [| 1.0; 0.0 |] |] [| [| 2.0; 0.0 |] |]));
+  Alcotest.(check string) "sla kind" "sla:add"
+    (C.kind_of_request (mk ~sla:80 [| [| 1.0; 0.0 |] |] [| [| 2.0; 0.0 |] |]))
+
 (* --- cached = uncached, bitwise, through a real server ---------------- *)
+
+let sock_dir =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fpan_cache_%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o700 with Unix.Unix_error (EEXIST, _, _) -> ());
+  at_exit (fun () ->
+      (try
+         Array.iter
+           (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+           (Sys.readdir dir)
+       with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  dir
 
 let sock_counter = ref 0
 
 let fresh_sock () =
   incr sock_counter;
-  Printf.sprintf "serve_cache_%d_%d.sock" (Unix.getpid ()) !sock_counter
+  Filename.concat sock_dir
+    (Printf.sprintf "serve_cache_%d_%d.sock" (Unix.getpid ()) !sock_counter)
 
 let scalar_ops = [| P.Add; P.Mul; P.Div; P.Sqrt; P.Exp; P.Log; P.Sin |]
 let all_tiers = [| P.Mf2; P.Mf3; P.Mf4 |]
@@ -167,7 +232,7 @@ let gen_request =
     element >>= fun e2 ->
     let binary = match op with P.Add | P.Mul | P.Div -> true | _ -> false in
     return
-      { P.id = 1; op; tier; deadline_ms = None; prog = [];
+      { P.id = 1; op; tier; sla = None; deadline_ms = None; prog = [];
         x = [| e1 |]; y = (if binary then [| e2 |] else [||]); z = [||] })
 
 let arb_request =
@@ -235,7 +300,8 @@ let () =
       ( "lru",
         [ Alcotest.test_case "eviction order" `Quick test_eviction_order;
           Alcotest.test_case "capacity bound" `Quick test_capacity_bound;
-          Alcotest.test_case "disabled cache" `Quick test_disabled ] );
+          Alcotest.test_case "disabled cache" `Quick test_disabled;
+          Alcotest.test_case "per-kind counters" `Quick test_kind_counters ] );
       ( "bitwise",
         [ Alcotest.test_case "cached = uncached over arbitrary bits" `Quick
             test_cached_bitwise ] ) ]

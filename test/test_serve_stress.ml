@@ -33,13 +33,13 @@ let req_for i =
   let e k = [| v k; v k *. 1e-17 |] in
   match i mod 3 with
   | 0 ->
-      { P.id = i + 1; op = P.Add; tier = P.Mf2; deadline_ms = None; prog = [];
+      { P.id = i + 1; op = P.Add; tier = P.Mf2; sla = None; deadline_ms = None; prog = [];
         x = [| e 0 |]; y = [| e 1 |]; z = [||] }
   | 1 ->
-      { P.id = i + 1; op = P.Mul; tier = P.Mf2; deadline_ms = None; prog = [];
+      { P.id = i + 1; op = P.Mul; tier = P.Mf2; sla = None; deadline_ms = None; prog = [];
         x = [| e 0 |]; y = [| e 1 |]; z = [||] }
   | _ ->
-      { P.id = i + 1; op = P.Sqrt; tier = P.Mf2; deadline_ms = None; prog = [];
+      { P.id = i + 1; op = P.Sqrt; tier = P.Mf2; sla = None; deadline_ms = None; prog = [];
         x = [| e 0 |]; y = [||]; z = [||] }
 
 let frame_of_req i =
@@ -78,11 +78,31 @@ let roundtrip fd i =
 
 (* --- sharded fixtures (fork before any domain exists) ----------------- *)
 
+(* Sockets live under a per-process temp directory, never the source
+   tree, and are swept (with the directory) on exit — even when a test
+   fails mid-fixture, since the server's own unlink never runs for
+   SIGKILLed shards. *)
+let sock_dir =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fpan_stress_%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o700 with Unix.Unix_error (EEXIST, _, _) -> ());
+  at_exit (fun () ->
+      (try
+         Array.iter
+           (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+           (Sys.readdir dir)
+       with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  dir
+
 let sock_counter = ref 0
 
 let fresh_sock () =
   incr sock_counter;
-  Printf.sprintf "serve_stress_%d_%d.sock" (Unix.getpid ()) !sock_counter
+  Filename.concat sock_dir
+    (Printf.sprintf "serve_stress_%d_%d.sock" (Unix.getpid ()) !sock_counter)
 
 let with_fleet ?(shards = 2) ?cache_capacity f =
   let path = fresh_sock () in

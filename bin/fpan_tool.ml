@@ -1930,6 +1930,196 @@ let fuse_cmd =
     Term.(
       const fuse_run $ dump_arg $ terms_arg $ n_arg $ nref_arg $ reps_arg $ workers_arg $ out_arg)
 
+(* ------------------------------------------------------------------ *)
+(* verify: exhaustive small-width verification certificates.  Bit-blast
+   the networks and fused chains to constraint circuits, enumerate the
+   whole reduced-width operand space on the runtime, and write the
+   fpan-verify/1 certificate.  Exit 1 on any violation, 2 if the
+   verifier's own mutant self-test fails. *)
+
+let verify_net_spec ?width name =
+  let spec =
+    match name with
+    | "add2" -> Some (Verify.Sweep.add_network ?width ~window:1 ~gap:2 Fpan.Networks.add2 ~terms:2)
+    | "add3" ->
+        Some
+          (Verify.Sweep.add_network ~width:(Option.value width ~default:3) ~window:1 ~gap:2
+             Fpan.Networks.add3 ~terms:3)
+    | "add4" ->
+        Some
+          (Verify.Sweep.add_network ~width:(Option.value width ~default:3) ~window:1 ~gap:1
+             Fpan.Networks.add4 ~terms:4)
+    | "mul2" -> Some (Verify.Sweep.mul_network ?width ~window:1 ~gap:2 Fpan.Networks.mul2 ~terms:2)
+    | "mul3" ->
+        Some
+          (Verify.Sweep.mul_network ~width:(Option.value width ~default:3) ~window:1 ~gap:1
+             Fpan.Networks.mul3 ~terms:3)
+    | "sloppy-add2" ->
+        let s = Verify.Mutants.mutant_spec () in
+        Some (match width with None -> s | Some w -> { s with Verify.Sweep.width = w })
+    | _ -> None
+  in
+  match spec with
+  | Some s -> s
+  | None ->
+      Printf.eprintf "verify: unknown network %s (add2 add3 add4 mul2 mul3 sloppy-add2)\n" name;
+      exit 2
+
+let verify_chain_spec ?width name =
+  (* "name:terms", e.g. sum_step:2 *)
+  let chain, terms =
+    match String.rindex_opt name ':' with
+    | Some i ->
+        ( String.sub name 0 i,
+          try int_of_string (String.sub name (i + 1) (String.length name - i - 1))
+          with _ ->
+            Printf.eprintf "verify: bad chain spec %s (want name:terms)\n" name;
+            exit 2 )
+    | None -> (name, 2)
+  in
+  let default_width = match chain with "dot_step" | "mul" -> 3 | _ -> 4 in
+  try Verify.Sweep.chain ~width:(Option.value width ~default:default_width) ~window:1 ~gap:2 chain ~terms
+  with Invalid_argument msg ->
+    prerr_endline msg;
+    exit 2
+
+let verify_run networks chains gate_width sweep_width workers max_cex no_self_test out =
+  drain_on_signal ();
+  let split_commas s = String.split_on_char ',' s |> List.filter (fun p -> p <> "") in
+  (* The verifier must first prove it can catch a broken network at
+     all: sloppy-add2 (a dropped TwoSum error) has to fail with a
+     small shrunk counterexample, and the real add2 has to pass. *)
+  if not no_self_test then begin
+    match Verify.Mutants.self_test ~workers () with
+    | Error msg ->
+        prerr_endline ("verify: " ^ msg);
+        exit 2
+    | Ok f ->
+        Printf.printf "self-test: sloppy-add2 caught (%s violation), shrunk to %d terms\n%!"
+          (Verify.Sweep.obligation_name f.Verify.Sweep.obligation)
+          f.Verify.Sweep.shrunk_terms
+  end;
+  let specs =
+    List.map (verify_net_spec ?width:sweep_width) (split_commas networks)
+    @ List.map (verify_chain_spec ?width:sweep_width) (split_commas chains)
+  in
+  let gate =
+    if gate_width = 0 then None
+    else begin
+      let fmt = Gpu32.Minifloat.fmt ~p:gate_width ~emin:(-6) ~emax:6 in
+      let g = Verify.Sweep.gate_level ~workers fmt in
+      Printf.printf
+        "gate level p=%d [%d values, %d ordered pairs]: two_sum %d/%d, fast_two_sum %d/%d, \
+         two_prod %d/%d checked/skipped -> %s\n\
+         %!"
+        gate_width g.Verify.Sweep.values g.Verify.Sweep.pairs
+        g.Verify.Sweep.two_sum.Verify.Sweep.g_checked g.Verify.Sweep.two_sum.Verify.Sweep.g_skipped
+        g.Verify.Sweep.fast_two_sum.Verify.Sweep.g_checked
+        g.Verify.Sweep.fast_two_sum.Verify.Sweep.g_skipped
+        g.Verify.Sweep.two_prod.Verify.Sweep.g_checked
+        g.Verify.Sweep.two_prod.Verify.Sweep.g_skipped
+        (if Verify.Sweep.gate_passed g then "PASS" else "VIOLATED");
+      Some g
+    end
+  in
+  let results =
+    List.map
+      (fun spec ->
+        let r =
+          try Verify.Sweep.run ~max_cex ~workers spec
+          with Invalid_argument msg ->
+            prerr_endline ("verify: " ^ msg);
+            exit 2
+        in
+        let bound =
+          match r.Verify.Sweep.error_bound_exp with
+          | Some q -> Printf.sprintf ", worst err 2^%.2f vs bound 2^-%d" r.Verify.Sweep.worst_err_log2 q
+          | None -> ""
+        in
+        Printf.printf "%-18s width %d: %d tuples, %d constraints, footprint %d bits%s -> %s\n%!"
+          r.Verify.Sweep.spec.Verify.Sweep.name r.Verify.Sweep.spec.Verify.Sweep.width
+          r.Verify.Sweep.tuples r.Verify.Sweep.constraints r.Verify.Sweep.footprint bound
+          (if Verify.Sweep.passed r then "PASS" else "VIOLATED");
+        List.iter
+          (fun (f : Verify.Sweep.failure) ->
+            Printf.printf "  FAIL tuple %d (%s), shrunk to %d terms:\n" f.Verify.Sweep.index
+              (Verify.Sweep.obligation_name f.Verify.Sweep.obligation)
+              f.Verify.Sweep.shrunk_terms;
+            Array.iteri
+              (fun i o ->
+                Printf.printf "    operand %d: %s\n" i
+                  (String.concat " " (Array.to_list (Array.map (Printf.sprintf "%h") o))))
+              f.Verify.Sweep.shrunk)
+          r.Verify.Sweep.failures;
+        r)
+      specs
+  in
+  let json = Verify.Sweep.certificate ?gate results in
+  Obs.Schema.check ~name:out Obs.Schemas.verify_certificate json;
+  Obs.Json_out.write_file out json;
+  let ok =
+    List.for_all Verify.Sweep.passed results
+    && match gate with None -> true | Some g -> Verify.Sweep.gate_passed g
+  in
+  Printf.printf "certificate: %s (%s)\n" out (if ok then "passed" else "VIOLATIONS");
+  if not ok then exit 1
+
+let verify_cmd =
+  let doc =
+    "Exhaustively verify networks and fused chains at reduced width: bit-blast each to a \
+     constraint circuit, enumerate every operand tuple of the small-width space on the \
+     work-stealing runtime, check EFT exactness, output nonoverlap, the scaled error bound, and \
+     bitwise circuit-vs-interpreter equivalence, and write a machine-readable fpan-verify/1 \
+     certificate.  Deterministic for any --workers.  Exits 1 on any violation (with a shrunk \
+     counterexample), 2 if the verifier's own mutant self-test fails."
+  in
+  let networks_arg =
+    Arg.(value & opt string "add2,add3,mul2"
+         & info [ "networks" ] ~docv:"NAMES"
+             ~doc:"Comma-separated networks to sweep (add2 add3 add4 mul2 mul3, plus the seeded \
+                   mutant sloppy-add2).  Empty to skip.")
+  in
+  let chains_arg =
+    Arg.(value & opt string "sum_step:2,dot_step:2,residual_tail:2"
+         & info [ "chains" ] ~docv:"NAMES"
+             ~doc:"Comma-separated fused chains as name:terms (see fpan_tool fuse --dump).  \
+                   Empty to skip.")
+  in
+  let width_arg =
+    Arg.(value & opt int 8
+         & info [ "width" ] ~docv:"BITS"
+             ~doc:"Gate-level format precision: every ordered pair of the full width-BITS format \
+                   (emin -6, emax 6) is checked for TwoSum/FastTwoSum/TwoProd exactness.  0 \
+                   skips the gate level.")
+  in
+  let sweep_width_arg =
+    Arg.(value & opt (some int) None
+         & info [ "sweep-width" ] ~docv:"BITS"
+             ~doc:"Override every network/chain sweep width (defaults are tuned per target; the \
+                   footprint guard rejects combinations whose double checks would stop being \
+                   exact).")
+  in
+  let workers_arg =
+    Arg.(value & opt int (Domain.recommended_domain_count ())
+         & info [ "workers"; "j" ] ~docv:"N" ~doc:"Worker domains for the sweeps.")
+  in
+  let max_cex_arg =
+    Arg.(value & opt int 5
+         & info [ "max-cex" ] ~docv:"K" ~doc:"Counterexamples recorded and shrunk per sweep.")
+  in
+  let no_self_test_arg =
+    Arg.(value & flag
+         & info [ "no-self-test" ] ~doc:"Skip the sloppy-add2 mutant self-test (tests only).")
+  in
+  let out_arg =
+    Arg.(value & opt string "VERIFY_core.json"
+         & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Where to write the certificate.")
+  in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(
+      const verify_run $ networks_arg $ chains_arg $ width_arg $ sweep_width_arg $ workers_arg
+      $ max_cex_arg $ no_self_test_arg $ out_arg)
+
 let () =
   let doc = "Inspect and verify floating-point accumulation networks." in
   let info = Cmd.info "fpan_tool" ~doc in
@@ -1938,7 +2128,7 @@ let () =
   let group =
     Cmd.group ~default info
       [ list_cmd; show_cmd; check_cmd; check_all_cmd; check_n_cmd; dot_cmd; search_cmd;
-        analyze_cmd; enumerate_cmd; fuzz_cmd; bench_sched_cmd; fuse_cmd; trace_cmd; serve_cmd;
+        analyze_cmd; enumerate_cmd; fuzz_cmd; verify_cmd; bench_sched_cmd; fuse_cmd; trace_cmd; serve_cmd;
         loadgen_cmd; adaptive_cmd ]
   in
   match Cmd.eval_value group with

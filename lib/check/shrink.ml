@@ -30,7 +30,7 @@ let candidates v =
     [ 0.0; pow2; keep_bits 4; keep_bits 12 ]
   end
 
-let shrink ~keep inputs =
+let shrink ?(canon = fun v -> v) ~keep inputs =
   let cur = Array.map Array.copy inputs in
   let safe_keep c = try keep c with _ -> false in
   let changed = ref true in
@@ -45,6 +45,7 @@ let shrink ~keep inputs =
             let rec try_cands = function
               | [] -> ()
               | c :: rest ->
+                  let c = canon c in
                   if bits_eq c v then try_cands rest
                   else begin
                     operand.(ci) <- c;

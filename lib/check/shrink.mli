@@ -5,9 +5,19 @@
     while [keep] — which re-runs the failing check — stays true, until
     no single component can be simplified further.  [keep] is called on
     the mutated array in place; exceptions inside it count as "no
-    longer failing". *)
+    longer failing".
 
-val shrink : keep:(float array array -> bool) -> float array array -> float array array
+    [canon] projects every simplification candidate onto the value
+    domain of the failing check before it is tried (default: identity).
+    The exhaustive verifier passes a reduced-width rounding so shrunk
+    counterexamples stay exactly representable at the sweep's width —
+    a candidate [canon] maps back onto the current value is skipped. *)
+
+val shrink :
+  ?canon:(float -> float) ->
+  keep:(float array array -> bool) ->
+  float array array ->
+  float array array
 
 val nonzero_terms : float array array -> int
 (** Nonzero components across all operands — the "≤ n-term

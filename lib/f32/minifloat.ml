@@ -1,0 +1,115 @@
+(* Reduced-width binary floating-point formats, emulated on doubles by
+   rounding through the grid — the generalization of the f16/f32
+   round-through trick to arbitrary mantissa widths.  The exhaustive
+   verification backend (lib/verify) bit-blasts FPANs over these
+   formats: a format small enough that its entire finite value set (or
+   the operand space of a whole network) can be enumerated.
+
+   Soundness of the emulation rests on two facts, both used by the
+   verifier and both assumed throughout:
+
+   - division/multiplication by a power of two is exact in binary64, so
+     [mag /. grid] loses nothing, and
+
+   - adding [0x1p52] to a nonnegative double below [2^52] rounds it to
+     the nearest integer under round-to-nearest-even (the default
+     mode), so one double operation implements the format's RNE.
+
+   Both require [p <= 26] (so the scaled mantissa and the doubled
+   footprint of products stay far below 2^52); [fmt] enforces it. *)
+
+type fmt = { p : int; emin : int; emax : int }
+
+let fmt ~p ~emin ~emax =
+  if p < 2 || p > 26 then invalid_arg (Printf.sprintf "Minifloat.fmt: p = %d out of [2, 26]" p);
+  if emin > emax then invalid_arg "Minifloat.fmt: emin > emax";
+  { p; emin; emax }
+
+(* Largest finite value: (2 - 2^(1-p)) * 2^emax. *)
+let max_value f = Float.ldexp (2.0 -. Float.ldexp 1.0 (1 - f.p)) f.emax
+
+(* Smallest positive subnormal: one step of the subnormal grid. *)
+let min_subnormal f = Float.ldexp 1.0 (f.emin - f.p + 1)
+
+(* Halfway between max_value and the first non-representable step
+   2^(emax+1): magnitudes at or above it round to infinity. *)
+let overflow_threshold f = Float.ldexp (2.0 -. Float.ldexp 1.0 (-f.p)) f.emax
+
+(* Round-to-nearest-even of a nonnegative double below 2^52. *)
+let rne_int q = q +. 0x1p52 -. 0x1p52
+
+let round f x =
+  if Float.is_nan x then Float.nan
+  else if x = 0.0 then x (* preserve the sign of zero *)
+  else begin
+    let mag = Float.abs x in
+    let s = if x < 0.0 then -1.0 else 1.0 in
+    if mag >= overflow_threshold f then s *. Float.infinity
+    else begin
+      let e = Eft.exponent mag in
+      let grid_exp = if e < f.emin then f.emin - f.p + 1 else e - f.p + 1 in
+      let grid = Float.ldexp 1.0 grid_exp in
+      let v = s *. (rne_int (mag /. grid) *. grid) in
+      if Float.abs v > max_value f then s *. Float.infinity else v
+    end
+  end
+
+(* Precision-only rounding: p significant bits, unbounded exponent
+   range.  This is the rounding the per-network sweeps use — it makes
+   the format scale-equivariant (rnd_p (2^k * x) = 2^k * rnd_p x), which
+   is what justifies anchoring one operand's leading exponent at 0. *)
+let round_p p x =
+  if x = 0.0 || not (Float.is_finite x) then x
+  else begin
+    let m, e = Float.frexp x in
+    (* |m| in [0.5, 1), so |q| in [2^(p-1), 2^p) *)
+    let q = Float.ldexp m p in
+    let r = if q >= 0.0 then rne_int q else -.rne_int (-.q) in
+    Float.ldexp r (e - p)
+  end
+
+let is_representable f x = Float.is_finite x && Int64.bits_of_float (round f x) = Int64.bits_of_float x
+
+let is_representable_p p x =
+  Float.is_finite x && Int64.bits_of_float (round_p p x) = Int64.bits_of_float x
+
+(* Every finite value of the format, deterministically ordered: the two
+   zeros, then for each sign the subnormals (ascending mantissa) and the
+   normals (ascending exponent, ascending mantissa).
+     count = 2 * (1 + (2^(p-1) - 1) + (emax - emin + 1) * 2^(p-1))  *)
+let all_finite f =
+  let half = 1 lsl (f.p - 1) in
+  let out = ref [] in
+  let push v = out := v :: !out in
+  push 0.0;
+  push (-0.0);
+  List.iter
+    (fun s ->
+      (* subnormals: m * 2^(emin - p + 1), 1 <= m < 2^(p-1) *)
+      for m = 1 to half - 1 do
+        push (s *. Float.ldexp (Float.of_int m) (f.emin - f.p + 1))
+      done;
+      (* normals: m * 2^(e - p + 1), 2^(p-1) <= m < 2^p *)
+      for e = f.emin to f.emax do
+        for m = half to (2 * half) - 1 do
+          push (s *. Float.ldexp (Float.of_int m) (e - f.p + 1))
+        done
+      done)
+    [ 1.0; -1.0 ];
+  Array.of_list (List.rev !out)
+
+(* Width-p ulp and the nonoverlap predicate at precision p — the same
+   definitions as Eft.ulp / Eft.is_nonoverlapping specialized from
+   p = 53 to the reduced width.  Nonoverlap at width p: |b| <= half an
+   ulp_p of a, i.e. |b| <= 2^(exponent a - p). *)
+let ulp_p p x = if x = 0.0 then 0.0 else Float.ldexp 1.0 (Eft.exponent x - p + 1)
+
+let is_nonoverlapping_p p a b =
+  if b = 0.0 then true
+  else if a = 0.0 then false
+  else Float.abs b <= Float.ldexp 1.0 (Eft.exponent a - p)
+
+let is_nonoverlapping_seq_p p xs =
+  let n = Array.length xs in
+  let rec check i = i >= n - 1 || (is_nonoverlapping_p p xs.(i) xs.(i + 1) && check (i + 1)) in
+  check 0

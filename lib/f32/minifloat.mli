@@ -1,0 +1,67 @@
+(** Reduced-width binary floating-point formats emulated on doubles —
+    the generalization of the f16/f32 round-through trick to arbitrary
+    mantissa widths [2 <= p <= 26].
+
+    The exhaustive verification backend ({!module:Verify} in
+    [lib/verify]) uses these formats to bit-blast FPANs: at width 8 the
+    whole finite value set is a few thousand values, so per-gate
+    obligations can be checked over every operand pair, and whole
+    networks over every valid small-width expansion tuple.
+
+    Soundness caveat (documented in DESIGN.md s12): a double
+    computation followed by [round] equals the format's own rounding
+    only when the double step was {e exact} — which the verifier
+    guarantees by bounding every sweep's bit footprint below 53. *)
+
+type fmt = { p : int; emin : int; emax : int }
+(** A format: [p] mantissa bits (including the implicit bit), normal
+    exponent range [emin <= exponent <= emax] in the {!Eft.exponent}
+    convention (a normal value lies in [2^e, 2^(e+1))).  Subnormals
+    live on the fixed grid [2^(emin - p + 1)]. *)
+
+val fmt : p:int -> emin:int -> emax:int -> fmt
+(** Validated constructor: [2 <= p <= 26], [emin <= emax]. *)
+
+val max_value : fmt -> float
+(** Largest finite value, [(2 - 2^(1-p)) * 2^emax]. *)
+
+val min_subnormal : fmt -> float
+(** Smallest positive value, [2^(emin - p + 1)]. *)
+
+val overflow_threshold : fmt -> float
+(** Magnitudes at or above this round to infinity (halfway between
+    {!max_value} and the first non-representable binade step). *)
+
+val round : fmt -> float -> float
+(** Round a double to the format: round-to-nearest-even at the normal
+    or subnormal grid, overflow to signed infinity, NaN and signed
+    zeros passed through.  Idempotent. *)
+
+val round_p : int -> float -> float
+(** Precision-only rounding: [p] significant bits, unbounded exponent.
+    Scale-equivariant ([round_p p (2^k * x) = 2^k * round_p p x]) and
+    odd ([round_p p (-x) = -(round_p p x)]) — the symmetries the
+    network sweeps quotient by.  Non-finite inputs pass through. *)
+
+val is_representable : fmt -> float -> bool
+(** Finite and a fixed point of [round fmt] (bitwise). *)
+
+val is_representable_p : int -> float -> bool
+(** Finite and a fixed point of [round_p p] (bitwise). *)
+
+val all_finite : fmt -> float array
+(** Every finite value of the format exactly once, in a deterministic
+    order (both zeros, then per sign: subnormals, then normals).
+    Length [2 * (2^(p-1) + (emax - emin + 1) * 2^(p-1))]. *)
+
+val ulp_p : int -> float -> float
+(** Unit in the last place at precision [p]: [2^(exponent x - p + 1)]
+    ([0] at [0]). *)
+
+val is_nonoverlapping_p : int -> float -> float -> bool
+(** The width-[p] nonoverlap ordering: [|b| <= 2^(exponent a - p)]
+    (half a width-[p] ulp of [a]); [b = 0] always passes, [a = 0] only
+    with [b = 0].  Coincides with {!Eft.is_nonoverlapping} at p = 53. *)
+
+val is_nonoverlapping_seq_p : int -> float array -> bool
+(** Adjacent-pair nonoverlap of a whole expansion at width [p]. *)

@@ -70,6 +70,43 @@ let run_audited net inputs =
     precondition_violations = !violations;
   }
 
+(* Reduced-precision gate semantics: the same wire discipline as [run],
+   but every primitive floating-point operation — including each of the
+   six ops inside TwoSum and the three inside FastTwoSum — is rounded
+   through [round].  With [round] a reduced-width rounding
+   (Gpu32.Minifloat), this is the network as a width-w machine would
+   execute it; the verification backend checks its circuit lowering
+   against this interpreter bitwise.
+
+   Soundness caveat: [round (x +. y)] equals the width-w rounded sum
+   only when [x +. y] is exact in double — true whenever the sweep's
+   bit footprint stays below 53 bits, which lib/verify enforces. *)
+let run_rounded ~round net inputs =
+  let open Network in
+  let v = bind net inputs in
+  Array.iter
+    (fun g ->
+      let x = v.(g.top) and y = v.(g.bot) in
+      match g.kind with
+      | Add ->
+          v.(g.top) <- round (x +. y);
+          v.(g.bot) <- 0.0
+      | Two_sum ->
+          let s = round (x +. y) in
+          let x_eff = round (s -. y) in
+          let y_eff = round (s -. x_eff) in
+          let dx = round (x -. x_eff) in
+          let dy = round (y -. y_eff) in
+          v.(g.top) <- s;
+          v.(g.bot) <- round (dx +. dy)
+      | Fast_two_sum ->
+          let s = round (x +. y) in
+          let y_eff = round (s -. x) in
+          v.(g.top) <- s;
+          v.(g.bot) <- round (y -. y_eff))
+    net.gates;
+  Array.map (fun w -> v.(w)) net.outputs
+
 let machine_flops net ~inputs =
   ignore inputs;
   Network.flops net

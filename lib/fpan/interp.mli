@@ -20,6 +20,15 @@ val run_audited : Network.t -> float array -> audit
     checks each FastTwoSum precondition.  Used by the checker; the
     outputs are bit-identical to {!run}. *)
 
+val run_rounded : round:(float -> float) -> Network.t -> float array -> float array
+(** Like {!run}, but every primitive floating-point operation — each of
+    the six ops inside a TwoSum gate, the three inside a FastTwoSum,
+    the one of an Add — is rounded through [round].  With a
+    reduced-width rounding this executes the network as a width-w
+    machine would; [run_rounded ~round:Fun.id] is bitwise {!run}.
+    Sound as a width-w reference only while each double step is exact
+    (the verification sweeps bound their bit footprint below 53). *)
+
 val machine_flops : Network.t -> inputs:float array -> int
 (** Flops actually executed (same as [Network.flops]; provided for
     instrumentation symmetry). *)

@@ -137,6 +137,70 @@ let check_report =
       Req ("failures", List check_failure);
       Req ("results", List check_result_row) ]
 
+(* --- VERIFY_*.json (fpan-verify/1) ---------------------------------- *)
+
+let verify_obligation_names =
+  [ "two_sum"; "fast_two_sum"; "two_prod"; "nonoverlap"; "error_bound"; "equivalence" ]
+
+let verify_counts_row =
+  Obj
+    [ Req ("obligation", Str_enum verify_obligation_names);
+      Req ("checked", Int);
+      Req ("violations", Int);
+      Req ("skipped", Int) ]
+
+let verify_failure =
+  Obj
+    [ Req ("index", Int);
+      Req ("obligation", Str_enum verify_obligation_names);
+      Req ("operands", List hex_floats);
+      Req ("outputs", hex_floats);
+      Req ("shrunk", List hex_floats);
+      Req ("shrunk_terms", Int) ]
+
+let verify_sweep =
+  Obj
+    [ Req ("name", Str);
+      Req ("kind", Str_enum [ "add_network"; "mul_network"; "chain" ]);
+      Req ("width", Int);
+      Req ("window", Int);
+      Req ("gap", Int);
+      Req ("terms", Int);
+      Req ("slots", Int);
+      Req ("tuples", Int);
+      Req ("circuit_ops", Int);
+      Req ("constraints", Int);
+      Req ("footprint_bits", Int);
+      Req ("error_bound_exp", nullable Int);
+      Req ("obligations", List verify_counts_row);
+      Req ("worst_error_log2", num_or_null);
+      Req ("failures", List verify_failure);
+      Req ("passed", Bool) ]
+
+let verify_gate_op =
+  Obj
+    [ Req ("op", Str_enum [ "two_sum"; "fast_two_sum"; "two_prod" ]);
+      Req ("checked", Int);
+      Req ("violations", Int);
+      Req ("skipped", Int) ]
+
+let verify_gate_level =
+  Obj
+    [ Req ("precision", Int);
+      Req ("emin", Int);
+      Req ("emax", Int);
+      Req ("values", Int);
+      Req ("pairs", Int);
+      Req ("ops", List verify_gate_op);
+      Req ("passed", Bool) ]
+
+let verify_certificate =
+  Obj
+    [ Req ("schema", Str_const "fpan-verify/1");
+      Req ("gate_level", nullable verify_gate_level);
+      Req ("sweeps", List verify_sweep);
+      Req ("passed", Bool) ]
+
 (* --- fpan-serve/1: wire frames, server stats, BENCH_serve.json ------ *)
 
 (* Operands and results travel as C99 hex-float component strings

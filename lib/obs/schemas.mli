@@ -14,6 +14,10 @@ val bench_sched : Schema.t
 val check_report : Schema.t
 (** [CHECK_report.json], schema id [fpan-check/1]. *)
 
+val verify_certificate : Schema.t
+(** [VERIFY_*.json], the exhaustive small-width verification
+    certificate, schema id [fpan-verify/1]. *)
+
 val serve_request : Schema.t
 (** One request frame of the serving wire protocol, schema id
     [fpan-serve/1] (fixed tier) or [fpan-serve/2] (adaptive: [sla]

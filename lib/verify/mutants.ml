@@ -1,0 +1,46 @@
+(* Seeded-broken networks: known-bad wirings the verifier must catch.
+
+   A verifier that has never caught a bug proves nothing about itself.
+   [self_test] runs the sweep against [sloppy_add2] — add2 with its
+   third TwoSum demoted to a plain Add, the classic "sloppy" double-word
+   addition that silently discards the high-order rounding error — and
+   demands a violation with a small shrunk counterexample, plus a clean
+   pass on the real add2 over the same space.  [fpan_tool verify] runs
+   this before emitting any certificate, mirroring [Check.Fuzz]'s
+   self-test gate. *)
+
+let ts top bot = { Fpan.Network.kind = Fpan.Network.Two_sum; top; bot }
+let fts top bot = { Fpan.Network.kind = Fpan.Network.Fast_two_sum; top; bot }
+let add_g top bot = { Fpan.Network.kind = Fpan.Network.Add; top; bot }
+
+(* add2 with [ts 0 2] -> [add_g 0 2]: the error of the high-part
+   combination (the dominant one) is dropped, so the discarded error is
+   ~2^-w instead of the claimed 2^-(2w-1).  Same wire layout, same
+   outputs, same (now false) error_exp claim as add2. *)
+let sloppy_add2 =
+  Fpan.Network.make ~name:"sloppy-add2" ~num_wires:4
+    ~inputs:[| 0; 1; 2; 3 |]
+    ~gates:[ ts 0 1; ts 2 3; add_g 0 2; add_g 1 3; add_g 2 1; fts 0 2 ]
+    ~outputs:[| 0; 2 |] ~error_exp:105
+
+(* Small spaces so the self-test costs milliseconds, not the sweep's
+   minutes: width 4, gap 1, window 1. *)
+let mutant_spec () = Sweep.add_network ~width:4 ~window:1 ~gap:1 sloppy_add2 ~terms:2
+let clean_spec () = Sweep.add_network ~width:4 ~window:1 ~gap:1 Fpan.Networks.add2 ~terms:2
+
+let self_test ~workers () =
+  let mutant = Sweep.run ~max_cex:1 ~workers (mutant_spec ()) in
+  let clean = Sweep.run ~max_cex:1 ~workers (clean_spec ()) in
+  if Sweep.passed mutant then
+    Error "self-test: sweep failed to catch sloppy-add2 (dropped TwoSum error)"
+  else if not (Sweep.passed clean) then
+    Error "self-test: sweep reports violations on the real add2"
+  else
+    match mutant.Sweep.failures with
+    | [] -> Error "self-test: sloppy-add2 violation recorded no counterexample"
+    | f :: _ ->
+        if f.Sweep.shrunk_terms > 4 then
+          Error
+            (Printf.sprintf "self-test: sloppy-add2 counterexample did not shrink (%d terms)"
+               f.Sweep.shrunk_terms)
+        else Ok f

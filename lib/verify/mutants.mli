@@ -1,0 +1,20 @@
+(** Seeded-broken networks the verifier must catch before its
+    certificates mean anything. *)
+
+val sloppy_add2 : Fpan.Network.t
+(** add2 with the third TwoSum demoted to a plain Add — the "sloppy"
+    double-word addition that drops the dominant rounding error.  Its
+    (inherited) 2^-105 error_exp claim is false, and the sweep must
+    prove it false. *)
+
+val mutant_spec : unit -> Sweep.spec
+(** [sloppy_add2] over a small width-4 space (milliseconds). *)
+
+val clean_spec : unit -> Sweep.spec
+(** Real add2 over the same space, for the must-pass half. *)
+
+val self_test : workers:int -> unit -> (Sweep.failure, string) result
+(** The verifier's own gate: the mutant must fail with a shrunk
+    counterexample of at most 4 nonzero terms, the real add2 must
+    pass.  [fpan_tool verify] refuses to emit a certificate (exit 2)
+    if this errors. *)

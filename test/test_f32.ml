@@ -165,6 +165,104 @@ let test_f16_expansion_saturation () =
   Alcotest.(check bool) "2-term decent" true (e2 <= Float.ldexp 1.0 (-20));
   Alcotest.(check bool) "4-term saturated" true (e4 >= e2 /. 4.0)
 
+(* --- Minifloat: arbitrary reduced-width formats ---------------------- *)
+
+module M = Gpu32.Minifloat
+
+let tiny = M.fmt ~p:4 ~emin:(-3) ~emax:3
+
+let test_minifloat_value_set () =
+  let vals = M.all_finite tiny in
+  (* 2 zeros + per sign: (2^(p-1) - 1) subnormals + (emax-emin+1) * 2^(p-1) normals *)
+  Alcotest.(check int) "cardinality" (2 * (8 + (7 * 8))) (Array.length vals);
+  (* every value is a fixed point of round; no duplicates *)
+  Array.iter
+    (fun v ->
+      if bits (M.round tiny v) <> bits v then Alcotest.failf "%h not a fixed point" v)
+    vals;
+  let sorted = Array.copy vals in
+  Array.sort compare (Array.map bits sorted);
+  for i = 1 to Array.length sorted - 1 do
+    if bits sorted.(i - 1) = bits sorted.(i) then Alcotest.failf "duplicate %h" sorted.(i)
+  done;
+  Alcotest.(check (float 0.0)) "max_value" 15.0 (M.max_value tiny);
+  Alcotest.(check (float 0.0)) "min_subnormal" (Float.ldexp 1.0 (-6)) (M.min_subnormal tiny)
+
+let test_minifloat_subnormal_boundary () =
+  let sub = M.min_subnormal tiny in
+  (* halfway to the smallest subnormal ties to even zero; just above rounds up *)
+  Alcotest.(check (float 0.0)) "tie to zero" 0.0 (M.round tiny (sub /. 2.0));
+  Alcotest.(check (float 0.0)) "above tie rounds up" sub (M.round tiny (sub *. 0.75));
+  Alcotest.(check (float 0.0)) "sign preserved" (-.sub) (M.round tiny (-.sub *. 0.75));
+  (* the subnormal grid is uniform: 1.5 grid steps ties to the even 2-step *)
+  Alcotest.(check (float 0.0)) "subnormal tie to even" (2.0 *. sub) (M.round tiny (1.5 *. sub));
+  (* largest subnormal and smallest normal are adjacent *)
+  Alcotest.(check (float 0.0)) "7 steps" (7.0 *. sub) (M.round tiny (7.0 *. sub));
+  Alcotest.(check (float 0.0)) "8 steps = min normal" (Float.ldexp 1.0 (-3))
+    (M.round tiny (8.0 *. sub))
+
+let test_minifloat_overflow () =
+  let mx = M.max_value tiny in
+  let threshold = M.overflow_threshold tiny in
+  Alcotest.(check (float 0.0)) "threshold" 15.5 threshold;
+  Alcotest.(check (float 0.0)) "below threshold stays finite" mx (M.round tiny 15.49);
+  Alcotest.(check bool) "at threshold overflows" true (M.round tiny threshold = Float.infinity);
+  Alcotest.(check bool) "negative overflow" true
+    (M.round tiny (-1e300) = Float.neg_infinity);
+  Alcotest.(check bool) "inf passes through" true (M.round tiny Float.infinity = Float.infinity);
+  Alcotest.(check bool) "nan passes through" true (Float.is_nan (M.round tiny Float.nan))
+
+let test_minifloat_rne_ties_p8 () =
+  (* round-to-nearest-even at the 8-bit mantissa: every odd 9-bit
+     mantissa is exactly halfway between two 8-bit neighbors and must
+     round to the even one. *)
+  for k = 128 to 255 do
+    let v = Float.ldexp (Float.of_int ((2 * k) + 1)) (-9) in
+    (* halfway between k*2^-8 and (k+1)*2^-8 *)
+    let r = M.round_p 8 v in
+    let even = if k mod 2 = 0 then k else k + 1 in
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "tie at %d" k)
+      (Float.ldexp (Float.of_int even) (-8))
+      r;
+    (* and one ulp/4 off the midpoint resolves to nearest, not even *)
+    let quarter = Float.ldexp 1.0 (-11) in
+    Alcotest.(check (float 0.0)) "below midpoint" (Float.ldexp (Float.of_int k) (-8))
+      (M.round_p 8 (v -. quarter));
+    Alcotest.(check (float 0.0)) "above midpoint" (Float.ldexp (Float.of_int (k + 1)) (-8))
+      (M.round_p 8 (v +. quarter))
+  done
+
+let test_minifloat_round_p_symmetries () =
+  let rng = Random.State.make [| 0x51ab |] in
+  for _ = 1 to 2000 do
+    let x = Float.ldexp (Random.State.float rng 2.0 -. 1.0) (Random.State.int rng 60 - 30) in
+    let p = 2 + Random.State.int rng 25 in
+    let r = M.round_p p x in
+    if bits (M.round_p p r) <> bits r then Alcotest.fail "round_p not idempotent";
+    if bits (M.round_p p (-.x)) <> bits (-.r) then Alcotest.fail "round_p not odd";
+    let k = Random.State.int rng 41 - 20 in
+    if bits (M.round_p p (Float.ldexp x k)) <> bits (Float.ldexp r k) then
+      Alcotest.fail "round_p not scale-equivariant";
+    if not (M.is_representable_p p r) then Alcotest.fail "round_p result not representable"
+  done
+
+let test_minifloat_nonoverlap () =
+  (* half-ulp rule at width 4: 1.0 tolerates at most 2^-4 *)
+  Alcotest.(check bool) "half ulp ok" true (M.is_nonoverlapping_p 4 1.0 (Float.ldexp 1.0 (-4)));
+  Alcotest.(check bool) "beyond half ulp" false
+    (M.is_nonoverlapping_p 4 1.0 (Float.ldexp 1.5 (-4)));
+  Alcotest.(check bool) "zero tail ok" true (M.is_nonoverlapping_p 4 1.0 0.0);
+  Alcotest.(check bool) "zero head, nonzero tail" false (M.is_nonoverlapping_p 4 0.0 1.0);
+  (* coincides with the p = 53 Eft predicate on random doubles *)
+  let rng = Random.State.make [| 0x4107 |] in
+  for _ = 1 to 2000 do
+    let a = Float.ldexp (Random.State.float rng 2.0 -. 1.0) (Random.State.int rng 40 - 20) in
+    let b = Float.ldexp (Random.State.float rng 2.0 -. 1.0) (Random.State.int rng 80 - 60) in
+    if M.is_nonoverlapping_p 53 a b <> Eft.is_nonoverlapping a b then
+      Alcotest.failf "p=53 disagrees with Eft at %h %h" a b
+  done
+
 let () =
   Alcotest.run "f32"
     [ ( "base",
@@ -183,4 +281,11 @@ let () =
       ( "f16",
         [ Alcotest.test_case "rounding" `Quick test_f16_rounding;
           Alcotest.test_case "ops closed" `Quick test_f16_ops_closed;
-          Alcotest.test_case "saturation (4.4)" `Quick test_f16_expansion_saturation ] ) ]
+          Alcotest.test_case "saturation (4.4)" `Quick test_f16_expansion_saturation ] );
+      ( "minifloat",
+        [ Alcotest.test_case "value set" `Quick test_minifloat_value_set;
+          Alcotest.test_case "subnormal boundary" `Quick test_minifloat_subnormal_boundary;
+          Alcotest.test_case "overflow to inf" `Quick test_minifloat_overflow;
+          Alcotest.test_case "RNE ties at p=8" `Quick test_minifloat_rne_ties_p8;
+          Alcotest.test_case "round_p symmetries" `Quick test_minifloat_round_p_symmetries;
+          Alcotest.test_case "nonoverlap predicate" `Quick test_minifloat_nonoverlap ] ) ]

@@ -32,6 +32,29 @@ let test_bench_serve () =
 let test_bench_fuse () =
   validate_file "BENCH_fuse.json" Obs.Schemas.bench_fuse (artifact "BENCH_fuse.json")
 
+(* The committed verification certificate: schema-valid and actually a
+   passing certificate (worker-count-independent by construction, so
+   no environment dependence beyond libm's log2 — validated
+   structurally here, byte-compared across domain counts in CI). *)
+let test_verify_certificate () =
+  validate_file "VERIFY_core.json" Obs.Schemas.verify_certificate (artifact "VERIFY_core.json");
+  let json = In_channel.with_open_text (artifact "VERIFY_core.json") In_channel.input_all in
+  let has needle =
+    let n = String.length needle and h = String.length json in
+    let rec go i = i + n <= h && (String.sub json i n = needle || go (i + 1)) in
+    if not (go 0) then Alcotest.failf "VERIFY_core.json missing %s" needle
+  in
+  has "\"passed\": true";
+  has "\"name\": \"add2\"";
+  has "\"name\": \"add3\"";
+  has "\"name\": \"mul2\"";
+  has "\"name\": \"dot_step";
+  (* no sweep may have failed *)
+  let bad = "\"passed\": false" in
+  let n = String.length bad and h = String.length json in
+  let rec go i = i + n <= h && (String.sub json i n = bad || go (i + 1)) in
+  if go 0 then Alcotest.fail "committed certificate records a failing sweep"
+
 (* Wire documents of the serving layer validate against their declared
    schemas in both directions: what the encoder emits passes, and the
    parse -> validate -> decode pipeline reproduces the request. *)
@@ -177,6 +200,7 @@ let () =
           Alcotest.test_case "BENCH_sched.json" `Quick test_bench_sched;
           Alcotest.test_case "BENCH_serve.json" `Quick test_bench_serve;
           Alcotest.test_case "BENCH_fuse.json" `Quick test_bench_fuse;
+          Alcotest.test_case "VERIFY_core.json" `Quick test_verify_certificate;
           Alcotest.test_case "TRACE_gemm(_chrome).json" `Quick test_trace_artifacts;
           Alcotest.test_case "CHECK report (in-process)" `Quick test_check_report;
           Alcotest.test_case "TRACE summary (in-process)" `Quick test_trace_summary ] );

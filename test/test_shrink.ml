@@ -93,6 +93,26 @@ let test_known_minimum () =
   let shrunk = Sh.shrink ~keep inputs in
   Alcotest.(check int) "reaches the 3-term minimum" 3 (Sh.nonzero_terms shrunk)
 
+(* canon projects every candidate onto a reduced-width value domain:
+   shrinking under round_p 4 must land on width-4 representable values
+   while still failing, and never propose the original value back. *)
+let test_canon_rounds_candidates () =
+  let canon = Gpu32.Minifloat.round_p 4 in
+  let keep c = Array.fold_left ( +. ) 0.0 c.(0) >= 1.0 in
+  let inputs = [| [| canon 1.75; canon 0.4375; canon (Float.ldexp 1.0 (-9)) |] |] in
+  let shrunk = Sh.shrink ~canon ~keep (copy inputs) in
+  Alcotest.(check bool) "still failing" true (keep (copy shrunk));
+  Array.iter
+    (fun o ->
+      Array.iter
+        (fun v ->
+          if not (v = 0.0 || Gpu32.Minifloat.is_representable_p 4 v) then
+            Alcotest.failf "shrunk component %h not width-4 representable" v)
+        o)
+    shrunk;
+  (* and shrinking did make progress *)
+  Alcotest.(check bool) "simplified" true (Sh.nonzero_terms shrunk <= Sh.nonzero_terms inputs)
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "shrink"
@@ -101,4 +121,5 @@ let () =
           q prop_shrink_is_fixpoint;
           q prop_never_grows;
           Alcotest.test_case "keep exception backs out" `Quick test_keep_exception;
-          Alcotest.test_case "known minimum reached" `Quick test_known_minimum ] ) ]
+          Alcotest.test_case "known minimum reached" `Quick test_known_minimum;
+          Alcotest.test_case "canon projects candidates" `Quick test_canon_rounds_candidates ] ) ]

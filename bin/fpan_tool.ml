@@ -1032,7 +1032,7 @@ let lg_canary ~sockaddr ~slas ~ops ~tiers ~pipeline =
     | Unix.ADDR_INET (ip, port) ->
         Serve.Server.Tcp { host = Unix.string_of_inet_addr ip; port }
   in
-  let cl = Serve.Client.connect addr in
+  let cl = Serve.Client.connect ~deadline_ms:30_000 addr in
   let checked = ref 0 in
   let mismatches = ref 0 in
   let bits_equal a b =
@@ -1184,7 +1184,7 @@ let loadgen_run connect workers queue duration conns_csv pipeline ops_csv tiers_
       match connect with
       | Some endpoint ->
           let addr = parse_endpoint endpoint in
-          let probe = Serve.Client.connect addr in
+          let probe = Serve.Client.connect ~deadline_ms:30_000 addr in
           let sockaddr =
             match addr with
             | Serve.Server.Unix_path p -> Unix.ADDR_UNIX p
@@ -1208,7 +1208,7 @@ let loadgen_run connect workers queue duration conns_csv pipeline ops_csv tiers_
           (* the stats probe reaches one shard — representative, not
              fleet-aggregated *)
           let probe =
-            Serve.Client.connect
+            Serve.Client.connect ~deadline_ms:30_000
               (match sockaddr with
               | Unix.ADDR_UNIX p -> Serve.Server.Unix_path p
               | Unix.ADDR_INET (ip, port) ->
@@ -1412,6 +1412,390 @@ let loadgen_cmd =
     Term.(const loadgen_run $ connect_arg $ workers_arg $ queue_arg $ duration_arg
           $ conns_arg $ pipeline_arg $ ops_arg $ tiers_arg $ slas_arg $ configs_arg
           $ shards_arg $ cache_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* chaos: the fault-injection campaign runner (lib/chaos).  Runs each
+   named scenario against a real forked shard fleet, drives a
+   deterministic request sequence through a retrying client while
+   injecting the scenario's wire faults, and asserts three invariants:
+   no server death, every request answered bitwise-identical to the
+   fault-free scalar path, no descriptor leak.  Everything written to
+   CHAOS_report.json is a pure function of (seed, shards, requests) —
+   re-running with the same arguments reproduces the file byte for
+   byte. *)
+
+let chaos_buckets = [| "fixed"; "q1-50"; "q51-100"; "q101-150"; "q151-200" |]
+
+let chaos_fd_count () =
+  match Sys.readdir "/proc/self/fd" with
+  | entries -> Array.length entries
+  | exception _ -> -1 (* no procfs: leak check degrades to a no-op *)
+
+let chaos_bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun ea eb ->
+         Array.length ea = Array.length eb
+         && Array.for_all2
+              (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+              ea eb)
+       a b
+
+(* Deterministic request for campaign index n: cycles every scalar op
+   and tier, with every fifth request carrying an accuracy SLA, so
+   each fault class crosses each request class. *)
+let chaos_request n =
+  let req =
+    if n mod 5 = 4 then
+      lg_request ~slas:[ 40; 80; 120 ] ~ops:[ SP.Add; SP.Mul; SP.Div ]
+        ~tiers:[ SP.Mf2 ] (n * 131)
+    else
+      lg_request
+        ~ops:[ SP.Add; SP.Mul; SP.Div; SP.Sqrt; SP.Exp; SP.Log; SP.Sin ]
+        ~tiers:[ SP.Mf2; SP.Mf3; SP.Mf4 ] (n * 131)
+  in
+  { req with SP.id = n + 1 }
+
+let chaos_raw_conn sockaddr =
+  let fd =
+    Unix.socket ~cloexec:true (Unix.domain_of_sockaddr sockaddr) SOCK_STREAM 0
+  in
+  (try Unix.connect fd sockaddr
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  fd
+
+let chaos_write_all fd s =
+  let n = String.length s in
+  let k = ref 0 in
+  while !k < n do
+    k := !k + Unix.write_substring fd s !k (n - !k)
+  done
+
+(* Execute one wire action as noise on a throwaway connection; the
+   real request always travels the retrying client afterwards, so the
+   accounting stays exact whatever the server does with the wreck. *)
+let chaos_noise ~sockaddr action req =
+  let frame =
+    SP.frame_of_string (Obs.Json_out.to_string_compact (SP.request_to_json req))
+  in
+  let finish fd =
+    ignore (Serve.Readiness.wait_readable fd ~timeout_ms:2000);
+    try Unix.close fd with _ -> ()
+  in
+  match action with
+  | Chaos.Plan.Clean | Chaos.Plan.Kill_shard -> ()
+  | Chaos.Plan.Corrupt_header ->
+      let fd = chaos_raw_conn sockaddr in
+      (* a length prefix far past max_frame followed by junk: the
+         deframer must refuse it and the server must drop the conn *)
+      (try chaos_write_all fd "\xff\xff\xff\xf0garbage-not-a-frame" with _ -> ());
+      finish fd
+  | Chaos.Plan.Truncate_close ->
+      let fd = chaos_raw_conn sockaddr in
+      let cut = max 5 (String.length frame / 2) in
+      (try chaos_write_all fd (String.sub frame 0 cut) with _ -> ());
+      (try Unix.close fd with _ -> ())
+  | Chaos.Plan.Abort_close ->
+      let fd = chaos_raw_conn sockaddr in
+      (try chaos_write_all fd frame with _ -> ());
+      (* close before reading: the reply hits a dead peer *)
+      (try Unix.close fd with _ -> ())
+  | Chaos.Plan.Stall_mid_us us ->
+      let fd = chaos_raw_conn sockaddr in
+      (try
+         chaos_write_all fd (String.sub frame 0 6);
+         Unix.sleepf (Float.of_int us *. 1e-6);
+         chaos_write_all fd
+           (String.sub frame 6 (String.length frame - 6))
+       with _ -> ());
+      finish fd
+
+let chaos_wait_full fleet shards =
+  let deadline = Unix.gettimeofday () +. 20.0 in
+  let rec go () =
+    if List.length (Serve.Shard.pids fleet) >= shards then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Unix.sleepf 0.01;
+      go ()
+    end
+  in
+  go ()
+
+type chaos_outcome = {
+  co_requests : int;
+  co_answered : int;
+  co_checked : int;
+  co_mismatches : int;
+  co_shed : int;
+  co_restarts : int;
+  co_deaths : int;
+  co_shed_buckets : int array;
+}
+
+let chaos_fleet_scenario ~seed ~shards ~requests (s : Chaos.Plan.scenario) =
+  let sock = Printf.sprintf "./fpan_chaos_%d.sock" (Unix.getpid ()) in
+  (* children inherit the armed seam plan through fork; the parent
+     swaps to its own (accept/dispatch) plan once the fleet is up *)
+  Chaos.Injector.arm ~seed s.Chaos.Plan.seam_rules;
+  let fleet =
+    Serve.Shard.start ~addr:(Serve.Server.Unix_path sock) ~shards
+      ~sched_workers:1 ~queue_capacity:64 ~max_batch:8 ~window_us:100.
+      ~cache_capacity:32 ()
+  in
+  Chaos.Injector.disarm ();
+  if s.Chaos.Plan.parent_rules <> [] then
+    Chaos.Injector.arm ~seed s.Chaos.Plan.parent_rules;
+  let sockaddr = Serve.Shard.bound_addr fleet in
+  let acts = Chaos.Plan.actions ~seed s ~n:requests in
+  let answered = ref 0 in
+  let checked = ref 0 in
+  let mismatches = ref 0 in
+  let kills = ref 0 in
+  let cl = Serve.Client.connect_sockaddr ~deadline_ms:5000 sockaddr in
+  for n = 0 to requests - 1 do
+    let req = chaos_request n in
+    match Serve.Batcher.eval_one req with
+    | Error e -> failwith ("chaos: fault-free reference failed: " ^ e)
+    | Ok expect -> (
+        (match acts.(n) with
+        | Chaos.Plan.Kill_shard -> (
+            match Serve.Shard.pids fleet with
+            | pid :: _ ->
+                (try Unix.kill pid Sys.sigkill with _ -> ());
+                incr kills;
+                ignore (chaos_wait_full fleet shards)
+            | [] -> ())
+        | a -> ( try chaos_noise ~sockaddr a req with _ -> ()));
+        match Serve.Client.call_retry ~seed ~max_attempts:12 cl req with
+        | SP.Result { result; _ } ->
+            incr answered;
+            if chaos_bits_equal result expect then incr checked
+            else incr mismatches
+        | SP.Shed _ | SP.Failed _ | SP.Stats_reply _ -> incr mismatches
+        | exception _ -> incr mismatches)
+  done;
+  (* the no-server-death invariant: the fleet must end the scenario at
+     full strength (every kill re-forked, nothing else died) *)
+  let full = chaos_wait_full fleet shards in
+  let deaths = if full then 0 else shards - List.length (Serve.Shard.pids fleet) in
+  Serve.Client.close cl;
+  Serve.Shard.stop fleet;
+  Chaos.Injector.disarm ();
+  {
+    co_requests = requests;
+    co_answered = !answered;
+    co_checked = !checked;
+    co_mismatches = !mismatches;
+    co_shed = 0;
+    co_restarts = !kills;
+    co_deaths = deaths;
+    co_shed_buckets = Array.make (Array.length chaos_buckets) 0;
+  }
+
+(* The admission-overload scenario runs in-process: a bounded queue
+   with no consumer, pushed one deterministic priority mix, so the
+   per-bucket shed split is an exact function of the seed. *)
+let chaos_admission_scenario ~seed ~requests (_s : Chaos.Plan.scenario) =
+  let capacity = 8 in
+  let q = Serve.Admission.create ~capacity in
+  let shed_buckets = Array.make (Array.length chaos_buckets) 0 in
+  let shed = ref 0 in
+  for n = 0 to requests - 1 do
+    let h = Chaos.Rng.hash ~seed ~salt:0x0ad ~n in
+    let c = Int64.to_int (Int64.rem (Int64.logand h 0x7fffffffL) 5L) in
+    let prio =
+      if c = 0 then 53 * (2 + (n mod 3)) (* fixed tiers: mf2/mf3/mf4 *)
+      else ((c - 1) * 50) + 1 + (n mod 50) (* sla q inside bucket c *)
+    in
+    match Serve.Admission.push ~priority:prio q c with
+    | `Ok -> ()
+    | `Full ->
+        incr shed;
+        shed_buckets.(c) <- shed_buckets.(c) + 1
+    | `Displaced victim ->
+        incr shed;
+        shed_buckets.(victim) <- shed_buckets.(victim) + 1
+    | `Closed -> ()
+  done;
+  Serve.Admission.close q;
+  let rec drain k =
+    match Serve.Admission.pop_batch q ~max:64 ~window_ns:0L with
+    | [] -> k
+    | l -> drain (k + List.length l)
+  in
+  let answered = drain 0 in
+  Serve.Admission.destroy q;
+  {
+    co_requests = requests;
+    co_answered = answered;
+    co_checked = 0;
+    co_mismatches = (if answered + !shed = requests then 0 else 1);
+    co_shed = !shed;
+    co_restarts = 0;
+    co_deaths = 0;
+    co_shed_buckets = shed_buckets;
+  }
+
+let chaos_run seed shards requests scenarios_csv out =
+  let module J = Check.Json_out in
+  if shards < 1 then begin
+    prerr_endline "chaos: --shards must be >= 1";
+    exit 2
+  end;
+  let scenarios =
+    match
+      String.split_on_char ',' scenarios_csv
+      |> List.filter (fun s -> String.trim s <> "")
+    with
+    | [] -> Chaos.Plan.matrix
+    | names ->
+        List.map
+          (fun name ->
+            match Chaos.Plan.find (String.trim name) with
+            | Some s -> s
+            | None ->
+                Printf.eprintf "chaos: unknown scenario %s (have: %s)\n"
+                  name
+                  (String.concat ", "
+                     (List.map
+                        (fun (s : Chaos.Plan.scenario) -> s.Chaos.Plan.name)
+                        Chaos.Plan.matrix));
+                exit 2)
+          names
+  in
+  Printf.printf "fpan_tool chaos: seed %d, %d shard(s), %d request(s) x %d scenario(s)\n%!"
+    seed shards requests (List.length scenarios);
+  (* warm-up: one fault-free fleet cycle, so every lazily-created
+     descriptor (metrics plumbing, readiness state) exists before the
+     fd-leak baseline is taken *)
+  let clean =
+    {
+      Chaos.Plan.name = "warmup";
+      summary = "fault-free warm-up";
+      kind = Chaos.Plan.Fleet;
+      classes = [];
+      seam_rules = [];
+      parent_rules = [];
+      wire = [];
+    }
+  in
+  let warm = chaos_fleet_scenario ~seed ~shards:1 ~requests:2 clean in
+  if warm.co_checked <> 2 then begin
+    prerr_endline "chaos: fault-free warm-up failed; not a chaos finding";
+    exit 2
+  end;
+  let fd_baseline = chaos_fd_count () in
+  let results =
+    List.map
+      (fun (s : Chaos.Plan.scenario) ->
+        let o =
+          match s.Chaos.Plan.kind with
+          | Chaos.Plan.Fleet -> chaos_fleet_scenario ~seed ~shards ~requests s
+          | Chaos.Plan.Admission -> chaos_admission_scenario ~seed ~requests s
+        in
+        let injected = Chaos.Plan.injected_count ~seed s ~n:requests in
+        let passed =
+          o.co_mismatches = 0 && o.co_deaths = 0
+          && o.co_answered + o.co_shed = o.co_requests
+        in
+        Printf.printf
+          "  %-14s injected %-4s answered %d/%d  shed %-3d restarts %-2d %s\n%!"
+          s.Chaos.Plan.name
+          (match injected with Some k -> string_of_int k | None -> "-")
+          o.co_answered o.co_requests o.co_shed o.co_restarts
+          (if passed then "ok" else "FAILED");
+        (s, o, injected, passed))
+      scenarios
+  in
+  let fd_after = chaos_fd_count () in
+  let fd_leak =
+    if fd_baseline < 0 || fd_after < 0 then 0 else max 0 (fd_after - fd_baseline)
+  in
+  let deaths = List.fold_left (fun a (_, o, _, _) -> a + o.co_deaths) 0 results in
+  let mismatches =
+    List.fold_left (fun a (_, o, _, _) -> a + o.co_mismatches) 0 results
+  in
+  let passed =
+    deaths = 0 && mismatches = 0 && fd_leak = 0
+    && List.for_all (fun (_, _, _, p) -> p) results
+  in
+  let num k = J.Num (Float.of_int k) in
+  let scenario_doc ((s : Chaos.Plan.scenario), o, injected, sp) =
+    J.Obj
+      [ ("name", J.Str s.Chaos.Plan.name);
+        ("classes", J.List (List.map (fun c -> J.Str c) s.Chaos.Plan.classes));
+        ("injected", match injected with Some k -> num k | None -> J.Null);
+        ("requests", num o.co_requests);
+        ("answered", num o.co_answered);
+        ("checked_bitwise", num o.co_checked);
+        ("shed", num o.co_shed);
+        ("restarts", num o.co_restarts);
+        ( "shed_by_bucket",
+          J.List
+            (List.init (Array.length chaos_buckets) (fun i ->
+                 J.Obj
+                   [ ("bucket", J.Str chaos_buckets.(i));
+                     ("count", num o.co_shed_buckets.(i)) ])) );
+        ("passed", J.Bool sp) ]
+  in
+  let json =
+    J.Obj
+      [ ("schema", J.Str "fpan-chaos/1");
+        ("seed", num seed);
+        ("shards", num shards);
+        ("requests_per_scenario", num requests);
+        ("scenarios", J.List (List.map scenario_doc results));
+        ( "invariants",
+          J.Obj
+            [ ("server_deaths", num deaths);
+              ("bitwise_mismatches", num mismatches);
+              ("fd_leak", num fd_leak) ] );
+        ("passed", J.Bool passed) ]
+  in
+  Obs.Schema.check ~name:out Obs.Schemas.chaos_report json;
+  J.write_file out json;
+  Printf.printf "  invariants: deaths %d, mismatches %d, fd leak %d -> %s\n"
+    deaths mismatches fd_leak
+    (if passed then "PASS" else "FAIL");
+  Printf.printf "  written to %s\n%!" out;
+  if not passed then exit 1
+
+let chaos_cmd =
+  let doc =
+    "Run the seeded fault-injection campaign against a real forked shard fleet and write \
+     CHAOS_report.json (fpan-chaos/1): each named scenario injects one fault family \
+     (syscall noise at the read/write/wait seams, accept EMFILE, dispatch drops, wire \
+     corruption/truncation/resets, latency stalls, shard SIGKILL storms, admission \
+     overload) while a retrying client drives a deterministic request mix, asserting that \
+     no server dies, every answer is bitwise-identical to the fault-free scalar path, and \
+     no descriptor leaks.  The report is byte-reproducible for a fixed seed."
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.")
+  in
+  let shards_arg =
+    Arg.(value & opt int 2
+         & info [ "shards" ] ~docv:"N" ~doc:"Shard processes per fleet scenario.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 48
+         & info [ "requests" ] ~docv:"N" ~doc:"Requests driven per scenario.")
+  in
+  let scenarios_arg =
+    Arg.(value & opt string ""
+         & info [ "scenarios" ] ~docv:"NAME,..."
+             ~doc:"Scenario subset to run (default: the full matrix).")
+  in
+  let out_arg =
+    Arg.(value & opt string "CHAOS_report.json"
+         & info [ "out"; "o" ] ~docv:"FILE" ~doc:"JSON output path.")
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const chaos_run $ seed_arg $ shards_arg $ requests_arg $ scenarios_arg
+          $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* adaptive: compute-path benchmark + fuzz gate of SLA-driven tier
@@ -2129,7 +2513,7 @@ let () =
     Cmd.group ~default info
       [ list_cmd; show_cmd; check_cmd; check_all_cmd; check_n_cmd; dot_cmd; search_cmd;
         analyze_cmd; enumerate_cmd; fuzz_cmd; verify_cmd; bench_sched_cmd; fuse_cmd; trace_cmd; serve_cmd;
-        loadgen_cmd; adaptive_cmd ]
+        loadgen_cmd; adaptive_cmd; chaos_cmd ]
   in
   match Cmd.eval_value group with
   | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0

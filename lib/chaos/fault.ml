@@ -1,0 +1,50 @@
+(* The fault vocabulary and the seams it can fire at.  One closed
+   enumeration for both — like the obligation lists in lib/verify, the
+   point is that the set of injectable failures is written down, named,
+   and replayed, not discovered ad hoc. *)
+
+type t =
+  | Pass  (* no fault at this call; the only value the disarmed hook returns *)
+  | Eintr  (* syscall interrupted *)
+  | Eagain  (* spurious would-block *)
+  | Econnreset  (* peer reset mid-read *)
+  | Emfile  (* descriptor exhaustion at accept *)
+  | Short_read of int  (* read at most this many bytes *)
+  | Short_write of int  (* write at most this many bytes *)
+  | Spurious_wake  (* readiness wait returns empty early *)
+  | Stall_us of int  (* bounded latency stall before the syscall *)
+  | Drop_dispatch  (* distributor hand-off to a shard "fails" *)
+  | Abort_child  (* forked shard exits before serving anything *)
+
+type site = Read | Write | Accept | Wait | Dispatch | Fork
+
+let site_count = 6
+
+let site_index = function
+  | Read -> 0
+  | Write -> 1
+  | Accept -> 2
+  | Wait -> 3
+  | Dispatch -> 4
+  | Fork -> 5
+
+let site_name = function
+  | Read -> "read"
+  | Write -> "write"
+  | Accept -> "accept"
+  | Wait -> "wait"
+  | Dispatch -> "dispatch"
+  | Fork -> "fork"
+
+let name = function
+  | Pass -> "pass"
+  | Eintr -> "eintr"
+  | Eagain -> "eagain"
+  | Econnreset -> "econnreset"
+  | Emfile -> "emfile"
+  | Short_read _ -> "short_read"
+  | Short_write _ -> "short_write"
+  | Spurious_wake -> "spurious_wake"
+  | Stall_us _ -> "stall"
+  | Drop_dispatch -> "drop_dispatch"
+  | Abort_child -> "abort_child"

@@ -1,0 +1,26 @@
+(** The closed fault vocabulary and the injection seams.
+
+    Every injectable failure is a named constructor here; every place
+    the serve stack consults the injector is a named {!site}.  The
+    payloads of [Short_read]/[Short_write] are byte caps; [Stall_us]
+    is a bounded latency in microseconds. *)
+
+type t =
+  | Pass  (** no fault; the only value a disarmed hook ever returns *)
+  | Eintr
+  | Eagain
+  | Econnreset
+  | Emfile
+  | Short_read of int
+  | Short_write of int
+  | Spurious_wake
+  | Stall_us of int
+  | Drop_dispatch
+  | Abort_child
+
+type site = Read | Write | Accept | Wait | Dispatch | Fork
+
+val site_count : int
+val site_index : site -> int
+val site_name : site -> string
+val name : t -> string

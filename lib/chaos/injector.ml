@@ -1,0 +1,89 @@
+(* The process-global injection hook the serve stack consults at its
+   syscall seams.  Mirrors Obs.Trace's disabled-mode discipline: every
+   entry point first reads one atomic flag, and the disarmed path is
+   that single branch returning the constant [Fault.Pass] — no
+   allocation, no table lookup (test/test_chaos.ml asserts an exact
+   zero minor-allocation delta over the disarmed hooks).
+
+   Armed, a site decision is count-based and deterministic: the n-th
+   call at a site fires rule r iff (n + r.phase) mod r.period = 0,
+   with the phase derived from the campaign seed at arm time.  The
+   rules carry preallocated fault values, so even the armed fast path
+   allocates nothing.
+
+   The state is plain process memory on purpose: a shard fleet forked
+   *after* [arm] inherits the armed plan (fork copies the whole
+   image), which is how a campaign injects faults inside shard
+   children while the parent immediately disarms its own copy. *)
+
+type rule = { fault : Fault.t; period : int; phase : int }
+
+let on = Atomic.make false
+let site_rules : rule array array = Array.make Fault.site_count [||]
+let counters : int Atomic.t array =
+  Array.init Fault.site_count (fun _ -> Atomic.make 0)
+let fired : int Atomic.t array =
+  Array.init Fault.site_count (fun _ -> Atomic.make 0)
+
+let enabled () = Atomic.get on
+
+let arm ~seed plan =
+  Array.fill site_rules 0 Fault.site_count [||];
+  List.iter
+    (fun (site, specs) ->
+      let si = Fault.site_index site in
+      site_rules.(si) <-
+        Array.of_list
+          (List.mapi
+             (fun i (fault, period) ->
+               if period < 1 then invalid_arg "Chaos.Injector.arm: period < 1";
+               let phase =
+                 Int64.to_int
+                   (Int64.rem
+                      (Int64.logand (Rng.hash ~seed ~salt:((si * 97) + i) ~n:0)
+                         Int64.max_int)
+                      (Int64.of_int period))
+               in
+               { fault; period; phase })
+             specs))
+    plan;
+  Array.iter (fun c -> Atomic.set c 0) counters;
+  Array.iter (fun c -> Atomic.set c 0) fired;
+  Atomic.set on true
+
+let disarm () = Atomic.set on false
+
+let fire si =
+  let n = Atomic.fetch_and_add counters.(si) 1 in
+  let rules = site_rules.(si) in
+  let k = Array.length rules in
+  let rec scan i =
+    if i >= k then Fault.Pass
+    else
+      let r = rules.(i) in
+      if (n + r.phase) mod r.period = 0 then begin
+        Atomic.incr fired.(si);
+        r.fault
+      end
+      else scan (i + 1)
+  in
+  scan 0
+
+let read_fault () = if not (Atomic.get on) then Fault.Pass else fire 0
+let write_fault () = if not (Atomic.get on) then Fault.Pass else fire 1
+let accept_fault () = if not (Atomic.get on) then Fault.Pass else fire 2
+let wait_fault () = if not (Atomic.get on) then Fault.Pass else fire 3
+let dispatch_fault () = if not (Atomic.get on) then Fault.Pass else fire 4
+let fork_fault () = if not (Atomic.get on) then Fault.Pass else fire 5
+
+let fired_counts () =
+  List.init Fault.site_count (fun si ->
+      ( Fault.site_name
+          (match si with
+          | 0 -> Fault.Read
+          | 1 -> Fault.Write
+          | 2 -> Fault.Accept
+          | 3 -> Fault.Wait
+          | 4 -> Fault.Dispatch
+          | _ -> Fault.Fork),
+        Atomic.get fired.(si) ))

@@ -1,0 +1,41 @@
+(** Process-global fault-injection hook for the serve stack's syscall
+    seams.
+
+    Disarmed (the default), every [*_fault] entry point is a single
+    atomic-flag branch returning the constant {!Fault.Pass} — zero
+    allocation on the hot path, mirroring [Obs.Trace]'s disabled mode;
+    test_chaos asserts the exact zero minor-allocation delta.
+
+    Armed via {!arm}, the n-th call at a site fires rule [r] iff
+    [(n + r.phase) mod r.period = 0], with phases derived from the
+    seed — a deterministic, count-based schedule independent of the
+    clock.  Fault values inside rules are preallocated, so the armed
+    fast path allocates nothing either.
+
+    The armed state is plain process memory: forking a shard fleet
+    after [arm] hands each child the armed plan, after which the
+    parent can {!disarm} its own copy.  [arm] resets all site
+    counters. *)
+
+type rule = { fault : Fault.t; period : int; phase : int }
+
+val enabled : unit -> bool
+val arm : seed:int -> (Fault.site * (Fault.t * int) list) list -> unit
+(** [(site, [(fault, period); ...])]: fire [fault] once per [period]
+    calls at [site], at a seed-derived phase.  Earlier rules win when
+    several match the same call.  Raises [Invalid_argument] on a
+    period < 1. *)
+
+val disarm : unit -> unit
+
+val read_fault : unit -> Fault.t
+val write_fault : unit -> Fault.t
+val accept_fault : unit -> Fault.t
+val wait_fault : unit -> Fault.t
+val dispatch_fault : unit -> Fault.t
+val fork_fault : unit -> Fault.t
+
+val fired_counts : unit -> (string * int) list
+(** Faults actually fired per site since the last {!arm}, for
+    diagnostics (timing-dependent — never put these in a reproducible
+    report). *)

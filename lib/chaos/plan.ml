@@ -1,0 +1,166 @@
+(* The scenario layer: a named matrix of fault campaigns, each a
+   seeded, deterministic schedule over two channels.
+
+   Seam rules are Injector plans armed inside the serve processes (the
+   fleet children inherit them through fork; parent rules arm the
+   distributor process after forking).  Their firing counts depend on
+   how often the seams run, so they are reported as configuration, not
+   counts.
+
+   Wire actions are client-driven: the campaign runner decides, per
+   request index, whether to corrupt a frame header, truncate a frame,
+   abort-close a connection, stall mid-frame, or SIGKILL a shard.
+   Like seam rules, the k-th request fires an action iff
+   (k + phase) mod period = 0 with a seed-derived phase — so the
+   injection count for a given (seed, n) is a pure function of the
+   plan, which is what lets CHAOS_report.json be byte-reproducible. *)
+
+type action =
+  | Clean
+  | Corrupt_header  (* frame length field trashed; server must drop the conn *)
+  | Truncate_close  (* half a frame, then close *)
+  | Abort_close  (* full frame, then RST before reading the reply *)
+  | Stall_mid_us of int  (* frame written in two halves with a stall between *)
+  | Kill_shard  (* SIGKILL one fleet process *)
+
+let action_name = function
+  | Clean -> "clean"
+  | Corrupt_header -> "frame_corrupt"
+  | Truncate_close -> "frame_truncate"
+  | Abort_close -> "conn_reset"
+  | Stall_mid_us _ -> "stall"
+  | Kill_shard -> "shard_kill"
+
+type kind = Fleet | Admission
+
+type scenario = {
+  name : string;
+  summary : string;
+  kind : kind;
+  classes : string list;  (* fault-class names, for the report *)
+  seam_rules : (Fault.site * (Fault.t * int) list) list;  (* armed pre-fork, inherited by shards *)
+  parent_rules : (Fault.site * (Fault.t * int) list) list;  (* armed in the distributor post-fork *)
+  wire : (action * int) list;  (* client-driven (action, period) *)
+}
+
+let matrix =
+  [ { name = "syscall-noise";
+      summary = "EINTR/EAGAIN/ECONNRESET, short reads and writes, and \
+                 spurious wakeups inside every shard's io loop";
+      kind = Fleet;
+      classes =
+        [ "eintr"; "eagain"; "econnreset"; "short_read"; "short_write";
+          "spurious_wake"; "stall" ];
+      seam_rules =
+        [ (Fault.Read,
+           [ (Fault.Short_read 3, 5); (Fault.Eintr, 7); (Fault.Eagain, 11);
+             (Fault.Stall_us 300, 13); (Fault.Econnreset, 41) ]);
+          (Fault.Write,
+           [ (Fault.Short_write 5, 5); (Fault.Eintr, 11);
+             (Fault.Stall_us 200, 17) ]);
+          (Fault.Wait, [ (Fault.Spurious_wake, 9) ]) ];
+      parent_rules = [];
+      wire = [] };
+    { name = "accept-emfile";
+      summary = "descriptor exhaustion at the distributor's accept loop";
+      kind = Fleet;
+      classes = [ "emfile" ];
+      seam_rules = [];
+      parent_rules = [ (Fault.Accept, [ (Fault.Emfile, 4) ]) ];
+      wire = [] };
+    { name = "dispatch-drop";
+      summary = "shard hand-off failures at the distributor";
+      kind = Fleet;
+      classes = [ "drop_dispatch" ];
+      seam_rules = [];
+      parent_rules = [ (Fault.Dispatch, [ (Fault.Drop_dispatch, 4) ]) ];
+      wire = [] };
+    { name = "wire-corrupt";
+      summary = "frames with trashed length headers";
+      kind = Fleet;
+      classes = [ "frame_corrupt" ];
+      seam_rules = [];
+      parent_rules = [];
+      wire = [ (Corrupt_header, 6) ] };
+    { name = "wire-truncate";
+      summary = "half-written frames followed by close";
+      kind = Fleet;
+      classes = [ "frame_truncate" ];
+      seam_rules = [];
+      parent_rules = [];
+      wire = [ (Truncate_close, 6) ] };
+    { name = "conn-reset";
+      summary = "connections abort-closed after sending a request, \
+                 before reading the reply";
+      kind = Fleet;
+      classes = [ "conn_reset" ];
+      seam_rules = [];
+      parent_rules = [];
+      wire = [ (Abort_close, 5) ] };
+    { name = "latency-stall";
+      summary = "slowloris: frames written in two halves with a stall \
+                 between them";
+      kind = Fleet;
+      classes = [ "stall" ];
+      seam_rules = [];
+      parent_rules = [];
+      wire = [ (Stall_mid_us 20000, 7) ] };
+    { name = "shard-storm";
+      summary = "periodic SIGKILL of live shard processes mid-traffic";
+      kind = Fleet;
+      classes = [ "shard_kill" ];
+      seam_rules = [];
+      parent_rules = [];
+      wire = [ (Kill_shard, 16) ] };
+    { name = "overload-shed";
+      summary = "admission overload: low-q work displaced before \
+                 high-q work, deterministically";
+      kind = Admission;
+      classes = [ "overload" ];
+      seam_rules = [];
+      parent_rules = [];
+      wire = [] } ]
+
+let find name = List.find_opt (fun s -> s.name = name) matrix
+
+let scenario_salt s =
+  (* stable small salt per scenario: its index in the matrix *)
+  let rec go i = function
+    | [] -> 0
+    | x :: tl -> if x.name = s.name then i else go (i + 1) tl
+  in
+  go 0 matrix
+
+(* Per-request wire actions.  The k-th request fires rule (a, period)
+   iff (k + phase) mod period = 0, phase seeded per (scenario, rule):
+   counts depend only on (seed, scenario, n) — never on timing. *)
+let actions ~seed s ~n =
+  let salt = scenario_salt s in
+  let rules =
+    List.mapi
+      (fun i (a, period) ->
+        let phase =
+          Int64.to_int
+            (Int64.rem
+               (Int64.logand (Rng.hash ~seed ~salt:((salt * 131) + i) ~n:0)
+                  Int64.max_int)
+               (Int64.of_int period))
+        in
+        (a, period, phase))
+      s.wire
+  in
+  Array.init n (fun k ->
+      let rec scan = function
+        | [] -> Clean
+        | (a, period, phase) :: tl ->
+            if (k + phase) mod period = 0 then a else scan tl
+      in
+      scan rules)
+
+let injected_count ~seed s ~n =
+  if s.wire = [] then None
+  else
+    Some
+      (Array.fold_left
+         (fun acc a -> if a = Clean then acc else acc + 1)
+         0 (actions ~seed s ~n))

@@ -1,0 +1,50 @@
+(** Named chaos scenarios: seeded, deterministic fault campaigns.
+
+    A scenario injects through two channels.  {e Seam rules} are
+    {!Injector} plans armed inside serve processes (shard children
+    inherit them through fork; parent rules arm the distributor after
+    forking) — their firing counts depend on how often the seams run,
+    so they are configuration, not reported counts.  {e Wire actions}
+    are client-driven and scheduled per request index by
+    [(k + phase) mod period = 0] with a seed-derived phase, so the
+    injection count for a given [(seed, n)] is a pure function of the
+    plan — the property that makes [CHAOS_report.json]
+    byte-reproducible under a fixed seed. *)
+
+type action =
+  | Clean
+  | Corrupt_header
+  | Truncate_close
+  | Abort_close
+  | Stall_mid_us of int
+  | Kill_shard
+
+val action_name : action -> string
+
+type kind =
+  | Fleet  (** runs against a real forked shard fleet *)
+  | Admission  (** in-process deterministic admission-overload scenario *)
+
+type scenario = {
+  name : string;
+  summary : string;
+  kind : kind;
+  classes : string list;
+  seam_rules : (Fault.site * (Fault.t * int) list) list;
+  parent_rules : (Fault.site * (Fault.t * int) list) list;
+  wire : (action * int) list;
+}
+
+val matrix : scenario list
+(** The full named scenario matrix, in campaign order. *)
+
+val find : string -> scenario option
+
+val actions : seed:int -> scenario -> n:int -> action array
+(** The wire action for each of [n] request indices.  Deterministic in
+    [(seed, scenario, n)]. *)
+
+val injected_count : seed:int -> scenario -> n:int -> int option
+(** Number of non-[Clean] wire actions ([None] for scenarios that
+    inject only through seam rules, whose firing counts are
+    timing-dependent). *)

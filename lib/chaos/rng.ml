@@ -1,0 +1,40 @@
+(* Deterministic hashing for every chaos decision.  Nothing in this
+   subsystem may consult a stateful PRNG or the clock: a decision is a
+   pure function of (seed, stream, index), so two runs with the same
+   seed fire the same faults at the same points no matter how the
+   surrounding processes interleave, and a re-run reproduces the
+   campaign report byte for byte. *)
+
+(* splitmix64 finalizer: the full avalanche of the output stage, used
+   as a keyed bit mixer. *)
+let mix (z : int64) : int64 =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let golden = 0x9e3779b97f4a7c15L
+
+let hash ~seed ~salt ~n =
+  let open Int64 in
+  mix
+    (add
+       (mul (of_int seed) golden)
+       (add (mul (of_int salt) 0xc2b2ae3d27d4eb4fL) (of_int n)))
+
+(* Uniform in [0,1): top 53 bits of the hash as a mantissa. *)
+let uniform ~seed ~salt ~n =
+  let h = hash ~seed ~salt ~n in
+  let bits = Int64.shift_right_logical h 11 in
+  Int64.to_float bits *. 0x1p-53
+
+(* Exponential backoff with deterministic jitter, keyed on the retry
+   stream (e.g. a request id) so concurrent clients do not thunder in
+   lockstep yet a re-run sleeps exactly the same schedule.  The jitter
+   factor is in [0.5, 1.5); the doubling is capped so a long retry
+   fight stays bounded. *)
+let backoff_ms ~seed ~stream ~attempt ~base_ms =
+  let exp = if attempt < 8 then attempt else 8 in
+  let raw = base_ms *. float_of_int (1 lsl exp) in
+  let j = uniform ~seed ~salt:(0x6a1 + stream) ~n:attempt in
+  Float.min 500.0 (raw *. (0.5 +. j))

@@ -1,0 +1,24 @@
+(** Pure deterministic hashing behind every chaos decision.
+
+    No state, no clock: a decision is a function of
+    [(seed, stream, index)], which is what makes fault schedules — and
+    the campaign report built from them — reproducible byte for byte
+    under a fixed seed. *)
+
+val mix : int64 -> int64
+(** splitmix64 finalizer (keyed bit mixer, full avalanche). *)
+
+val hash : seed:int -> salt:int -> n:int -> int64
+(** Deterministic 64-bit hash of one decision point: [salt] names the
+    stream (a site, a scenario, a request class), [n] indexes within
+    it. *)
+
+val uniform : seed:int -> salt:int -> n:int -> float
+(** [hash] folded to a float in [\[0, 1)]. *)
+
+val backoff_ms : seed:int -> stream:int -> attempt:int -> base_ms:float -> float
+(** Exponential backoff with deterministic jitter: doubling capped at
+    [2^8 * base_ms], jitter factor in [\[0.5, 1.5)], result capped at
+    500 ms.  Keyed on [stream] (typically the request id) so two
+    clients retrying the same instant diverge, while a re-run sleeps
+    the identical schedule. *)

@@ -265,9 +265,11 @@ let serve_sla_stats =
       Req ("escalations", Int);
       Req ("chosen", serve_escalation_histogram) ]
 
+(* fpan-serve/4: priority shedding under overload — displacement count
+   plus the per-SLA-bucket split of everything shed. *)
 let serve_stats =
   Obj
-    [ Req ("schema", Str_const "fpan-serve/3");
+    [ Req ("schema", Str_const "fpan-serve/4");
       Req ("backend", Str);
       Req ("accepted", Int);
       Req ("adopted_conns", Int);
@@ -277,6 +279,10 @@ let serve_stats =
       Req ("shed_full", Int);
       Req ("shed_deadline", Int);
       Req ("shed_closed", Int);
+      Req ("shed_displaced", Int);
+      Req
+        ( "shed_by_bucket",
+          List (Obj [ Req ("bucket", Str); Req ("count", Int) ]) );
       Req ("errors", Int);
       Req ("batches", Int);
       Req ("queue_capacity", Int);
@@ -391,6 +397,44 @@ let bench_fuse =
       Req ("workers", Int);
       Req ("cells", List fuse_cell);
       Opt ("refine", fuse_refine) ]
+
+(* --- CHAOS_report.json (fpan-chaos/1) ------------------------------- *)
+
+(* One campaign scenario: the fault classes it exercises, exact
+   client-driven injection count ([null] for seam-side scenarios whose
+   firing count depends on syscall timing and is deliberately kept out
+   of the committed artifact), and the invariant tallies.  Everything
+   in this document is a pure function of (seed, shards, requests), so
+   re-running the campaign must reproduce it byte for byte. *)
+let chaos_scenario =
+  Obj
+    [ Req ("name", Str);
+      Req ("classes", List Str);
+      Req ("injected", num_or_null);
+      Req ("requests", Int);
+      Req ("answered", Int);
+      Req ("checked_bitwise", Int);
+      Req ("shed", Int);
+      Req ("restarts", Int);
+      Req
+        ( "shed_by_bucket",
+          List (Obj [ Req ("bucket", Str); Req ("count", Int) ]) );
+      Req ("passed", Bool) ]
+
+let chaos_report =
+  Obj
+    [ Req ("schema", Str_const "fpan-chaos/1");
+      Req ("seed", Int);
+      Req ("shards", Int);
+      Req ("requests_per_scenario", Int);
+      Req ("scenarios", List chaos_scenario);
+      Req
+        ( "invariants",
+          Obj
+            [ Req ("server_deaths", Int);
+              Req ("bitwise_mismatches", Int);
+              Req ("fd_leak", Int) ] );
+      Req ("passed", Bool) ]
 
 (* --- TRACE_*.json (fpan-trace/1) ------------------------------------ *)
 

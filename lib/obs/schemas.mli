@@ -39,6 +39,12 @@ val bench_fuse : Schema.t
 (** [BENCH_fuse.json], the cross-op fusion ablation, schema id
     [fpan-bench-fuse/1]. *)
 
+val chaos_report : Schema.t
+(** [CHAOS_report.json], the fault-injection campaign artifact, schema
+    id [fpan-chaos/1].  Deterministic for a fixed
+    (seed, shards, requests): every field is plan-derived or
+    invariant-derived; timing-dependent counts are [null]. *)
+
 val trace_summary : Schema.t
 (** [TRACE_*.json], schema id [fpan-trace/1]. *)
 

@@ -1,10 +1,10 @@
-(* Bounded MPSC queue with a self-pipe doorbell.  Producers ring the
-   pipe when a push makes the queue non-empty; the consumer polls it,
-   which is the only way to get a timed wait (Condition has no
-   timed variant).  The pipe is a doorbell, not a counter: both ends
-   are non-blocking, a full pipe on the producer side is fine (the
-   bell is already ringing), and the consumer drains whatever bytes
-   are there before re-checking.
+(* Bounded MPSC queue with a self-pipe doorbell and priority
+   displacement.  Producers ring the pipe when a push makes the queue
+   non-empty; the consumer polls it, which is the only way to get a
+   timed wait (Condition has no timed variant).  The pipe is a
+   doorbell, not a counter: both ends are non-blocking, a full pipe on
+   the producer side is fine (the bell is already ringing), and the
+   consumer drains whatever bytes are there before re-checking.
 
    Ringing only on the empty->nonempty transition keeps the bell
    syscall off the steady-state push path: the consumer only ever
@@ -12,16 +12,36 @@
    when the queue is empty), so a push onto a non-empty queue can
    never be the wake-up a sleeping consumer is waiting for.  A stale
    byte from a push the consumer raced past just causes one spurious
-   wake. *)
+   wake.
+
+   Priority displacement is the overload-degradation policy: a push
+   into a full queue may evict the oldest strictly-lower-priority
+   entry instead of refusing (`Displaced), so cheap-SLA (low-q) work
+   is shed before high-q work.  Entries live in an intrusive doubly
+   linked list — FIFO push/pop as before, plus O(capacity) victim
+   scan, which only runs on the overload path where a shed syscall
+   round-trip dwarfs it.  Pushes without a priority all tie at 0 and
+   can never displace each other, so existing callers keep the plain
+   full-means-`Full behavior. *)
 
 let depth_gauge = Obs.Metrics.gauge "serve.queue_depth"
+
+type 'a node = {
+  v : 'a;
+  prio : int;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
 
 type 'a t = {
   capacity : int;
   lock : Mutex.t;
-  items : 'a Queue.t;
+  mutable head : 'a node option;  (* oldest *)
+  mutable tail : 'a node option;  (* newest *)
+  mutable len : int;
   mutable closed : bool;
   mutable max_depth : int;
+  mutable displaced : int;
   bell_r : Unix.file_descr;
   bell_w : Unix.file_descr;
 }
@@ -34,14 +54,49 @@ let create ~capacity =
   {
     capacity;
     lock = Mutex.create ();
-    items = Queue.create ();
+    head = None;
+    tail = None;
+    len = 0;
     closed = false;
     max_depth = 0;
+    displaced = 0;
     bell_r;
     bell_w;
   }
 
 let capacity t = t.capacity
+
+(* lock held *)
+let append t v prio =
+  let n = { v; prio; prev = t.tail; next = None } in
+  (match t.tail with
+  | Some tl -> tl.next <- Some n
+  | None -> t.head <- Some n);
+  t.tail <- Some n;
+  t.len <- t.len + 1
+
+(* lock held *)
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None;
+  t.len <- t.len - 1
+
+(* lock held; oldest node with the minimal priority, so ties shed in
+   arrival order *)
+let min_prio_node t =
+  let rec go best = function
+    | None -> best
+    | Some n ->
+        let best =
+          match best with
+          | Some b when b.prio <= n.prio -> best
+          | _ -> Some n
+        in
+        go best n.next
+  in
+  go None t.head
 
 let ring t =
   try ignore (Unix.write t.bell_w (Bytes.make 1 '!') 0 1)
@@ -57,17 +112,24 @@ let drain_bell t =
   in
   go ()
 
-let push t v =
+let push ?(priority = 0) t v =
   Mutex.lock t.lock;
   let r =
     if t.closed then `Closed
-    else if Queue.length t.items >= t.capacity then `Full
+    else if t.len >= t.capacity then begin
+      match min_prio_node t with
+      | Some victim when victim.prio < priority ->
+          unlink t victim;
+          append t v priority;
+          t.displaced <- t.displaced + 1;
+          `Displaced victim.v
+      | _ -> `Full
+    end
     else begin
-      Queue.add v t.items;
-      let d = Queue.length t.items in
-      if d > t.max_depth then t.max_depth <- d;
-      Obs.Metrics.set depth_gauge (float_of_int d);
-      if d = 1 then `Ok_ring else `Ok
+      append t v priority;
+      if t.len > t.max_depth then t.max_depth <- t.len;
+      Obs.Metrics.set depth_gauge (float_of_int t.len);
+      if t.len = 1 then `Ok_ring else `Ok
     end
   in
   Mutex.unlock t.lock;
@@ -75,13 +137,21 @@ let push t v =
   | `Ok_ring ->
       ring t;
       `Ok
-  | (`Ok | `Full | `Closed) as r -> r
+  | (`Ok | `Full | `Closed | `Displaced _) as r -> r
 
 let close t =
   Mutex.lock t.lock;
   t.closed <- true;
   Mutex.unlock t.lock;
   ring t
+
+(* Only once producers and the consumer are both done with the queue:
+   a pusher racing destroy would ring a dead (or worse, reused)
+   descriptor. *)
+let destroy t =
+  close t;
+  (try Unix.close t.bell_r with _ -> ());
+  try Unix.close t.bell_w with _ -> ()
 
 let is_closed t =
   Mutex.lock t.lock;
@@ -91,7 +161,7 @@ let is_closed t =
 
 let depth t =
   Mutex.lock t.lock;
-  let d = Queue.length t.items in
+  let d = t.len in
   Mutex.unlock t.lock;
   d
 
@@ -101,16 +171,31 @@ let max_depth t =
   Mutex.unlock t.lock;
   d
 
+let displaced t =
+  Mutex.lock t.lock;
+  let d = t.displaced in
+  Mutex.unlock t.lock;
+  d
+
 (* Pop up to [room] items right now.  Returns them newest-last. *)
 let take_now t room =
   Mutex.lock t.lock;
   let out = ref [] in
   let k = ref 0 in
-  while !k < room && not (Queue.is_empty t.items) do
-    out := Queue.pop t.items :: !out;
-    incr k
+  while
+    !k < room
+    &&
+    match t.head with
+    | None -> false
+    | Some n ->
+        unlink t n;
+        out := n.v :: !out;
+        incr k;
+        true
+  do
+    ()
   done;
-  if !k > 0 then Obs.Metrics.set depth_gauge (float_of_int (Queue.length t.items));
+  if !k > 0 then Obs.Metrics.set depth_gauge (float_of_int t.len);
   let closed = t.closed in
   Mutex.unlock t.lock;
   (List.rev !out, closed)

@@ -19,7 +19,14 @@ val create : capacity:int -> 'a t
 
 val capacity : 'a t -> int
 
-val push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+val push : ?priority:int -> 'a t -> 'a -> [ `Ok | `Full | `Closed | `Displaced of 'a ]
+(** Push with an optional priority (default 0; higher keeps longer).
+    Into a full queue, a push displaces the {e oldest
+    strictly-lower-priority} entry if one exists — the evicted value
+    comes back as [`Displaced v] and the caller must shed it
+    explicitly — and refuses with [`Full] otherwise.  Pushes that
+    never pass [?priority] all tie at 0, so they can never displace
+    each other and keep the historical full-means-[`Full] behavior. *)
 
 val pop_batch : 'a t -> max:int -> window_ns:int64 -> 'a list
 (** Block until at least one item is available (or the queue is closed
@@ -32,6 +39,12 @@ val close : 'a t -> unit
 (** Producers get [`Closed] from now on; the consumer drains what was
     already admitted, then [pop_batch] returns [[]].  Idempotent. *)
 
+val destroy : 'a t -> unit
+(** {!close}, then release the doorbell descriptors.  Only legal once
+    no producer or consumer can touch the queue again (the server
+    calls it after joining the batcher and io domains); the chaos
+    campaign's fd-leak invariant is what keeps everyone honest. *)
+
 val is_closed : 'a t -> bool
 
 val depth : 'a t -> int
@@ -40,3 +53,6 @@ val depth : 'a t -> int
 
 val max_depth : 'a t -> int
 (** High-water mark of {!depth} since {!create}. *)
+
+val displaced : 'a t -> int
+(** Entries evicted by higher-priority pushes since {!create}. *)

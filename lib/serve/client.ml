@@ -2,40 +2,76 @@ module P = Protocol
 module J = Obs.Json_out
 
 type t = {
-  fd : Unix.file_descr;
-  defr : P.deframer;
+  mutable fd : Unix.file_descr;
+  mutable defr : P.deframer;
   rbuf : Bytes.t;
-  pending : string Queue.t;  (* frames already read but not returned *)
+  mutable pending : string Queue.t;  (* frames already read but not returned *)
   mutable next_id : int;
+  sa : Unix.sockaddr;
+  deadline_ms : int option;
 }
 
-let connect_sockaddr sa =
-  P.ignore_sigpipe ();
+(* Connect one socket to [sa].  With a deadline the connect goes
+   non-blocking — EINPROGRESS, wait for writability, then read the
+   socket error back out of SO_ERROR (the only place an async connect
+   reports failure) — and the socket returns to blocking mode, with
+   the deadline re-applied per read by [next_frame]. *)
+let connect_fd ?deadline_ms sa =
   let domain = Unix.domain_of_sockaddr sa in
   let fd = Unix.socket ~cloexec:true domain SOCK_STREAM 0 in
-  (try Unix.connect fd sa
+  (try
+     match deadline_ms with
+     | None -> Unix.connect fd sa
+     | Some ms -> (
+         Unix.set_nonblock fd;
+         (match Unix.connect fd sa with
+         | () -> ()
+         | exception Unix.Unix_error ((EINPROGRESS | EWOULDBLOCK | EAGAIN), _, _)
+           ->
+             if not (Readiness.wait_writable fd ~timeout_ms:ms) then
+               failwith "Serve.Client: connect deadline exceeded";
+             (match Unix.getsockopt_error fd with
+             | None -> ()
+             | Some err -> raise (Unix.Unix_error (err, "connect", ""))));
+         Unix.clear_nonblock fd)
    with e ->
      (try Unix.close fd with _ -> ());
      raise e);
+  fd
+
+let connect_sockaddr ?deadline_ms sa =
+  P.ignore_sigpipe ();
+  let fd = connect_fd ?deadline_ms sa in
   {
     fd;
     defr = P.deframer ();
     rbuf = Bytes.create 65536;
     pending = Queue.create ();
     next_id = 1;
+    sa;
+    deadline_ms;
   }
 
-let connect (addr : Server.addr) =
+let connect ?deadline_ms (addr : Server.addr) =
   match addr with
-  | Server.Unix_path path -> connect_sockaddr (Unix.ADDR_UNIX path)
+  | Server.Unix_path path -> connect_sockaddr ?deadline_ms (Unix.ADDR_UNIX path)
   | Server.Tcp { host; port } ->
       let ip =
         try Unix.inet_addr_of_string host
         with _ -> (Unix.gethostbyname host).h_addr_list.(0)
       in
-      connect_sockaddr (Unix.ADDR_INET (ip, port))
+      connect_sockaddr ?deadline_ms (Unix.ADDR_INET (ip, port))
 
 let close t = try Unix.close t.fd with _ -> ()
+
+(* Fresh socket, fresh framing state.  Correlation ids keep counting
+   up — a retried request re-sends its original id, and any half-read
+   frame from the dead connection died with the old deframer. *)
+let reconnect t =
+  close t;
+  t.fd <- connect_fd ?deadline_ms:t.deadline_ms t.sa;
+  t.defr <- P.deframer ();
+  t.pending <- Queue.create ()
 
 let fresh_id t =
   let id = t.next_id in
@@ -50,6 +86,10 @@ let rec next_frame t =
   match Queue.take_opt t.pending with
   | Some payload -> payload
   | None -> (
+      (match t.deadline_ms with
+      | Some ms when not (Readiness.wait_readable t.fd ~timeout_ms:ms) ->
+          failwith "Serve.Client: read deadline exceeded"
+      | _ -> ());
       match Unix.read t.fd t.rbuf 0 (Bytes.length t.rbuf) with
       | 0 -> failwith "Serve.Client: connection closed"
       | n -> (
@@ -76,6 +116,26 @@ let call t req =
     if P.response_id resp = req.P.id then resp else wait ()
   in
   wait ()
+
+let call_retry ?(max_attempts = 8) ?(base_backoff_ms = 10.0) ?(seed = 0) t req
+    =
+  let rec attempt n =
+    match call t req with
+    | resp -> resp
+    | exception e ->
+        if n + 1 >= max_attempts then raise e;
+        let ms =
+          Chaos.Rng.backoff_ms ~seed ~stream:req.P.id ~attempt:n
+            ~base_ms:base_backoff_ms
+        in
+        Unix.sleepf (ms *. 1e-3);
+        (* a failed reconnect (shard still restarting) just burns this
+           attempt: the dead descriptor makes the next call fail fast
+           and the loop backs off again *)
+        (try reconnect t with _ -> ());
+        attempt (n + 1)
+  in
+  attempt 0
 
 let call_many t reqs =
   List.iter (send t) reqs;

@@ -3,13 +3,25 @@
     One socket, one outstanding conversation per client value; not
     thread-safe (the load generator gives each worker its own
     client).  Responses are matched by correlation id — the server
-    replies in micro-batch completion order, not submission order. *)
+    replies in micro-batch completion order, not submission order.
+
+    [?deadline_ms] (default off, preserving the historical fully
+    blocking behavior) bounds the connect and every socket read:
+    connect goes non-blocking and waits for writability, and {!recv}
+    waits for readability before each read.  Exceeding either raises
+    [Failure], which {!call_retry} turns into a reconnect-and-retry. *)
 
 type t
 
-val connect : Server.addr -> t
-val connect_sockaddr : Unix.sockaddr -> t
+val connect : ?deadline_ms:int -> Server.addr -> t
+val connect_sockaddr : ?deadline_ms:int -> Unix.sockaddr -> t
 val close : t -> unit
+
+val reconnect : t -> unit
+(** Drop the socket and any half-read framing state, and dial the
+    original address again (same deadline).  Correlation ids keep
+    counting from where they were, so an in-flight request can be
+    re-sent with its original id. *)
 
 val fresh_id : t -> int
 (** Next unused correlation id (monotonic per client). *)
@@ -18,11 +30,28 @@ val send : t -> Protocol.request -> unit
 (** Fire one request frame without waiting (for pipelining). *)
 
 val recv : t -> Protocol.response
-(** Block for the next response frame.  Raises [Failure] on EOF or a
-    malformed frame. *)
+(** Block for the next response frame.  Raises [Failure] on EOF, a
+    malformed frame, or a lapsed read deadline. *)
 
 val call : t -> Protocol.request -> Protocol.response
 (** {!send} then block until the response with the request's id. *)
+
+val call_retry :
+  ?max_attempts:int ->
+  ?base_backoff_ms:float ->
+  ?seed:int ->
+  t ->
+  Protocol.request ->
+  Protocol.response
+(** {!call} hardened for a flaky fleet: any raised failure (EOF,
+    deadline, reset, bad frame) sleeps a deterministic
+    exponential-backoff-with-jitter delay ({!Chaos.Rng.backoff_ms},
+    keyed on [seed] and the request id), reconnects, and re-sends the
+    {e same} request — same correlation id, so the exchange is
+    idempotent from the server's point of view.  Defaults:
+    [max_attempts = 8], [base_backoff_ms = 10.], [seed = 0].
+    Re-raises the last failure once attempts are exhausted.  Shed
+    responses are returned, not retried: shedding is an answer. *)
 
 val call_many : t -> Protocol.request list -> Protocol.response list
 (** Pipeline all requests, then collect responses; returned in the

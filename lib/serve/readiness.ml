@@ -169,6 +169,12 @@ let event_of_mask fd mask =
   }
 
 let wait t ~timeout_ms =
+  (* chaos seam: a spurious wakeup (or injected EINTR) surfaces as an
+     empty event list, exactly what a real EINTR produces below.  The
+     disarmed hook is a single atomic branch returning Pass. *)
+  match Chaos.Injector.wait_fault () with
+  | Chaos.Fault.Spurious_wake | Chaos.Fault.Eintr -> []
+  | _ -> (
   match t with
   | P p -> (
       match poll_stub p.fds p.events p.revents p.n timeout_ms with
@@ -198,7 +204,7 @@ let wait t ~timeout_ms =
               { fd = fd_of_int k; readable; writable; hangup = false; error = false }
               :: acc)
             tbl []
-      | exception Unix.Unix_error (EINTR, _, _) -> [])
+      | exception Unix.Unix_error (EINTR, _, _) -> []))
 
 (* --- single-descriptor helpers -------------------------------------- *)
 

@@ -56,6 +56,8 @@ type t = {
   mutable refused_conns : int;
   mutable shed_full : int;
   mutable shed_closed : int;
+  mutable shed_displaced : int;
+  shed_buckets : int array;  (* sheds per SLA bucket; guarded by lock *)
   mutable decode_errors : int;
   mutable draining : bool;  (* io domain: adoption channel hit EOF *)
   stopping : bool Atomic.t;
@@ -67,6 +69,29 @@ type t = {
 let accepted_ctr = Obs.Metrics.counter "serve.accepted"
 let shed_full_ctr = Obs.Metrics.counter "serve.shed_full"
 let shed_closed_ctr = Obs.Metrics.counter "serve.shed_closed"
+let shed_displaced_ctr = Obs.Metrics.counter "serve.shed_displaced"
+
+(* --- degradation policy ---------------------------------------------- *)
+
+(* Admission priority: an SLA request's q exponent (tighter budget =
+   more bits asked for = more valuable under overload), and for
+   fixed-tier requests the q-equivalent of the tier's full width
+   (53 bits per term), so explicit-tier work ranks with the SLA work
+   asking for comparable accuracy. *)
+let priority_of_request (req : P.request) =
+  match req.P.sla with
+  | Some q -> q
+  | None -> 53 * P.tier_terms req.P.tier
+
+(* Shed accounting buckets: one for fixed-tier work, four q ranges for
+   SLA work.  Fixed shape, fixed order — the stats document must be
+   deterministic. *)
+let shed_bucket_names = [| "fixed"; "q1-50"; "q51-100"; "q101-150"; "q151-200" |]
+
+let shed_bucket_index (req : P.request) =
+  match req.P.sla with
+  | None -> 0
+  | Some q -> if q <= 50 then 1 else if q <= 100 then 2 else if q <= 150 then 3 else 4
 
 let fd_key : Unix.file_descr -> int = Obj.magic
 
@@ -79,11 +104,27 @@ let ring t =
    may be far beyond select's ceiling) rather than killing the
    connection, and give up only on a client that stays wedged for
    seconds. *)
+(* Chaos seam around one write syscall: short writes just cap the
+   length (the loop below already handles partial progress), EINTR /
+   EAGAIN take the same recovery paths a real kernel would force, and
+   a stall is a bounded sleep before the write.  Disarmed, this is a
+   single atomic branch. *)
+let chaos_write fd s k n =
+  match Chaos.Injector.write_fault () with
+  | Chaos.Fault.Pass -> Unix.write_substring fd s k n
+  | Chaos.Fault.Short_write cap -> Unix.write_substring fd s k (min n (max 1 cap))
+  | Chaos.Fault.Eintr -> raise (Unix.Unix_error (Unix.EINTR, "chaos-write", ""))
+  | Chaos.Fault.Eagain -> raise (Unix.Unix_error (Unix.EAGAIN, "chaos-write", ""))
+  | Chaos.Fault.Stall_us us ->
+      Unix.sleepf (float_of_int us *. 1e-6);
+      Unix.write_substring fd s k n
+  | _ -> Unix.write_substring fd s k n
+
 let write_all fd s =
   let n = String.length s in
   let k = ref 0 in
   while !k < n do
-    match Unix.write_substring fd s !k (n - !k) with
+    match chaos_write fd s !k (n - !k) with
     | w -> k := !k + w
     | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
         if not (Readiness.wait_writable fd ~timeout_ms:5000) then
@@ -185,11 +226,13 @@ let stats_doc t =
   let refused_conns = t.refused_conns in
   let shed_full = t.shed_full in
   let shed_closed = t.shed_closed in
+  let shed_displaced = t.shed_displaced in
+  let shed_buckets = Array.copy t.shed_buckets in
   let decode_errors = t.decode_errors in
   Mutex.unlock t.lock;
   let num n = J.Num (float_of_int n) in
   J.Obj
-    [ ("schema", J.Str "fpan-serve/3");
+    [ ("schema", J.Str "fpan-serve/4");
       ("backend", J.Str t.backend_name);
       ("accepted", num accepted);
       ("adopted_conns", num adopted);
@@ -199,6 +242,13 @@ let stats_doc t =
       ("shed_full", num shed_full);
       ("shed_deadline", num b.Batcher.shed_deadline);
       ("shed_closed", num shed_closed);
+      ("shed_displaced", num shed_displaced);
+      ( "shed_by_bucket",
+        J.List
+          (List.init (Array.length shed_bucket_names) (fun i ->
+               J.Obj
+                 [ ("bucket", J.Str shed_bucket_names.(i));
+                   ("count", num shed_buckets.(i)) ])) );
       ("errors", num (decode_errors + b.Batcher.errors));
       ("batches", num b.Batcher.batches);
       ("queue_capacity", num (Admission.capacity t.queue));
@@ -265,16 +315,35 @@ let admit t conn (req : P.request) cache_key =
           enqueue t conn resp
   in
   let entry = { Batcher.req; arrival_ns = Obs.Clock.now_ns (); reply } in
-  match Admission.push t.queue entry with
+  match Admission.push ~priority:(priority_of_request req) t.queue entry with
   | `Ok ->
       bump t (fun t -> t.accepted <- t.accepted + 1);
       Obs.Metrics.incr accepted_ctr
   | `Full ->
-      bump t (fun t -> t.shed_full <- t.shed_full + 1);
+      bump t (fun t ->
+          t.shed_full <- t.shed_full + 1;
+          let b = shed_bucket_index req in
+          t.shed_buckets.(b) <- t.shed_buckets.(b) + 1);
       Obs.Metrics.incr shed_full_ctr;
       send t conn (P.Shed { id = req.P.id; reason = "queue_full" })
+  | `Displaced victim ->
+      (* overload degradation: this request was admitted by evicting
+         the oldest strictly-lower-priority entry, which we now shed
+         explicitly on its own connection *)
+      bump t (fun t ->
+          t.accepted <- t.accepted + 1;
+          t.shed_displaced <- t.shed_displaced + 1;
+          let b = shed_bucket_index victim.Batcher.req in
+          t.shed_buckets.(b) <- t.shed_buckets.(b) + 1);
+      Obs.Metrics.incr accepted_ctr;
+      Obs.Metrics.incr shed_displaced_ctr;
+      victim.Batcher.reply
+        (P.Shed { id = victim.Batcher.req.P.id; reason = "displaced" })
   | `Closed ->
-      bump t (fun t -> t.shed_closed <- t.shed_closed + 1);
+      bump t (fun t ->
+          t.shed_closed <- t.shed_closed + 1;
+          let b = shed_bucket_index req in
+          t.shed_buckets.(b) <- t.shed_buckets.(b) + 1);
       Obs.Metrics.incr shed_closed_ctr;
       send t conn (P.Shed { id = req.P.id; reason = "closed" })
 
@@ -333,8 +402,25 @@ let drop_conn t rd conn =
   | _ -> ());
   close_conn conn
 
+(* Chaos seam around one read syscall: a short read caps the length
+   (the deframer is built for partial frames), EINTR / EAGAIN /
+   ECONNRESET surface as the real errno the handlers below already
+   classify, and a stall is a bounded sleep before the read. *)
+let chaos_read fd buf len =
+  match Chaos.Injector.read_fault () with
+  | Chaos.Fault.Pass -> Unix.read fd buf 0 len
+  | Chaos.Fault.Short_read cap -> Unix.read fd buf 0 (min len (max 1 cap))
+  | Chaos.Fault.Eintr -> raise (Unix.Unix_error (Unix.EINTR, "chaos-read", ""))
+  | Chaos.Fault.Eagain -> raise (Unix.Unix_error (Unix.EAGAIN, "chaos-read", ""))
+  | Chaos.Fault.Econnreset ->
+      raise (Unix.Unix_error (Unix.ECONNRESET, "chaos-read", ""))
+  | Chaos.Fault.Stall_us us ->
+      Unix.sleepf (float_of_int us *. 1e-6);
+      Unix.read fd buf 0 len
+  | _ -> Unix.read fd buf 0 len
+
 let read_conn t rd conn buf =
-  match Unix.read conn.fd buf 0 (Bytes.length buf) with
+  match chaos_read conn.fd buf (Bytes.length buf) with
   | 0 -> drop_conn t rd conn
   | n -> (
       match P.feed conn.defr buf n with
@@ -345,7 +431,13 @@ let read_conn t rd conn buf =
 
 let accept_all t rd listen_fd =
   let rec go () =
-    match Unix.accept ~cloexec:true listen_fd with
+    match
+      (match Chaos.Injector.accept_fault () with
+      | Chaos.Fault.Emfile ->
+          raise (Unix.Unix_error (Unix.EMFILE, "chaos-accept", ""))
+      | _ -> ());
+      Unix.accept ~cloexec:true listen_fd
+    with
     | fd, _ ->
         if Atomic.get t.conn_count >= t.max_conns then begin
           bump t (fun t -> t.refused_conns <- t.refused_conns + 1);
@@ -512,7 +604,9 @@ let stop t =
         t.io_domain <- None
     | None -> ());
     (try Unix.close t.wake_r with _ -> ());
-    try Unix.close t.wake_w with _ -> ()
+    (try Unix.close t.wake_w with _ -> ());
+    (* both domains are joined: nobody can ring the doorbell again *)
+    Admission.destroy t.queue
   end
 
 let make ~sched ~source ?(queue_capacity = 64) ?(max_batch = 32) ?(window_us = 200.)
@@ -549,6 +643,8 @@ let make ~sched ~source ?(queue_capacity = 64) ?(max_batch = 32) ?(window_us = 2
       refused_conns = 0;
       shed_full = 0;
       shed_closed = 0;
+      shed_displaced = 0;
+      shed_buckets = Array.make (Array.length shed_bucket_names) 0;
       decode_errors = 0;
       draining = false;
       stopping = Atomic.make false;

@@ -95,8 +95,9 @@ val stop : t -> unit
 
 val stats_doc : t -> Obs.Json_out.t
 (** Server introspection per {!Obs.Schemas.serve_stats} (schema
-    [fpan-serve/2]): readiness backend, connection and admission
-    counters, shed counters, queue depth / high-water mark, cache
+    [fpan-serve/4]): readiness backend, connection and admission
+    counters, shed counters (including priority displacements and the
+    per-SLA-bucket shed split), queue depth / high-water mark, cache
     hit/miss/size/evictions, batch-size histogram, and the scheduler's
     worker telemetry.  Also what the wire [stats] operation returns. *)
 

@@ -28,6 +28,10 @@ type slot = {
   mutable pid : int;
   mutable chan : Unix.file_descr;  (* parent end of the fd-passing pair *)
   mutable live : bool;
+  mutable forked_at : float;  (* when this incarnation was forked *)
+  mutable backoff : float;  (* current re-fork delay; 0 = healthy *)
+  mutable next_fork : float;  (* when a pending re-fork may run *)
+  mutable pending : bool;  (* dead, restart scheduled after backoff *)
 }
 
 type t = {
@@ -44,12 +48,18 @@ type t = {
   dispatched : int array;
   mutable restarts : int;
   mutable refused : int;
+  mutable backoff_delays : int;
   mutable rr : int;
   stopping : bool Atomic.t;
   mutable thread : Thread.t option;
 }
 
-type stats = { dispatched : int array; restarts : int; refused : int }
+type stats = {
+  dispatched : int array;
+  restarts : int;
+  refused : int;
+  backoff_delays : int;
+}
 
 (* --- child ----------------------------------------------------------- *)
 
@@ -88,6 +98,15 @@ let child_main chan (o : opts) =
 (* --- forking --------------------------------------------------------- *)
 
 let fork_shard t i =
+  (* chaos seam, decided in the parent so the abort schedule is one
+     deterministic counter stream regardless of child timing: the
+     doomed child exits before building anything, which is exactly the
+     crash-loop shape the re-fork backoff exists for *)
+  let abort_child =
+    match Chaos.Injector.fork_fault () with
+    | Chaos.Fault.Abort_child -> true
+    | _ -> false
+  in
   let parent_end, child_end =
     Unix.socketpair ~cloexec:true PF_UNIX SOCK_STREAM 0
   in
@@ -104,20 +123,34 @@ let fork_shard t i =
       Array.iter
         (fun s -> if s.live then try Unix.close s.chan with _ -> ())
         t.slots;
+      if abort_child then Unix._exit 41;
       child_main child_end t.opts
   | pid ->
       (try Unix.close child_end with _ -> ());
       let s = t.slots.(i) in
       s.pid <- pid;
       s.chan <- parent_end;
-      s.live <- true
+      s.live <- true;
+      s.forked_at <- Unix.gettimeofday ();
+      s.pending <- false
 
 (* --- distributor (parent thread) -------------------------------------- *)
 
+(* Re-fork storm cap: a shard that dies within [quick_death_s] of its
+   fork is crash-looping, and re-forking it at reaper speed just burns
+   pids and log lines.  Each consecutive quick death doubles a
+   per-slot delay (capped); a shard that survived its first second
+   resets it.  Delayed restarts run from the same reaper pass once
+   their deadline arrives, so the distributor thread never sleeps. *)
+let refork_backoff_base = 0.05
+let refork_backoff_cap = 5.0
+let quick_death_s = 1.0
+
 let reap t =
+  let now = Unix.gettimeofday () in
   Array.iteri
     (fun i s ->
-      if s.live then
+      if s.live then (
         match Unix.waitpid [ WNOHANG ] s.pid with
         | 0, _ -> ()
         | _ ->
@@ -127,12 +160,33 @@ let reap t =
               Mutex.lock t.lock;
               t.restarts <- t.restarts + 1;
               Mutex.unlock t.lock;
-              fork_shard t i
+              if now -. s.forked_at < quick_death_s then begin
+                s.backoff <-
+                  (if s.backoff <= 0.0 then refork_backoff_base
+                   else Float.min refork_backoff_cap (2.0 *. s.backoff));
+                s.next_fork <- now +. s.backoff;
+                s.pending <- true;
+                Mutex.lock t.lock;
+                t.backoff_delays <- t.backoff_delays + 1;
+                Mutex.unlock t.lock
+              end
+              else begin
+                s.backoff <- 0.0;
+                fork_shard t i
+              end
             end
         | exception Unix.Unix_error (ECHILD, _, _) ->
             s.live <- false;
             (try Unix.close s.chan with _ -> ())
         | exception Unix.Unix_error (EINTR, _, _) -> ())
+      else if
+        s.pending && t.restart
+        && (not (Atomic.get t.stopping))
+        && now >= s.next_fork
+      then begin
+        s.pending <- false;
+        fork_shard t i
+      end)
     t.slots
 
 let hash_peer fd nslots =
@@ -169,6 +223,11 @@ let dispatch t fd =
       let i = (idx + tries) mod nslots in
       let s = t.slots.(i) in
       if not s.live then try_send (tries + 1)
+      else if Chaos.Injector.dispatch_fault () = Chaos.Fault.Drop_dispatch
+      then
+        (* chaos seam: pretend this shard refused the handoff, forcing
+           the failover scan onto the next live slot *)
+        try_send (tries + 1)
       else
         match send_fd_stub s.chan (Char.code 'c') (int_of_fd fd) with
         | () ->
@@ -248,7 +307,15 @@ let start ~addr ~shards ?(balance = `Round_robin) ?(restart = true)
       unlink;
       slots =
         Array.init shards (fun _ ->
-            { pid = -1; chan = Unix.stdin; live = false });
+            {
+              pid = -1;
+              chan = Unix.stdin;
+              live = false;
+              forked_at = 0.0;
+              backoff = 0.0;
+              next_fork = 0.0;
+              pending = false;
+            });
       balance;
       restart;
       opts;
@@ -258,6 +325,7 @@ let start ~addr ~shards ?(balance = `Round_robin) ?(restart = true)
       dispatched = Array.make shards 0;
       restarts = 0;
       refused = 0;
+      backoff_delays = 0;
       rr = 0;
       stopping = Atomic.make false;
       thread = None;
@@ -279,7 +347,7 @@ let stats t =
   Mutex.lock t.lock;
   let s =
     { dispatched = Array.copy t.dispatched; restarts = t.restarts;
-      refused = t.refused }
+      refused = t.refused; backoff_delays = t.backoff_delays }
   in
   Mutex.unlock t.lock;
   s
@@ -319,6 +387,8 @@ let stop t =
     | None -> ());
     (* no new connections... *)
     (try Unix.close t.listen_fd with _ -> ());
+    (try Unix.close t.wake_r with _ -> ());
+    (try Unix.close t.wake_w with _ -> ());
     (match t.unlink with
     | Some path -> ( try Unix.unlink path with _ -> ())
     | None -> ());

@@ -18,7 +18,11 @@
     detects it via [waitpid WNOHANG], forks a replacement, and
     re-routes; connections that lived on the dead shard are lost (the
     client sees EOF and reconnects), connections on other shards are
-    undisturbed.
+    undisturbed.  A shard that dies within a second of its fork is
+    treated as crash-looping: its re-fork is delayed by an exponential
+    per-slot backoff (50ms doubling to a 5s cap, reset by any
+    incarnation that survives its first second), so a poisoned shard
+    cannot pin the distributor in a fork storm.
 
     Balancing is round-robin by default; [`Hash] instead buckets by
     the client's peer address so a reconnecting client tends to land
@@ -68,6 +72,9 @@ type stats = {
   dispatched : int array;  (** connections handed to each shard slot *)
   restarts : int;  (** shard deaths detected and re-forked *)
   refused : int;  (** accepted then closed: no live shard to take it *)
+  backoff_delays : int;
+      (** re-forks deferred because the previous incarnation died
+          within a second of its fork (crash-loop storm cap) *)
 }
 
 val stats : t -> stats

@@ -55,6 +55,37 @@ let test_verify_certificate () =
   let rec go i = i + n <= h && (String.sub json i n = bad || go (i + 1)) in
   if go 0 then Alcotest.fail "committed certificate records a failing sweep"
 
+(* The committed chaos campaign report: schema-valid under
+   fpan-chaos/1 and actually a passing campaign — zero invariant
+   violations, every scenario present. *)
+let test_chaos_report () =
+  validate_file "CHAOS_report.json" Obs.Schemas.chaos_report
+    (artifact "CHAOS_report.json");
+  let json =
+    In_channel.with_open_text (artifact "CHAOS_report.json")
+      In_channel.input_all
+  in
+  let has needle =
+    let n = String.length needle and h = String.length json in
+    let rec go i = i + n <= h && (String.sub json i n = needle || go (i + 1)) in
+    if not (go 0) then Alcotest.failf "CHAOS_report.json missing %s" needle
+  in
+  has "\"schema\": \"fpan-chaos/1\"";
+  has "\"passed\": true";
+  (* every scenario of the matrix ran *)
+  List.iter
+    (fun (s : Chaos.Plan.scenario) ->
+      has (Printf.sprintf "\"name\": %S" s.Chaos.Plan.name))
+    Chaos.Plan.matrix;
+  (* the three invariants all held *)
+  has "\"server_deaths\": 0";
+  has "\"bitwise_mismatches\": 0";
+  has "\"fd_leak\": 0";
+  let bad = "\"passed\": false" in
+  let n = String.length bad and h = String.length json in
+  let rec go i = i + n <= h && (String.sub json i n = bad || go (i + 1)) in
+  if go 0 then Alcotest.fail "committed chaos report records a failing scenario"
+
 (* Wire documents of the serving layer validate against their declared
    schemas in both directions: what the encoder emits passes, and the
    parse -> validate -> decode pipeline reproduces the request. *)
@@ -201,6 +232,7 @@ let () =
           Alcotest.test_case "BENCH_serve.json" `Quick test_bench_serve;
           Alcotest.test_case "BENCH_fuse.json" `Quick test_bench_fuse;
           Alcotest.test_case "VERIFY_core.json" `Quick test_verify_certificate;
+          Alcotest.test_case "CHAOS_report.json" `Quick test_chaos_report;
           Alcotest.test_case "TRACE_gemm(_chrome).json" `Quick test_trace_artifacts;
           Alcotest.test_case "CHECK report (in-process)" `Quick test_check_report;
           Alcotest.test_case "TRACE summary (in-process)" `Quick test_trace_summary ] );

@@ -293,6 +293,147 @@ let test_cached_bitwise () =
                 (Printf.sprintf "cache hits recorded (%d)" s.C.hits)
                 true (s.C.hits > 0))))
 
+(* --- cache behavior under injected faults ----------------------------- *)
+
+(* A client that vanishes mid-reply while being answered from the LRU
+   must never poison the entry: qcheck populates the cache, slams a
+   raw connection shut the instant the cached-hit reply is in flight,
+   then re-asks — the survivor hit must still be bitwise the scalar
+   path. *)
+let test_disconnect_no_poison () =
+  let path = fresh_sock () in
+  Runtime.Sched.with_sched ~workers:2 (fun sched ->
+      let srv =
+        Serve.Server.start ~sched ~addr:(Serve.Server.Unix_path path)
+          ~queue_capacity:64 ~max_batch:8 ~window_us:100. ~cache_capacity:1024 ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Serve.Server.stop srv)
+        (fun () ->
+          let cl = Serve.Client.connect ~deadline_ms:30_000 (Serve.Server.Unix_path path) in
+          Fun.protect
+            ~finally:(fun () -> Serve.Client.close cl)
+            (fun () ->
+              let sockaddr = Unix.ADDR_UNIX path in
+              let prop req =
+                let expect =
+                  match Serve.Batcher.eval_one req with
+                  | Ok r -> r
+                  | Error e -> failwith ("scalar path refused: " ^ e)
+                in
+                let ask tag =
+                  match Serve.Client.call cl req with
+                  | P.Result { result; _ } ->
+                      if not (elements_bits_equal result expect) then
+                        failwith (tag ^ " differs from scalar path")
+                  | _ -> failwith (tag ^ " not a result")
+                in
+                (* populate, then the mid-stream disconnect: a raw conn
+                   sends the (now cached) request and slams shut
+                   without reading the hit reply *)
+                ask "cold";
+                let fd =
+                  Unix.socket ~cloexec:true
+                    (Unix.domain_of_sockaddr sockaddr)
+                    SOCK_STREAM 0
+                in
+                (try
+                   Unix.connect fd sockaddr;
+                   let frame =
+                     P.frame_of_string
+                       (Obs.Json_out.to_string_compact (P.request_to_json req))
+                   in
+                   ignore (Unix.write_substring fd frame 0 (String.length frame))
+                 with _ -> ());
+                (try Unix.close fd with _ -> ());
+                (* the entry must have survived the wreck intact *)
+                ask "post-disconnect hit";
+                true
+              in
+              QCheck.Test.check_exn
+                (QCheck.Test.make ~count:60
+                   ~name:"mid-stream disconnect never poisons the LRU"
+                   arb_request prop);
+              let s = Serve.Server.cache_stats srv in
+              Alcotest.(check bool)
+                (Printf.sprintf "hits actually exercised (%d)" s.C.hits)
+                true (s.C.hits > 0))))
+
+(* Shed requests must never populate the cache: jam the batcher with
+   uncacheable slow work so cacheable flood requests shed queue_full,
+   then check the cache holds exactly the answered distinct requests
+   and nothing more. *)
+let test_shed_never_cached () =
+  let path = fresh_sock () in
+  Runtime.Sched.with_sched ~workers:2 (fun sched ->
+      let srv =
+        Serve.Server.start ~sched ~addr:(Serve.Server.Unix_path path)
+          ~queue_capacity:4 ~max_batch:1 ~window_us:0. ~cache_capacity:1024 ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Serve.Server.stop srv)
+        (fun () ->
+          let addr = Serve.Server.Unix_path path in
+          let slow = Serve.Client.connect ~deadline_ms:60_000 addr in
+          let flood = Serve.Client.connect ~deadline_ms:60_000 addr in
+          Fun.protect
+            ~finally:(fun () ->
+              Serve.Client.close slow;
+              Serve.Client.close flood)
+            (fun () ->
+              (* poison: mf4 poly-eval over a large coefficient vector —
+                 far past the cacheable operand bound, so the cache sees
+                 only the flood *)
+              let coeff i =
+                [| 1.0 +. float_of_int i; 1e-17; 1e-34; 1e-51 |]
+              in
+              let poisons =
+                List.init 5 (fun i ->
+                    { P.id = i + 1; op = P.Poly_eval; tier = P.Mf4; sla = None;
+                      deadline_ms = None; prog = [];
+                      x = Array.init 20_000 coeff;
+                      y = [| [| 0.9999999; 1e-18; 1e-35; 1e-52 |] |];
+                      z = [||] })
+              in
+              List.iter (Serve.Client.send slow) poisons;
+              Unix.sleepf 0.05;
+              (* flood: distinct cacheable requests; some must shed *)
+              let floods =
+                List.init 64 (fun i ->
+                    mk ~op:P.Add
+                      [| [| 3.0 +. float_of_int i; 1e-18 |] |]
+                      [| [| 2.0; 0.0 |] |]
+                    |> fun r -> { r with P.id = i + 100 })
+              in
+              let resps = Serve.Client.call_many flood floods in
+              let ok =
+                List.length
+                  (List.filter (function P.Result _ -> true | _ -> false) resps)
+              in
+              let shed =
+                List.length
+                  (List.filter
+                     (function
+                       | P.Shed { reason = "queue_full"; _ } -> true
+                       | _ -> false)
+                     resps)
+              in
+              Alcotest.(check int) "every flood answered" 64 (ok + shed);
+              Alcotest.(check bool)
+                (Printf.sprintf "overload produced sheds (%d)" shed)
+                true (shed > 0);
+              (* drain the poisons so the server is quiet *)
+              List.iter
+                (fun _ -> ignore (Serve.Client.recv slow))
+                poisons;
+              (* the cache holds exactly the answered flood requests:
+                 every flood operand is distinct, the poisons are
+                 uncacheable, so size = answered — a shed that slipped
+                 into the LRU would show up as size > ok *)
+              let s = Serve.Server.cache_stats srv in
+              Alcotest.(check int) "cache size = answered distinct requests"
+                ok s.C.size)))
+
 let () =
   Alcotest.run "serve_cache"
     [ ( "keying",
@@ -304,4 +445,9 @@ let () =
           Alcotest.test_case "per-kind counters" `Quick test_kind_counters ] );
       ( "bitwise",
         [ Alcotest.test_case "cached = uncached over arbitrary bits" `Quick
-            test_cached_bitwise ] ) ]
+            test_cached_bitwise ] );
+      ( "faults",
+        [ Alcotest.test_case "mid-stream disconnect never poisons the LRU"
+            `Quick test_disconnect_no_poison;
+          Alcotest.test_case "shed requests never populate the cache" `Quick
+            test_shed_never_cached ] ) ]

@@ -203,6 +203,15 @@ let test_shard_death_restart () =
       done;
       Alcotest.(check int) "restart recorded" 1
         (Serve.Shard.stats fleet).Serve.Shard.restarts;
+      (* a shard killed young counts as a quick death, so the re-fork
+         may sit out one short backoff delay before the slot refills *)
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while
+        List.length (Serve.Shard.pids fleet) < 2
+        && Unix.gettimeofday () < deadline
+      do
+        Unix.sleepf 0.02
+      done;
       Alcotest.(check int) "fleet back to strength" 2
         (List.length (Serve.Shard.pids fleet));
       (* and the endpoint still serves — several conns so both the
@@ -213,6 +222,72 @@ let test_shard_death_restart () =
           ~finally:(fun () -> try Unix.close fd with _ -> ())
           (fun () -> roundtrip fd (2000 + i))
       done)
+
+(* A crash-looping shard must not pin the distributor in a fork storm:
+   every replacement fork is chaos-doomed (the child aborts before
+   building anything), so consecutive quick deaths have to accumulate
+   exponential re-fork delays.  Disarming ends the storm and the fleet
+   must recover to full strength and keep serving. *)
+let test_refork_backoff () =
+  with_fleet (fun fleet sockaddr ->
+      let fd = connect_retry sockaddr in
+      roundtrip fd 1;
+      (try Unix.close fd with _ -> ());
+      (* every fork from here aborts in the child *)
+      Chaos.Injector.arm ~seed:0
+        [ (Chaos.Fault.Fork, [ (Chaos.Fault.Abort_child, 1) ]) ];
+      Fun.protect
+        ~finally:(fun () -> Chaos.Injector.disarm ())
+        (fun () ->
+          (match Serve.Shard.pids fleet with
+          | pid :: _ -> Unix.kill pid Sys.sigkill
+          | [] -> Alcotest.fail "no live shards");
+          let deadline = Unix.gettimeofday () +. 15.0 in
+          while
+            (Serve.Shard.stats fleet).Serve.Shard.backoff_delays < 2
+            && Unix.gettimeofday () < deadline
+          do
+            Unix.sleepf 0.02
+          done;
+          let s = Serve.Shard.stats fleet in
+          Alcotest.(check bool)
+            (Printf.sprintf "backoff delays recorded (%d)" s.Serve.Shard.backoff_delays)
+            true
+            (s.Serve.Shard.backoff_delays >= 2);
+          Alcotest.(check bool)
+            (Printf.sprintf "every death was reaped (%d)" s.Serve.Shard.restarts)
+            true
+            (s.Serve.Shard.restarts >= 2);
+          (* the surviving shard kept the endpoint alive all along *)
+          let fd = connect_retry sockaddr in
+          roundtrip fd 2;
+          (try Unix.close fd with _ -> ()));
+      (* storm over: the next delayed re-fork sticks *)
+      let deadline = Unix.gettimeofday () +. 15.0 in
+      while
+        List.length (Serve.Shard.pids fleet) < 2
+        && Unix.gettimeofday () < deadline
+      do
+        Unix.sleepf 0.05
+      done;
+      Alcotest.(check int) "fleet recovered to strength" 2
+        (List.length (Serve.Shard.pids fleet));
+      (* deadline-bounded client against the recovered fleet *)
+      let cl = Serve.Client.connect_sockaddr ~deadline_ms:10_000 sockaddr in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close cl)
+        (fun () ->
+          let r = req_for 3 in
+          match Serve.Client.call_retry ~seed:0 cl r with
+          | P.Result { result; _ } ->
+              let expect =
+                match Serve.Batcher.eval_one r with
+                | Ok e -> e
+                | Error e -> Alcotest.fail e
+              in
+              Alcotest.(check bool) "post-recovery bitwise" true
+                (elements_bits_equal result expect)
+          | _ -> Alcotest.fail "post-recovery request not served"))
 
 (* --- single-process cases (domains fine; no forking after this) ------- *)
 
@@ -309,7 +384,9 @@ let () =
             test_concurrent_connections;
           Alcotest.test_case "mass-disconnect storms" `Slow test_disconnect_storm;
           Alcotest.test_case "shard death and restart" `Slow
-            test_shard_death_restart ] );
+            test_shard_death_restart;
+          Alcotest.test_case "re-fork storm backoff" `Slow
+            test_refork_backoff ] );
       ( "single",
         [ Alcotest.test_case "slowloris byte-at-a-time" `Slow test_slowloris;
           Alcotest.test_case "soak: zero fd leaks" `Slow test_soak_no_fd_leak ] ) ]
